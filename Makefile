@@ -1,0 +1,39 @@
+# Convenience targets for the DISC reproduction.
+
+.PHONY: all test bench repro repro-quick docs clippy examples clean
+
+all: test
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+# Full reproduction of every table/figure/experiment (writes CSV exports).
+repro:
+	cargo run --release -p disc-bench --bin repro_all -- --csv results
+
+repro-quick:
+	cargo run --release -p disc-bench --bin repro_all -- --quick --csv results
+
+docs:
+	cargo doc --workspace --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+examples:
+	cargo build --examples --release
+	cargo run --release --example quickstart
+	cargo run --release --example engine_controller
+	cargo run --release --example producer_consumer
+	cargo run --release --example interrupt_latency
+	cargo run --release --example dsp_filter
+	cargo run --release --example rms_monitor
+	cargo run --release --example compiled_script
+	cargo run --release --example stochastic_study
+
+clean:
+	cargo clean
+	rm -rf results

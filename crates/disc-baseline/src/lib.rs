@@ -1,0 +1,908 @@
+//! The conventional single-instruction-stream pipelined processor the DISC
+//! paper compares against (its "standard processor", the `Ps` baseline).
+//!
+//! The baseline executes the *same* DISC1 instruction set with the same ALU
+//! semantics (shared via [`disc_core::alu`]) on an in-order pipeline, but
+//! with the behaviour of a conventional early-1990s micro-controller:
+//!
+//! * **One stream.** There is nothing to reallocate idle slots to.
+//! * **Jumps flush.** A taken jump resolving in EX drops the
+//!   `pipeline_depth - 2` younger sequential fetches, exactly the
+//!   `(pipe_length - 1)`-cycle penalty the paper charges (*"every time a
+//!   jump type instruction is executed, the standard processor will
+//!   require (pipe_length - 1) cycles to be flushed from the pipeline"* —
+//!   one of those cycles is the refetch itself).
+//! * **I/O halts the pipe.** An external access freezes the whole pipeline
+//!   until the data returns (*"the pipe could simply be halted"*), because
+//!   there is no other stream to run — this is the idle time DISC
+//!   reclaims.
+//! * **Interrupts context-switch.** Taking an interrupt costs a software
+//!   save of the register context, and returning costs the restore
+//!   ([`BaselineConfig::ctx_save_cycles`] /
+//!   [`BaselineConfig::ctx_restore_cycles`]); DISC instead keeps every
+//!   context resident.
+//!
+//! # Example
+//!
+//! ```
+//! use disc_baseline::{BaselineConfig, BaselineMachine};
+//! use disc_isa::Program;
+//!
+//! let program = Program::assemble(
+//!     r#"
+//!     .stream 0, main
+//! main:
+//!     ldi r0, 3
+//!     ldi r1, 4
+//!     mul r2, r0, r1
+//!     sta r2, 0x10
+//!     halt
+//! "#,
+//! )?;
+//! let mut m = BaselineMachine::new(BaselineConfig::default(), &program);
+//! m.run(1_000)?;
+//! assert_eq!(m.internal_memory().read(0x10), 12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use disc_core::alu::{alu, eval_cond, imm_op};
+use disc_core::{
+    DataBus, Exit, Flags, FlatBus, InternalMemory, IrqRequest, MachineStats, SimError,
+    StackWindow, WindowPolicy,
+};
+use disc_isa::{AwpMode, Cond, Instruction, Program, Reg};
+
+/// Configuration of the baseline processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineConfig {
+    /// Pipeline depth in stages (3..=8); jumps resolve next-to-last.
+    pub pipeline_depth: usize,
+    /// Cycles to save the register context when taking an interrupt
+    /// (13 registers through single-cycle memory plus vector dispatch).
+    pub ctx_save_cycles: u32,
+    /// Cycles to restore the context on interrupt return.
+    pub ctx_restore_cycles: u32,
+    /// Internal data memory size in 16-bit words.
+    pub internal_words: usize,
+    /// Register-stack depth (the baseline is "register heavy").
+    pub window_depth: usize,
+    /// Latency of the default flat external memory.
+    pub default_ext_latency: u32,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            pipeline_depth: 4,
+            ctx_save_cycles: 16,
+            ctx_restore_cycles: 16,
+            internal_words: 1024,
+            window_depth: 64,
+            default_ext_latency: 2,
+        }
+    }
+}
+
+impl BaselineConfig {
+    fn validate(&self) {
+        assert!(
+            (3..=8).contains(&self.pipeline_depth),
+            "pipeline depth must be 3..=8"
+        );
+        assert!(self.internal_words >= 16, "internal memory too small");
+        assert!(
+            self.window_depth > disc_isa::WINDOW_REGS,
+            "register stack must exceed the window"
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    pc: u16,
+    instr: Instruction,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    bit: u8,
+    resume_pc: u16,
+    /// Flags saved at interrupt entry (the PSW half of the context save).
+    flags: Flags,
+}
+
+/// Why the pipeline is currently frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Freeze {
+    /// Running normally.
+    None,
+    /// External access in progress; completes when the counter expires.
+    Io { remaining: u32 },
+    /// Context save/restore in progress; on expiry the PC moves to
+    /// `then_pc`.
+    CtxSwitch { remaining: u32, then_pc: u16 },
+    /// Plain stall (window spill/fill traffic); the PC is untouched.
+    Stall { remaining: u32 },
+}
+
+/// The conventional single-stream comparator machine.
+pub struct BaselineMachine {
+    config: BaselineConfig,
+    program: Program,
+    pc: u16,
+    flags: Flags,
+    window: StackWindow,
+    sp: u16,
+    globals: [u16; disc_isa::GLOBAL_REGS],
+    ir: u8,
+    mr: u8,
+    service: Vec<Frame>,
+    vectors: [Option<u16>; disc_isa::IRQ_LEVELS],
+    irq_raised_at: [Option<u64>; disc_isa::IRQ_LEVELS],
+    intmem: InternalMemory,
+    bus: Box<dyn DataBus>,
+    pipe: Vec<Option<Slot>>,
+    pending: Vec<(u64, u32)>,
+    freeze: Freeze,
+    /// Pending completion of a frozen external access.
+    io_action: Option<IoAction>,
+    stats: MachineStats,
+    cycle: u64,
+    halted: bool,
+    next_seq: u64,
+    irq_buf: Vec<IrqRequest>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IoAction {
+    Read { addr: u16, rd: Reg, tset: bool, awp: i32 },
+    Write { addr: u16, value: u16, awp: i32 },
+}
+
+const FLAG_BIT: u32 = 1 << 16;
+
+fn source_mask(instr: &Instruction) -> u32 {
+    let mut m = 0;
+    for r in instr.sources() {
+        m |= 1u32 << r.index();
+        if r == Reg::Sr {
+            m |= FLAG_BIT;
+        }
+    }
+    match instr {
+        Instruction::Jmp { cond, .. } if *cond != Cond::Always => m |= FLAG_BIT,
+        Instruction::Ret { .. } => m |= 1 << Reg::R0.index(),
+        Instruction::Alu {
+            op: disc_isa::AluOp::Adc | disc_isa::AluOp::Sbc,
+            ..
+        } => m |= FLAG_BIT,
+        _ => {}
+    }
+    m
+}
+
+fn dest_mask(instr: &Instruction) -> u32 {
+    let mut m = 0;
+    if let Some(r) = instr.destination() {
+        m |= 1u32 << r.index();
+        if r == Reg::Sr {
+            m |= FLAG_BIT;
+        }
+    }
+    match instr {
+        Instruction::Alu { .. } | Instruction::AluImm { .. } => m |= FLAG_BIT,
+        Instruction::Call { .. } => m |= 1 << Reg::R0.index(),
+        _ => {}
+    }
+    m
+}
+
+fn moves_window(instr: &Instruction) -> bool {
+    instr.awp_mode() != AwpMode::None
+        || matches!(
+            instr,
+            Instruction::Call { .. }
+                | Instruction::Ret { .. }
+                | Instruction::Winc { .. }
+                | Instruction::Wdec { .. }
+        )
+}
+
+impl std::fmt::Debug for BaselineMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineMachine")
+            .field("cycle", &self.cycle)
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BaselineMachine {
+    /// Creates a baseline machine with flat external memory.
+    ///
+    /// The program's stream-0 entry and vectors are used; other streams'
+    /// declarations are ignored (there is only one stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: BaselineConfig, program: &Program) -> Self {
+        let latency = config.default_ext_latency;
+        Self::with_bus(config, program, Box::new(FlatBus::new(latency)))
+    }
+
+    /// Creates a baseline machine with an explicit bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_bus(config: BaselineConfig, program: &Program, bus: Box<dyn DataBus>) -> Self {
+        config.validate();
+        let mut vectors = [None; disc_isa::IRQ_LEVELS];
+        for bit in 1..disc_isa::IRQ_LEVELS as u8 {
+            vectors[bit as usize] = program.vector(0, bit);
+        }
+        BaselineMachine {
+            pc: program.entry(0).unwrap_or(0),
+            flags: Flags::default(),
+            window: StackWindow::new(config.window_depth, WindowPolicy::AutoSpill),
+            sp: 0,
+            globals: [0; disc_isa::GLOBAL_REGS],
+            ir: 1, // background level runs
+            mr: 0xff,
+            service: Vec::new(),
+            vectors,
+            irq_raised_at: [None; disc_isa::IRQ_LEVELS],
+            intmem: InternalMemory::new(config.internal_words),
+            bus,
+            pipe: vec![None; config.pipeline_depth],
+            pending: Vec::new(),
+            freeze: Freeze::None,
+            io_action: None,
+            stats: MachineStats::new(1),
+            cycle: 0,
+            halted: false,
+            next_seq: 0,
+            irq_buf: Vec::new(),
+            program: program.clone(),
+            config,
+        }
+    }
+
+    /// Execution statistics (single-stream vectors have one entry).
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The internal memory.
+    pub fn internal_memory(&self) -> &InternalMemory {
+        &self.intmem
+    }
+
+    /// Mutable internal memory (test setup).
+    pub fn internal_memory_mut(&mut self) -> &mut InternalMemory {
+        &mut self.intmem
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+
+    /// Reads an architectural register (inspection path).
+    pub fn reg(&self, r: Reg) -> u16 {
+        match r {
+            r if r.is_window() => self
+                .window
+                .try_slot_of(r.index())
+                .map(|slot| self.window.read_slot(slot))
+                .unwrap_or(0),
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => self.globals[(r.index() - 8) as usize],
+            Reg::Sp => self.sp,
+            Reg::Sr => self.flags.to_word(),
+            Reg::Ir => self.ir as u16,
+            Reg::Mr => self.mr as u16,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Raises IR bit `bit` (external interrupt line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn raise_interrupt(&mut self, bit: u8) {
+        assert!(bit < 8);
+        if self.ir & (1 << bit) == 0 {
+            self.irq_raised_at[bit as usize] = Some(self.cycle);
+        }
+        self.ir |= 1 << bit;
+    }
+
+    /// Runs until halt/breakpoint or the cycle budget expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] on an undecodable program word.
+    pub fn run(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        for _ in 0..max_cycles {
+            if let Some(exit) = self.step()? {
+                return Ok(exit);
+            }
+        }
+        Ok(Exit::CycleLimit)
+    }
+
+    /// Advances one cycle; returns `Some` on halt or breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] on an undecodable program word.
+    pub fn step(&mut self) -> Result<Option<Exit>, SimError> {
+        if self.halted {
+            return Ok(Some(Exit::Halted));
+        }
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        self.irq_buf.clear();
+        self.bus.tick(&mut self.irq_buf);
+        for i in 0..self.irq_buf.len() {
+            let irq = self.irq_buf[i];
+            // All lines converge on the single context.
+            if irq.bit < 8 {
+                self.raise_interrupt(irq.bit);
+            }
+        }
+
+        // Frozen pipe: burn the cycle.
+        match self.freeze {
+            Freeze::Io { remaining } => {
+                self.stats.wait_txn_cycles[0] += 1;
+                if remaining > 1 {
+                    self.freeze = Freeze::Io {
+                        remaining: remaining - 1,
+                    };
+                } else {
+                    self.freeze = Freeze::None;
+                    if let Some(action) = self.io_action.take() {
+                        self.complete_io(action);
+                    }
+                }
+                return Ok(None);
+            }
+            Freeze::CtxSwitch { remaining, then_pc } => {
+                self.stats.wait_txn_cycles[0] += 1;
+                if remaining > 1 {
+                    self.freeze = Freeze::CtxSwitch {
+                        remaining: remaining - 1,
+                        then_pc,
+                    };
+                } else {
+                    self.freeze = Freeze::None;
+                    self.pc = then_pc;
+                }
+                return Ok(None);
+            }
+            Freeze::Stall { remaining } => {
+                if remaining > 1 {
+                    self.freeze = Freeze::Stall {
+                        remaining: remaining - 1,
+                    };
+                } else {
+                    self.freeze = Freeze::None;
+                }
+                return Ok(None);
+            }
+            Freeze::None => {}
+        }
+
+        // Pipeline advance.
+        let depth = self.config.pipeline_depth;
+        let ex = depth - 2;
+        if let Some(slot) = self.pipe[depth - 1].take() {
+            self.stats.retired[0] += 1;
+            self.pending.retain(|(seq, _)| *seq != slot.seq);
+        }
+        for i in (1..depth).rev() {
+            self.pipe[i] = self.pipe[i - 1].take();
+        }
+
+        // Execute at EX.
+        let mut exit = None;
+        if let Some(slot) = self.pipe[ex].clone() {
+            exit = self.execute(slot, ex);
+        }
+        if self.halted || exit.is_some() {
+            return Ok(exit);
+        }
+        if self.freeze != Freeze::None {
+            // The EX instruction froze the pipe; no fetch this cycle.
+            return Ok(None);
+        }
+
+        // Interrupt entry at the fetch boundary: conventional processors
+        // flush and context-switch.
+        if let Some(bit) = self.pending_interrupt() {
+            if let Some(target) = self.vectors[bit as usize] {
+                let oldest_pc = self.pipe[..ex]
+                    .iter()
+                    .filter_map(|s| s.as_ref())
+                    .map(|s| s.pc)
+                    .next_back();
+                let resume = oldest_pc.unwrap_or(self.pc);
+                for slot in self.pipe[..ex].iter_mut() {
+                    if let Some(s) = slot.take() {
+                        self.pending.retain(|(seq, _)| *seq != s.seq);
+                        self.stats.flushed_irq += 1;
+                    }
+                }
+                self.service.push(Frame {
+                    bit,
+                    resume_pc: resume,
+                    flags: self.flags,
+                });
+                self.stats.vectors_taken[0] += 1;
+                if let Some(raised) = self.irq_raised_at[bit as usize] {
+                    // Latency includes the context save below.
+                    self.stats
+                        .irq_latencies
+                        .push(self.cycle - raised + self.config.ctx_save_cycles as u64);
+                }
+                self.freeze = Freeze::CtxSwitch {
+                    remaining: self.config.ctx_save_cycles.max(1),
+                    then_pc: target,
+                };
+                return Ok(None);
+            }
+        }
+
+        // Fetch.
+        let word = self.program.word(self.pc);
+        let instr = match disc_isa::encode::decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                return Err(SimError::Decode {
+                    stream: 0,
+                    pc: self.pc,
+                    word,
+                })
+            }
+        };
+        let window_motion_in_flight = self.pending.iter().any(|(_, m)| m & 0xff != 0)
+            || self
+                .pipe
+                .iter()
+                .flatten()
+                .any(|s| moves_window(&s.instr));
+        let hazard = self
+            .pending
+            .iter()
+            .any(|(_, m)| m & source_mask(&instr) != 0)
+            || (window_motion_in_flight && moves_window(&instr));
+        if hazard {
+            self.stats.hazard_stalls[0] += 1;
+            self.stats.bubbles += 1;
+            return Ok(None);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let dm = dest_mask(&instr);
+        if dm != 0 {
+            self.pending.push((seq, dm));
+        }
+        self.pipe[0] = Some(Slot {
+            pc: self.pc,
+            instr,
+            seq,
+        });
+        self.pc = self.pc.wrapping_add(1);
+        Ok(None)
+    }
+
+    fn pending_interrupt(&self) -> Option<u8> {
+        let armed = self.ir & self.mr & !1; // bit 0 is the running level
+        if armed == 0 {
+            return None;
+        }
+        let top = 7 - armed.leading_zeros() as u8;
+        let level = self.service.last().map(|f| f.bit).unwrap_or(0);
+        (top > level).then_some(top)
+    }
+
+    fn read_reg(&mut self, r: Reg) -> u16 {
+        match r {
+            r if r.is_window() => self.window.read(r.index()),
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => self.globals[(r.index() - 8) as usize],
+            Reg::Sp => self.sp,
+            Reg::Sr => self.flags.to_word(),
+            Reg::Ir => self.ir as u16,
+            Reg::Mr => self.mr as u16,
+            _ => unreachable!(),
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u16) {
+        match r {
+            r if r.is_window() => self.window.write(r.index(), value),
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => {
+                self.globals[(r.index() - 8) as usize] = value;
+            }
+            Reg::Sp => self.sp = value,
+            Reg::Sr => self.flags = Flags::from_word(value),
+            Reg::Ir => self.ir = value as u8,
+            Reg::Mr => self.mr = value as u8,
+            _ => unreachable!(),
+        }
+    }
+
+    fn apply_awp(&mut self, delta: i32) {
+        if delta == 0 {
+            return;
+        }
+        let outcome = self.window.adjust(delta);
+        if outcome.stall_cycles > 0 {
+            self.stats.spill_stall_cycles[0] += outcome.stall_cycles as u64;
+            // Spill traffic freezes the single pipe in place.
+            self.freeze = Freeze::Stall {
+                remaining: outcome.stall_cycles,
+            };
+        }
+    }
+
+    fn awp_delta(mode: AwpMode) -> i32 {
+        match mode {
+            AwpMode::None => 0,
+            AwpMode::Inc => 1,
+            AwpMode::Dec => -1,
+        }
+    }
+
+    fn flush_younger(&mut self, ex: usize) {
+        for slot in self.pipe[..ex].iter_mut() {
+            if let Some(s) = slot.take() {
+                self.pending.retain(|(seq, _)| *seq != s.seq);
+                self.stats.flushed_jump += 1;
+            }
+        }
+    }
+
+    fn complete_io(&mut self, action: IoAction) {
+        match action {
+            IoAction::Read { addr, rd, tset, awp } => {
+                let value = if tset {
+                    let old = self.bus.read(addr);
+                    self.bus.write(addr, 0xffff);
+                    old
+                } else {
+                    self.bus.read(addr)
+                };
+                self.write_reg(rd, value);
+                // Release the load's scoreboard entry.
+                self.pending.retain(|(seq, _)| *seq != u64::MAX);
+                self.apply_awp(awp);
+            }
+            IoAction::Write { addr, value, awp } => {
+                self.bus.write(addr, value);
+                self.apply_awp(awp);
+            }
+        }
+    }
+
+    fn start_io(&mut self, action: IoAction, latency: u32, seq: u64) {
+        self.stats.external_accesses += 1;
+        // Keep the destination busy until the data lands.
+        for p in &mut self.pending {
+            if p.0 == seq {
+                p.0 = u64::MAX;
+            }
+        }
+        self.freeze = Freeze::Io { remaining: latency };
+        self.io_action = Some(action);
+    }
+
+    fn execute(&mut self, slot: Slot, ex: usize) -> Option<Exit> {
+        match slot.instr {
+            Instruction::Nop => {}
+            Instruction::Alu { op, awp, rd, rs, rt } => {
+                let a = self.read_reg(rs);
+                let b = self.read_reg(rt);
+                let (result, flags) = alu(op, a, b, self.flags);
+                if op.writes_rd() {
+                    self.write_reg(rd, result);
+                }
+                if rd != Reg::Sr || !op.writes_rd() {
+                    self.flags = flags;
+                }
+                self.apply_awp(Self::awp_delta(awp));
+            }
+            Instruction::AluImm { op, awp, rd, rs, imm } => {
+                let a = self.read_reg(rs);
+                let (result, flags) = alu(imm_op(op), a, imm as u16, self.flags);
+                if op.writes_rd() {
+                    self.write_reg(rd, result);
+                }
+                if rd != Reg::Sr || !op.writes_rd() {
+                    self.flags = flags;
+                }
+                self.apply_awp(Self::awp_delta(awp));
+            }
+            Instruction::Ldi { awp, rd, imm } => {
+                self.write_reg(rd, imm as u16);
+                self.apply_awp(Self::awp_delta(awp));
+            }
+            Instruction::Lui { rd, imm } => {
+                let low = self.read_reg(rd) & 0x00ff;
+                self.write_reg(rd, ((imm as u16) << 8) | low);
+            }
+            Instruction::Ld { awp, rd, base, offset } => {
+                let addr = self.read_reg(base).wrapping_add(offset as i16 as u16);
+                self.load(slot.seq, addr, rd, Self::awp_delta(awp), false);
+            }
+            Instruction::Lda { awp, rd, addr } => {
+                self.load(slot.seq, addr, rd, Self::awp_delta(awp), false);
+            }
+            Instruction::St { awp, src, base, offset } => {
+                let addr = self.read_reg(base).wrapping_add(offset as i16 as u16);
+                let value = self.read_reg(src);
+                self.store(addr, value, Self::awp_delta(awp));
+            }
+            Instruction::Sta { awp, src, addr } => {
+                let value = self.read_reg(src);
+                self.store(addr, value, Self::awp_delta(awp));
+            }
+            Instruction::Tset { rd, base, offset } => {
+                let addr = self.read_reg(base).wrapping_add(offset as i16 as u16);
+                self.load(slot.seq, addr, rd, 0, true);
+            }
+            Instruction::Jmp { cond, target } => {
+                self.stats.flow_instructions += 1;
+                if eval_cond(cond, self.flags) {
+                    self.pc = target;
+                    self.flush_younger(ex);
+                }
+            }
+            Instruction::Call { target } => {
+                self.stats.flow_instructions += 1;
+                self.apply_awp(1);
+                let ret = slot.pc.wrapping_add(1);
+                self.window.write(0, ret);
+                self.pc = target;
+                self.flush_younger(ex);
+            }
+            Instruction::Ret { pop } => {
+                self.stats.flow_instructions += 1;
+                self.apply_awp(-(pop as i32));
+                let ret = self.window.read(0);
+                self.apply_awp(-1);
+                self.pc = ret;
+                self.flush_younger(ex);
+            }
+            Instruction::Reti => {
+                self.stats.flow_instructions += 1;
+                if let Some(frame) = self.service.pop() {
+                    self.ir &= !(1 << frame.bit);
+                    self.irq_raised_at[frame.bit as usize] = None;
+                    self.flags = frame.flags;
+                    self.flush_younger(ex);
+                    // Context restore, then resume.
+                    self.freeze = Freeze::CtxSwitch {
+                        remaining: self.config.ctx_restore_cycles.max(1),
+                        then_pc: frame.resume_pc,
+                    };
+                }
+            }
+            Instruction::Winc { n } => self.apply_awp(n as i32),
+            Instruction::Wdec { n } => self.apply_awp(-(n as i32)),
+            // Stream-control instructions degenerate on one stream.
+            Instruction::Fork { target, .. } => {
+                // A fork on a uniprocessor is just a jump.
+                self.stats.flow_instructions += 1;
+                self.pc = target;
+                self.flush_younger(ex);
+            }
+            Instruction::Signal { bit, .. } => self.raise_interrupt(bit),
+            Instruction::Clri { bit } => {
+                self.ir &= !(1 << bit);
+                self.irq_raised_at[bit as usize] = None;
+            }
+            Instruction::Stop => {
+                // With a single context, stop idles until an interrupt; we
+                // model it as exiting when nothing is pending.
+                if self.pending_interrupt().is_none() {
+                    self.halted = true;
+                    return Some(Exit::AllIdle);
+                }
+            }
+            Instruction::Halt => {
+                self.halted = true;
+                // Count older executed in-flight instructions as retired.
+                for i in ex + 1..self.pipe.len() {
+                    if self.pipe[i].take().is_some() {
+                        self.stats.retired[0] += 1;
+                    }
+                }
+                return Some(Exit::Halted);
+            }
+            Instruction::Brk => {
+                return Some(Exit::Breakpoint {
+                    stream: 0,
+                    pc: slot.pc,
+                });
+            }
+        }
+        None
+    }
+
+    fn load(&mut self, seq: u64, addr: u16, rd: Reg, awp: i32, tset: bool) {
+        if self.intmem.contains(addr) {
+            let value = if tset {
+                self.intmem.test_and_set(addr)
+            } else {
+                self.intmem.read(addr)
+            };
+            self.write_reg(rd, value);
+            self.apply_awp(awp);
+            return;
+        }
+        let latency = self.bus.latency(addr, false).unwrap_or(0);
+        if latency == 0 {
+            let value = if tset {
+                let old = self.bus.read(addr);
+                self.bus.write(addr, 0xffff);
+                old
+            } else {
+                self.bus.read(addr)
+            };
+            self.write_reg(rd, value);
+            self.apply_awp(awp);
+            return;
+        }
+        self.start_io(IoAction::Read { addr, rd, tset, awp }, latency, seq);
+    }
+
+    fn store(&mut self, addr: u16, value: u16, awp: i32) {
+        if self.intmem.contains(addr) {
+            self.intmem.write(addr, value);
+            self.apply_awp(awp);
+            return;
+        }
+        let latency = self.bus.latency(addr, true).unwrap_or(0);
+        if latency == 0 {
+            self.bus.write(addr, value);
+            self.apply_awp(awp);
+            return;
+        }
+        self.start_io(IoAction::Write { addr, value, awp }, latency, u64::MAX - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(src: &str) -> BaselineMachine {
+        let p = Program::assemble(src).unwrap();
+        BaselineMachine::new(BaselineConfig::default(), &p)
+    }
+
+    #[test]
+    fn computes_like_disc() {
+        let mut m = machine(
+            r#"
+            .stream 0, main
+        main:
+            ldi r0, 10
+            ldi r1, 0
+        loop:
+            add r1, r1, r0
+            subi r0, r0, 1
+            jnz loop
+            sta r1, 0x40
+            halt
+        "#,
+        );
+        assert_eq!(m.run(10_000).unwrap(), Exit::Halted);
+        assert_eq!(m.internal_memory().read(0x40), 55);
+    }
+
+    #[test]
+    fn io_halts_whole_pipe() {
+        let p = Program::assemble(
+            r#"
+            .stream 0, main
+        main:
+            lui r0, 0x80
+            ld  r1, [r0]
+            addi r1, r1, 1
+            sta r1, 0x10
+            halt
+        "#,
+        )
+        .unwrap();
+        let mut bus = FlatBus::new(10);
+        bus.poke(0x8000, 5);
+        let mut m = BaselineMachine::with_bus(BaselineConfig::default(), &p, Box::new(bus));
+        assert_eq!(m.run(1_000).unwrap(), Exit::Halted);
+        assert_eq!(m.internal_memory().read(0x10), 6);
+        assert_eq!(m.stats().external_accesses, 1);
+        assert_eq!(m.stats().wait_txn_cycles[0], 10);
+    }
+
+    #[test]
+    fn interrupt_pays_context_switch() {
+        let mut m = machine(
+            r#"
+            .stream 0, main
+            .vector 0, 3, isr
+        main:
+            jmp main
+        isr:
+            ldi r0, 1
+            sta r0, 0x30
+            reti
+        "#,
+        );
+        for _ in 0..10 {
+            m.step().unwrap();
+        }
+        m.raise_interrupt(3);
+        m.run(200).unwrap();
+        assert_eq!(m.internal_memory().read(0x30), 1);
+        let lat = m.stats().max_irq_latency().unwrap();
+        assert!(
+            lat >= BaselineConfig::default().ctx_save_cycles as u64,
+            "latency must include the context save, got {lat}"
+        );
+    }
+
+    #[test]
+    fn calls_and_windows_match_disc_semantics() {
+        let mut m = machine(
+            r#"
+            .stream 0, main
+        main:
+            ldi r0, 21
+            call double
+            sta r0, 0x11
+            halt
+        double:
+            add r1, r1, r1
+            ret
+        "#,
+        );
+        assert_eq!(m.run(1_000).unwrap(), Exit::Halted);
+        assert_eq!(m.internal_memory().read(0x11), 42);
+    }
+
+    #[test]
+    fn jump_flush_costs_cycles() {
+        let mut m = machine(
+            r#"
+            .stream 0, main
+        main:
+            ldi r0, 50
+        loop:
+            subi r0, r0, 1
+            jnz loop
+            halt
+        "#,
+        );
+        m.run(10_000).unwrap();
+        assert!(m.stats().flushed_jump > 0);
+        // Utilization well below 1 because of flushes + flag hazards.
+        assert!(m.stats().utilization() < 0.8);
+    }
+
+    #[test]
+    fn stop_with_no_interrupts_idles() {
+        let mut m = machine(".stream 0, m\nm: stop\n");
+        assert_eq!(m.run(100).unwrap(), Exit::AllIdle);
+    }
+}

@@ -1,0 +1,233 @@
+//! Behavioral tests of the conventional baseline processor beyond the
+//! in-crate unit tests: exact flush penalties, nested interrupt
+//! priorities, stream-instruction degeneration, semaphores and window
+//! spill freezes.
+
+use disc_baseline::{BaselineConfig, BaselineMachine};
+use disc_core::{Exit, FlatBus};
+use disc_isa::{Program, Reg};
+
+fn machine(src: &str) -> BaselineMachine {
+    BaselineMachine::new(BaselineConfig::default(), &Program::assemble(src).unwrap())
+}
+
+#[test]
+fn jump_penalty_matches_pipe_depth() {
+    // A tight two-instruction loop: every taken jump flushes the fetches
+    // behind it. With depth 4 (EX at stage 2) at most 2 slots are behind
+    // the jump; total flushed = iterations * in-flight count.
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 100
+    loop:
+        subi r0, r0, 1
+        jnz loop
+        halt
+    "#,
+    );
+    assert_eq!(m.run(10_000).unwrap(), Exit::Halted);
+    let per_jump = m.stats().flushed_jump as f64 / 99.0;
+    assert!(
+        (0.9..=2.1).contains(&per_jump),
+        "per-jump flush should be 1..=2 slots, got {per_jump}"
+    );
+}
+
+#[test]
+fn nested_interrupts_restore_outer_context() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+        .vector 0, 3, low
+        .vector 0, 7, high
+    main:
+        jmp main
+    low:
+        winc 2
+        signal 0, 7         ; request the higher level from inside
+        ldi r0, 60
+    busy:
+        subi r0, r0, 1
+        jnz busy            ; high preempts somewhere in here
+        lda r1, 0x20
+        sta r1, 0x21        ; copy high's result -> proves preemption
+        wdec 2
+        reti
+    high:
+        winc 2
+        ldi r0, 7
+        sta r0, 0x20
+        wdec 2
+        reti
+    "#,
+    );
+    for _ in 0..5 {
+        m.step().unwrap();
+    }
+    m.raise_interrupt(3);
+    m.run(3_000).unwrap();
+    assert_eq!(m.internal_memory().read(0x20), 7, "high handler ran");
+    assert_eq!(m.internal_memory().read(0x21), 7, "low resumed and saw it");
+    assert_eq!(m.stats().vectors_taken[0], 2);
+}
+
+#[test]
+fn fork_degenerates_to_jump() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        fork 2, elsewhere
+        halt                 ; must be skipped
+    elsewhere:
+        ldi r0, 3
+        sta r0, 0x30
+        halt
+    "#,
+    );
+    assert_eq!(m.run(1_000).unwrap(), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x30), 3);
+}
+
+#[test]
+fn signal_self_triggers_handler() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+        .vector 0, 5, isr
+    main:
+        signal 0, 5
+        jmp main
+    isr:
+        ldi r0, 1
+        sta r0, 0x40
+        reti
+    "#,
+    );
+    m.run(500).unwrap();
+    assert_eq!(m.internal_memory().read(0x40), 1);
+}
+
+#[test]
+fn internal_tset_works_single_stream() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r1, 0x08
+        tset r0, [r1]       ; old value (0) -> r0, mem = 0xffff
+        sta r0, 0x10
+        tset r2, [r1]       ; now reads 0xffff
+        sta r2, 0x11
+        halt
+    "#,
+    );
+    assert_eq!(m.run(1_000).unwrap(), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x10), 0);
+    assert_eq!(m.internal_memory().read(0x11), 0xffff);
+    assert_eq!(m.internal_memory().read(0x08), 0xffff);
+}
+
+#[test]
+fn window_spill_freezes_but_preserves_values() {
+    let cfg = BaselineConfig {
+        window_depth: 12,
+        ..BaselineConfig::default()
+    };
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 20
+        call down
+        sta r0, 0x50
+        halt
+    down:
+        cmpi r1, 0
+        jz base
+        winc 1
+        subi r0, r2, 1
+        call down
+        addi r0, r0, 1
+        mov r2, r0
+        wdec 1
+        ret
+    base:
+        ldi r1, 0
+        ret
+    "#,
+    )
+    .unwrap();
+    let mut m = BaselineMachine::new(cfg, &program);
+    assert_eq!(m.run(100_000).unwrap(), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x50), 20, "recursion result");
+    assert!(m.stats().spill_stall_cycles[0] > 0, "12-deep file must spill");
+}
+
+#[test]
+fn external_access_blocks_everything() {
+    // Unlike DISC, the baseline makes zero forward progress during the
+    // wait: retired count is frozen across the access window.
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        lui r0, 0x80
+        ld  r1, [r0]
+        addi r2, r2, 1
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut m = BaselineMachine::with_bus(
+        BaselineConfig::default(),
+        &program,
+        Box::new(FlatBus::new(40)),
+    );
+    // Step until the load issues (freeze starts).
+    let mut frozen_at = None;
+    for _ in 0..200 {
+        let before = m.stats().retired[0];
+        m.step().unwrap();
+        if m.stats().wait_txn_cycles[0] > 0 && frozen_at.is_none() {
+            frozen_at = Some(before);
+        }
+    }
+    assert_eq!(m.stats().wait_txn_cycles[0], 40);
+    assert_eq!(m.reg(Reg::R2), 1);
+}
+
+#[test]
+fn masked_interrupts_wait_for_unmask() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+        .vector 0, 4, isr
+    main:
+        ldi mr, 1           ; mask all vectored levels
+        ldi r0, 40
+    spin:
+        subi r0, r0, 1
+        jnz spin
+        ldi mr, 255
+    hang:
+        jmp hang
+    isr:
+        sta r0, 0x60        ; r0 is 0 once the spin finished
+        reti
+    "#,
+    );
+    for _ in 0..8 {
+        m.step().unwrap();
+    }
+    m.raise_interrupt(4);
+    m.run(3_000).unwrap();
+    assert_eq!(m.stats().vectors_taken[0], 1);
+    assert_eq!(
+        m.internal_memory().read(0x60),
+        0,
+        "delivery happened after the spin completed"
+    );
+}

@@ -1,0 +1,57 @@
+//! One benchmark per paper figure and per §4.2 sweep (reduced horizons)
+//! plus the two cycle-accurate experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const CYCLES: u64 = 10_000;
+const SEEDS: u64 = 1;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_figures");
+    group.sample_size(10);
+    group.bench_function("fig_3_1_pipeline", |b| {
+        b.iter(|| std::hint::black_box(disc_bench::figures::fig_3_1_interleaved_pipeline()))
+    });
+    group.bench_function("fig_3_2_jump", |b| {
+        b.iter(|| std::hint::black_box(disc_bench::figures::fig_3_2_jump()))
+    });
+    group.bench_function("fig_3_3_dynamic", |b| {
+        b.iter(|| std::hint::black_box(disc_bench::figures::fig_3_3_dynamic()))
+    });
+    group.bench_function("fig_3_4_stack_window", |b| {
+        b.iter(|| std::hint::black_box(disc_bench::figures::fig_3_4_stack_window()))
+    });
+    group.bench_function("fig_3_6_block_diagram", |b| {
+        b.iter(|| std::hint::black_box(disc_bench::figures::fig_3_6_block_diagram()))
+    });
+    group.finish();
+
+    let mut sweeps = c.benchmark_group("paper_sweeps");
+    sweeps.sample_size(10);
+    sweeps.bench_function("sweep_jump_reduced", |b| {
+        b.iter(|| std::hint::black_box(disc_stoch::tables::sweep_jump(CYCLES, SEEDS)))
+    });
+    sweeps.bench_function("sweep_io_reduced", |b| {
+        b.iter(|| std::hint::black_box(disc_stoch::tables::sweep_io(CYCLES, SEEDS)))
+    });
+    sweeps.bench_function("sweep_pipeline_reduced", |b| {
+        b.iter(|| std::hint::black_box(disc_stoch::tables::sweep_pipeline(CYCLES, SEEDS)))
+    });
+    sweeps.bench_function("sweep_scheduler_reduced", |b| {
+        b.iter(|| std::hint::black_box(disc_stoch::tables::sweep_scheduler(CYCLES, SEEDS)))
+    });
+    sweeps.finish();
+
+    let mut experiments = c.benchmark_group("experiments");
+    experiments.sample_size(10);
+    experiments.bench_function("exp_latency", |b| {
+        b.iter(|| std::hint::black_box(disc_rts::latency_experiment(3, 10, 200).unwrap()))
+    });
+    experiments.bench_function("exp_sync", |b| {
+        b.iter(|| std::hint::black_box(disc_bench::experiments::sync_experiment()))
+    });
+    experiments.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

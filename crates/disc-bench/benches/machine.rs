@@ -1,0 +1,80 @@
+//! Microbenchmarks of the cycle-accurate DISC1 machine and the
+//! single-stream baseline: simulation speed of interleaved compute,
+//! bus-bound I/O, and interrupt delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_baseline::{BaselineConfig, BaselineMachine};
+use disc_core::{Machine, MachineConfig};
+use disc_isa::Program;
+
+fn compute_program(streams: usize) -> Program {
+    let mut src = String::new();
+    for s in 0..streams {
+        src.push_str(&format!(".stream {s}, l{s}\n"));
+        src.push_str(&format!(
+            "l{s}:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    addi r2, r2, 1\n    jmp l{s}\n"
+        ));
+    }
+    Program::assemble(&src).unwrap()
+}
+
+fn io_program() -> Program {
+    Program::assemble(
+        ".stream 0, a\n.stream 1, b\na: lui r0, 0x80\nla: ld r1, [r0]\n jmp la\n\
+         b: ldi r0, 0\nlb: addi r0, r0, 1\n jmp lb\n",
+    )
+    .unwrap()
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_accurate_machine");
+    group.sample_size(20);
+    for streams in [1usize, 4] {
+        let program = compute_program(streams);
+        group.bench_with_input(
+            BenchmarkId::new("compute_10k_cycles", streams),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let mut m =
+                        Machine::new(MachineConfig::disc1().with_streams(streams), p);
+                    m.run(10_000).unwrap();
+                    std::hint::black_box(m.stats().utilization())
+                });
+            },
+        );
+    }
+    let io = io_program();
+    group.bench_function("io_bound_10k_cycles", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &io);
+            m.run(10_000).unwrap();
+            std::hint::black_box(m.stats().external_accesses)
+        });
+    });
+    let single = compute_program(1);
+    group.bench_function("baseline_10k_cycles", |b| {
+        b.iter(|| {
+            let mut m = BaselineMachine::new(BaselineConfig::default(), &single);
+            m.run(10_000).unwrap();
+            std::hint::black_box(m.stats().utilization())
+        });
+    });
+    group.bench_function("assemble_200_lines", |b| {
+        let mut src = String::from(".stream 0, main\nmain:\n");
+        for i in 0..200 {
+            src.push_str(&format!("l{i}: addi r{}, r{}, 1\n", i % 8, i % 8));
+        }
+        src.push_str("halt\n");
+        b.iter(|| std::hint::black_box(Program::assemble(&src).unwrap()));
+    });
+    group.bench_function("compile_and_run_script", |b| {
+        let src = "var n = 30; var sum = 0; \
+                   while (n) { sum = sum + n * n; n = n - 1; } mem[0x10] = sum;";
+        b.iter(|| std::hint::black_box(disc_cc::compile_and_run(src, 100_000).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

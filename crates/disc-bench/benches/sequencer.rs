@@ -1,0 +1,38 @@
+//! Microbenchmarks of the stochastic sequencer (Section 4 model):
+//! cycles-per-second throughput at 1 and 4 streams, and a full Table 4.2
+//! cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_core::SchedulePolicy;
+use disc_stoch::{LoadSpec, Sequencer, Workload};
+
+fn bench_sequencer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stoch_sequencer");
+    group.sample_size(20);
+    for streams in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("load1_10k_cycles", streams),
+            &streams,
+            |b, &k| {
+                b.iter(|| {
+                    let w = Workload::partitioned(&LoadSpec::load1(), k);
+                    let mut seq =
+                        Sequencer::new(&w, 4, SchedulePolicy::round_robin(k), 42);
+                    seq.run(10_000);
+                    std::hint::black_box(seq.metrics().pd())
+                });
+            },
+        );
+    }
+    group.bench_function("table_4_2_cell", |b| {
+        b.iter(|| {
+            let w = Workload::partitioned(&LoadSpec::load2(), 4);
+            let cfg = disc_stoch::RunConfig::new(w).with_cycles(20_000);
+            std::hint::black_box(disc_stoch::simulate(&cfg).delta())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequencer);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! One benchmark per paper table: regenerates Table 4.1, a reduced
+//! Table 4.2 and a reduced Table 4.3 (shape-preserving, smaller horizon).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const CYCLES: u64 = 10_000;
+const SEEDS: u64 = 1;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(10);
+    group.bench_function("table_4_1", |b| {
+        b.iter(|| std::hint::black_box(disc_stoch::tables::table_4_1().to_string()))
+    });
+    group.bench_function("table_4_2_reduced", |b| {
+        b.iter(|| {
+            let (pd, delta) = disc_stoch::tables::table_4_2(CYCLES, SEEDS);
+            std::hint::black_box((pd.to_string(), delta.to_string()))
+        })
+    });
+    group.bench_function("table_4_3_reduced", |b| {
+        b.iter(|| {
+            let (pd, delta) = disc_stoch::tables::table_4_3(CYCLES, SEEDS);
+            std::hint::black_box((pd.to_string(), delta.to_string()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

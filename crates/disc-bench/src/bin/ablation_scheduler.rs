@@ -1,0 +1,5 @@
+//! A-SCHED: scheduler-partition ablation on a real-time task set.
+
+fn main() {
+    print!("{}", disc_bench::experiments::scheduler_ablation());
+}

@@ -1,0 +1,6 @@
+//! E-LAT: interrupt latency, DISC dedicated stream vs baseline context
+//! switch, idle and under load.
+
+fn main() {
+    print!("{}", disc_bench::experiments::latency_table());
+}

@@ -1,0 +1,6 @@
+//! E-SYNC: inter-stream synchronization — semaphore polling vs interrupt
+//! join.
+
+fn main() {
+    print!("{}", disc_bench::experiments::sync_experiment());
+}

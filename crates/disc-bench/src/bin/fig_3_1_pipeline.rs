@@ -1,0 +1,5 @@
+//! Regenerates Figure 3.1 — the interleaved pipeline diagram.
+
+fn main() {
+    print!("{}", disc_bench::figures::fig_3_1_interleaved_pipeline());
+}

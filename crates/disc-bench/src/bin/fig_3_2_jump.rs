@@ -1,0 +1,5 @@
+//! Regenerates Figure 3.2 — the interleaved pipeline during a jump.
+
+fn main() {
+    print!("{}", disc_bench::figures::fig_3_2_jump());
+}

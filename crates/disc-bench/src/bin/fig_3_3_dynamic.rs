@@ -1,0 +1,5 @@
+//! Regenerates Figure 3.3 — dynamic throughput reallocation.
+
+fn main() {
+    print!("{}", disc_bench::figures::fig_3_3_dynamic());
+}

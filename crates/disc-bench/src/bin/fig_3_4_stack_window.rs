@@ -1,0 +1,5 @@
+//! Regenerates Figures 3.4/3.5 — stack window movements.
+
+fn main() {
+    print!("{}", disc_bench::figures::fig_3_4_stack_window());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3.6 — the DISC1 block diagram.
+
+fn main() {
+    print!("{}", disc_bench::figures::fig_3_6_block_diagram());
+}

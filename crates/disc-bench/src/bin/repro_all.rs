@@ -1,0 +1,68 @@
+//! Runs every table, figure and experiment generator in order — the full
+//! reproduction pass recorded in EXPERIMENTS.md. Pass `--quick` to reduce
+//! the stochastic runs, and `--csv <dir>` to additionally export every
+//! table as CSV and every figure/experiment as text into `<dir>`.
+
+use std::path::PathBuf;
+
+fn csv_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn save(dir: &Option<PathBuf>, name: &str, contents: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        std::fs::write(dir.join(name), contents).expect("write export");
+    }
+}
+
+fn main() {
+    let (cycles, seeds) = disc_bench::run_scale();
+    let dir = csv_dir();
+    println!("=== DISC reproduction: all tables, figures and experiments ===");
+    println!("stochastic runs: {seeds} seeds x {cycles} cycles per cell\n");
+
+    let t41 = disc_stoch::tables::table_4_1();
+    println!("{t41}");
+    save(&dir, "table_4_1.csv", &t41.to_csv());
+    let (pd2, d2) = disc_stoch::tables::table_4_2(cycles, seeds);
+    println!("{pd2}");
+    println!("{d2}");
+    save(&dir, "table_4_2a.csv", &pd2.to_csv());
+    save(&dir, "table_4_2b.csv", &d2.to_csv());
+    let (pd3, d3) = disc_stoch::tables::table_4_3(cycles, seeds);
+    println!("{pd3}");
+    println!("{d3}");
+    save(&dir, "table_4_3a.csv", &pd3.to_csv());
+    save(&dir, "table_4_3b.csv", &d3.to_csv());
+    for (name, table) in [
+        ("sweep_jump", disc_stoch::tables::sweep_jump(cycles, seeds)),
+        ("sweep_io", disc_stoch::tables::sweep_io(cycles, seeds)),
+        ("sweep_pipeline", disc_stoch::tables::sweep_pipeline(cycles, seeds)),
+        ("sweep_scheduler", disc_stoch::tables::sweep_scheduler(cycles, seeds)),
+        ("sweep_window", disc_stoch::sweep_window_depth(cycles / 4, 11)),
+    ] {
+        println!("{table}");
+        save(&dir, &format!("{name}.csv"), &table.to_csv());
+    }
+    for (name, text) in [
+        ("fig_3_1", disc_bench::figures::fig_3_1_interleaved_pipeline()),
+        ("fig_3_2", disc_bench::figures::fig_3_2_jump()),
+        ("fig_3_3", disc_bench::figures::fig_3_3_dynamic()),
+        ("fig_3_4", disc_bench::figures::fig_3_4_stack_window()),
+        ("fig_3_6", disc_bench::figures::fig_3_6_block_diagram()),
+        ("exp_latency", disc_bench::experiments::latency_table()),
+        ("exp_sync", disc_bench::experiments::sync_experiment()),
+        ("ablation_scheduler", disc_bench::experiments::scheduler_ablation()),
+    ] {
+        println!("{text}");
+        save(&dir, &format!("{name}.txt"), &text);
+    }
+    if let Some(d) = &dir {
+        println!("exports written to {}", d.display());
+    }
+}

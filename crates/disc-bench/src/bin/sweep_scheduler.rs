@@ -1,0 +1,6 @@
+//! §4.2 sweep: scheduler sequence variants. Pass `--quick` to reduce.
+
+fn main() {
+    let (cycles, seeds) = disc_bench::run_scale();
+    println!("{}", disc_stoch::tables::sweep_scheduler(cycles, seeds));
+}

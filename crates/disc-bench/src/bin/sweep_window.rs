@@ -1,0 +1,12 @@
+//! Future-work study from §5 of the paper: stack-window physical depth
+//! versus spill traffic and stall overhead, evaluated by stochastic means.
+
+fn main() {
+    let calls = if std::env::args().any(|a| a == "--quick") {
+        8_000
+    } else {
+        50_000
+    };
+    println!("{}", disc_stoch::sweep_window_depth(calls, 11));
+    println!("(ctl = leaf-heavy control code, rec = recursion-heavy; {calls} calls)");
+}

@@ -1,0 +1,7 @@
+//! Prints Table 4.1 — the stochastic parameter sets for the four loads.
+
+fn main() {
+    let t = disc_stoch::tables::table_4_1();
+    println!("{t}");
+    println!("(values substituted to match the paper's prose; see DESIGN.md)");
+}

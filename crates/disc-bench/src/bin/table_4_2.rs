@@ -1,0 +1,11 @@
+//! Regenerates Table 4.2 — processor utilization `PD` (a) and `delta` (b)
+//! for loads 1–4 partitioned into 1..=4 instruction streams.
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let (cycles, seeds) = disc_bench::run_scale();
+    let (pd, delta) = disc_stoch::tables::table_4_2(cycles, seeds);
+    println!("{pd}");
+    println!("{delta}");
+    println!("({seeds} seeds x {cycles} cycles per cell)");
+}

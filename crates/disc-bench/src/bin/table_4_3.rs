@@ -1,0 +1,11 @@
+//! Regenerates Table 4.3 — load 1 paired with loads 2/3/4: combined into
+//! one IS, separated, load 1 split (3 ISs), both split (4 ISs).
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let (cycles, seeds) = disc_bench::run_scale();
+    let (pd, delta) = disc_stoch::tables::table_4_3(cycles, seeds);
+    println!("{pd}");
+    println!("{delta}");
+    println!("({seeds} seeds x {cycles} cycles per cell)");
+}

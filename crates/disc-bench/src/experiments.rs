@@ -1,0 +1,221 @@
+//! Cycle-accurate experiments beyond the paper's tables: interrupt
+//! latency (E-LAT) and inter-stream synchronization cost (E-SYNC).
+
+use disc_core::{Exit, Machine, MachineConfig};
+use disc_isa::Program;
+use disc_rts::latency_experiment;
+
+/// E-LAT: dedicated-stream interrupt delivery on DISC versus
+/// context-switched delivery on the baseline, idle and under load.
+///
+/// # Panics
+///
+/// Panics if a simulation errors (a bug).
+pub fn latency_table() -> String {
+    let mut out = String::from(
+        "Experiment E-LAT - Interrupt latency (cycles, raise -> first handler fetch)\n\n\
+         configuration                   mean     p50     p99   worst\n\
+         --------------------------------------------------------------\n",
+    );
+    let idle = latency_experiment(0, 50, 300).unwrap();
+    let loaded = latency_experiment(3, 50, 300).unwrap();
+    let rows = [
+        ("DISC dedicated stream, idle", idle.disc_summary(), idle.disc_percentiles()),
+        ("DISC dedicated stream, loaded", loaded.disc_summary(), loaded.disc_percentiles()),
+        ("baseline ctx switch, idle", idle.baseline_summary(), idle.baseline_percentiles()),
+        ("baseline ctx switch, loaded", loaded.baseline_summary(), loaded.baseline_percentiles()),
+    ];
+    for (label, (mean, worst), (p50, p99, _)) in rows {
+        out.push_str(&format!(
+            "{label:<30}  {mean:>6.1} {:>7} {:>7} {worst:>7}\n",
+            p50.unwrap_or(0),
+            p99.unwrap_or(0)
+        ));
+    }
+    out.push_str(
+        "\nDISC starts the handler within a few cycles because the context is\n\
+         already resident; the baseline pays the register save every time.\n",
+    );
+    out
+}
+
+/// E-SYNC: synchronizing two streams by semaphore polling versus by
+/// inter-stream interrupt (§3.6.3): *"the computation throughput which
+/// would be spent polling will be dynamically allocated to the active
+/// ISs."*
+///
+/// # Panics
+///
+/// Panics if a program fails to assemble or run (a bug).
+pub fn sync_experiment() -> String {
+    // Stream 0: background counter (measures reclaimed throughput).
+    // Stream 1: producer that takes a while, then releases the consumer.
+    // Stream 2: consumer waiting for the producer.
+    let poll_src = r#"
+        .stream 0, bg
+        .stream 1, producer
+        .stream 2, consumer
+    bg: addi r0, r0, 1
+        jmp bg
+    producer:
+        ldi r1, 400
+    p:  subi r1, r1, 1
+        jnz p
+        ldi r2, 1
+        sta r2, 0x20        ; release flag
+        stop
+    consumer:
+    spin:
+        lda r1, 0x20        ; poll the flag
+        cmpi r1, 1
+        jnz spin
+        ldi r3, 1
+        sta r3, 0x21
+        stop
+    "#;
+    let irq_src = r#"
+        .stream 0, bg
+        .stream 1, producer
+        .stream 2, consumer
+        .vector 2, 4, resume
+    bg: addi r0, r0, 1
+        jmp bg
+    producer:
+        ldi r1, 400
+    p:  subi r1, r1, 1
+        jnz p
+        signal 2, 4         ; wake the consumer directly
+        stop
+    consumer:
+        stop                ; deactivated until signalled
+    resume:
+        ldi r3, 1
+        sta r3, 0x21
+        reti
+    "#;
+    let run = |src: &str| {
+        let program = Program::assemble(src).unwrap();
+        let mut m = Machine::new(MachineConfig::disc1().with_streams(3), &program);
+        m.set_idle_exit(false);
+        // Run until the consumer finishes, bounded.
+        for _ in 0..20_000 {
+            if m.step().unwrap() != disc_core::Status::Running
+                || m.internal_memory().read(0x21) == 1
+            {
+                break;
+            }
+        }
+        assert_eq!(m.internal_memory().read(0x21), 1, "consumer must finish");
+        let done_at = m.cycle();
+        // Keep running to a fixed horizon so background totals compare.
+        while m.cycle() < 6_000 {
+            if m.run(6_000 - m.cycle()).unwrap() == Exit::Halted {
+                break;
+            }
+        }
+        (done_at, m.stats().retired[0], m.stats().retired[2])
+    };
+    let (poll_done, poll_bg, poll_consumer) = run(poll_src);
+    let (irq_done, irq_bg, irq_consumer) = run(irq_src);
+    format!(
+        "Experiment E-SYNC - Inter-stream synchronization (6000-cycle horizon)\n\n\
+         method               sync done at  background instrs  consumer instrs\n\
+         ----------------------------------------------------------------------\n\
+         semaphore polling    {poll_done:>12}  {poll_bg:>17}  {poll_consumer:>15}\n\
+         interrupt join       {irq_done:>12}  {irq_bg:>17}  {irq_consumer:>15}\n\n\
+         The polling consumer burns pipeline slots re-reading the flag; with\n\
+         the interrupt join those slots flow to the background stream.\n"
+    )
+}
+
+/// Ablation A-SCHED: how the scheduler partition shapes real-time
+/// behaviour. The same task set runs under an even round-robin, a
+/// utilization-proportional partition (the paper's "General scheduling")
+/// and a deliberately starved partition; deadline misses, worst response
+/// and background throughput are compared.
+///
+/// # Panics
+///
+/// Panics if a simulation errors (a bug).
+pub fn scheduler_ablation() -> String {
+    use disc_core::SchedulePolicy;
+    use disc_rts::{harness, partition, Task, TaskSet};
+
+    let set = TaskSet::new(vec![
+        Task::new("tight", 800, 550).with_body(35),
+        Task::new("bulk", 2000, 1800).with_body(150),
+    ]);
+    let variants: Vec<(&str, Option<SchedulePolicy>)> = vec![
+        ("even round-robin", None),
+        ("deadline-aware partition", Some(partition::schedule_for(&set))),
+        (
+            "background-hog 13/2/1",
+            Some(SchedulePolicy::partitioned(&[13, 2, 1])),
+        ),
+        (
+            "weighted-deficit 2/7/7",
+            Some(SchedulePolicy::WeightedDeficit(vec![2, 7, 7])),
+        ),
+    ];
+    let mut out = String::from(
+        "Ablation A-SCHED - scheduler partition vs real-time behaviour\n\
+         (tasks: tight 800/550 body 35; bulk 2000/1800 body 150; 60k cycles)\n\n\
+         policy                     misses  worst tight  worst bulk  background\n\
+         -----------------------------------------------------------------------\n",
+    );
+    for (name, schedule) in variants {
+        let r = harness::run_on_disc_with_schedule(&set, 60_000, schedule).unwrap();
+        out.push_str(&format!(
+            "{name:<26} {:>6} {:>12} {:>11} {:>11}\n",
+            r.total_misses(),
+            r.tasks[0].max_response,
+            r.tasks[1].max_response,
+            r.background_retired,
+        ));
+    }
+    out.push_str(
+        "\nPartitioning is the real-time control knob: starving the task\n\
+         streams (background-hog) stretches responses toward the deadline,\n\
+         while the deadline-aware partition bounds every response within\n\
+         its analytic budget.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_orders_architectures() {
+        let t = latency_table();
+        assert!(t.contains("DISC dedicated stream"));
+        assert!(t.contains("baseline ctx switch"));
+    }
+
+    #[test]
+    fn scheduler_ablation_covers_all_policies() {
+        let t = scheduler_ablation();
+        assert!(t.contains("even round-robin"));
+        assert!(t.contains("deadline-aware partition"));
+        assert!(t.contains("background-hog"));
+        assert!(t.contains("weighted-deficit"));
+    }
+
+    #[test]
+    fn sync_experiment_interrupt_join_frees_throughput() {
+        let t = sync_experiment();
+        // Parse the two background columns and compare.
+        let grab = |needle: &str| -> u64 {
+            let line = t.lines().find(|l| l.contains(needle)).unwrap();
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            cols[cols.len() - 2].parse().unwrap()
+        };
+        let poll_bg = grab("semaphore polling");
+        let irq_bg = grab("interrupt join");
+        assert!(
+            irq_bg > poll_bg,
+            "interrupt join must free background throughput: {irq_bg} vs {poll_bg}"
+        );
+    }
+}

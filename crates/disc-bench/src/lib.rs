@@ -1,0 +1,32 @@
+//! Benchmark and reproduction harness.
+//!
+//! Every table and figure of the paper has a generator here (exercised by
+//! the `src/bin` targets and unit tests) and a Criterion micro-benchmark
+//! under `benches/`. Table generators live in `disc-stoch`; this crate
+//! adds the figure reproductions, which run on the *cycle-accurate*
+//! machine, plus the latency and synchronization experiments.
+
+pub mod experiments;
+pub mod figures;
+
+/// Standard horizon for "full" table runs.
+pub const FULL_CYCLES: u64 = 200_000;
+
+/// Reduced horizon for quick/CI runs.
+pub const QUICK_CYCLES: u64 = 40_000;
+
+/// Seeds for full runs.
+pub const FULL_SEEDS: u64 = 5;
+
+/// Seeds for quick runs.
+pub const QUICK_SEEDS: u64 = 2;
+
+/// Picks (cycles, seeds) from the command line: `--quick` selects the
+/// reduced configuration.
+pub fn run_scale() -> (u64, u64) {
+    if std::env::args().any(|a| a == "--quick") {
+        (QUICK_CYCLES, QUICK_SEEDS)
+    } else {
+        (FULL_CYCLES, FULL_SEEDS)
+    }
+}

@@ -1,0 +1,229 @@
+//! Address-decoded peripheral composition.
+
+use std::fmt;
+
+use disc_core::{DataBus, IrqRequest};
+
+/// A device attachable to the asynchronous data bus.
+///
+/// Addresses handed to a peripheral are *offsets* into its mapped window.
+pub trait Peripheral {
+    /// Access latency in cycles for `offset`; devices model their
+    /// conversion/transfer times here (the whole point of the asynchronous
+    /// bus). A latency of 0 completes synchronously.
+    fn latency(&self, offset: u16, write: bool) -> u32;
+
+    /// Reads the register/word at `offset` (called at transaction
+    /// completion).
+    fn read(&mut self, offset: u16) -> u16;
+
+    /// Writes the register/word at `offset` (called at transaction
+    /// completion).
+    fn write(&mut self, offset: u16, value: u16);
+
+    /// Advances one machine cycle; devices push interrupt requests.
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        let _ = irqs;
+    }
+}
+
+/// Error returned by [`PeripheralBus::map`] on overlapping or empty
+/// windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapError {
+    message: String,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+struct Mapping {
+    base: u16,
+    len: u16,
+    device: Box<dyn Peripheral>,
+}
+
+/// An address-decoded bus of [`Peripheral`]s implementing
+/// [`disc_core::DataBus`].
+///
+/// Reads of unmapped addresses return `0xffff` (open bus) with zero
+/// latency; unmapped writes are dropped. Both are counted.
+pub struct PeripheralBus {
+    mappings: Vec<Mapping>,
+    unmapped_accesses: u64,
+}
+
+impl fmt::Debug for PeripheralBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PeripheralBus")
+            .field("mappings", &self.mappings.len())
+            .field("unmapped_accesses", &self.unmapped_accesses)
+            .finish()
+    }
+}
+
+impl PeripheralBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        PeripheralBus {
+            mappings: Vec::new(),
+            unmapped_accesses: 0,
+        }
+    }
+
+    /// Maps `device` at `[base, base + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] when `len` is zero, the window wraps the
+    /// 16-bit address space, or it overlaps an existing mapping.
+    pub fn map(
+        &mut self,
+        base: u16,
+        len: u16,
+        device: Box<dyn Peripheral>,
+    ) -> Result<(), MapError> {
+        if len == 0 {
+            return Err(MapError {
+                message: "mapping length must be nonzero".into(),
+            });
+        }
+        let end = base as u32 + len as u32;
+        if end > 0x1_0000 {
+            return Err(MapError {
+                message: format!("mapping {base:#06x}+{len:#x} exceeds the address space"),
+            });
+        }
+        for m in &self.mappings {
+            let m_end = m.base as u32 + m.len as u32;
+            if (base as u32) < m_end && end > m.base as u32 {
+                return Err(MapError {
+                    message: format!(
+                        "mapping {base:#06x}+{len:#x} overlaps {:#06x}+{:#x}",
+                        m.base, m.len
+                    ),
+                });
+            }
+        }
+        self.mappings.push(Mapping { base, len, device });
+        Ok(())
+    }
+
+    /// Number of reads/writes that hit no mapping.
+    pub fn unmapped_accesses(&self) -> u64 {
+        self.unmapped_accesses
+    }
+
+    fn find(&self, addr: u16) -> Option<(usize, u16)> {
+        self.mappings.iter().enumerate().find_map(|(i, m)| {
+            if addr >= m.base && (addr as u32) < m.base as u32 + m.len as u32 {
+                Some((i, addr - m.base))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl Default for PeripheralBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataBus for PeripheralBus {
+    fn latency(&self, addr: u16, write: bool) -> Option<u32> {
+        self.find(addr)
+            .map(|(i, off)| self.mappings[i].device.latency(off, write))
+    }
+
+    fn read(&mut self, addr: u16) -> u16 {
+        match self.find(addr) {
+            Some((i, off)) => self.mappings[i].device.read(off),
+            None => {
+                self.unmapped_accesses += 1;
+                0xffff
+            }
+        }
+    }
+
+    fn write(&mut self, addr: u16, value: u16) {
+        match self.find(addr) {
+            Some((i, off)) => self.mappings[i].device.write(off, value),
+            None => self.unmapped_accesses += 1,
+        }
+    }
+
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        for m in &mut self.mappings {
+            m.device.tick(irqs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo(u16);
+
+    impl Peripheral for Echo {
+        fn latency(&self, _offset: u16, _write: bool) -> u32 {
+            3
+        }
+        fn read(&mut self, offset: u16) -> u16 {
+            self.0 + offset
+        }
+        fn write(&mut self, _offset: u16, value: u16) {
+            self.0 = value;
+        }
+    }
+
+    #[test]
+    fn decode_routes_by_window() {
+        let mut bus = PeripheralBus::new();
+        bus.map(0x1000, 0x10, Box::new(Echo(100))).unwrap();
+        bus.map(0x2000, 0x10, Box::new(Echo(200))).unwrap();
+        assert_eq!(bus.read(0x1005), 105);
+        assert_eq!(bus.read(0x2001), 201);
+        assert_eq!(bus.latency(0x1000, false), Some(3));
+        assert_eq!(bus.latency(0x3000, false), None);
+    }
+
+    #[test]
+    fn unmapped_reads_open_bus() {
+        let mut bus = PeripheralBus::new();
+        assert_eq!(bus.read(0x4242), 0xffff);
+        bus.write(0x4242, 1);
+        assert_eq!(bus.unmapped_accesses(), 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut bus = PeripheralBus::new();
+        bus.map(0x1000, 0x100, Box::new(Echo(0))).unwrap();
+        assert!(bus.map(0x10ff, 2, Box::new(Echo(0))).is_err());
+        assert!(bus.map(0x0fff, 2, Box::new(Echo(0))).is_err());
+        assert!(bus.map(0x1100, 2, Box::new(Echo(0))).is_ok());
+    }
+
+    #[test]
+    fn zero_length_and_wrapping_rejected() {
+        let mut bus = PeripheralBus::new();
+        assert!(bus.map(0x1000, 0, Box::new(Echo(0))).is_err());
+        assert!(bus.map(0xffff, 2, Box::new(Echo(0))).is_err());
+    }
+
+    #[test]
+    fn writes_reach_device() {
+        let mut bus = PeripheralBus::new();
+        bus.map(0, 4, Box::new(Echo(0))).unwrap();
+        bus.write(2, 42);
+        assert_eq!(bus.read(0), 42);
+    }
+}

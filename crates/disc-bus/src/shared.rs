@@ -1,0 +1,112 @@
+//! Shared ownership of a peripheral between host code and the bus.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+use disc_core::IrqRequest;
+
+use crate::bus::Peripheral;
+
+/// `Rc<RefCell<T>>` wrapper implementing [`Peripheral`] by delegation.
+///
+/// The machine owns the bus (`Box<dyn DataBus>`), so a test or host program
+/// that wants to inspect or stimulate a device after constructing the
+/// machine maps a [`Shared::handle`] clone and keeps the original.
+///
+/// # Example
+///
+/// ```
+/// use disc_bus::{Actuator, PeripheralBus, Shared};
+///
+/// let act = Shared::new(Actuator::new(1));
+/// let mut bus = PeripheralBus::new();
+/// bus.map(0xa000, 1, Box::new(act.handle()))?;
+/// // … move `bus` into a Machine, run, then:
+/// assert!(act.borrow().history().is_empty());
+/// # Ok::<(), disc_bus::MapError>(())
+/// ```
+#[derive(Debug)]
+pub struct Shared<T>(Rc<RefCell<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `value` for shared access.
+    pub fn new(value: T) -> Self {
+        Shared(Rc::new(RefCell::new(value)))
+    }
+
+    /// Another handle to the same device (map this one on the bus).
+    pub fn handle(&self) -> Shared<T> {
+        Shared(Rc::clone(&self.0))
+    }
+
+    /// Immutably borrows the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is currently mutably borrowed.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.0.borrow()
+    }
+
+    /// Mutably borrows the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is currently borrowed.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        self.handle()
+    }
+}
+
+impl<T: Peripheral> Peripheral for Shared<T> {
+    fn latency(&self, offset: u16, write: bool) -> u32 {
+        self.0.borrow().latency(offset, write)
+    }
+
+    fn read(&mut self, offset: u16) -> u16 {
+        self.0.borrow_mut().read(offset)
+    }
+
+    fn write(&mut self, offset: u16, value: u16) {
+        self.0.borrow_mut().write(offset, value)
+    }
+
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        self.0.borrow_mut().tick(irqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u16);
+
+    impl Peripheral for Counter {
+        fn latency(&self, _o: u16, _w: bool) -> u32 {
+            0
+        }
+        fn read(&mut self, _o: u16) -> u16 {
+            self.0
+        }
+        fn write(&mut self, _o: u16, v: u16) {
+            self.0 = v;
+        }
+    }
+
+    #[test]
+    fn handle_sees_device_mutations() {
+        let shared = Shared::new(Counter(0));
+        let mut mapped: Box<dyn Peripheral> = Box::new(shared.handle());
+        mapped.write(0, 7);
+        assert_eq!(shared.borrow().0, 7);
+        shared.borrow_mut().0 = 9;
+        assert_eq!(mapped.read(0), 9);
+    }
+}

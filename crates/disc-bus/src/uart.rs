@@ -1,0 +1,163 @@
+//! Byte-stream serial port with RX interrupts.
+
+use std::collections::VecDeque;
+
+use disc_core::IrqRequest;
+
+use crate::bus::Peripheral;
+
+/// Register map of the [`Uart`].
+///
+/// | offset | register | access |
+/// |--------|----------|--------|
+/// | 0 | `DATA` — read pops RX, write pushes TX | r/w |
+/// | 1 | `STATUS` — bit0 rx-ready, bit1 tx-idle | r |
+#[derive(Debug, Clone)]
+pub struct Uart {
+    rx: VecDeque<u16>,
+    tx: Vec<u16>,
+    /// Cycles per word on the wire (models baud rate as access latency).
+    word_cycles: u32,
+    irq: Option<(usize, u8)>,
+    /// Cycles between host-injected RX words, if streaming.
+    rx_feed: Option<(u32, u32, Box<[u16]>, usize)>,
+}
+
+impl Uart {
+    /// Number of mapped registers.
+    pub const REGS: u16 = 2;
+
+    /// Creates a UART whose word transfer takes `word_cycles` cycles.
+    pub fn new(word_cycles: u32) -> Self {
+        Uart {
+            rx: VecDeque::new(),
+            tx: Vec::new(),
+            word_cycles,
+            irq: None,
+            rx_feed: None,
+        }
+    }
+
+    /// Routes an RX-ready interrupt to (`stream`, `bit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn with_irq(mut self, stream: usize, bit: u8) -> Self {
+        assert!(bit < 8);
+        self.irq = Some((stream, bit));
+        self
+    }
+
+    /// Streams `words` into RX, one every `interval` cycles, starting
+    /// `interval` cycles from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn feed(&mut self, interval: u32, words: impl Into<Box<[u16]>>) {
+        assert!(interval > 0, "feed interval must be nonzero");
+        self.rx_feed = Some((interval, interval, words.into(), 0));
+    }
+
+    /// Pushes one word into RX immediately (raises the RX interrupt on the
+    /// next tick).
+    pub fn push_rx(&mut self, word: u16) {
+        self.rx.push_back(word);
+    }
+
+    /// Words the program has transmitted.
+    pub fn transmitted(&self) -> &[u16] {
+        &self.tx
+    }
+
+    /// Words waiting in RX.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Peripheral for Uart {
+    fn latency(&self, offset: u16, write: bool) -> u32 {
+        match (offset, write) {
+            (0, _) => self.word_cycles,
+            _ => 1,
+        }
+    }
+
+    fn read(&mut self, offset: u16) -> u16 {
+        match offset {
+            0 => self.rx.pop_front().unwrap_or(0),
+            1 => {
+                let rx_ready = !self.rx.is_empty() as u16;
+                rx_ready | 0b10 // tx modeled always idle after latency
+            }
+            _ => 0xffff,
+        }
+    }
+
+    fn write(&mut self, offset: u16, value: u16) {
+        if offset == 0 {
+            self.tx.push(value);
+        }
+    }
+
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        let mut arrived = false;
+        if let Some((interval, countdown, words, idx)) = &mut self.rx_feed {
+            if *idx < words.len() {
+                *countdown -= 1;
+                if *countdown == 0 {
+                    self.rx.push_back(words[*idx]);
+                    *idx += 1;
+                    *countdown = *interval;
+                    arrived = true;
+                }
+            }
+        }
+        if arrived {
+            if let Some((stream, bit)) = self.irq {
+                irqs.push(IrqRequest { stream, bit });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_records_words() {
+        let mut u = Uart::new(8);
+        u.write(0, 0x41);
+        u.write(0, 0x42);
+        assert_eq!(u.transmitted(), &[0x41, 0x42]);
+        assert_eq!(u.latency(0, true), 8);
+    }
+
+    #[test]
+    fn rx_pops_in_order() {
+        let mut u = Uart::new(1);
+        u.push_rx(1);
+        u.push_rx(2);
+        assert_eq!(u.read(1) & 1, 1, "rx-ready");
+        assert_eq!(u.read(0), 1);
+        assert_eq!(u.read(0), 2);
+        assert_eq!(u.read(0), 0, "empty RX reads 0");
+        assert_eq!(u.read(1) & 1, 0);
+    }
+
+    #[test]
+    fn feed_streams_words_with_interrupts() {
+        let mut u = Uart::new(1).with_irq(1, 3);
+        u.feed(4, vec![10, 20]);
+        let mut irqs = Vec::new();
+        for _ in 0..20 {
+            u.tick(&mut irqs);
+        }
+        assert_eq!(irqs.len(), 2);
+        assert_eq!(u.rx_pending(), 2);
+        assert_eq!(u.read(0), 10);
+    }
+}

@@ -1,0 +1,134 @@
+//! Watchdog timer — the classic hard-real-time safety peripheral.
+//!
+//! Control firmware must prove liveness by *kicking* the watchdog before
+//! its timeout expires; a missed kick raises a (typically highest
+//! priority) interrupt so the system can enter a safe state. On DISC the
+//! recovery handler can run on a dedicated stream that is guaranteed
+//! pipeline slots by the scheduler partition, no matter how wedged the
+//! other streams are.
+
+use disc_core::IrqRequest;
+
+use crate::bus::Peripheral;
+
+/// Register map: offset 0 = `KICK` (write any value to reset the
+/// countdown), offset 1 = `COUNT` (cycles until bite, read-only),
+/// offset 2 = `BITES` (times the watchdog fired, read-only).
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    timeout: u32,
+    count: u32,
+    bites: u64,
+    kicks: u64,
+    stream: usize,
+    bit: u8,
+}
+
+impl Watchdog {
+    /// Number of mapped registers.
+    pub const REGS: u16 = 3;
+
+    /// Creates a watchdog biting (`stream`, `bit`) after `timeout` cycles
+    /// without a kick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero or `bit >= 8`.
+    pub fn new(timeout: u32, stream: usize, bit: u8) -> Self {
+        assert!(timeout > 0, "watchdog timeout must be nonzero");
+        assert!(bit < 8, "interrupt bit out of range");
+        Watchdog {
+            timeout,
+            count: timeout,
+            bites: 0,
+            kicks: 0,
+            stream,
+            bit,
+        }
+    }
+
+    /// Times the watchdog has fired.
+    pub fn bites(&self) -> u64 {
+        self.bites
+    }
+
+    /// Kicks received.
+    pub fn kicks(&self) -> u64 {
+        self.kicks
+    }
+}
+
+impl Peripheral for Watchdog {
+    fn latency(&self, _offset: u16, _write: bool) -> u32 {
+        1
+    }
+
+    fn read(&mut self, offset: u16) -> u16 {
+        match offset {
+            1 => self.count as u16,
+            2 => self.bites as u16,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u16, _value: u16) {
+        if offset == 0 {
+            self.kicks += 1;
+            self.count = self.timeout;
+        }
+    }
+
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        self.count -= 1;
+        if self.count == 0 {
+            self.bites += 1;
+            self.count = self.timeout;
+            irqs.push(IrqRequest {
+                stream: self.stream,
+                bit: self.bit,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bites_without_kicks() {
+        let mut w = Watchdog::new(10, 2, 7);
+        let mut irqs = Vec::new();
+        for _ in 0..25 {
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.bites(), 2);
+        assert_eq!(irqs.len(), 2);
+        assert_eq!(irqs[0], IrqRequest { stream: 2, bit: 7 });
+    }
+
+    #[test]
+    fn kicks_hold_it_off() {
+        let mut w = Watchdog::new(10, 0, 7);
+        let mut irqs = Vec::new();
+        for i in 0..100 {
+            if i % 5 == 0 {
+                w.write(0, 1);
+            }
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.bites(), 0, "regular kicks prevent bites");
+        assert_eq!(w.kicks(), 20);
+    }
+
+    #[test]
+    fn register_reads() {
+        let mut w = Watchdog::new(100, 0, 7);
+        let mut irqs = Vec::new();
+        for _ in 0..30 {
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.read(1), 70);
+        assert_eq!(w.read(2), 0);
+    }
+}

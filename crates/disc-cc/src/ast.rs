@@ -1,0 +1,144 @@
+//! Abstract syntax of the discc language.
+
+/// Binary operators, in DISC1-native 16-bit wrapping semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Low 16 bits of the product.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift by `rhs & 15`.
+    Shl,
+    /// Logical right shift by `rhs & 15`.
+    Shr,
+    /// `1` if equal else `0`.
+    Eq,
+    /// `1` if unequal else `0`.
+    Ne,
+    /// Unsigned `<`.
+    Lt,
+    /// Unsigned `<=`.
+    Le,
+    /// Unsigned `>`.
+    Gt,
+    /// Unsigned `>=`.
+    Ge,
+}
+
+impl BinOp {
+    /// Reference semantics (used by tests and constant folding).
+    pub fn eval(self, a: u16, b: u16) -> u16 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a << (b & 15),
+            BinOp::Shr => a >> (b & 15),
+            BinOp::Eq => (a == b) as u16,
+            BinOp::Ne => (a != b) as u16,
+            BinOp::Lt => (a < b) as u16,
+            BinOp::Le => (a <= b) as u16,
+            BinOp::Gt => (a > b) as u16,
+            BinOp::Ge => (a >= b) as u16,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(u16),
+    /// Variable reference.
+    Var(String),
+    /// Internal-memory load `mem[addr]`.
+    Mem(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Two's-complement negation.
+    Neg(Box<Expr>),
+    /// Logical not (`!x` is `1` if `x == 0` else `0`).
+    Not(Box<Expr>),
+    /// Short-circuit logical and (`1`/`0`).
+    AndAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit logical or (`1`/`0`).
+    OrOr(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name = expr;` — declares and initializes.
+    Declare(String, Expr),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `mem[addr] = expr;`
+    Store(Expr, Expr),
+    /// `while (cond) { body }`
+    While(Expr, Vec<Stmt>),
+    /// `if (cond) { then } else { otherwise }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+}
+
+/// Maximum nesting depth of expression evaluation — one visible window's
+/// worth of registers.
+pub const MAX_EXPR_DEPTH: usize = 8;
+
+/// Register depth needed to evaluate `e` with the Sethi–Ullman-style
+/// left-to-right strategy the code generator uses.
+pub fn expr_depth(e: &Expr) -> usize {
+    match e {
+        Expr::Num(_) | Expr::Var(_) => 1,
+        Expr::Mem(a) | Expr::Neg(a) | Expr::Not(a) => expr_depth(a),
+        Expr::Bin(_, a, b) => expr_depth(a).max(expr_depth(b) + 1),
+        // Short-circuit forms evaluate both sides in the same register.
+        Expr::AndAnd(a, b) | Expr::OrOr(a, b) => expr_depth(a).max(expr_depth(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_reference_semantics() {
+        assert_eq!(BinOp::Add.eval(0xffff, 2), 1);
+        assert_eq!(BinOp::Sub.eval(0, 1), 0xffff);
+        assert_eq!(BinOp::Mul.eval(300, 300), (90_000u32 % 65_536) as u16);
+        assert_eq!(BinOp::Shl.eval(1, 17), 2, "shift amount masked");
+        assert_eq!(BinOp::Lt.eval(3, 4), 1);
+        assert_eq!(BinOp::Ge.eval(3, 4), 0);
+    }
+
+    #[test]
+    fn depth_counts_right_operands() {
+        // x + 1 needs 2 registers; x needs 1.
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Num(1)),
+        );
+        assert_eq!(expr_depth(&e), 2);
+        // ((a+b)+(c+d)) needs 3.
+        let pair = |l: &str, r: &str| {
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var(l.into())),
+                Box::new(Expr::Var(r.into())),
+            )
+        };
+        let e = Expr::Bin(BinOp::Add, Box::new(pair("a", "b")), Box::new(pair("c", "d")));
+        assert_eq!(expr_depth(&e), 3);
+    }
+}

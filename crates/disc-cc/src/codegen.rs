@@ -1,0 +1,653 @@
+//! Code generation onto the DISC1 stack-window register file.
+//!
+//! Expressions evaluate Sethi–Ullman-style in the visible window registers
+//! (`r0` upward); variables live in internal memory so control flow and
+//! stream preemption can never clobber them. Comparisons materialize 0/1
+//! through conditional jumps over an `ldi` (DISC1 has no set-on-condition
+//! instruction).
+
+use std::collections::HashMap;
+
+use disc_isa::{AluImmOp, AluOp, AwpMode, Cond, Instruction, Program, ProgramBuilder, Reg};
+
+use crate::ast::{expr_depth, BinOp, Expr, Stmt, MAX_EXPR_DEPTH};
+use crate::parser::parse;
+use crate::CompileError;
+
+/// First internal-memory word used for compiler-allocated variables.
+pub const VAR_BASE: u16 = 0x0200;
+
+/// Variable slots available per stream.
+pub const VARS_PER_STREAM: u16 = 64;
+
+/// Program-memory region size reserved per stream.
+const CODE_STRIDE: u16 = 0x0400;
+
+/// A compiled program together with its variable allocation.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The runnable program (stream entries set).
+    pub program: Program,
+    vars: Vec<(String, u16)>,
+}
+
+impl CompiledProgram {
+    /// Declared variables and their internal-memory addresses, in
+    /// declaration order. Multi-stream compiles prefix names with
+    /// `s<stream>.`.
+    pub fn variables(&self) -> &[(String, u16)] {
+        &self.vars
+    }
+
+    /// Address of variable `name`, if declared.
+    pub fn address_of(&self, name: &str) -> Option<u16> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
+    }
+}
+
+/// Compiles a single source into a stream-0 program.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax errors, undeclared/duplicate
+/// variables, too many variables, or expressions deeper than the visible
+/// window.
+pub fn compile(source: &str) -> Result<CompiledProgram, CompileError> {
+    compile_streams(&[source])
+}
+
+/// Compiles one source per instruction stream into a single program; each
+/// stream gets its own code region and variable slots.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] as for [`compile`], or when more than 8
+/// streams are requested.
+pub fn compile_streams(sources: &[&str]) -> Result<CompiledProgram, CompileError> {
+    if sources.is_empty() || sources.len() > disc_isa::MAX_STREAMS {
+        return Err(CompileError::new(1, "1..=8 stream sources required"));
+    }
+    let mut builder = ProgramBuilder::new();
+    let mut all_vars = Vec::new();
+    for (stream, source) in sources.iter().enumerate() {
+        let stmts = parse(source)?;
+        builder.org(stream as u16 * CODE_STRIDE);
+        builder.entry(stream);
+        let mut cg = CodeGen {
+            b: &mut builder,
+            vars: HashMap::new(),
+            order: Vec::new(),
+            next_addr: VAR_BASE + stream as u16 * VARS_PER_STREAM,
+            limit: VAR_BASE + (stream as u16 + 1) * VARS_PER_STREAM,
+        };
+        cg.block(&stmts)?;
+        // A single-stream program halts the machine; in a multi-stream
+        // compile each stream just deactivates so the others keep running.
+        cg.b.emit(if sources.len() == 1 {
+            Instruction::Halt
+        } else {
+            Instruction::Stop
+        });
+        for (name, addr) in cg.order {
+            let label = if sources.len() == 1 {
+                name
+            } else {
+                format!("s{stream}.{name}")
+            };
+            all_vars.push((label, addr));
+        }
+    }
+    Ok(CompiledProgram {
+        program: builder.build(),
+        vars: all_vars,
+    })
+}
+
+struct CodeGen<'a> {
+    b: &'a mut ProgramBuilder,
+    vars: HashMap<String, u16>,
+    order: Vec<(String, u16)>,
+    next_addr: u16,
+    limit: u16,
+}
+
+impl CodeGen<'_> {
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Declare(name, value) => {
+                if self.vars.contains_key(name) {
+                    return Err(CompileError::new(1, format!("duplicate variable `{name}`")));
+                }
+                if self.next_addr >= self.limit {
+                    return Err(CompileError::new(1, "too many variables"));
+                }
+                let addr = self.next_addr;
+                self.next_addr += 1;
+                self.vars.insert(name.clone(), addr);
+                self.order.push((name.clone(), addr));
+                self.eval(value, 0)?;
+                self.b.emit(Instruction::Sta {
+                    awp: AwpMode::None,
+                    src: Reg::R0,
+                    addr,
+                });
+            }
+            Stmt::Assign(name, value) => {
+                let addr = self.var_addr(name)?;
+                self.eval(value, 0)?;
+                self.b.emit(Instruction::Sta {
+                    awp: AwpMode::None,
+                    src: Reg::R0,
+                    addr,
+                });
+            }
+            Stmt::Store(addr, value) => match addr {
+                Expr::Num(a) if *a < 0x1000 => {
+                    self.eval(value, 0)?;
+                    self.b.emit(Instruction::Sta {
+                        awp: AwpMode::None,
+                        src: Reg::R0,
+                        addr: *a,
+                    });
+                }
+                _ => {
+                    self.eval(addr, 0)?;
+                    self.eval(value, 1)?;
+                    self.b.emit(Instruction::St {
+                        awp: AwpMode::None,
+                        src: Reg::R1,
+                        base: Reg::R0,
+                        offset: 0,
+                    });
+                }
+            },
+            Stmt::While(cond, body) => {
+                let top = self.b.here();
+                self.test(cond)?;
+                let exit_hole = self.b.reserve();
+                self.block(body)?;
+                self.b.emit(Instruction::Jmp {
+                    cond: Cond::Always,
+                    target: top,
+                });
+                let end = self.b.here();
+                self.b.patch(
+                    exit_hole,
+                    Instruction::Jmp {
+                        cond: Cond::Z,
+                        target: end,
+                    },
+                );
+            }
+            Stmt::If(cond, then, otherwise) => {
+                self.test(cond)?;
+                let else_hole = self.b.reserve();
+                self.block(then)?;
+                if otherwise.is_empty() {
+                    let end = self.b.here();
+                    self.b.patch(
+                        else_hole,
+                        Instruction::Jmp {
+                            cond: Cond::Z,
+                            target: end,
+                        },
+                    );
+                } else {
+                    let end_hole = self.b.reserve();
+                    let else_at = self.b.here();
+                    self.block(otherwise)?;
+                    let end = self.b.here();
+                    self.b.patch(
+                        else_hole,
+                        Instruction::Jmp {
+                            cond: Cond::Z,
+                            target: else_at,
+                        },
+                    );
+                    self.b.patch(
+                        end_hole,
+                        Instruction::Jmp {
+                            cond: Cond::Always,
+                            target: end,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates `cond` and leaves the Z flag reflecting "cond == 0" so a
+    /// following `jz` skips the guarded region.
+    fn test(&mut self, cond: &Expr) -> Result<(), CompileError> {
+        self.eval(cond, 0)?;
+        self.b.emit(Instruction::AluImm {
+            op: AluImmOp::Cmpi,
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            rs: Reg::R0,
+            imm: 0,
+        });
+        Ok(())
+    }
+
+    fn var_addr(&self, name: &str) -> Result<u16, CompileError> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::new(1, format!("undeclared variable `{name}`")))
+    }
+
+    fn reg(&self, depth: usize) -> Result<Reg, CompileError> {
+        if depth >= MAX_EXPR_DEPTH {
+            return Err(CompileError::new(
+                1,
+                "expression too deep for the visible window (max 8 registers)",
+            ));
+        }
+        Ok(Reg::window(depth as u8))
+    }
+
+    /// Emits code leaving the value of `e` in `window[depth]`.
+    fn eval(&mut self, e: &Expr, depth: usize) -> Result<(), CompileError> {
+        if depth + expr_depth(e) > MAX_EXPR_DEPTH {
+            return Err(CompileError::new(
+                1,
+                "expression too deep for the visible window (max 8 registers)",
+            ));
+        }
+        let rd = self.reg(depth)?;
+        match e {
+            Expr::Num(v) => self.load_const(rd, *v),
+            Expr::Var(name) => {
+                let addr = self.var_addr(name)?;
+                self.b.emit(Instruction::Lda {
+                    awp: AwpMode::None,
+                    rd,
+                    addr,
+                });
+            }
+            Expr::Mem(addr) => match addr.as_ref() {
+                Expr::Num(a) if *a < 0x1000 => {
+                    self.b.emit(Instruction::Lda {
+                        awp: AwpMode::None,
+                        rd,
+                        addr: *a,
+                    });
+                }
+                _ => {
+                    self.eval(addr, depth)?;
+                    self.b.emit(Instruction::Ld {
+                        awp: AwpMode::None,
+                        rd,
+                        base: rd,
+                        offset: 0,
+                    });
+                }
+            },
+            Expr::Neg(a) => {
+                // Two's complement in place: -x = !x + 1.
+                self.eval(a, depth)?;
+                self.b.emit(Instruction::Alu {
+                    op: AluOp::Not,
+                    awp: AwpMode::None,
+                    rd,
+                    rs: rd,
+                    rt: Reg::R0,
+                });
+                self.b.emit(Instruction::AluImm {
+                    op: AluImmOp::Addi,
+                    awp: AwpMode::None,
+                    rd,
+                    rs: rd,
+                    imm: 1,
+                });
+            }
+            Expr::Not(a) => {
+                self.eval(a, depth)?;
+                self.b.emit(Instruction::AluImm {
+                    op: AluImmOp::Cmpi,
+                    awp: AwpMode::None,
+                    rd,
+                    rs: rd,
+                    imm: 0,
+                });
+                self.materialize(rd, Cond::Z);
+            }
+            Expr::AndAnd(a, b) => {
+                // Short circuit: if a == 0, skip b and yield 0.
+                self.eval(a, depth)?;
+                self.cmpi_zero(rd);
+                let skip = self.b.reserve();
+                self.eval(b, depth)?;
+                self.cmpi_zero(rd);
+                let done = self.b.here();
+                self.b.patch(
+                    skip,
+                    Instruction::Jmp {
+                        cond: Cond::Z,
+                        target: done,
+                    },
+                );
+                self.materialize(rd, Cond::Nz);
+            }
+            Expr::OrOr(a, b) => {
+                // Short circuit: if a != 0, skip b and yield 1.
+                self.eval(a, depth)?;
+                self.cmpi_zero(rd);
+                let skip = self.b.reserve();
+                self.eval(b, depth)?;
+                self.cmpi_zero(rd);
+                let done = self.b.here();
+                self.b.patch(
+                    skip,
+                    Instruction::Jmp {
+                        cond: Cond::Nz,
+                        target: done,
+                    },
+                );
+                self.materialize(rd, Cond::Nz);
+            }
+            Expr::Bin(op, a, b) => {
+                self.eval(a, depth)?;
+                self.eval(b, depth + 1)?;
+                let rt = self.reg(depth + 1)?;
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or
+                    | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
+                        let alu = match op {
+                            BinOp::Add => AluOp::Add,
+                            BinOp::Sub => AluOp::Sub,
+                            BinOp::Mul => AluOp::Mul,
+                            BinOp::And => AluOp::And,
+                            BinOp::Or => AluOp::Or,
+                            BinOp::Xor => AluOp::Xor,
+                            BinOp::Shl => AluOp::Shl,
+                            BinOp::Shr => AluOp::Shr,
+                            _ => unreachable!(),
+                        };
+                        self.b.emit(Instruction::Alu {
+                            op: alu,
+                            awp: AwpMode::None,
+                            rd,
+                            rs: rd,
+                            rt,
+                        });
+                    }
+                    // Unsigned comparisons via the carry flag:
+                    // `cmp x, y` sets C iff x >= y.
+                    BinOp::Eq => self.compare(rd, rt, false, Cond::Z),
+                    BinOp::Ne => self.compare(rd, rt, false, Cond::Nz),
+                    BinOp::Lt => self.compare(rd, rt, false, Cond::Nc),
+                    BinOp::Ge => self.compare(rd, rt, false, Cond::C),
+                    BinOp::Gt => self.compare(rd, rt, true, Cond::Nc),
+                    BinOp::Le => self.compare(rd, rt, true, Cond::C),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits `cmpi rd, 0` (used by the logical operators).
+    fn cmpi_zero(&mut self, rd: Reg) {
+        self.b.emit(Instruction::AluImm {
+            op: AluImmOp::Cmpi,
+            awp: AwpMode::None,
+            rd,
+            rs: rd,
+            imm: 0,
+        });
+    }
+
+    fn load_const(&mut self, rd: Reg, v: u16) {
+        if v <= 2047 {
+            self.b.emit(Instruction::Ldi {
+                awp: AwpMode::None,
+                rd,
+                imm: v as i16,
+            });
+        } else {
+            self.b.emit(Instruction::Ldi {
+                awp: AwpMode::None,
+                rd,
+                imm: (v & 0xff) as i16,
+            });
+            self.b.emit(Instruction::Lui {
+                rd,
+                imm: (v >> 8) as u8,
+            });
+        }
+    }
+
+    /// Emits `cmp` (optionally with swapped operands) and materializes
+    /// 1-if-`cond` into `rd`.
+    fn compare(&mut self, rd: Reg, rt: Reg, swap: bool, cond: Cond) {
+        let (rs, rt) = if swap { (rt, rd) } else { (rd, rt) };
+        self.b.emit(Instruction::Alu {
+            op: AluOp::Cmp,
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            rs,
+            rt,
+        });
+        self.materialize(rd, cond);
+    }
+
+    /// `rd = 1` if `cond` holds for the current flags, else `0`
+    /// (`ldi` does not disturb the flags).
+    fn materialize(&mut self, rd: Reg, cond: Cond) {
+        self.b.emit(Instruction::Ldi {
+            awp: AwpMode::None,
+            rd,
+            imm: 1,
+        });
+        let hole = self.b.reserve();
+        self.b.emit(Instruction::Ldi {
+            awp: AwpMode::None,
+            rd,
+            imm: 0,
+        });
+        let end = self.b.here();
+        self.b.patch(hole, Instruction::Jmp { cond, target: end });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_and_run;
+
+    #[test]
+    fn arithmetic_and_variables() {
+        let r = compile_and_run("var x = 6; var y = x * 7;", 10_000).unwrap();
+        assert_eq!(r.var("y"), Some(42));
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let r = compile_and_run(
+            "var n = 10; var sum = 0; while (n) { sum = sum + n; n = n - 1; }",
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(r.var("sum"), Some(55));
+        assert_eq!(r.var("n"), Some(0));
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let r = compile_and_run(
+            "var a = 3; var b = 9; var max = 0; \
+             if (a > b) { max = a; } else { max = b; }",
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(r.var("max"), Some(9));
+    }
+
+    #[test]
+    fn comparisons_produce_booleans() {
+        let r = compile_and_run(
+            "var lt = 3 < 4; var ge = 3 >= 4; var eq = 5 == 5; \
+             var ne = 5 != 5; var le = 4 <= 4; var gt = 4 > 4;",
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(r.var("lt"), Some(1));
+        assert_eq!(r.var("ge"), Some(0));
+        assert_eq!(r.var("eq"), Some(1));
+        assert_eq!(r.var("ne"), Some(0));
+        assert_eq!(r.var("le"), Some(1));
+        assert_eq!(r.var("gt"), Some(0));
+    }
+
+    #[test]
+    fn memory_store_and_load() {
+        let r = compile_and_run(
+            "mem[0x40] = 123; var x = mem[0x40] + 1; var i = 2; mem[0x40 + i] = x;",
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(r.memory(0x40), 123);
+        assert_eq!(r.var("x"), Some(124));
+        assert_eq!(r.memory(0x42), 124);
+    }
+
+    #[test]
+    fn unary_operators() {
+        let r = compile_and_run("var a = -1; var b = !0; var c = !7;", 10_000).unwrap();
+        assert_eq!(r.var("a"), Some(0xffff));
+        assert_eq!(r.var("b"), Some(1));
+        assert_eq!(r.var("c"), Some(0));
+    }
+
+    #[test]
+    fn large_constants_use_lui() {
+        let r = compile_and_run("var k = 0xbeef;", 10_000).unwrap();
+        assert_eq!(r.var("k"), Some(0xbeef));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        // Count primes below 20 by trial division.
+        let src = r#"
+            var count = 0;
+            var n = 2;
+            while (n < 20) {
+                var_is_prime = 0;
+                n = n;
+            }
+        "#;
+        // The flat-scope language has no `var_is_prime` declared — error.
+        assert!(compile(src).is_err());
+        let src = r#"
+            var count = 0;
+            var n = 2;
+            while (n < 20) {
+                var d = 0; var prime = 0;
+                d = 2;
+                prime = 1;
+                while (d * d <= n) {
+                    if (n - (n / 1) == 0) { prime = prime; }
+                    d = d + 1;
+                }
+                if (prime) { count = count + 1; }
+                n = n + 1;
+            }
+        "#;
+        // No division in the language; this variant is just a structural
+        // smoke test of deep nesting (declarations are flat-scoped, so the
+        // second iteration would redeclare — expect that error).
+        assert!(compile(src).is_err());
+        // A legal deeply nested program:
+        let r = compile_and_run(
+            "var x = 0; var i = 0; \
+             while (i < 3) { var_dummy = 0; i = i + 1; }",
+            10_000,
+        );
+        assert!(r.is_err(), "undeclared assignment still rejected");
+        let r = compile_and_run(
+            "var x = 0; var i = 0; \
+             while (i < 3) { if (i == 1) { x = x + 10; } else { x = x + 1; } i = i + 1; }",
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(r.var("x"), Some(12));
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        let r = compile_and_run(
+            "var a = 1 && 2; var b = 0 && 1; var c = 0 || 3; var d = 0 || 0; \
+             var guard = 0; var x = (guard && mem[0x3ff]) || 7;",
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(r.var("a"), Some(1));
+        assert_eq!(r.var("b"), Some(0));
+        assert_eq!(r.var("c"), Some(1));
+        assert_eq!(r.var("d"), Some(0));
+        assert_eq!(r.var("x"), Some(1));
+    }
+
+    #[test]
+    fn logic_in_conditions() {
+        let r = compile_and_run(
+            "var i = 0; var hits = 0; \
+             while (i < 10) { \
+                 if (i > 2 && i < 7) { hits = hits + 1; } \
+                 i = i + 1; \
+             }",
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(r.var("hits"), Some(4));
+    }
+
+    #[test]
+    fn expression_depth_enforced() {
+        // Right-leaning chain needs depth = chain length + 1.
+        let deep = "var x = 1 + (1 + (1 + (1 + (1 + (1 + (1 + (1 + 1)))))));";
+        assert!(compile(deep).is_err());
+        let ok = "var x = 1 + (1 + (1 + (1 + (1 + (1 + 1)))));";
+        assert_eq!(compile_and_run(ok, 10_000).unwrap().var("x"), Some(7));
+    }
+
+    #[test]
+    fn duplicate_and_undeclared_rejected() {
+        assert!(compile("var x = 1; var x = 2;").is_err());
+        assert!(compile("y = 1;").is_err());
+    }
+
+    #[test]
+    fn multi_stream_compilation() {
+        let p = compile_streams(&[
+            "var a = 1; mem[0x80] = a;",
+            "var b = 2; mem[0x81] = b;",
+        ])
+        .unwrap();
+        assert!(p.address_of("s0.a").is_some());
+        assert!(p.address_of("s1.b").is_some());
+        assert_ne!(p.address_of("s0.a"), p.address_of("s1.b"));
+        use disc_core::{Machine, MachineConfig};
+        let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &p.program);
+        // Stream 0 halts the machine; run until both stores are visible.
+        for _ in 0..10_000 {
+            if m.internal_memory().read(0x80) == 1 && m.internal_memory().read(0x81) == 2 {
+                break;
+            }
+            if m.step().unwrap() != disc_core::Status::Running {
+                break;
+            }
+        }
+        assert_eq!(m.internal_memory().read(0x80), 1);
+        assert_eq!(m.internal_memory().read(0x81), 2);
+    }
+}

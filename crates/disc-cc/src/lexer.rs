@@ -1,0 +1,183 @@
+//! Tokenizer for the discc language.
+
+use crate::CompileError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal (decimal or `0x` hexadecimal), already reduced
+    /// modulo 2¹⁶.
+    Num(u16),
+    /// Identifier.
+    Ident(String),
+    /// Keyword `var`.
+    Var,
+    /// Keyword `while`.
+    While,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `mem`.
+    Mem,
+    /// A punctuation or operator symbol (`"+"`, `"<<"`, `"=="`, …).
+    Sym(&'static str),
+}
+
+pub(crate) struct Lexed {
+    pub tokens: Vec<(Token, usize)>,
+}
+
+const TWO_CHAR: [&str; 8] = ["==", "!=", "<=", ">=", "<<", ">>", "&&", "||"];
+const ONE_CHAR: [&str; 15] = [
+    "+", "-", "*", "&", "|", "^", "<", ">", "=", ";", "(", ")", "{", "}", "!",
+];
+
+pub(crate) fn lex(source: &str) -> Result<Lexed, CompileError> {
+    let mut tokens = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split("//").next().unwrap_or("");
+        let mut chars = text.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let mut end = i;
+                let mut radix = 10;
+                let rest = &text[i..];
+                let body_start;
+                if rest.starts_with("0x") || rest.starts_with("0X") {
+                    radix = 16;
+                    body_start = i + 2;
+                    chars.next();
+                    chars.next();
+                } else {
+                    body_start = i;
+                }
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() {
+                        end = j;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let body = if end >= body_start {
+                    &text[body_start..=end]
+                } else {
+                    ""
+                };
+                let value = u32::from_str_radix(if body.is_empty() { "0" } else { body }, radix)
+                    .map_err(|_| {
+                        CompileError::new(line, format!("invalid number `{}`", &text[i..=end]))
+                    })?;
+                tokens.push((Token::Num(value as u16), line));
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let mut end = i;
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        end = j;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &text[i..=end];
+                let tok = match word {
+                    "var" => Token::Var,
+                    "while" => Token::While,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "mem" => Token::Mem,
+                    _ => Token::Ident(word.to_string()),
+                };
+                tokens.push((tok, line));
+                continue;
+            }
+            if c == '[' || c == ']' {
+                chars.next();
+                tokens.push((Token::Sym(if c == '[' { "[" } else { "]" }), line));
+                continue;
+            }
+            let rest = &text[i..];
+            if let Some(&sym) = TWO_CHAR.iter().find(|s| rest.starts_with(**s)) {
+                chars.next();
+                chars.next();
+                tokens.push((Token::Sym(sym), line));
+                continue;
+            }
+            if let Some(&sym) = ONE_CHAR
+                .iter()
+                .find(|s| rest.starts_with(**s))
+            {
+                chars.next();
+                tokens.push((Token::Sym(sym), line));
+                continue;
+            }
+            return Err(CompileError::new(
+                line,
+                format!("unexpected character `{c}`"),
+            ));
+        }
+    }
+    Ok(Lexed { tokens })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().tokens.into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_statement() {
+        assert_eq!(
+            toks("var x = 0x10;"),
+            vec![
+                Token::Var,
+                Token::Ident("x".into()),
+                Token::Sym("="),
+                Token::Num(16),
+                Token::Sym(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_symbols_win() {
+        assert_eq!(
+            toks("a <= b << 2"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym("<="),
+                Token::Ident("b".into()),
+                Token::Sym("<<"),
+                Token::Num(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines_tracked() {
+        let lexed = lex("var a = 1; // comment\nvar b = 2;").unwrap();
+        assert_eq!(lexed.tokens.len(), 10);
+        assert_eq!(lexed.tokens[5].1, 2, "second statement on line 2");
+    }
+
+    #[test]
+    fn numbers_wrap_to_u16() {
+        assert_eq!(toks("70000"), vec![Token::Num(4464)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("var x = @;").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! **discc** — a small structured language compiled to DISC1 assembly.
+//!
+//! The paper's future work notes that *"numerous operating system,
+//! compiler, and other software questions also need to be addressed"*.
+//! This crate addresses the compiler question at small scale: a C-flavored
+//! expression language with variables, `while`/`if` control flow and
+//! direct internal-memory access, compiled to stack-window code. Nested
+//! expressions evaluate in the visible window registers (the register file
+//! the DISC stack window was designed for), variables live in internal
+//! memory, and the emitted program runs on both the DISC machine and the
+//! baseline.
+//!
+//! # Language
+//!
+//! ```text
+//! var n = 10;                 // declaration (16-bit unsigned, wrapping)
+//! var sum = 0;
+//! while (n) {                 // while / if-else, C precedence
+//!     sum = sum + n * n;
+//!     n = n - 1;
+//! }
+//! mem[0x20] = sum;            // internal-memory store
+//! var copy = mem[0x20];       // internal-memory load
+//! if (sum >= 300) { mem[0x21] = 1; } else { mem[0x21] = 2; }
+//! ```
+//!
+//! Operators (by precedence, loosest first): `||`, `&&` (both
+//! short-circuit), `== != < <= > >=`, `+ -`, `* & | ^ << >>`, unary `-`
+//! and `!`. Comparisons and logical operators yield `0`/`1`; any nonzero
+//! value is true.
+//!
+//! # Example
+//!
+//! ```
+//! use disc_cc::compile_and_run;
+//!
+//! let vars = compile_and_run(
+//!     "var x = 7; var y = x * x + 1; mem[0x10] = y;",
+//!     10_000,
+//! )?;
+//! assert_eq!(vars.var("y"), Some(50));
+//! assert_eq!(vars.memory(0x10), 50);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Stmt};
+pub use codegen::{compile, compile_streams, CompiledProgram};
+pub use lexer::Token;
+
+use std::fmt;
+
+/// Error raised while compiling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    line: usize,
+    message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Final machine state of a [`compile_and_run`] execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    vars: Vec<(String, u16)>,
+    memory: Vec<u16>,
+}
+
+impl RunResult {
+    /// Final value of variable `name`, if it was declared.
+    pub fn var(&self, name: &str) -> Option<u16> {
+        self.vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Final value of internal-memory word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside internal memory.
+    pub fn memory(&self, addr: u16) -> u16 {
+        self.memory[addr as usize]
+    }
+
+    /// All declared variables with their final values, in declaration
+    /// order.
+    pub fn vars(&self) -> &[(String, u16)] {
+        &self.vars
+    }
+}
+
+/// Compiles `source` and runs it to completion on a single-stream DISC1.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for source errors; panics only on internal
+/// compiler bugs (the emitted program failing to execute).
+///
+/// # Panics
+///
+/// Panics if the compiled program does not halt within `max_cycles` — for
+/// terminating programs pick a generous budget.
+pub fn compile_and_run(source: &str, max_cycles: u64) -> Result<RunResult, CompileError> {
+    use disc_core::{Machine, MachineConfig};
+
+    let compiled = compile(source)?;
+    let mut m = Machine::new(MachineConfig::disc1().with_streams(1), &compiled.program);
+    let exit = m.run(max_cycles).expect("compiled program executes");
+    assert_eq!(
+        exit,
+        disc_core::Exit::Halted,
+        "compiled program must halt within {max_cycles} cycles"
+    );
+    let vars = compiled
+        .variables()
+        .iter()
+        .map(|(name, addr)| (name.clone(), m.internal_memory().read(*addr)))
+        .collect();
+    let memory = (0..m.internal_memory().len() as u16)
+        .map(|a| m.internal_memory().read(a))
+        .collect();
+    Ok(RunResult { vars, memory })
+}

@@ -1,0 +1,317 @@
+//! Recursive-descent parser for the discc language.
+
+use crate::ast::{BinOp, Expr, Stmt};
+use crate::lexer::{lex, Token};
+use crate::CompileError;
+
+pub(crate) fn parse(source: &str) -> Result<Vec<Stmt>, CompileError> {
+    let lexed = lex(source)?;
+    let mut p = Parser {
+        tokens: lexed.tokens,
+        pos: 0,
+    };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<(), CompileError> {
+        match self.advance() {
+            Some(Token::Sym(s)) if s == sym => Ok(()),
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected `{sym}`, found {other:?}"),
+            )),
+        }
+    }
+
+    fn try_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.advance() {
+            Some(Token::Var) => {
+                let name = self.ident()?;
+                self.eat_sym("=")?;
+                let value = self.expr()?;
+                self.eat_sym(";")?;
+                Ok(Stmt::Declare(name, value))
+            }
+            Some(Token::Ident(name)) => {
+                self.eat_sym("=")?;
+                let value = self.expr()?;
+                self.eat_sym(";")?;
+                Ok(Stmt::Assign(name, value))
+            }
+            Some(Token::Mem) => {
+                self.eat_sym("[")?;
+                let addr = self.expr()?;
+                self.eat_sym("]")?;
+                self.eat_sym("=")?;
+                let value = self.expr()?;
+                self.eat_sym(";")?;
+                Ok(Stmt::Store(addr, value))
+            }
+            Some(Token::While) => {
+                self.eat_sym("(")?;
+                let cond = self.expr()?;
+                self.eat_sym(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Token::If) => {
+                self.eat_sym("(")?;
+                let cond = self.expr()?;
+                self.eat_sym(")")?;
+                let then = self.block()?;
+                let otherwise = if matches!(self.peek(), Some(Token::Else)) {
+                    self.pos += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, otherwise))
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected a statement, found {other:?}"),
+            )),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat_sym("{")?;
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Some(Token::Sym("}"))) {
+            if self.at_end() {
+                return Err(CompileError::new(self.line(), "unterminated block"));
+            }
+            body.push(self.statement()?);
+        }
+        self.pos += 1; // consume `}`
+        Ok(body)
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(CompileError::new(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    /// expr := logic_or
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.logic_or()
+    }
+
+    /// logic_or := logic_and ("||" logic_and)*
+    fn logic_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.logic_and()?;
+        while matches!(self.peek(), Some(Token::Sym("||"))) {
+            self.pos += 1;
+            let rhs = self.logic_and()?;
+            lhs = Expr::OrOr(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// logic_and := comparison ("&&" comparison)*
+    fn logic_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.comparison()?;
+        while matches!(self.peek(), Some(Token::Sym("&&"))) {
+            self.pos += 1;
+            let rhs = self.comparison()?;
+            lhs = Expr::AndAnd(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// comparison := additive (cmp additive)?
+    fn comparison(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Sym("==")) => Some(BinOp::Eq),
+            Some(Token::Sym("!=")) => Some(BinOp::Ne),
+            Some(Token::Sym("<=")) => Some(BinOp::Le),
+            Some(Token::Sym(">=")) => Some(BinOp::Ge),
+            Some(Token::Sym("<")) => Some(BinOp::Lt),
+            Some(Token::Sym(">")) => Some(BinOp::Gt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// additive := term (("+" | "-") term)*
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => BinOp::Add,
+                Some(Token::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// term := unary (("*" | "&" | "|" | "^" | "<<" | ">>") unary)*
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("*")) => BinOp::Mul,
+                Some(Token::Sym("&")) => BinOp::And,
+                Some(Token::Sym("|")) => BinOp::Or,
+                Some(Token::Sym("^")) => BinOp::Xor,
+                Some(Token::Sym("<<")) => BinOp::Shl,
+                Some(Token::Sym(">>")) => BinOp::Shr,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.try_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.try_sym("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.advance() {
+            Some(Token::Num(v)) => Ok(Expr::Num(v)),
+            Some(Token::Ident(name)) => Ok(Expr::Var(name)),
+            Some(Token::Mem) => {
+                self.eat_sym("[")?;
+                let addr = self.expr()?;
+                self.eat_sym("]")?;
+                Ok(Expr::Mem(Box::new(addr)))
+            }
+            Some(Token::Sym("(")) => {
+                let inner = self.expr()?;
+                self.eat_sym(")")?;
+                Ok(inner)
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected an expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_precedence() {
+        let stmts = parse("var x = 1 + 2 * 3;").unwrap();
+        assert_eq!(
+            stmts,
+            vec![Stmt::Declare(
+                "x".into(),
+                Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Num(1)),
+                    Box::new(Expr::Bin(
+                        BinOp::Mul,
+                        Box::new(Expr::Num(2)),
+                        Box::new(Expr::Num(3))
+                    ))
+                )
+            )]
+        );
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let stmts = parse("while (x) { x = x - 1; }").unwrap();
+        assert!(matches!(&stmts[0], Stmt::While(Expr::Var(_), body) if body.len() == 1));
+        let stmts = parse("if (a < b) { mem[1] = a; } else { mem[1] = b; }").unwrap();
+        assert!(matches!(&stmts[0], Stmt::If(_, t, e) if t.len() == 1 && e.len() == 1));
+    }
+
+    #[test]
+    fn parses_memory_access() {
+        let stmts = parse("mem[x + 1] = mem[2] << 3;").unwrap();
+        assert!(matches!(&stmts[0], Stmt::Store(..)));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let stmts = parse("var x = (1 + 2) * 3;").unwrap();
+        assert!(matches!(
+            &stmts[0],
+            Stmt::Declare(_, Expr::Bin(BinOp::Mul, ..))
+        ));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("var x = 1;\nvar = 2;").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse("while (1) { x = 1;").is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Differential testing of the compiler: random programs are evaluated by
+//! a reference interpreter written directly over the AST, then compiled
+//! and executed on the cycle-accurate DISC1 machine — every variable's
+//! final value must agree.
+
+use std::collections::HashMap;
+
+use disc_cc::{compile, BinOp, Expr, Stmt};
+use disc_core::{Exit, Machine, MachineConfig};
+use proptest::prelude::*;
+
+// ---- reference interpreter ------------------------------------------------
+
+struct Interp {
+    vars: HashMap<String, u16>,
+    mem: HashMap<u16, u16>,
+    fuel: u64,
+}
+
+impl Interp {
+    fn eval(&mut self, e: &Expr) -> u16 {
+        match e {
+            Expr::Num(v) => *v,
+            Expr::Var(n) => self.vars[n.as_str()],
+            Expr::Mem(a) => {
+                let addr = self.eval(a);
+                self.mem.get(&addr).copied().unwrap_or(0)
+            }
+            Expr::Bin(op, a, b) => {
+                let x = self.eval(a);
+                let y = self.eval(b);
+                op.eval(x, y)
+            }
+            Expr::Neg(a) => self.eval(a).wrapping_neg(),
+            Expr::Not(a) => (self.eval(a) == 0) as u16,
+            Expr::AndAnd(a, b) => {
+                if self.eval(a) == 0 {
+                    0
+                } else {
+                    (self.eval(b) != 0) as u16
+                }
+            }
+            Expr::OrOr(a, b) => {
+                if self.eval(a) != 0 {
+                    1
+                } else {
+                    (self.eval(b) != 0) as u16
+                }
+            }
+        }
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) -> bool {
+        for s in stmts {
+            if self.fuel == 0 {
+                return false;
+            }
+            self.fuel -= 1;
+            match s {
+                Stmt::Declare(n, e) | Stmt::Assign(n, e) => {
+                    let v = self.eval(e);
+                    self.vars.insert(n.clone(), v);
+                }
+                Stmt::Store(a, e) => {
+                    let addr = self.eval(a);
+                    let v = self.eval(e);
+                    self.mem.insert(addr, v);
+                }
+                Stmt::While(c, body) => {
+                    while self.eval(c) != 0 {
+                        if self.fuel == 0 || !self.run(body) {
+                            return false;
+                        }
+                        self.fuel = self.fuel.saturating_sub(1);
+                    }
+                }
+                Stmt::If(c, t, e) => {
+                    let branch = if self.eval(c) != 0 { t } else { e };
+                    if !self.run(branch) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+// ---- random-program generator ---------------------------------------------
+
+const VAR_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// Expressions over pre-declared variables a..d, depth-bounded so the
+/// window always suffices.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        any::<u16>().prop_map(Expr::Num),
+        (0usize..VAR_NAMES.len()).prop_map(|i| Expr::Var(VAR_NAMES[i].into())),
+        // Reads of a small fixed memory window the programs also write.
+        (0u16..8).prop_map(|a| Expr::Mem(Box::new(Expr::Num(0x80 + a)))),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_expr(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        1 => sub.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+        1 => sub.clone().prop_map(|e| Expr::Not(Box::new(e))),
+        4 => (arb_binop(), sub.clone(), sub.clone())
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+        1 => (sub.clone(), sub.clone())
+            .prop_map(|(a, b)| Expr::AndAnd(Box::new(a), Box::new(b))),
+        1 => (sub.clone(), sub)
+            .prop_map(|(a, b)| Expr::OrOr(Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+/// Straight-line + bounded-loop statements over a..d.
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (0usize..VAR_NAMES.len(), arb_expr(2))
+        .prop_map(|(i, e)| Stmt::Assign(VAR_NAMES[i].into(), e));
+    let store = (0u16..8, arb_expr(2))
+        .prop_map(|(a, e)| Stmt::Store(Expr::Num(0x80 + a), e));
+    if depth == 0 {
+        return prop_oneof![assign, store].boxed();
+    }
+    let body = prop::collection::vec(arb_stmt(depth - 1), 1..4);
+    prop_oneof![
+        3 => assign,
+        2 => store,
+        1 => (arb_expr(1), body.clone(), body.clone()).prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+        // Bounded loop: `d` is preset to 5 and strictly decreases, so the
+        // loop terminates unless its body re-raises `d` — those cases run
+        // the interpreter out of fuel and are discarded.
+        1 => body.prop_map(|b| {
+            let mut inner = b;
+            inner.push(Stmt::Assign(
+                "d".into(),
+                Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Var("d".into())),
+                    Box::new(Expr::Num(1)),
+                ),
+            ));
+            Stmt::If(
+                Expr::Num(1),
+                vec![
+                    Stmt::Assign("d".into(), Expr::Num(5)),
+                    Stmt::While(Expr::Var("d".into()), inner),
+                ],
+                Vec::new(),
+            )
+        }),
+    ]
+    .boxed()
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(v) => format!("{v}"),
+        Expr::Var(n) => n.clone(),
+        Expr::Mem(a) => format!("mem[{}]", render_expr(a)),
+        Expr::Neg(a) => format!("(-{})", render_expr(a)),
+        Expr::Not(a) => format!("(!{})", render_expr(a)),
+        Expr::AndAnd(a, b) => format!("({} && {})", render_expr(a), render_expr(b)),
+        Expr::OrOr(a, b) => format!("({} || {})", render_expr(a), render_expr(b)),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+            };
+            format!("({} {sym} {})", render_expr(a), render_expr(b))
+        }
+    }
+}
+
+fn render_stmt(s: &Stmt, out: &mut String) {
+    match s {
+        Stmt::Declare(n, e) => out.push_str(&format!("var {n} = {};\n", render_expr(e))),
+        Stmt::Assign(n, e) => out.push_str(&format!("{n} = {};\n", render_expr(e))),
+        Stmt::Store(a, e) => {
+            out.push_str(&format!("mem[{}] = {};\n", render_expr(a), render_expr(e)))
+        }
+        Stmt::While(c, body) => {
+            out.push_str(&format!("while ({}) {{\n", render_expr(c)));
+            for s in body {
+                render_stmt(s, out);
+            }
+            out.push_str("}\n");
+        }
+        Stmt::If(c, t, e) => {
+            out.push_str(&format!("if ({}) {{\n", render_expr(c)));
+            for s in t {
+                render_stmt(s, out);
+            }
+            out.push('}');
+            if e.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(" else {\n");
+                for s in e {
+                    render_stmt(s, out);
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut src = String::new();
+    // Pre-declare the working variables.
+    for (i, name) in VAR_NAMES.iter().enumerate() {
+        src.push_str(&format!("var {name} = {};\n", i * 3 + 1));
+    }
+    for s in stmts {
+        render_stmt(s, &mut src);
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiled execution matches the reference interpreter on every
+    /// variable and every touched memory word.
+    #[test]
+    fn compiled_matches_interpreter(body in prop::collection::vec(arb_stmt(2), 1..8)) {
+        let src = render_program(&body);
+        let compiled = match compile(&src) {
+            Ok(c) => c,
+            // Depth-limit rejections are legitimate; skip those cases.
+            Err(e) if e.message().contains("too deep") => return Ok(()),
+            Err(e) => panic!("compile failed on:\n{src}\n{e}"),
+        };
+
+        // Reference run.
+        // Keep the fuel small relative to the machine's cycle budget: any
+        // program the interpreter finishes must comfortably fit on the
+        // machine (≤ ~50 cycles per interpreted statement).
+        let mut interp = Interp {
+            vars: HashMap::new(),
+            mem: HashMap::new(),
+            fuel: 20_000,
+        };
+        let full = disc_cc::compile(&src).unwrap();
+        let _ = full; // compiled above; parse again through the public API
+        let ast = {
+            // Re-derive the AST the same way the compiler does: prepend
+            // the declarations, then the generated body.
+            let mut v = Vec::new();
+            for (i, name) in VAR_NAMES.iter().enumerate() {
+                v.push(Stmt::Declare(name.to_string(), Expr::Num((i * 3 + 1) as u16)));
+            }
+            v.extend(body.iter().cloned());
+            v
+        };
+        prop_assume!(interp.run(&ast), "interpreter ran out of fuel");
+
+        // Machine run.
+        let mut m = Machine::new(
+            MachineConfig::disc1().with_streams(1),
+            &compiled.program,
+        );
+        let exit = m.run(3_000_000).expect("machine runs");
+        prop_assert_eq!(exit, Exit::Halted, "program must halt:\n{}", src);
+
+        for (name, addr) in compiled.variables() {
+            let got = m.internal_memory().read(*addr);
+            let want = interp.vars[name.as_str()];
+            prop_assert_eq!(
+                got, want,
+                "variable {} diverged in:\n{}", name, src
+            );
+        }
+        for (addr, want) in &interp.mem {
+            prop_assert_eq!(
+                m.internal_memory().read(*addr), *want,
+                "memory {:#x} diverged in:\n{}", addr, src
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The Asynchronous Bus Interface (§3.6.1 of the paper).
+//!
+//! *"On a load instruction, the effective address of the external request
+//! is calculated. It is then loaded into the Asynchronous Bus Interface
+//! (ABI), with the address of the destination register. The IS requesting
+//! the read cycle is sent into a wait state and the ABI initiates the read
+//! cycle. … Once the read is completed the ABI stores the data into the
+//! destination register and re-activates all waiting ISs. This is done
+//! without affecting the running instruction streams."*
+//!
+//! The ABI supports one outstanding transaction; a stream that finds the
+//! bus busy has its access cancelled and retries once the bus frees.
+
+/// Where a completed read delivers its data.
+///
+/// Window destinations are captured as *logical stack slots* at issue time
+/// so the data lands in the right register even if the stream's window has
+/// moved while the access was in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegTarget {
+    /// A logical slot in the issuing stream's window stack.
+    Window(usize),
+    /// A shared global register.
+    Global(u8),
+    /// The stream's stack pointer.
+    Sp,
+    /// The stream's status register.
+    Sr,
+    /// The stream's interrupt request register.
+    Ir,
+    /// The stream's interrupt mask register.
+    Mr,
+}
+
+/// The kind of bus operation in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// Read `addr`, deliver to the captured destination.
+    Read {
+        /// Destination register of the issuing stream.
+        dest: RegTarget,
+    },
+    /// Write `value` to `addr`.
+    Write {
+        /// Value to store.
+        value: u16,
+    },
+    /// Atomic read-modify-write: deliver the old value to `dest`, store
+    /// `0xffff`.
+    TestAndSet {
+        /// Destination register receiving the previous value.
+        dest: RegTarget,
+    },
+}
+
+/// An outstanding external bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    /// Stream that issued the access and is waiting for it.
+    pub stream: usize,
+    /// External data address.
+    pub addr: u16,
+    /// Operation being performed.
+    pub op: BusOp,
+    /// Cycles remaining until completion.
+    pub remaining: u32,
+}
+
+/// Asynchronous bus interface state.
+#[derive(Debug, Clone, Default)]
+pub struct Abi {
+    current: Option<Transaction>,
+    busy_cycles: u64,
+    transactions: u64,
+    rejections: u64,
+}
+
+impl Abi {
+    /// Creates an idle ABI.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` while a transaction is outstanding.
+    pub fn busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// The outstanding transaction, if any.
+    pub fn current(&self) -> Option<&Transaction> {
+        self.current.as_ref()
+    }
+
+    /// Starts a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is already busy; callers check
+    /// [`busy`](Self::busy) and cancel the access instead (counting it via
+    /// [`reject`](Self::reject)).
+    pub fn start(&mut self, txn: Transaction) {
+        assert!(self.current.is_none(), "ABI already busy");
+        self.transactions += 1;
+        self.current = Some(txn);
+    }
+
+    /// Records an access attempt that found the bus busy.
+    pub fn reject(&mut self) {
+        self.rejections += 1;
+    }
+
+    /// Advances one cycle. Returns the transaction when it completes this
+    /// cycle (latency exhausted); the caller performs the actual transfer.
+    pub fn tick(&mut self) -> Option<Transaction> {
+        let txn = self.current.as_mut()?;
+        self.busy_cycles += 1;
+        if txn.remaining > 1 {
+            txn.remaining -= 1;
+            None
+        } else {
+            self.current.take()
+        }
+    }
+
+    /// Total cycles the bus spent busy.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Total transactions started.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Total accesses cancelled because the bus was busy.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_txn(latency: u32) -> Transaction {
+        Transaction {
+            stream: 0,
+            addr: 0x8000,
+            op: BusOp::Read {
+                dest: RegTarget::Window(5),
+            },
+            remaining: latency,
+        }
+    }
+
+    #[test]
+    fn completes_after_latency() {
+        let mut abi = Abi::new();
+        abi.start(read_txn(3));
+        assert!(abi.busy());
+        assert_eq!(abi.tick(), None);
+        assert_eq!(abi.tick(), None);
+        let done = abi.tick().expect("third tick completes");
+        assert_eq!(done.addr, 0x8000);
+        assert!(!abi.busy());
+        assert_eq!(abi.busy_cycles(), 3);
+        assert_eq!(abi.transactions(), 1);
+    }
+
+    #[test]
+    fn one_cycle_transaction_completes_immediately() {
+        let mut abi = Abi::new();
+        abi.start(read_txn(1));
+        assert!(abi.tick().is_some());
+    }
+
+    #[test]
+    fn idle_tick_is_free() {
+        let mut abi = Abi::new();
+        assert_eq!(abi.tick(), None);
+        assert_eq!(abi.busy_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn double_start_panics() {
+        let mut abi = Abi::new();
+        abi.start(read_txn(2));
+        abi.start(read_txn(2));
+    }
+
+    #[test]
+    fn rejections_counted() {
+        let mut abi = Abi::new();
+        abi.reject();
+        abi.reject();
+        assert_eq!(abi.rejections(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! The 16-bit ALU and condition evaluation shared by the DISC1 machine
+//! and the conventional single-stream baseline processor, so both execute
+//! identical instruction semantics.
+
+use disc_isa::{AluImmOp, AluOp, Cond};
+
+use crate::stream::Flags;
+
+/// Maps an immediate-form ALU operation onto its three-operand semantics.
+pub fn imm_op(op: AluImmOp) -> AluOp {
+
+    match op {
+        AluImmOp::Addi => AluOp::Add,
+        AluImmOp::Subi => AluOp::Sub,
+        AluImmOp::Andi => AluOp::And,
+        AluImmOp::Ori => AluOp::Or,
+        AluImmOp::Xori => AluOp::Xor,
+        AluImmOp::Cmpi => AluOp::Cmp,
+    }
+}
+
+/// Evaluates a jump condition against the flags.
+pub fn eval_cond(cond: Cond, f: Flags) -> bool {
+    match cond {
+        Cond::Always => true,
+        Cond::Z => f.z,
+        Cond::Nz => !f.z,
+        Cond::C => f.c,
+        Cond::Nc => !f.c,
+        Cond::N => f.n,
+        Cond::Nn => !f.n,
+        Cond::V => f.v,
+    }
+}
+
+/// The 16-bit ALU with the 16×16 hardware multiplier.
+///
+/// Returns the result and the updated flags; `cmp` results are discarded
+/// by the caller.
+pub fn alu(op: AluOp, a: u16, b: u16, flags: Flags) -> (u16, Flags) {
+    let mut f = flags;
+    let set_zn = |f: &mut Flags, r: u16| {
+        f.z = r == 0;
+        f.n = r & 0x8000 != 0;
+    };
+    let result = match op {
+        AluOp::Add | AluOp::Adc => {
+            let carry_in = if op == AluOp::Adc && flags.c { 1u32 } else { 0 };
+            let wide = a as u32 + b as u32 + carry_in;
+            let r = wide as u16;
+            f.c = wide > 0xffff;
+            f.v = ((a ^ r) & (b ^ r) & 0x8000) != 0;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Sub | AluOp::Sbc | AluOp::Cmp => {
+            let borrow_in = if op == AluOp::Sbc && !flags.c { 1u32 } else { 0 };
+            let wide = (a as u32).wrapping_sub(b as u32).wrapping_sub(borrow_in);
+            let r = wide as u16;
+            f.c = (a as u32) >= (b as u32 + borrow_in);
+            f.v = ((a ^ b) & (a ^ r) & 0x8000) != 0;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::And => {
+            let r = a & b;
+            f.c = false;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Or => {
+            let r = a | b;
+            f.c = false;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Xor => {
+            let r = a ^ b;
+            f.c = false;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Mul => {
+            let r = (a as u32 * b as u32) as u16;
+            f.c = false;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Mulh => {
+            let r = ((a as u32 * b as u32) >> 16) as u16;
+            f.c = false;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Shl => {
+            let sh = (b & 0xf) as u32;
+            let wide = (a as u32) << sh;
+            let r = wide as u16;
+            f.c = sh > 0 && (wide & 0x1_0000) != 0;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Shr => {
+            let sh = (b & 0xf) as u32;
+            let r = if sh == 0 { a } else { a >> sh };
+            f.c = sh > 0 && (a >> (sh - 1)) & 1 != 0;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Asr => {
+            let sh = (b & 0xf) as u32;
+            let r = ((a as i16) >> sh) as u16;
+            f.c = sh > 0 && ((a as i16) >> (sh - 1)) & 1 != 0;
+            f.v = false;
+            set_zn(&mut f, r);
+            r
+        }
+        AluOp::Mov => {
+            set_zn(&mut f, a);
+            a
+        }
+        AluOp::Not => {
+            let r = !a;
+            set_zn(&mut f, r);
+            r
+        }
+    };
+    (result, f)
+}
+
+#[cfg(test)]
+mod alu_tests {
+    use super::*;
+
+    fn flags0() -> Flags {
+        Flags::default()
+    }
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let (r, f) = alu(AluOp::Add, 0xffff, 1, flags0());
+        assert_eq!(r, 0);
+        assert!(f.z && f.c && !f.v);
+        let (r, f) = alu(AluOp::Add, 0x7fff, 1, flags0());
+        assert_eq!(r, 0x8000);
+        assert!(f.n && f.v && !f.c);
+    }
+
+    #[test]
+    fn adc_consumes_carry() {
+        let mut f = flags0();
+        f.c = true;
+        let (r, _) = alu(AluOp::Adc, 1, 1, f);
+        assert_eq!(r, 3);
+        let (r, _) = alu(AluOp::Add, 1, 1, f);
+        assert_eq!(r, 2, "plain add ignores carry");
+    }
+
+    #[test]
+    fn sub_carry_means_no_borrow() {
+        let (r, f) = alu(AluOp::Sub, 5, 3, flags0());
+        assert_eq!(r, 2);
+        assert!(f.c, "no borrow");
+        let (r, f) = alu(AluOp::Sub, 3, 5, flags0());
+        assert_eq!(r, 0xfffe);
+        assert!(!f.c && f.n);
+    }
+
+    #[test]
+    fn sbc_consumes_borrow() {
+        let mut f = flags0();
+        f.c = false; // borrow pending
+        let (r, _) = alu(AluOp::Sbc, 10, 3, f);
+        assert_eq!(r, 6);
+        f.c = true;
+        let (r, _) = alu(AluOp::Sbc, 10, 3, f);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn mul_and_mulh_split_product() {
+        let (lo, _) = alu(AluOp::Mul, 300, 300, flags0());
+        let (hi, _) = alu(AluOp::Mulh, 300, 300, flags0());
+        assert_eq!(((hi as u32) << 16) | lo as u32, 90_000);
+    }
+
+    #[test]
+    fn shifts_set_carry_from_last_bit() {
+        let (r, f) = alu(AluOp::Shl, 0x8001, 1, flags0());
+        assert_eq!(r, 2);
+        assert!(f.c);
+        let (r, f) = alu(AluOp::Shr, 0x8001, 1, flags0());
+        assert_eq!(r, 0x4000);
+        assert!(f.c);
+        let (r, _) = alu(AluOp::Asr, 0x8000, 3, flags0());
+        assert_eq!(r, 0xf000);
+    }
+
+    #[test]
+    fn logical_ops_clear_cv() {
+        let mut f = flags0();
+        f.c = true;
+        f.v = true;
+        let (_, f2) = alu(AluOp::And, 0xf0f0, 0x0ff0, f);
+        assert!(!f2.c && !f2.v);
+    }
+
+    #[test]
+    fn mov_preserves_carry() {
+        let mut f = flags0();
+        f.c = true;
+        let (_, f2) = alu(AluOp::Mov, 7, 0, f);
+        assert!(f2.c, "mov must not clobber carry");
+        assert!(!f2.z);
+    }
+
+    #[test]
+    fn shift_by_zero_keeps_carry_clear() {
+        let (r, f) = alu(AluOp::Shl, 0xffff, 0, flags0());
+        assert_eq!(r, 0xffff);
+        assert!(!f.c);
+    }
+
+    #[test]
+    fn cond_evaluation() {
+        let mut f = flags0();
+        f.z = true;
+        assert!(eval_cond(Cond::Z, f));
+        assert!(!eval_cond(Cond::Nz, f));
+        assert!(eval_cond(Cond::Always, f));
+        f.n = true;
+        assert!(eval_cond(Cond::N, f));
+        f.c = true;
+        assert!(eval_cond(Cond::C, f));
+        f.v = true;
+        assert!(eval_cond(Cond::V, f));
+    }
+}

@@ -1,0 +1,191 @@
+//! Machine configuration.
+
+use crate::scheduler::SchedulePolicy;
+
+/// Policy applied when a stream's window stack outgrows the physical
+/// register file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Hardware spills the oldest resident window registers to backing
+    /// store (and fills them back on demand), stalling the stream one cycle
+    /// per transferred word. This models the paper's variable-sized
+    /// multi-window organization with a background spill engine.
+    #[default]
+    AutoSpill,
+    /// Overflow raises the stream's stack-fault interrupt (IR bit 6) and
+    /// the window wraps; software is responsible for spilling.
+    Fault,
+}
+
+/// Configuration of a [`Machine`](crate::Machine).
+///
+/// Use [`MachineConfig::disc1`] for the configuration of the paper's
+/// experimental implementation, or start from [`MachineConfig::default`]
+/// and override fields through the builder-style setters.
+///
+/// # Example
+///
+/// ```
+/// use disc_core::{MachineConfig, SchedulePolicy};
+///
+/// let cfg = MachineConfig::disc1()
+///     .with_streams(2)
+///     .with_schedule(SchedulePolicy::round_robin(2));
+/// assert_eq!(cfg.streams, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of resident instruction streams (1..=8). DISC1 supports 4.
+    pub streams: usize,
+    /// Pipeline depth in stages (3..=8). DISC1 uses 4: IF, RD, EX, WR.
+    /// Jumps and external accesses resolve in the next-to-last stage.
+    pub pipeline_depth: usize,
+    /// Scheduler policy. DISC1 uses a 16-slot sequence table giving
+    /// 1/16-granularity throughput partitioning.
+    pub schedule: SchedulePolicy,
+    /// Internal (on-chip, single-cycle) data memory size in 16-bit words.
+    /// DISC1 has 2 KB = 1024 words. Data addresses below this value decode
+    /// to internal memory; all others go through the asynchronous bus
+    /// interface.
+    pub internal_words: usize,
+    /// Physical depth of each stream's stack-window register file.
+    pub window_depth: usize,
+    /// Overflow handling for the stack-window file.
+    pub window_policy: WindowPolicy,
+    /// Access latency in cycles of the built-in flat external memory used
+    /// when no explicit bus is supplied (the paper's `tmem`).
+    pub default_ext_latency: u32,
+}
+
+impl MachineConfig {
+    /// The DISC1 configuration from the paper: 4 streams, 4-stage
+    /// pipeline, even 16-slot round-robin schedule, 2 KB internal memory,
+    /// 64-deep window stacks with hardware spill.
+    pub fn disc1() -> Self {
+        MachineConfig {
+            streams: 4,
+            pipeline_depth: 4,
+            schedule: SchedulePolicy::round_robin(4),
+            internal_words: 1024,
+            window_depth: 64,
+            window_policy: WindowPolicy::AutoSpill,
+            default_ext_latency: 2,
+        }
+    }
+
+    /// Sets the number of streams and rebuilds a matching round-robin
+    /// schedule (call [`with_schedule`](Self::with_schedule) afterwards to
+    /// override).
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        // `validate` rejects zero streams; keep the builder panic-free.
+        self.schedule = SchedulePolicy::round_robin(streams.max(1));
+        self
+    }
+
+    /// Sets the pipeline depth.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Sets the scheduler policy.
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the window register file depth.
+    pub fn with_window_depth(mut self, depth: usize) -> Self {
+        self.window_depth = depth;
+        self
+    }
+
+    /// Sets the window overflow policy.
+    pub fn with_window_policy(mut self, policy: WindowPolicy) -> Self {
+        self.window_policy = policy;
+        self
+    }
+
+    /// Sets the latency of the default flat external memory.
+    pub fn with_default_ext_latency(mut self, latency: u32) -> Self {
+        self.default_ext_latency = latency;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field is out of its supported range; called by
+    /// [`Machine::new`](crate::Machine::new).
+    pub fn validate(&self) {
+        assert!(
+            (1..=disc_isa::MAX_STREAMS).contains(&self.streams),
+            "streams must be 1..=8, got {}",
+            self.streams
+        );
+        assert!(
+            (3..=8).contains(&self.pipeline_depth),
+            "pipeline depth must be 3..=8, got {}",
+            self.pipeline_depth
+        );
+        assert!(
+            self.internal_words >= 16 && self.internal_words <= 0x8000,
+            "internal memory must be 16..=32768 words"
+        );
+        assert!(
+            self.window_depth > disc_isa::WINDOW_REGS,
+            "window depth must exceed the visible window size"
+        );
+        self.schedule.validate(self.streams);
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::disc1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disc1_matches_paper() {
+        let c = MachineConfig::disc1();
+        assert_eq!(c.streams, disc_isa::DISC1_STREAMS);
+        assert_eq!(c.pipeline_depth, 4);
+        assert_eq!(c.internal_words, 1024); // 2 KB of 16-bit words
+        c.validate();
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = MachineConfig::disc1()
+            .with_streams(2)
+            .with_pipeline_depth(5)
+            .with_window_depth(16)
+            .with_window_policy(WindowPolicy::Fault)
+            .with_default_ext_latency(7);
+        assert_eq!(c.streams, 2);
+        assert_eq!(c.pipeline_depth, 5);
+        assert_eq!(c.window_depth, 16);
+        assert_eq!(c.window_policy, WindowPolicy::Fault);
+        assert_eq!(c.default_ext_latency, 7);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "streams must be")]
+    fn zero_streams_rejected() {
+        MachineConfig::disc1().with_streams(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth")]
+    fn shallow_pipeline_rejected() {
+        MachineConfig::disc1().with_pipeline_depth(2).validate();
+    }
+}

@@ -1,0 +1,112 @@
+//! The asynchronous external data bus.
+//!
+//! DISC1 uses *"a 16-bit asynchronous"* data bus because *"controllers have
+//! a very large variety of I/O peripherals with large variety of access
+//! times"*. The machine talks to the bus through the [`Abi`](crate::Abi);
+//! concrete peripherals (external RAM, timers, sensors, …) implement
+//! [`DataBus`]. The `disc-bus` crate provides a composable peripheral bus;
+//! this module only defines the trait and a flat-memory implementation used
+//! as the default backing store and in tests.
+
+/// An interrupt request raised by a peripheral: set `bit` in the IR of
+/// `stream`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrqRequest {
+    /// Destination stream.
+    pub stream: usize,
+    /// IR bit to set (0..=7; 7 is the highest priority).
+    pub bit: u8,
+}
+
+/// External data-bus address space (everything the internal memory does not
+/// decode).
+///
+/// Implementations report a per-address access latency; the machine's
+/// asynchronous bus interface holds the bus busy for that many cycles and
+/// then performs the transfer. `tick` advances peripheral-internal time
+/// once per machine cycle and may raise interrupts.
+pub trait DataBus {
+    /// Access latency in cycles for a read/write of `addr`, or `None` when
+    /// the address is unmapped. A latency of 0 completes synchronously
+    /// (the paper only flushes/waits when *"the access time is larger than
+    /// zero"*).
+    fn latency(&self, addr: u16, write: bool) -> Option<u32>;
+
+    /// Performs the read of `addr` (called when the transaction completes).
+    fn read(&mut self, addr: u16) -> u16;
+
+    /// Performs the write of `addr` (called when the transaction
+    /// completes).
+    fn write(&mut self, addr: u16, value: u16);
+
+    /// Advances one machine cycle; peripherals push interrupt requests into
+    /// `irqs`.
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        let _ = irqs;
+    }
+}
+
+/// Flat external RAM with a uniform access latency (the paper's `tmem`).
+///
+/// Backs the full 16-bit address space sparsely; unwritten words read 0.
+#[derive(Debug, Clone)]
+pub struct FlatBus {
+    words: std::collections::HashMap<u16, u16>,
+    latency: u32,
+}
+
+impl FlatBus {
+    /// Creates a flat external memory with the given access latency.
+    pub fn new(latency: u32) -> Self {
+        FlatBus {
+            words: std::collections::HashMap::new(),
+            latency,
+        }
+    }
+
+    /// Reads a word directly (test/inspection path, no latency).
+    pub fn peek(&self, addr: u16) -> u16 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a word directly (test setup path, no latency).
+    pub fn poke(&mut self, addr: u16, value: u16) {
+        self.words.insert(addr, value);
+    }
+}
+
+impl DataBus for FlatBus {
+    fn latency(&self, _addr: u16, _write: bool) -> Option<u32> {
+        Some(self.latency)
+    }
+
+    fn read(&mut self, addr: u16) -> u16 {
+        self.peek(addr)
+    }
+
+    fn write(&mut self, addr: u16, value: u16) {
+        self.poke(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_bus_roundtrip() {
+        let mut b = FlatBus::new(2);
+        assert_eq!(b.latency(0x8000, false), Some(2));
+        b.write(0x8000, 55);
+        assert_eq!(b.read(0x8000), 55);
+        assert_eq!(b.peek(0x8001), 0);
+    }
+
+    #[test]
+    fn default_tick_raises_nothing() {
+        let mut b = FlatBus::new(0);
+        let mut irqs = Vec::new();
+        b.tick(&mut irqs);
+        assert!(irqs.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulator error and exit types.
+
+use std::fmt;
+
+/// Reason a call to [`Machine::run`](crate::Machine::run) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// A `halt` instruction stopped the machine.
+    Halted,
+    /// A `brk` instruction was executed by `stream` at program address `pc`.
+    /// The machine can be resumed with further `step`/`run` calls.
+    Breakpoint {
+        /// Stream that executed the breakpoint.
+        stream: usize,
+        /// Address of the `brk` instruction.
+        pc: u16,
+    },
+    /// The cycle budget was exhausted before the machine halted.
+    CycleLimit,
+    /// Every stream is idle (no IR bit set anywhere) and no bus transaction
+    /// is outstanding, so no further architectural activity is possible
+    /// without an external interrupt.
+    AllIdle,
+}
+
+impl fmt::Display for Exit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exit::Halted => write!(f, "halted"),
+            Exit::Breakpoint { stream, pc } => {
+                write!(f, "breakpoint in stream {stream} at {pc:#06x}")
+            }
+            Exit::CycleLimit => write!(f, "cycle limit reached"),
+            Exit::AllIdle => write!(f, "all streams idle"),
+        }
+    }
+}
+
+/// Fatal simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Program memory held an undecodable word.
+    Decode {
+        /// Stream that fetched the word.
+        stream: usize,
+        /// Address of the word.
+        pc: u16,
+        /// The offending 24-bit word.
+        word: u32,
+    },
+    /// A stream's window stack overflowed under
+    /// [`WindowPolicy::Fault`](crate::WindowPolicy::Fault) with the
+    /// stack-fault interrupt masked, so the fault cannot be delivered.
+    UnhandledStackFault {
+        /// Stream whose window overflowed.
+        stream: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Decode { stream, pc, word } => write!(
+                f,
+                "stream {stream} fetched invalid word {word:#08x} at {pc:#06x}"
+            ),
+            SimError::UnhandledStackFault { stream } => {
+                write!(f, "stream {stream} raised an unhandled stack fault")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Exit::Halted.to_string(), "halted");
+        assert!(Exit::Breakpoint { stream: 2, pc: 16 }
+            .to_string()
+            .contains("stream 2"));
+        let e = SimError::Decode {
+            stream: 1,
+            pc: 3,
+            word: 0xabcdef,
+        };
+        assert!(e.to_string().contains("0xabcdef"));
+    }
+}

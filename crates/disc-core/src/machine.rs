@@ -1,0 +1,1039 @@
+//! The cycle-accurate DISC1 machine.
+//!
+//! Each cycle the machine:
+//!
+//! 1. ticks the external bus (peripherals may raise interrupts) and the
+//!    asynchronous bus interface (a completing transaction delivers data
+//!    and re-activates waiting streams);
+//! 2. advances the pipeline, retiring the instruction in the write stage;
+//! 3. executes the instruction that just reached the EX stage
+//!    (next-to-last), resolving jumps (which flush younger same-stream
+//!    slots), issuing external accesses, adjusting stack windows and
+//!    performing stream control;
+//! 4. lets the hardware scheduler pick a ready stream and fetches its next
+//!    instruction — taking a pending vectored interrupt first when the
+//!    stream has no unexecuted instructions in flight.
+//!
+//! A stream is **ready** when it is active (some unmasked IR bit set), not
+//! waiting on the bus, not stalled by window spill traffic, and its next
+//! instruction has no data hazard against the stream's own in-flight
+//! instructions. Slots freed by not-ready streams are dynamically
+//! reallocated by the scheduler — the defining DISC property.
+
+use disc_isa::{AluOp, AwpMode, Cond, Instruction, Program, Reg};
+
+use crate::abi::{Abi, BusOp, RegTarget, Transaction};
+use crate::alu::{alu, eval_cond, imm_op};
+use crate::config::MachineConfig;
+use crate::databus::{DataBus, FlatBus, IrqRequest};
+use crate::error::{Exit, SimError};
+use crate::intmem::InternalMemory;
+use crate::scheduler::Scheduler;
+use crate::stats::MachineStats;
+use crate::stream::{Flags, PendingWrite, ServiceFrame, Stream, WaitState};
+use crate::trace::{CycleRecord, StageSnapshot, Trace, TraceEvent};
+
+/// Result of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The machine is still running.
+    Running,
+    /// A `halt` instruction executed this cycle.
+    Halted,
+    /// A `brk` instruction executed this cycle; stepping may continue.
+    Breakpoint {
+        /// Stream that executed the breakpoint.
+        stream: usize,
+        /// Address of the `brk` instruction.
+        pc: u16,
+    },
+}
+
+/// Pseudo-register bit used in hazard masks to represent the flags.
+const FLAG_BIT: u32 = 1 << 16;
+/// Mask selecting the window registers `R0..R7`.
+const WINDOW_MASK: u32 = 0xff;
+/// Scoreboard tag for entries owned by an outstanding bus transaction.
+const BUS_SEQ: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    stream: usize,
+    pc: u16,
+    instr: Instruction,
+    seq: u64,
+    moves_window: bool,
+}
+
+fn reg_bit(r: Reg) -> u32 {
+    1 << r.index()
+}
+
+/// Bitmask of registers (and flags) read by `instr`.
+fn source_mask(instr: &Instruction) -> u32 {
+    let mut m = 0;
+    for r in instr.sources() {
+        m |= reg_bit(r);
+        if r == Reg::Sr {
+            m |= FLAG_BIT;
+        }
+    }
+    match instr {
+        Instruction::Jmp { cond, .. } if *cond != Cond::Always => m |= FLAG_BIT,
+        Instruction::Ret { .. } => m |= reg_bit(Reg::R0),
+        Instruction::Alu {
+            op: AluOp::Adc | AluOp::Sbc,
+            ..
+        } => m |= FLAG_BIT,
+        _ => {}
+    }
+    m
+}
+
+/// Bitmask of registers (and flags) written by `instr`.
+fn dest_mask(instr: &Instruction) -> u32 {
+    let mut m = 0;
+    if let Some(r) = instr.destination() {
+        m |= reg_bit(r);
+        if r == Reg::Sr {
+            m |= FLAG_BIT;
+        }
+    }
+    match instr {
+        Instruction::Alu { .. } | Instruction::AluImm { .. } => m |= FLAG_BIT,
+        Instruction::Call { .. } => m |= reg_bit(Reg::R0),
+        _ => {}
+    }
+    m
+}
+
+/// `true` when the instruction reads/writes window registers or moves the
+/// window, so it conflicts with any in-flight window motion.
+fn touches_window(instr: &Instruction) -> bool {
+    instr.awp_mode() != AwpMode::None
+        || (source_mask(instr) | dest_mask(instr)) & WINDOW_MASK != 0
+        || matches!(
+            instr,
+            Instruction::Call { .. }
+                | Instruction::Ret { .. }
+                | Instruction::Reti
+                | Instruction::Winc { .. }
+                | Instruction::Wdec { .. }
+        )
+}
+
+/// `true` when the instruction moves the AWP (and therefore renames the
+/// visible window registers while in flight).
+fn moves_window(instr: &Instruction) -> bool {
+    instr.awp_mode() != AwpMode::None
+        || matches!(
+            instr,
+            Instruction::Call { .. }
+                | Instruction::Ret { .. }
+                | Instruction::Winc { .. }
+                | Instruction::Wdec { .. }
+        )
+}
+
+/// The DISC1 machine.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct Machine {
+    config: MachineConfig,
+    program: Program,
+    streams: Vec<Stream>,
+    globals: [u16; disc_isa::GLOBAL_REGS],
+    pipe: Vec<Option<Slot>>,
+    scheduler: Scheduler,
+    intmem: InternalMemory,
+    abi: Abi,
+    bus: Box<dyn DataBus>,
+    stats: MachineStats,
+    cycle: u64,
+    halted: bool,
+    next_seq: u64,
+    idle_exit: bool,
+    trace: Option<Trace>,
+    irq_buf: Vec<IrqRequest>,
+    events: Vec<TraceEvent>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted)
+            .field("streams", &self.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Creates a machine running `program` with flat external memory of
+    /// latency [`MachineConfig::default_ext_latency`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(config: MachineConfig, program: &Program) -> Self {
+        let latency = config.default_ext_latency;
+        Self::with_bus(config, program, Box::new(FlatBus::new(latency)))
+    }
+
+    /// Creates a machine with an explicit external bus implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_bus(config: MachineConfig, program: &Program, bus: Box<dyn DataBus>) -> Self {
+        config.validate();
+        let mut streams = Vec::with_capacity(config.streams);
+        for s in 0..config.streams {
+            let mut st = Stream::new(config.window_depth, config.window_policy);
+            for bit in 1..disc_isa::IRQ_LEVELS as u8 {
+                st.vectors[bit as usize] = program.vector(s, bit);
+            }
+            if let Some(entry) = program.entry(s) {
+                st.pc = entry;
+                st.raise(0, 0);
+            }
+            streams.push(st);
+        }
+        let scheduler = Scheduler::new(config.schedule.clone(), config.streams);
+        Machine {
+            streams,
+            globals: [0; disc_isa::GLOBAL_REGS],
+            pipe: vec![None; config.pipeline_depth],
+            scheduler,
+            intmem: InternalMemory::new(config.internal_words),
+            abi: Abi::new(),
+            bus,
+            stats: MachineStats::new(config.streams),
+            cycle: 0,
+            halted: false,
+            next_seq: 0,
+            idle_exit: true,
+            trace: None,
+            irq_buf: Vec::new(),
+            events: Vec::new(),
+            program: program.clone(),
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// `true` once a `halt` instruction has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Slot-grant accounting of the hardware scheduler.
+    pub fn scheduler_grants(&self) -> &[u64] {
+        self.scheduler.granted()
+    }
+
+    /// The internal 2 KB memory.
+    pub fn internal_memory(&self) -> &InternalMemory {
+        &self.intmem
+    }
+
+    /// Mutable access to internal memory (test setup, I/O injection).
+    pub fn internal_memory_mut(&mut self) -> &mut InternalMemory {
+        &mut self.intmem
+    }
+
+    /// Immutable view of stream `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn stream(&self, s: usize) -> &Stream {
+        &self.streams[s]
+    }
+
+    /// Number of configured streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Reads architectural register `r` of stream `s` (inspection path; no
+    /// side effects).
+    pub fn reg(&self, s: usize, r: Reg) -> u16 {
+        let st = &self.streams[s];
+        match r {
+            r if r.is_window() => st
+                .window
+                .try_slot_of(r.index())
+                .map(|slot| st.window.read_slot(slot))
+                .unwrap_or(0),
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => self.globals[(r.index() - 8) as usize],
+            Reg::Sp => st.sp,
+            Reg::Sr => st.flags.to_word(),
+            Reg::Ir => st.ir as u16,
+            Reg::Mr => st.mr as u16,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Writes architectural register `r` of stream `s` (test setup path).
+    pub fn set_reg(&mut self, s: usize, r: Reg, value: u16) {
+        let cycle = self.cycle;
+        let st = &mut self.streams[s];
+        match r {
+            r if r.is_window() => {
+                if let Some(slot) = st.window.try_slot_of(r.index()) {
+                    st.window.write_slot(slot, value);
+                }
+            }
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => {
+                self.globals[(r.index() - 8) as usize] = value;
+            }
+            Reg::Sp => st.sp = value,
+            Reg::Sr => st.flags = Flags::from_word(value),
+            Reg::Ir => {
+                let new = value as u8;
+                for bit in 0..8 {
+                    if new & (1 << bit) != 0 && st.ir & (1 << bit) == 0 {
+                        st.irq_raised_at[bit as usize] = Some(cycle);
+                    }
+                }
+                st.ir = new;
+            }
+            Reg::Mr => st.mr = value as u8,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Shared global register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn global(&self, i: usize) -> u16 {
+        self.globals[i]
+    }
+
+    /// Sets shared global register `i`.
+    pub fn set_global(&mut self, i: usize, value: u16) {
+        self.globals[i] = value;
+    }
+
+    /// Raises IR bit `bit` of stream `s` (external interrupt line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `bit` is out of range.
+    pub fn raise_interrupt(&mut self, s: usize, bit: u8) {
+        let cycle = self.cycle;
+        self.streams[s].raise(bit, cycle);
+    }
+
+    /// Sets the interrupt vector of (`s`, `bit`) at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is 0 (background never vectors) or out of range.
+    pub fn set_vector(&mut self, s: usize, bit: u8, target: u16) {
+        assert!((1..8).contains(&bit), "vector bit must be 1..=7");
+        self.streams[s].vectors[bit as usize] = Some(target);
+    }
+
+    /// Controls whether [`Machine::run`] returns [`Exit::AllIdle`] when no
+    /// stream is active and nothing is in flight. Disable when bus
+    /// peripherals raise interrupts at future times.
+    pub fn set_idle_exit(&mut self, enabled: bool) {
+        self.idle_exit = enabled;
+    }
+
+    /// Starts collecting a cycle trace of at most `capacity` cycles.
+    pub fn trace_start(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Stops tracing and returns the collected trace.
+    pub fn trace_take(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// `true` when every stream is inactive and nothing is in flight.
+    pub fn all_idle(&self) -> bool {
+        self.streams.iter().all(|s| !s.active())
+            && !self.abi.busy()
+            && self.pipe.iter().all(Option::is_none)
+    }
+
+    /// Runs until halt, breakpoint, idleness or the cycle budget expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] when a stream fetches an undecodable
+    /// program word.
+    pub fn run(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        for _ in 0..max_cycles {
+            match self.step()? {
+                Status::Running => {}
+                Status::Halted => return Ok(Exit::Halted),
+                Status::Breakpoint { stream, pc } => {
+                    return Ok(Exit::Breakpoint { stream, pc })
+                }
+            }
+            if self.idle_exit && self.all_idle() {
+                return Ok(Exit::AllIdle);
+            }
+        }
+        Ok(Exit::CycleLimit)
+    }
+
+    /// Advances the machine by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] when a stream fetches an undecodable
+    /// program word.
+    pub fn step(&mut self) -> Result<Status, SimError> {
+        if self.halted {
+            return Ok(Status::Halted);
+        }
+        self.events.clear();
+        let ex = self.config.pipeline_depth - 2;
+
+        // 1. Peripheral time and interrupt lines.
+        self.irq_buf.clear();
+        self.bus.tick(&mut self.irq_buf);
+        let cycle = self.cycle;
+        for i in 0..self.irq_buf.len() {
+            let irq = self.irq_buf[i];
+            if irq.stream < self.streams.len() && irq.bit < 8 {
+                self.streams[irq.stream].raise(irq.bit, cycle);
+            }
+        }
+
+        // 2. Asynchronous bus interface.
+        if let Some(txn) = self.abi.tick() {
+            self.complete_transaction(txn);
+        }
+
+        // 3. Pipeline advance: retire the write stage, shift the rest.
+        let depth = self.config.pipeline_depth;
+        if let Some(slot) = self.pipe[depth - 1].take() {
+            self.retire(slot);
+        }
+        for i in (1..depth).rev() {
+            self.pipe[i] = self.pipe[i - 1].take();
+        }
+
+        // 4. Execute the slot that just reached EX.
+        let mut status = Status::Running;
+        if let Some(slot) = self.pipe[ex].clone() {
+            status = self.execute(slot, ex);
+        }
+
+        // 5. Spill stall countdown.
+        for s in 0..self.streams.len() {
+            if self.streams[s].spill_stall > 0 {
+                self.streams[s].spill_stall -= 1;
+                self.stats.spill_stall_cycles[s] += 1;
+            }
+        }
+
+        // 6. Vector delivery and fetch.
+        if !self.halted {
+            self.deliver_vectors(ex);
+            self.fetch()?;
+        }
+
+        // 7. Per-stream wait accounting.
+        for (s, st) in self.streams.iter().enumerate() {
+            match st.wait {
+                WaitState::BusTransaction => self.stats.wait_txn_cycles[s] += 1,
+                WaitState::BusFree => self.stats.wait_bus_free_cycles[s] += 1,
+                WaitState::None => {}
+            }
+        }
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+
+        // 8. Trace.
+        if self.trace.is_some() {
+            let record = CycleRecord {
+                cycle: self.cycle - 1,
+                stages: self
+                    .pipe
+                    .iter()
+                    .map(|slot| {
+                        slot.as_ref().map(|s| StageSnapshot {
+                            stream: s.stream,
+                            pc: s.pc,
+                            instr: s.instr,
+                        })
+                    })
+                    .collect(),
+                fetched: self.pipe[0].as_ref().map(|s| s.stream),
+                events: std::mem::take(&mut self.events),
+            };
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(record);
+            }
+        }
+        Ok(status)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn retire(&mut self, slot: Slot) {
+        self.stats.retired[slot.stream] += 1;
+        let st = &mut self.streams[slot.stream];
+        st.pending.retain(|p| p.seq != slot.seq);
+        if slot.moves_window {
+            st.window_moves = st.window_moves.saturating_sub(1);
+        }
+    }
+
+    /// Removes `slot` from the scoreboard without retiring it.
+    fn unwind_slot(&mut self, slot: &Slot) {
+        let st = &mut self.streams[slot.stream];
+        st.pending.retain(|p| p.seq != slot.seq);
+        if slot.moves_window {
+            st.window_moves = st.window_moves.saturating_sub(1);
+        }
+    }
+
+    /// Flushes unexecuted (younger) slots of `stream` in stages `0..ex`,
+    /// plus the EX slot itself when `include_self`.
+    fn flush(&mut self, ex: usize, stream: usize, include_self: bool, cause: &'static str) {
+        let mut count = 0;
+        let top = if include_self { ex + 1 } else { ex };
+        for i in 0..top {
+            if self.pipe[i].as_ref().is_some_and(|s| s.stream == stream) {
+                let slot = self.pipe[i].take().expect("checked above");
+                self.unwind_slot(&slot);
+                count += 1;
+            }
+        }
+        if count > 0 {
+            match cause {
+                "jump" => self.stats.flushed_jump += count as u64,
+                "io" => self.stats.flushed_io += count as u64,
+                "irq" => self.stats.flushed_irq += count as u64,
+                _ => self.stats.flushed_bus_busy += count as u64,
+            }
+            self.events.push(TraceEvent::Flush {
+                stream,
+                count,
+                cause,
+            });
+        }
+    }
+
+    fn complete_transaction(&mut self, txn: Transaction) {
+        match txn.op {
+            BusOp::Read { dest } => {
+                let value = self.bus.read(txn.addr);
+                self.write_target(txn.stream, dest, value);
+            }
+            BusOp::Write { value } => self.bus.write(txn.addr, value),
+            BusOp::TestAndSet { dest } => {
+                let old = self.bus.read(txn.addr);
+                self.bus.write(txn.addr, 0xffff);
+                self.write_target(txn.stream, dest, old);
+            }
+        }
+        // Release the issuing stream's bus-tagged scoreboard entries and
+        // wake everyone waiting on the bus.
+        self.streams[txn.stream].pending.retain(|p| p.seq != BUS_SEQ);
+        for st in &mut self.streams {
+            if matches!(st.wait, WaitState::BusTransaction | WaitState::BusFree) {
+                // Only the owner was in BusTransaction; BusFree waiters
+                // retry their cancelled access now that the bus is free.
+                st.wait = WaitState::None;
+            }
+        }
+        self.events.push(TraceEvent::BusComplete {
+            stream: txn.stream,
+        });
+    }
+
+    fn write_target(&mut self, s: usize, target: RegTarget, value: u16) {
+        match target {
+            RegTarget::Window(slot) => self.streams[s].window.write_slot(slot, value),
+            RegTarget::Global(i) => self.globals[i as usize] = value,
+            RegTarget::Sp => self.streams[s].sp = value,
+            RegTarget::Sr => self.streams[s].flags = Flags::from_word(value),
+            RegTarget::Ir => {
+                let cycle = self.cycle;
+                let st = &mut self.streams[s];
+                let new = value as u8;
+                for bit in 0..8 {
+                    if new & (1 << bit) != 0 && st.ir & (1 << bit) == 0 {
+                        st.irq_raised_at[bit as usize] = Some(cycle);
+                    }
+                }
+                st.ir = new;
+            }
+            RegTarget::Mr => self.streams[s].mr = value as u8,
+        }
+    }
+
+    fn resolve_target(&self, s: usize, r: Reg) -> RegTarget {
+        match r {
+            // An underflowed window destination resolves to an
+            // out-of-range slot, which `write_slot` discards — matching
+            // the checked write path.
+            r if r.is_window() => RegTarget::Window(
+                self.streams[s]
+                    .window
+                    .try_slot_of(r.index())
+                    .unwrap_or(usize::MAX),
+            ),
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => RegTarget::Global(r.index() - 8),
+            Reg::Sp => RegTarget::Sp,
+            Reg::Sr => RegTarget::Sr,
+            Reg::Ir => RegTarget::Ir,
+            Reg::Mr => RegTarget::Mr,
+            _ => unreachable!(),
+        }
+    }
+
+    fn read_reg(&mut self, s: usize, r: Reg) -> u16 {
+        match r {
+            r if r.is_window() => self.streams[s].window.read(r.index()),
+            Reg::G0 | Reg::G1 | Reg::G2 | Reg::G3 => self.globals[(r.index() - 8) as usize],
+            Reg::Sp => self.streams[s].sp,
+            Reg::Sr => self.streams[s].flags.to_word(),
+            Reg::Ir => self.streams[s].ir as u16,
+            Reg::Mr => self.streams[s].mr as u16,
+            _ => unreachable!(),
+        }
+    }
+
+    fn write_reg(&mut self, s: usize, r: Reg, value: u16) {
+        // Window writes go through the checked path so underflow is
+        // counted and dropped consistently.
+        if r.is_window() {
+            self.streams[s].window.write(r.index(), value);
+        } else {
+            let target = self.resolve_target(s, r);
+            self.write_target(s, target, value);
+        }
+    }
+
+    fn apply_awp(&mut self, s: usize, delta: i32) {
+        if delta == 0 {
+            return;
+        }
+        let outcome = self.streams[s].window.adjust(delta);
+        if outcome.stall_cycles > 0 {
+            self.streams[s].spill_stall += outcome.stall_cycles;
+            self.events.push(TraceEvent::Spill {
+                stream: s,
+                cycles: outcome.stall_cycles,
+            });
+        }
+        if outcome.fault {
+            let cycle = self.cycle;
+            self.streams[s].raise(6, cycle);
+        }
+    }
+
+    fn awp_delta(mode: AwpMode) -> i32 {
+        match mode {
+            AwpMode::None => 0,
+            AwpMode::Inc => 1,
+            AwpMode::Dec => -1,
+        }
+    }
+
+    /// Executes `slot` (which just entered the EX stage).
+    fn execute(&mut self, slot: Slot, ex: usize) -> Status {
+        let s = slot.stream;
+        match slot.instr {
+            Instruction::Nop => {}
+            Instruction::Alu { op, awp, rd, rs, rt } => {
+                let a = self.read_reg(s, rs);
+                let b = self.read_reg(s, rt);
+                let flags_in = self.streams[s].flags;
+                let (result, flags) = alu(op, a, b, flags_in);
+                if op.writes_rd() {
+                    self.write_reg(s, rd, result);
+                }
+                if rd != Reg::Sr || !op.writes_rd() {
+                    self.streams[s].flags = flags;
+                }
+                self.apply_awp(s, Self::awp_delta(awp));
+            }
+            Instruction::AluImm { op, awp, rd, rs, imm } => {
+                let a = self.read_reg(s, rs);
+                let flags_in = self.streams[s].flags;
+                let (result, flags) = alu(imm_op(op), a, imm as u16, flags_in);
+                if op.writes_rd() {
+                    self.write_reg(s, rd, result);
+                }
+                if rd != Reg::Sr || !op.writes_rd() {
+                    self.streams[s].flags = flags;
+                }
+                self.apply_awp(s, Self::awp_delta(awp));
+            }
+            Instruction::Ldi { awp, rd, imm } => {
+                self.write_reg(s, rd, imm as u16);
+                self.apply_awp(s, Self::awp_delta(awp));
+            }
+            Instruction::Lui { rd, imm } => {
+                let low = self.read_reg(s, rd) & 0x00ff;
+                self.write_reg(s, rd, ((imm as u16) << 8) | low);
+            }
+            Instruction::Ld { awp, rd, base, offset } => {
+                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+                self.data_read(slot.clone(), ex, addr, rd, Self::awp_delta(awp), false);
+            }
+            Instruction::Lda { awp, rd, addr } => {
+                self.data_read(slot.clone(), ex, addr, rd, Self::awp_delta(awp), false);
+            }
+            Instruction::St { awp, src, base, offset } => {
+                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+                let value = self.read_reg(s, src);
+                self.data_write(slot.clone(), ex, addr, value, Self::awp_delta(awp));
+            }
+            Instruction::Sta { awp, src, addr } => {
+                let value = self.read_reg(s, src);
+                self.data_write(slot.clone(), ex, addr, value, Self::awp_delta(awp));
+            }
+            Instruction::Tset { rd, base, offset } => {
+                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+                self.data_read(slot.clone(), ex, addr, rd, 0, true);
+            }
+            Instruction::Jmp { cond, target } => {
+                self.stats.flow_instructions += 1;
+                if eval_cond(cond, self.streams[s].flags) {
+                    self.streams[s].pc = target;
+                    self.flush(ex, s, false, "jump");
+                }
+            }
+            Instruction::Call { target } => {
+                self.stats.flow_instructions += 1;
+                self.apply_awp(s, 1);
+                let ret = slot.pc.wrapping_add(1);
+                self.streams[s].window.write(0, ret);
+                self.streams[s].pc = target;
+                self.flush(ex, s, false, "jump");
+            }
+            Instruction::Ret { pop } => {
+                self.stats.flow_instructions += 1;
+                self.apply_awp(s, -(pop as i32));
+                let ret = self.streams[s].window.read(0);
+                self.apply_awp(s, -1);
+                self.streams[s].pc = ret;
+                self.flush(ex, s, false, "jump");
+            }
+            Instruction::Reti => {
+                self.stats.flow_instructions += 1;
+                if let Some(frame) = self.streams[s].service.pop() {
+                    self.streams[s].clear_irq(frame.bit);
+                    self.streams[s].pc = frame.resume_pc;
+                    self.streams[s].flags = frame.flags;
+                    self.flush(ex, s, false, "jump");
+                }
+            }
+            Instruction::Winc { n } => self.apply_awp(s, n as i32),
+            Instruction::Wdec { n } => self.apply_awp(s, -(n as i32)),
+            Instruction::Fork { stream, target } => {
+                self.stats.flow_instructions += 1;
+                let t = stream as usize;
+                if t < self.streams.len() {
+                    let cycle = self.cycle;
+                    if !self.streams[t].active() {
+                        self.streams[t].pc = target;
+                    } else {
+                        self.stats.forks_ignored += 1;
+                    }
+                    self.streams[t].raise(0, cycle);
+                }
+            }
+            Instruction::Signal { stream, bit } => {
+                let t = stream as usize;
+                if t < self.streams.len() {
+                    let cycle = self.cycle;
+                    self.streams[t].raise(bit, cycle);
+                }
+            }
+            Instruction::Clri { bit } => self.streams[s].clear_irq(bit),
+            Instruction::Stop => {
+                // Deactivate the current priority level; pending higher or
+                // lower requests stay latched.
+                let level = self.streams[s].service_level();
+                self.streams[s].clear_irq(level);
+                self.streams[s].pc = slot.pc.wrapping_add(1);
+                self.flush(ex, s, false, "jump");
+            }
+            Instruction::Halt => {
+                self.halted = true;
+                // Older in-flight instructions have executed; count them
+                // as retired before stopping.
+                for i in ex + 1..self.pipe.len() {
+                    if let Some(older) = self.pipe[i].take() {
+                        self.retire(older);
+                    }
+                }
+                return Status::Halted;
+            }
+            Instruction::Brk => {
+                return Status::Breakpoint {
+                    stream: s,
+                    pc: slot.pc,
+                };
+            }
+        }
+        Status::Running
+    }
+
+    /// Load/`tset` path shared by `ld`, `lda` and `tset`.
+    fn data_read(&mut self, slot: Slot, ex: usize, addr: u16, rd: Reg, awp: i32, tset: bool) {
+        let s = slot.stream;
+        if self.intmem.contains(addr) {
+            let value = if tset {
+                self.intmem.test_and_set(addr)
+            } else {
+                self.intmem.read_counted(addr)
+            };
+            self.write_reg(s, rd, value);
+            self.apply_awp(s, awp);
+            return;
+        }
+        if self.abi.busy() {
+            self.cancel_access(slot, ex);
+            return;
+        }
+        let latency = self.bus.latency(addr, false).unwrap_or(0);
+        if latency == 0 {
+            let value = if tset {
+                let old = self.bus.read(addr);
+                self.bus.write(addr, 0xffff);
+                old
+            } else {
+                self.bus.read(addr)
+            };
+            self.write_reg(s, rd, value);
+            self.apply_awp(s, awp);
+            return;
+        }
+        let dest = self.resolve_target(s, rd);
+        let op = if tset {
+            BusOp::TestAndSet { dest }
+        } else {
+            BusOp::Read { dest }
+        };
+        self.start_access(slot, ex, addr, op, latency, awp);
+    }
+
+    /// Store path shared by `st` and `sta`.
+    fn data_write(&mut self, slot: Slot, ex: usize, addr: u16, value: u16, awp: i32) {
+        let s = slot.stream;
+        if self.intmem.contains(addr) {
+            self.intmem.write(addr, value);
+            self.apply_awp(s, awp);
+            return;
+        }
+        if self.abi.busy() {
+            self.cancel_access(slot, ex);
+            return;
+        }
+        let latency = self.bus.latency(addr, true).unwrap_or(0);
+        if latency == 0 {
+            self.bus.write(addr, value);
+            self.apply_awp(s, awp);
+            return;
+        }
+        self.start_access(slot, ex, addr, BusOp::Write { value }, latency, awp);
+    }
+
+    /// Cancels an external access that found the bus busy: the instruction
+    /// and its younger same-stream slots are flushed, the PC rolls back to
+    /// the access, and the stream waits for the bus to free (§4.1: *"If the
+    /// bus was busy at the time access is requested, the instruction is
+    /// flushed and a new external access is requested once the IS is out of
+    /// the wait state"*).
+    fn cancel_access(&mut self, slot: Slot, ex: usize) {
+        let s = slot.stream;
+        self.abi.reject();
+        self.flush(ex, s, true, "bus-busy");
+        self.streams[s].pc = slot.pc;
+        self.streams[s].wait = WaitState::BusFree;
+    }
+
+    /// Starts an external transaction: younger same-stream slots are
+    /// flushed and the stream enters a wait state so other streams keep
+    /// the pipeline full (§4.1).
+    fn start_access(
+        &mut self,
+        slot: Slot,
+        ex: usize,
+        addr: u16,
+        op: BusOp,
+        latency: u32,
+        awp: i32,
+    ) {
+        let s = slot.stream;
+        self.stats.external_accesses += 1;
+        self.abi.start(Transaction {
+            stream: s,
+            addr,
+            op,
+            remaining: latency,
+        });
+        // Re-tag this instruction's scoreboard entry so the destination
+        // stays busy until the bus delivers the data.
+        for p in &mut self.streams[s].pending {
+            if p.seq == slot.seq {
+                p.seq = BUS_SEQ;
+            }
+        }
+        self.flush(ex, s, false, "io");
+        // Flushed younger instructions re-fetch after the wait.
+        self.streams[s].pc = slot.pc.wrapping_add(1);
+        self.streams[s].wait = WaitState::BusTransaction;
+        self.apply_awp(s, awp);
+        self.events.push(TraceEvent::BusStart {
+            stream: s,
+            addr,
+            latency,
+        });
+    }
+
+    /// Delivers pending vectored interrupts to streams with no unexecuted
+    /// instructions in flight.
+    fn deliver_vectors(&mut self, ex: usize) {
+        for s in 0..self.streams.len() {
+            let Some(bit) = self.streams[s].pending_interrupt() else {
+                continue;
+            };
+            let Some(target) = self.streams[s].vectors[bit as usize] else {
+                // No vector installed: the bit keeps the stream active but
+                // execution continues sequentially (background-style).
+                continue;
+            };
+            if self.streams[s].wait != WaitState::None {
+                continue;
+            }
+            // Preempt: unexecuted in-flight instructions are flushed and
+            // re-run after `reti`; resume at the oldest of them (the one
+            // closest to EX), or at the current PC when none are in
+            // flight.
+            let oldest_pc = self.pipe[..ex]
+                .iter()
+                .filter_map(|slot| slot.as_ref())
+                .filter(|sl| sl.stream == s)
+                .map(|sl| sl.pc)
+                .next_back();
+            let resume = match oldest_pc {
+                Some(pc) => {
+                    self.flush(ex, s, false, "irq");
+                    pc
+                }
+                None => self.streams[s].pc,
+            };
+            let flags = self.streams[s].flags;
+            self.streams[s].service.push(ServiceFrame {
+                bit,
+                resume_pc: resume,
+                flags,
+            });
+            self.streams[s].pc = target;
+            self.stats.vectors_taken[s] += 1;
+            if let Some(raised) = self.streams[s].irq_raised_at[bit as usize] {
+                self.stats.irq_latencies.push(self.cycle.saturating_sub(raised));
+            }
+            self.events.push(TraceEvent::Vector {
+                stream: s,
+                bit,
+                target,
+            });
+        }
+    }
+
+    /// `true` when the next instruction of `s` has a hazard against the
+    /// stream's own in-flight instructions.
+    fn issue_hazard(&self, s: usize, instr: &Instruction) -> bool {
+        let st = &self.streams[s];
+        if st.window_moves > 0 && touches_window(instr) {
+            return true;
+        }
+        if st.pending.is_empty() {
+            return false;
+        }
+        // RAW only: writes retire in program order through the single EX
+        // stage, so WAW/WAR need no interlock.
+        let needed = source_mask(instr);
+        st.pending.iter().any(|p| p.mask & needed != 0)
+    }
+
+    fn fetch(&mut self) -> Result<(), SimError> {
+        let n = self.streams.len();
+        let mut ready = vec![false; n];
+        let mut decoded: Vec<Option<Instruction>> = vec![None; n];
+        for s in 0..n {
+            let st = &self.streams[s];
+            if !st.active() || st.wait != WaitState::None || st.spill_stall > 0 {
+                continue;
+            }
+            let word = self.program.word(st.pc);
+            let Ok(instr) = disc_isa::encode::decode(word) else {
+                // Let the scheduler pick it so the fetch reports the fault.
+                ready[s] = true;
+                continue;
+            };
+            if self.issue_hazard(s, &instr) {
+                self.stats.hazard_stalls[s] += 1;
+                continue;
+            }
+            decoded[s] = Some(instr);
+            ready[s] = true;
+        }
+        let Some(s) = self.scheduler.pick(&ready) else {
+            self.stats.bubbles += 1;
+            return Ok(());
+        };
+        let pc = self.streams[s].pc;
+        let Some(instr) = decoded[s] else {
+            return Err(SimError::Decode {
+                stream: s,
+                pc,
+                word: self.program.word(pc),
+            });
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let dmask = dest_mask(&instr);
+        let mw = moves_window(&instr);
+        let st = &mut self.streams[s];
+        st.pc = pc.wrapping_add(1);
+        if dmask != 0 {
+            st.pending.push(PendingWrite { seq, mask: dmask });
+        }
+        if mw {
+            st.window_moves += 1;
+        }
+        self.pipe[0] = Some(Slot {
+            stream: s,
+            pc,
+            instr,
+            seq,
+            moves_window: mw,
+        });
+        Ok(())
+    }
+}

@@ -1,0 +1,125 @@
+//! Execution statistics collected by the machine.
+
+/// Counters describing one simulation run.
+///
+/// The headline metric is [`utilization`](MachineStats::utilization) — the
+/// paper's `PD`, *"processor utilization on DISC"*: completed instructions
+/// divided by elapsed cycles.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Elapsed machine cycles.
+    pub cycles: u64,
+    /// Instructions retired, per stream.
+    pub retired: Vec<u64>,
+    /// Cycles in which no stream could issue (pipeline bubble).
+    pub bubbles: u64,
+    /// Instructions flushed because a same-stream jump resolved.
+    pub flushed_jump: u64,
+    /// Instructions flushed because a same-stream external access started.
+    pub flushed_io: u64,
+    /// Instructions flushed because an external access found the bus busy
+    /// and was cancelled.
+    pub flushed_bus_busy: u64,
+    /// Instructions flushed because a vectored interrupt preempted the
+    /// stream.
+    pub flushed_irq: u64,
+    /// Cycles streams spent waiting for their own bus transaction.
+    pub wait_txn_cycles: Vec<u64>,
+    /// Cycles streams spent waiting for the bus to free.
+    pub wait_bus_free_cycles: Vec<u64>,
+    /// Cycles streams spent stalled on window spill/fill traffic.
+    pub spill_stall_cycles: Vec<u64>,
+    /// Cycles streams were stalled by a same-stream data hazard while
+    /// scheduled (slot reallocated or bubbled).
+    pub hazard_stalls: Vec<u64>,
+    /// Vectored interrupts taken, per stream.
+    pub vectors_taken: Vec<u64>,
+    /// Interrupt latencies in cycles (raise → first handler fetch).
+    pub irq_latencies: Vec<u64>,
+    /// Jump-type instructions executed (taken or not).
+    pub flow_instructions: u64,
+    /// External bus transactions issued.
+    pub external_accesses: u64,
+    /// `fork` instructions that targeted an already-active stream and only
+    /// set its background bit.
+    pub forks_ignored: u64,
+}
+
+impl MachineStats {
+    /// Creates zeroed statistics for `streams` streams.
+    pub fn new(streams: usize) -> Self {
+        MachineStats {
+            retired: vec![0; streams],
+            wait_txn_cycles: vec![0; streams],
+            wait_bus_free_cycles: vec![0; streams],
+            spill_stall_cycles: vec![0; streams],
+            hazard_stalls: vec![0; streams],
+            vectors_taken: vec![0; streams],
+            ..Default::default()
+        }
+    }
+
+    /// Total instructions retired across streams.
+    pub fn retired_total(&self) -> u64 {
+        self.retired.iter().sum()
+    }
+
+    /// Processor utilization `PD` = retired instructions / cycles.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_total() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total instructions flushed for any reason.
+    pub fn flushed_total(&self) -> u64 {
+        self.flushed_jump + self.flushed_io + self.flushed_bus_busy + self.flushed_irq
+    }
+
+    /// Mean measured interrupt latency in cycles, if any interrupt was
+    /// taken.
+    pub fn mean_irq_latency(&self) -> Option<f64> {
+        if self.irq_latencies.is_empty() {
+            None
+        } else {
+            Some(self.irq_latencies.iter().sum::<u64>() as f64 / self.irq_latencies.len() as f64)
+        }
+    }
+
+    /// Worst-case measured interrupt latency in cycles.
+    pub fn max_irq_latency(&self) -> Option<u64> {
+        self.irq_latencies.iter().copied().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_handles_zero_cycles() {
+        let s = MachineStats::new(4);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        let mut s = MachineStats::new(2);
+        s.cycles = 100;
+        s.retired[0] = 40;
+        s.retired[1] = 20;
+        assert!((s.utilization() - 0.6).abs() < 1e-12);
+        assert_eq!(s.retired_total(), 60);
+    }
+
+    #[test]
+    fn latency_summary() {
+        let mut s = MachineStats::new(1);
+        assert_eq!(s.mean_irq_latency(), None);
+        s.irq_latencies = vec![2, 4, 9];
+        assert_eq!(s.mean_irq_latency(), Some(5.0));
+        assert_eq!(s.max_irq_latency(), Some(9));
+    }
+}

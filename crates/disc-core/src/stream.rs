@@ -1,0 +1,295 @@
+//! Per-stream context: program counter, flags, window file, interrupt
+//! state, wait state and the issue scoreboard.
+
+use crate::config::WindowPolicy;
+use crate::regfile::StackWindow;
+
+/// Arithmetic flags of a stream (`Z N C V`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Result was zero.
+    pub z: bool,
+    /// Result was negative (bit 15 set).
+    pub n: bool,
+    /// Carry / not-borrow out of bit 15.
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Packs the flags into the low nibble of a status-register value
+    /// (`V N C Z` in bits 3..=0? — layout: bit0 Z, bit1 N, bit2 C, bit3 V).
+    pub fn to_word(self) -> u16 {
+        (self.z as u16) | ((self.n as u16) << 1) | ((self.c as u16) << 2) | ((self.v as u16) << 3)
+    }
+
+    /// Unpacks a status-register value.
+    pub fn from_word(w: u16) -> Self {
+        Flags {
+            z: w & 1 != 0,
+            n: w & 2 != 0,
+            c: w & 4 != 0,
+            v: w & 8 != 0,
+        }
+    }
+}
+
+/// Why a stream is not currently fetching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitState {
+    /// Not waiting; the stream fetches when active and hazard-free.
+    None,
+    /// Waiting for its own outstanding bus transaction to complete.
+    BusTransaction,
+    /// Its access found the bus busy; waiting for the bus to free before
+    /// re-issuing the cancelled instruction.
+    BusFree,
+}
+
+/// Interrupt frame pushed when a vectored interrupt is taken.
+///
+/// The hardware saves the program counter *and* the flags (PSW): the
+/// handler is free to clobber the arithmetic flags, and the interrupted
+/// code may be preempted between a flag-setting instruction and the
+/// conditional jump that consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceFrame {
+    /// IR bit being serviced (1..=7).
+    pub bit: u8,
+    /// Program counter to resume at on `reti`.
+    pub resume_pc: u16,
+    /// Flags to restore on `reti`.
+    pub flags: Flags,
+}
+
+/// A pending register write used for same-stream hazard detection.
+///
+/// `mask` is a bitmask over the 16 architectural registers (bits 0..=15)
+/// plus the flags (bit 16). The entry clears when the instruction retires
+/// or, for external loads, when the bus delivers the data (such entries are
+/// re-tagged with `seq == u64::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingWrite {
+    /// Issue sequence number.
+    pub seq: u64,
+    /// Destination mask (registers + flags).
+    pub mask: u32,
+}
+
+/// Full context of one instruction stream.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Program counter (next instruction to fetch).
+    pub(crate) pc: u16,
+    /// Arithmetic flags.
+    pub(crate) flags: Flags,
+    /// Stack-window register file.
+    pub(crate) window: StackWindow,
+    /// Software stack pointer.
+    pub(crate) sp: u16,
+    /// Interrupt request register.
+    pub(crate) ir: u8,
+    /// Interrupt mask register.
+    pub(crate) mr: u8,
+    /// In-service interrupt stack (innermost last).
+    pub(crate) service: Vec<ServiceFrame>,
+    /// Per-stream interrupt vectors (bit 1..=7; bit 0 never vectors).
+    pub(crate) vectors: [Option<u16>; disc_isa::IRQ_LEVELS],
+    /// Wait state.
+    pub(crate) wait: WaitState,
+    /// Outstanding register writes (issue scoreboard).
+    pub(crate) pending: Vec<PendingWrite>,
+    /// Number of in-flight instructions that move the window
+    /// (AWP-adjusting, call/ret/winc/wdec); while nonzero, window-register
+    /// access by newly fetched instructions is a hazard.
+    pub(crate) window_moves: u32,
+    /// Remaining stall cycles charged by window spill/fill traffic.
+    pub(crate) spill_stall: u32,
+    /// Cycle at which the most recent activation interrupt was raised
+    /// (used for latency accounting).
+    pub(crate) irq_raised_at: [Option<u64>; disc_isa::IRQ_LEVELS],
+}
+
+impl Stream {
+    /// Creates an inactive stream (IR = 0, MR = 0xff) with a zeroed
+    /// context.
+    pub fn new(window_depth: usize, policy: WindowPolicy) -> Self {
+        Stream {
+            pc: 0,
+            flags: Flags::default(),
+            window: StackWindow::new(window_depth, policy),
+            sp: 0,
+            ir: 0,
+            mr: 0xff,
+            service: Vec::new(),
+            vectors: [None; disc_isa::IRQ_LEVELS],
+            wait: WaitState::None,
+            pending: Vec::new(),
+            window_moves: 0,
+            spill_stall: 0,
+            irq_raised_at: [None; disc_isa::IRQ_LEVELS],
+        }
+    }
+
+    /// Program counter.
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+
+    /// Arithmetic flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Interrupt request register.
+    pub fn ir(&self) -> u8 {
+        self.ir
+    }
+
+    /// Interrupt mask register.
+    pub fn mr(&self) -> u8 {
+        self.mr
+    }
+
+    /// The stream is *active* when any unmasked IR bit is set — *"When no
+    /// bit of the IS is set, the instruction stream will not be scheduled
+    /// (not active)."*
+    pub fn active(&self) -> bool {
+        self.ir & self.mr != 0
+    }
+
+    /// Current wait state.
+    pub fn wait(&self) -> WaitState {
+        self.wait
+    }
+
+    /// Window file view (AWP, spill statistics …).
+    pub fn window(&self) -> &StackWindow {
+        &self.window
+    }
+
+    /// Interrupt level currently being serviced (0 = background).
+    pub fn service_level(&self) -> u8 {
+        self.service.last().map(|f| f.bit).unwrap_or(0)
+    }
+
+    /// Depth of nested interrupt service.
+    pub fn service_depth(&self) -> usize {
+        self.service.len()
+    }
+
+    /// Highest-priority pending unmasked interrupt above the current
+    /// service level, if any. Bit 0 (background) never preempts.
+    pub fn pending_interrupt(&self) -> Option<u8> {
+        let armed = self.ir & self.mr;
+        if armed == 0 {
+            return None;
+        }
+        let top = 7 - armed.leading_zeros() as u8; // highest set bit
+        if top > self.service_level() && top > 0 {
+            Some(top)
+        } else {
+            None
+        }
+    }
+
+    /// Sets IR bit `bit` (external or software interrupt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8`.
+    pub fn raise(&mut self, bit: u8, cycle: u64) {
+        assert!(bit < 8);
+        if self.ir & (1 << bit) == 0 {
+            self.irq_raised_at[bit as usize] = Some(cycle);
+        }
+        self.ir |= 1 << bit;
+    }
+
+    /// Clears IR bit `bit` (only the owning stream does this).
+    pub fn clear_irq(&mut self, bit: u8) {
+        assert!(bit < 8);
+        self.ir &= !(1 << bit);
+        self.irq_raised_at[bit as usize] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Stream {
+        Stream::new(64, WindowPolicy::AutoSpill)
+    }
+
+    #[test]
+    fn flags_pack_roundtrip() {
+        for w in 0..16u16 {
+            assert_eq!(Flags::from_word(w).to_word(), w);
+        }
+        // High bits ignored on unpack.
+        assert_eq!(Flags::from_word(0xfff0).to_word(), 0);
+    }
+
+    #[test]
+    fn fresh_stream_is_inactive() {
+        let s = stream();
+        assert!(!s.active());
+        assert_eq!(s.service_level(), 0);
+        assert_eq!(s.pending_interrupt(), None);
+    }
+
+    #[test]
+    fn background_bit_activates_without_vectoring() {
+        let mut s = stream();
+        s.raise(0, 10);
+        assert!(s.active());
+        assert_eq!(s.pending_interrupt(), None, "bit 0 never vectors");
+    }
+
+    #[test]
+    fn higher_bits_pend_above_service_level() {
+        let mut s = stream();
+        s.raise(0, 0);
+        s.raise(3, 5);
+        assert_eq!(s.pending_interrupt(), Some(3));
+        s.service.push(ServiceFrame {
+            bit: 3,
+            resume_pc: 0,
+            flags: Flags::default(),
+        });
+        assert_eq!(s.pending_interrupt(), None, "level 3 in service");
+        s.raise(7, 9);
+        assert_eq!(s.pending_interrupt(), Some(7), "7 preempts 3");
+    }
+
+    #[test]
+    fn masked_bits_do_not_activate() {
+        let mut s = stream();
+        s.mr = 0x01;
+        s.raise(5, 0);
+        assert!(!s.active());
+        assert_eq!(s.pending_interrupt(), None);
+        s.raise(0, 0);
+        assert!(s.active());
+    }
+
+    #[test]
+    fn clear_irq_deactivates() {
+        let mut s = stream();
+        s.raise(0, 0);
+        s.clear_irq(0);
+        assert!(!s.active());
+    }
+
+    #[test]
+    fn raise_records_first_cycle_only() {
+        let mut s = stream();
+        s.raise(2, 100);
+        s.raise(2, 200);
+        assert_eq!(s.irq_raised_at[2], Some(100));
+        s.clear_irq(2);
+        assert_eq!(s.irq_raised_at[2], None);
+    }
+}

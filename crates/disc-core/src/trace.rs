@@ -1,0 +1,249 @@
+//! Cycle-by-cycle tracing, used by the figure generators to reproduce the
+//! paper's pipeline diagrams (Figures 3.1 and 3.2) and the dynamic
+//! reallocation timeline (Figure 3.3).
+
+use disc_isa::Instruction;
+
+/// Snapshot of one pipeline stage in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stream the instruction belongs to.
+    pub stream: usize,
+    /// Program address of the instruction.
+    pub pc: u16,
+    /// The instruction occupying the stage.
+    pub instr: Instruction,
+}
+
+/// Notable event within a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `count` instructions of `stream` were flushed.
+    Flush {
+        /// Stream whose instructions were removed.
+        stream: usize,
+        /// Number of slots flushed.
+        count: usize,
+        /// Human-readable cause (`"jump"`, `"io"`, `"bus-busy"`, …).
+        cause: &'static str,
+    },
+    /// An external bus transaction started.
+    BusStart {
+        /// Issuing stream.
+        stream: usize,
+        /// External address.
+        addr: u16,
+        /// Access latency in cycles.
+        latency: u32,
+    },
+    /// The outstanding bus transaction completed.
+    BusComplete {
+        /// Stream that was waiting on it.
+        stream: usize,
+    },
+    /// A vectored interrupt was taken.
+    Vector {
+        /// Stream entering the handler.
+        stream: usize,
+        /// IR bit serviced.
+        bit: u8,
+        /// Handler address.
+        target: u16,
+    },
+    /// The stack-window engine stalled a stream for spill/fill traffic.
+    Spill {
+        /// Stalled stream.
+        stream: usize,
+        /// Stall cycles charged.
+        cycles: u32,
+    },
+}
+
+/// One traced machine cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleRecord {
+    /// Cycle number.
+    pub cycle: u64,
+    /// Pipeline occupancy after this cycle; index 0 is the fetch stage and
+    /// the last index is the write stage. `None` is a bubble.
+    pub stages: Vec<Option<StageSnapshot>>,
+    /// Stream that fetched this cycle, if any.
+    pub fetched: Option<usize>,
+    /// Events raised during the cycle.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A bounded trace buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<CycleRecord>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` cycles (oldest dropped).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            records: Vec::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn push(&mut self, record: CycleRecord) {
+        if self.records.len() == self.capacity {
+            self.records.remove(0);
+        }
+        self.records.push(record);
+    }
+
+    /// Recorded cycles, oldest first.
+    pub fn records(&self) -> &[CycleRecord] {
+        &self.records
+    }
+
+    /// Exports the trace as a Value Change Dump (VCD) waveform, viewable
+    /// in GTKWave & co. One 8-bit signal per pipeline stage carries the
+    /// occupying stream index (`0xff` = bubble), plus a `fetch` signal for
+    /// the stream that issued each cycle.
+    pub fn to_vcd(&self, stage_names: &[&str]) -> String {
+        let depth = self
+            .records
+            .iter()
+            .map(|r| r.stages.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        out.push_str("$version disc-core trace $end\n");
+        out.push_str("$timescale 1 ns $end\n");
+        out.push_str("$scope module disc1 $end\n");
+        // Identifier codes: '!' onward.
+        let id = |i: usize| char::from(b'!' + i as u8);
+        for i in 0..depth {
+            let name = stage_names.get(i).copied().unwrap_or("stage");
+            out.push_str(&format!("$var wire 8 {} {name}{i} $end\n", id(i)));
+        }
+        out.push_str(&format!("$var wire 8 {} fetch $end\n", id(depth)));
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<u16>> = vec![None; depth + 1];
+        for r in &self.records {
+            let mut changes = String::new();
+            for (i, seen) in last.iter_mut().take(depth).enumerate() {
+                let v = r
+                    .stages
+                    .get(i)
+                    .and_then(|s| s.as_ref())
+                    .map(|s| s.stream as u16)
+                    .unwrap_or(0xff);
+                if *seen != Some(v) {
+                    changes.push_str(&format!("b{v:08b} {}\n", id(i)));
+                    *seen = Some(v);
+                }
+            }
+            let f = r.fetched.map(|s| s as u16).unwrap_or(0xff);
+            if last[depth] != Some(f) {
+                changes.push_str(&format!("b{f:08b} {}\n", id(depth)));
+                last[depth] = Some(f);
+            }
+            if !changes.is_empty() {
+                out.push_str(&format!("#{}\n{changes}", r.cycle));
+            }
+        }
+        out
+    }
+
+    /// Renders the trace as the paper's pipeline diagrams: one row per
+    /// pipeline stage, one column per cycle, each cell naming the stage and
+    /// stream like `IF a1` in Figure 3.1 (here `IF s0` …). Bubbles print
+    /// as `----`.
+    pub fn pipeline_diagram(&self, stage_names: &[&str]) -> String {
+        let mut out = String::new();
+        let depth = self
+            .records
+            .iter()
+            .map(|r| r.stages.len())
+            .max()
+            .unwrap_or(0);
+        for stage in 0..depth {
+            let name = stage_names.get(stage).copied().unwrap_or("??");
+            for r in &self.records {
+                match r.stages.get(stage).and_then(|s| s.as_ref()) {
+                    Some(snap) => out.push_str(&format!("{name} s{} ", snap.stream)),
+                    None => out.push_str(&format!("{name} -- ")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let mut t = Trace::new(2);
+        for c in 0..5 {
+            t.push(CycleRecord {
+                cycle: c,
+                ..Default::default()
+            });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].cycle, 3);
+        assert_eq!(t.records()[1].cycle, 4);
+    }
+
+    #[test]
+    fn vcd_export_has_header_and_changes() {
+        let mut t = Trace::new(8);
+        t.push(CycleRecord {
+            cycle: 3,
+            stages: vec![
+                Some(StageSnapshot {
+                    stream: 2,
+                    pc: 0,
+                    instr: Instruction::Nop,
+                }),
+                None,
+            ],
+            fetched: Some(2),
+            events: vec![],
+        });
+        t.push(CycleRecord {
+            cycle: 4,
+            stages: vec![None, None],
+            fetched: None,
+            events: vec![],
+        });
+        let vcd = t.to_vcd(&["IF", "WR"]);
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("$var wire 8 ! IF0"));
+        assert!(vcd.contains("#3"));
+        assert!(vcd.contains("b00000010 !"), "stream 2 in IF:\n{vcd}");
+        assert!(vcd.contains("b11111111"), "bubble encodes as 0xff");
+        assert!(vcd.contains("#4"), "second cycle changes recorded");
+    }
+
+    #[test]
+    fn diagram_renders_rows_per_stage() {
+        let mut t = Trace::new(8);
+        t.push(CycleRecord {
+            cycle: 0,
+            stages: vec![
+                Some(StageSnapshot {
+                    stream: 1,
+                    pc: 0,
+                    instr: Instruction::Nop,
+                }),
+                None,
+            ],
+            fetched: Some(1),
+            events: vec![],
+        });
+        let d = t.pipeline_diagram(&["IF", "WR"]);
+        assert!(d.contains("IF s1"));
+        assert!(d.contains("WR --"));
+    }
+}

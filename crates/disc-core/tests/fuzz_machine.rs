@@ -1,0 +1,169 @@
+//! Robustness fuzzing: the machine must survive *any* valid program —
+//! arbitrary jumps, stream control, window churn, memory traffic — without
+//! panicking, and its statistics must satisfy global accounting
+//! invariants.
+
+use disc_core::{Machine, MachineConfig, SchedulePolicy, Status};
+use disc_isa::{AluImmOp, AluOp, AwpMode, Cond, Instruction, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+const PROGRAM_LEN: u16 = 64;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+/// Any instruction, with jump/call/fork targets confined to the program so
+/// streams keep executing code rather than a sea of nops.
+fn arb_any_instr() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        (
+            (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i]),
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs, rt)| Instruction::Alu {
+                op,
+                awp: AwpMode::None,
+                rd,
+                rs,
+                rt
+            }),
+        (
+            (0usize..AluImmOp::ALL.len()).prop_map(|i| AluImmOp::ALL[i]),
+            arb_reg(),
+            arb_reg(),
+            any::<u8>()
+        )
+            .prop_map(|(op, rd, rs, imm)| Instruction::AluImm {
+                op,
+                awp: AwpMode::None,
+                rd,
+                rs,
+                imm
+            }),
+        (arb_reg(), -2048i16..=2047).prop_map(|(rd, imm)| Instruction::Ldi {
+            awp: AwpMode::None,
+            rd,
+            imm
+        }),
+        (arb_reg(), arb_reg(), any::<i8>()).prop_map(|(rd, base, offset)| Instruction::Ld {
+            awp: AwpMode::None,
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i8>()).prop_map(|(src, base, offset)| Instruction::St {
+            awp: AwpMode::None,
+            src,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i8>()).prop_map(|(rd, base, offset)| Instruction::Tset {
+            rd,
+            base,
+            offset
+        }),
+        (arb_cond(), 0u16..PROGRAM_LEN).prop_map(|(cond, target)| Instruction::Jmp {
+            cond,
+            target
+        }),
+        (0u16..PROGRAM_LEN).prop_map(|target| Instruction::Call { target }),
+        (0u8..4).prop_map(|pop| Instruction::Ret { pop }),
+        Just(Instruction::Reti),
+        (1u8..6).prop_map(|n| Instruction::Winc { n }),
+        (1u8..6).prop_map(|n| Instruction::Wdec { n }),
+        (0u8..4, 0u16..PROGRAM_LEN).prop_map(|(stream, target)| Instruction::Fork {
+            stream,
+            target
+        }),
+        (0u8..4, 0u8..8).prop_map(|(stream, bit)| Instruction::Signal { stream, bit }),
+        (0u8..8).prop_map(|bit| Instruction::Clri { bit }),
+        Just(Instruction::Stop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary 4-stream chaos: no panics, no decode faults, and the
+    /// scheduler/ retire/flush accounting stays consistent.
+    #[test]
+    fn machine_survives_arbitrary_programs(
+        body in prop::collection::vec(arb_any_instr(), 16..PROGRAM_LEN as usize),
+        irqs in prop::collection::vec((0usize..4, 0u8..8, 1u64..1500), 0..6),
+    ) {
+        let mut b = ProgramBuilder::new();
+        for (s, at) in [(0u16, 0u16), (1, 16), (2, 32), (3, 48)] {
+            b.org(at % body.len().max(1) as u16);
+            b.entry(s as usize);
+        }
+        b.org(0);
+        b.emit_all(body.iter().copied());
+        let program = b.build();
+        let mut m = Machine::new(MachineConfig::disc1(), &program);
+        m.set_idle_exit(false);
+        let mut irqs = irqs;
+        irqs.sort_by_key(|&(_, _, at)| at);
+        let mut next = 0;
+        for cycle in 0..1_500u64 {
+            while next < irqs.len() && irqs[next].2 == cycle {
+                m.raise_interrupt(irqs[next].0, irqs[next].1);
+                next += 1;
+            }
+            match m.step().expect("valid programs never decode-fault") {
+                Status::Halted => break,
+                Status::Breakpoint { .. } | Status::Running => {}
+            }
+        }
+        let st = m.stats();
+        let granted: u64 = m.scheduler_grants().iter().sum();
+        let accounted = st.retired_total() + st.flushed_total();
+        // Every granted slot either retired, was flushed, or is still in
+        // the 4-deep pipe.
+        prop_assert!(
+            accounted <= granted && granted <= accounted + 4,
+            "slot accounting broke: granted {granted}, accounted {accounted}"
+        );
+        prop_assert!(st.cycles <= 1_500);
+        prop_assert_eq!(st.cycles, m.cycle());
+    }
+
+    /// The same chaos under a skewed partition and an 8-deep pipe.
+    #[test]
+    fn deep_pipe_partitioned_chaos(
+        body in prop::collection::vec(arb_any_instr(), 16..PROGRAM_LEN as usize),
+    ) {
+        let mut b = ProgramBuilder::new();
+        b.entry(0);
+        b.org(8);
+        b.entry(1);
+        b.org(0);
+        b.emit_all(body.iter().copied());
+        let program = b.build();
+        let cfg = MachineConfig::disc1()
+            .with_streams(2)
+            .with_pipeline_depth(8)
+            .with_schedule(SchedulePolicy::partitioned(&[13, 3]));
+        let mut m = Machine::new(cfg, &program);
+        m.set_idle_exit(false);
+        for _ in 0..1_000 {
+            if m.step().expect("no decode faults") == Status::Halted {
+                break;
+            }
+        }
+        let st = m.stats();
+        let granted: u64 = m.scheduler_grants().iter().sum();
+        let accounted = st.retired_total() + st.flushed_total();
+        prop_assert!(
+            accounted <= granted && granted <= accounted + 8,
+            "slot accounting broke: granted {granted}, accounted {accounted}"
+        );
+    }
+}

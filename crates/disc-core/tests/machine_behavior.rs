@@ -1,0 +1,680 @@
+//! End-to-end behavioral tests of the cycle-accurate DISC1 machine:
+//! arithmetic programs, hazard interlocks, stack-window calls, the
+//! asynchronous bus interface, interrupts, stream control and semaphores.
+
+use disc_core::{Exit, FlatBus, Machine, MachineConfig, SchedulePolicy, WaitState};
+use disc_isa::{Program, Reg};
+
+fn machine(src: &str) -> Machine {
+    let program = Program::assemble(src).expect("test program assembles");
+    Machine::new(MachineConfig::disc1(), &program)
+}
+
+fn run(m: &mut Machine, cycles: u64) -> Exit {
+    m.run(cycles).expect("no decode fault")
+}
+
+#[test]
+fn arithmetic_loop_computes_sum() {
+    // Sum 1..=10 with a flag-dependent backward branch.
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 10
+        ldi r1, 0
+    loop:
+        add r1, r1, r0
+        subi r0, r0, 1
+        jnz loop
+        sta r1, 0x40
+        halt
+    "#,
+    );
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x40), 55);
+}
+
+#[test]
+fn raw_hazard_interlock_prevents_stale_reads() {
+    // Back-to-back dependent instructions in a single stream must still
+    // produce the sequential result despite the pipeline.
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 7
+        addi r1, r0, 1     ; reads r0 immediately
+        addi r2, r1, 1     ; reads r1 immediately
+        mul r3, r2, r2
+        sta r3, 0x10
+        halt
+    "#,
+    );
+    run(&mut m, 1_000);
+    assert_eq!(m.internal_memory().read(0x10), 81);
+    // The interlock must have cost at least one stall.
+    assert!(m.stats().hazard_stalls[0] > 0, "expected hazard stalls");
+}
+
+#[test]
+fn single_stream_jump_flushes_pipe() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 4
+    loop:
+        subi r0, r0, 1
+        jnz loop
+        halt
+    "#,
+    );
+    run(&mut m, 1_000);
+    assert!(
+        m.stats().flushed_jump > 0,
+        "taken jumps must flush younger same-stream slots"
+    );
+}
+
+#[test]
+fn interleaved_streams_eliminate_jump_flushes() {
+    // Figure 3.2: with >= pipe-depth streams running, a jump never finds a
+    // same-stream instruction behind it.
+    let src = r#"
+        .stream 0, l0
+        .stream 1, l1
+        .stream 2, l2
+        .stream 3, l3
+    l0: jmp l0
+    l1: jmp l1
+    l2: jmp l2
+    l3: jmp l3
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    assert_eq!(run(&mut m, 500), Exit::CycleLimit);
+    assert_eq!(
+        m.stats().flushed_jump,
+        0,
+        "4 interleaved streams on a 4-deep pipe leave nothing to flush"
+    );
+    // Near-perfect utilization: every cycle issues (after warm-up).
+    assert!(m.stats().utilization() > 0.95);
+}
+
+#[test]
+fn call_and_ret_use_stack_window() {
+    // double(x) = x + x, called twice with locals preserved across calls.
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 21
+        call double
+        sta r0, 0x11        ; 42
+        ldi r0, 5
+        call double
+        sta r0, 0x12        ; 10
+        halt
+    double:
+        ; call allocated a fresh r0 = return address; caller's r0 is r1.
+        add r1, r1, r1
+        ret
+    "#,
+    );
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x11), 42);
+    assert_eq!(m.internal_memory().read(0x12), 10);
+}
+
+#[test]
+fn nested_calls_with_locals() {
+    // f(x) = g(2x) + 1 where g allocates an explicit local frame.
+    // Convention: the caller passes the argument in its R0 (the callee
+    // sees it as R1) and the callee writes the result back into that slot.
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 10
+        call f
+        sta r0, 0x20
+        halt
+    f:
+        ; r0 = return address, r1 = caller's argument (10)
+        add r1, r1, r1      ; x *= 2
+        winc 1              ; r0 = scratch, r1 = ret, r2 = x
+        mov r0, r2          ; pass x to g
+        call g
+        addi r0, r0, 1      ; g's result + 1
+        mov r2, r0          ; result into f's argument slot
+        wdec 1
+        ret
+    g:
+        ; r0 = ret, r1 = argument
+        addi r1, r1, 3      ; g(x) = x + 3, result into the arg slot
+        ret
+    "#,
+    );
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    // g turns 20 into 23, f adds 1 -> 24.
+    assert_eq!(m.internal_memory().read(0x20), 24);
+}
+
+#[test]
+fn external_load_round_trips_through_abi() {
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        lui r0, 0x80        ; r0 = 0x8000
+        ld  r1, [r0]
+        addi r1, r1, 1      ; must wait for the bus data
+        sta r1, 0x30
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut bus = FlatBus::new(5);
+    bus.poke(0x8000, 99);
+    let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(bus));
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x30), 100);
+    assert_eq!(m.stats().external_accesses, 1);
+    assert!(m.stats().wait_txn_cycles[0] >= 4);
+}
+
+#[test]
+fn external_store_lands_after_latency() {
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        lui r0, 0x90
+        ldi r1, 77
+        st  r1, [r0]
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1(),
+        &program,
+        Box::new(FlatBus::new(3)),
+    );
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    // Read back through a fresh machine sharing nothing — instead verify
+    // via stats: exactly one external access, and the stream waited.
+    assert_eq!(m.stats().external_accesses, 1);
+    assert!(m.stats().wait_txn_cycles[0] > 0);
+}
+
+#[test]
+fn bus_contention_serializes_and_cancels() {
+    // Two streams hammer external memory; the second access must find the
+    // bus busy at least once and be cancelled.
+    let program = Program::assemble(
+        r#"
+        .stream 0, a
+        .stream 1, b
+    a:
+        lui r0, 0x80
+    la: ld r1, [r0]
+        jmp la
+    b:
+        lui r0, 0x81
+    lb: ld r1, [r0]
+        jmp lb
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(FlatBus::new(6)),
+    );
+    assert_eq!(run(&mut m, 2_000), Exit::CycleLimit);
+    assert!(
+        m.stats().flushed_bus_busy > 0,
+        "contending access must be cancelled at least once"
+    );
+    assert!(m.stats().external_accesses > 10);
+}
+
+#[test]
+fn other_streams_run_during_io_wait() {
+    // Stream 0 blocks on slow I/O; stream 1's compute loop keeps retiring.
+    let program = Program::assemble(
+        r#"
+        .stream 0, io
+        .stream 1, compute
+    io:
+        lui r0, 0x80
+    li: ld r1, [r0]
+        jmp li
+    compute:
+        ldi r0, 0
+    lc: addi r0, r0, 1
+        jmp lc
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(FlatBus::new(20)),
+    );
+    run(&mut m, 3_000);
+    let retired = &m.stats().retired;
+    assert!(
+        retired[1] > retired[0] * 3,
+        "compute stream should dominate: {retired:?}"
+    );
+    // Utilization should stay decent despite stream 0 being I/O bound.
+    assert!(m.stats().utilization() > 0.5);
+}
+
+#[test]
+fn signal_activates_idle_stream() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+        .stream 1, worker
+    main:
+        signal 1, 0         ; wake the worker
+    spin:
+        lda r0, 0x50
+        cmpi r0, 123
+        jnz spin
+        halt
+    worker:
+        ldi r0, 123
+        sta r0, 0x50
+        stop
+    "#,
+    );
+    // Worker has an entry (so a PC) — but `.stream` also sets bit 0, so
+    // clear it first to model an initially dormant stream.
+    m.stream(1).ir();
+    // Deactivate stream 1 before running.
+    m.set_reg(1, Reg::Ir, 0);
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x50), 123);
+}
+
+#[test]
+fn vectored_interrupt_runs_handler_and_resumes() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+        .vector 0, 3, isr
+    main:
+        ldi r0, 0
+    loop:
+        addi r0, r0, 1
+        cmpi r0, 200
+        jnz loop
+        sta r0, 0x61
+        halt
+    isr:
+        ldi r1, 55
+        sta r1, 0x60
+        reti
+    "#,
+    );
+    for _ in 0..20 {
+        m.step().unwrap();
+    }
+    m.raise_interrupt(0, 3);
+    assert_eq!(run(&mut m, 100_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x60), 55, "handler ran");
+    assert_eq!(m.internal_memory().read(0x61), 200, "main loop resumed");
+    assert_eq!(m.stats().vectors_taken[0], 1);
+    let latency = m.stats().max_irq_latency().unwrap();
+    assert!(
+        latency <= 8,
+        "vector latency should be a few cycles, got {latency}"
+    );
+}
+
+#[test]
+fn dedicated_stream_interrupt_has_low_latency_under_load() {
+    // Streams 0..=2 run busy loops; stream 3 is a dormant interrupt server.
+    let src = r#"
+        .stream 0, w
+        .stream 1, w
+        .stream 2, w
+        .stream 3, idle
+        .vector 3, 5, isr
+    w:  jmp w
+    idle:
+        stop
+    isr:
+        ldi r0, 1
+        sta r0, 0x70
+        reti
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    for _ in 0..50 {
+        m.step().unwrap();
+    }
+    m.raise_interrupt(3, 5);
+    for _ in 0..40 {
+        m.step().unwrap();
+    }
+    assert_eq!(m.internal_memory().read(0x70), 1);
+    let latency = m.stats().max_irq_latency().unwrap();
+    assert!(
+        latency <= 6,
+        "dedicated-stream latency should be tiny, got {latency}"
+    );
+}
+
+#[test]
+fn interrupt_priorities_nest() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+        .vector 0, 2, low
+        .vector 0, 6, high
+    main:
+        jmp main
+    low:
+        signal 0, 6         ; raise the high-priority interrupt
+        nop
+        nop
+        nop
+        nop
+        lda r0, 0x80        ; by now `high` must have preempted us
+        sta r0, 0x81
+        reti
+    high:
+        ldi r1, 9
+        sta r1, 0x80
+        reti
+    "#,
+    );
+    for _ in 0..10 {
+        m.step().unwrap();
+    }
+    m.raise_interrupt(0, 2);
+    for _ in 0..120 {
+        m.step().unwrap();
+    }
+    assert_eq!(m.internal_memory().read(0x80), 9, "high handler ran");
+    assert_eq!(
+        m.internal_memory().read(0x81),
+        9,
+        "low handler saw high's result, so it was preempted"
+    );
+    assert_eq!(m.stats().vectors_taken[0], 2);
+}
+
+#[test]
+fn fork_starts_stream_at_target() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        fork 2, child
+    wait:
+        lda r0, 0x90
+        cmpi r0, 7
+        jnz wait
+        halt
+    child:
+        ldi r0, 7
+        sta r0, 0x90
+        stop
+    "#,
+    );
+    assert_eq!(run(&mut m, 10_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x90), 7);
+}
+
+#[test]
+fn stop_deactivates_until_interrupt() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 1
+        sta r0, 0xa0
+        stop
+        ldi r0, 2           ; resumes here after re-activation
+        sta r0, 0xa0
+        stop
+    "#,
+    );
+    assert_eq!(run(&mut m, 1_000), Exit::AllIdle);
+    assert_eq!(m.internal_memory().read(0xa0), 1);
+    assert!(!m.stream(0).active());
+    m.raise_interrupt(0, 0);
+    assert_eq!(run(&mut m, 1_000), Exit::AllIdle);
+    assert_eq!(m.internal_memory().read(0xa0), 2);
+}
+
+#[test]
+fn tset_semaphore_provides_mutual_exclusion() {
+    // Two streams increment a shared counter 100 times each under a
+    // tset spinlock. Without the lock the read-modify-write races.
+    let src = r#"
+        .equ LOCK, 0x00
+        .equ COUNT, 0x01
+        .stream 0, worker
+        .stream 1, worker
+    worker:
+        ldi r2, 100
+    again:
+        ldi r3, LOCK
+    acquire:
+        tset r0, [r3]
+        cmpi r0, 0
+        jnz acquire         ; was set -> spin
+        lda r1, COUNT       ; critical section
+        addi r1, r1, 1
+        sta r1, COUNT
+        ldi r0, 0
+        sta r0, LOCK        ; release
+        subi r2, r2, 1
+        jnz again
+        stop
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &program);
+    assert_eq!(run(&mut m, 200_000), Exit::AllIdle);
+    assert_eq!(m.internal_memory().read(0x01), 200);
+}
+
+#[test]
+fn partitioned_schedule_shapes_throughput() {
+    // 3:1 partition between two loops with long straight-line bodies so
+    // jump flushes stay second-order.
+    let body: String = (0..6)
+        .map(|i| format!("addi r{i}, r{i}, 1\n"))
+        .collect();
+    let src = format!(
+        ".stream 0, a\n.stream 1, b\na: {body} jmp a\nb: {body} jmp b\n"
+    );
+    let program = Program::assemble(&src).unwrap();
+    let cfg = MachineConfig::disc1()
+        .with_streams(2)
+        .with_schedule(SchedulePolicy::partitioned(&[12, 4]));
+    let mut m = Machine::new(cfg, &program);
+    run(&mut m, 8_000);
+    let r = &m.stats().retired;
+    let ratio = r[0] as f64 / r[1] as f64;
+    assert!(
+        (2.2..=3.6).contains(&ratio),
+        "expected ~3:1 split, got {ratio} ({r:?})"
+    );
+}
+
+#[test]
+fn sole_active_stream_takes_all_throughput() {
+    // Figure 3.3: static share T/4, dynamic share T when others are idle.
+    let src = r#"
+        .stream 0, a
+    a:  addi r0, r0, 1
+        nop
+        nop
+        nop
+        jmp a
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    run(&mut m, 2_000);
+    // Despite owning only 4 of 16 slots, the single active stream should
+    // get most cycles (some lost to jump flushes and hazards).
+    assert!(
+        m.stats().utilization() > 0.5,
+        "dynamic reallocation failed: PD = {}",
+        m.stats().utilization()
+    );
+    assert!(m.scheduler_grants()[0] > 1_000);
+}
+
+#[test]
+fn global_registers_pass_parameters_between_streams() {
+    let src = r#"
+        .stream 0, producer
+        .stream 1, consumer
+    producer:
+        ldi g0, 0
+    lp: addi g0, g0, 1
+        cmpi g0, 50
+        jnz lp
+        stop
+    consumer:
+    lc: cmpi g0, 50
+        jnz lc
+        ldi r0, 1
+        sta r0, 0xb0
+        halt
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &program);
+    assert_eq!(run(&mut m, 50_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0xb0), 1);
+    assert_eq!(m.global(0), 50);
+}
+
+#[test]
+fn breakpoint_reports_and_resumes() {
+    let mut m = machine(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 1
+        brk
+        ldi r0, 2
+        halt
+    "#,
+    );
+    match run(&mut m, 1_000) {
+        Exit::Breakpoint { stream, pc } => {
+            assert_eq!(stream, 0);
+            assert_eq!(pc, 1);
+        }
+        other => panic!("expected breakpoint, got {other:?}"),
+    }
+    assert_eq!(run(&mut m, 1_000), Exit::Halted);
+    assert_eq!(m.reg(0, Reg::R0), 2);
+}
+
+#[test]
+fn decode_fault_is_reported() {
+    let mut program = Program::assemble(".stream 0, m\nm: nop\n").unwrap();
+    program.set_word(1, 63 << 18); // unassigned opcode
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    let err = m.run(100).unwrap_err();
+    match err {
+        disc_core::SimError::Decode { stream, pc, .. } => {
+            assert_eq!(stream, 0);
+            assert_eq!(pc, 1);
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn wait_states_expose_through_stream_view() {
+    let program = Program::assemble(
+        r#"
+        .stream 0, m
+    m:  lui r0, 0x80
+        ld r1, [r0]
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1(),
+        &program,
+        Box::new(FlatBus::new(50)),
+    );
+    // Step until the load issues.
+    for _ in 0..10 {
+        m.step().unwrap();
+    }
+    assert_eq!(m.stream(0).wait(), WaitState::BusTransaction);
+    assert_eq!(run(&mut m, 1_000), Exit::Halted);
+    assert_eq!(m.stream(0).wait(), WaitState::None);
+}
+
+#[test]
+fn deep_recursion_spills_and_recovers() {
+    // f(n) = f(n-1) + 1, f(0) = 0 — 24 frames deep on a 16-register file,
+    // exercising the hardware spill/fill engine.
+    let src = r#"
+        .stream 0, main
+    main:
+        ldi r0, 24
+        call down
+        sta r0, 0xc0
+        halt
+    down:
+        ; r0 = return address, r1 = argument
+        cmpi r1, 0
+        jz base
+        winc 1              ; r0 = scratch, r1 = ret, r2 = arg
+        subi r0, r2, 1      ; pass arg - 1
+        call down           ; result arrives in our r0
+        addi r0, r0, 1
+        mov r2, r0          ; result into our argument slot
+        wdec 1
+        ret
+    base:
+        ldi r1, 0           ; f(0) = 0 into the caller's slot
+        ret
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let cfg = MachineConfig::disc1().with_window_depth(16);
+    let mut m = Machine::new(cfg, &program);
+    assert_eq!(run(&mut m, 100_000), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0xc0), 24);
+    assert!(m.stream(0).window().spills() > 0, "descent must spill");
+    assert!(m.stream(0).window().fills() > 0, "return path must fill");
+    assert!(m.stats().spill_stall_cycles[0] > 0);
+}
+
+#[test]
+fn trace_captures_pipeline_occupancy() {
+    let src = r#"
+        .stream 0, a
+        .stream 1, b
+    a: jmp a
+    b: jmp b
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &program);
+    m.trace_start(16);
+    run(&mut m, 16);
+    let trace = m.trace_take().unwrap();
+    assert_eq!(trace.records().len(), 16);
+    let diagram = trace.pipeline_diagram(&["IF", "RD", "EX", "WR"]);
+    assert!(diagram.contains("IF s0"));
+    assert!(diagram.contains("IF s1"));
+}

@@ -1,0 +1,249 @@
+//! Property-based tests of the core substrates: the stack-window register
+//! file against a reference model, the ALU against wide-integer
+//! arithmetic, and the hardware scheduler's conservation/proportionality
+//! invariants.
+
+use disc_core::alu::{alu, eval_cond};
+use disc_core::{Flags, SchedulePolicy, Scheduler, StackWindow, WindowPolicy};
+use disc_isa::{AluOp, Cond};
+use proptest::prelude::*;
+
+// ---- stack window vs. an unbounded reference stack ----------------------
+
+#[derive(Debug, Clone)]
+enum WindowOp {
+    Read(u8),
+    Write(u8, u16),
+    Adjust(i32),
+}
+
+fn arb_window_op() -> impl Strategy<Value = WindowOp> {
+    prop_oneof![
+        (0u8..8).prop_map(WindowOp::Read),
+        (0u8..8, any::<u16>()).prop_map(|(n, v)| WindowOp::Write(n, v)),
+        (-6i32..=6).prop_map(WindowOp::Adjust),
+    ]
+}
+
+/// Reference model: an unbounded vector with a cursor; no spill concept.
+struct RefWindow {
+    stack: Vec<u16>,
+    awp: usize,
+}
+
+impl RefWindow {
+    fn new() -> Self {
+        RefWindow {
+            stack: vec![0; 8],
+            awp: 7,
+        }
+    }
+
+    fn read(&self, n: u8) -> u16 {
+        self.awp
+            .checked_sub(n as usize)
+            .map(|s| self.stack[s])
+            .unwrap_or(0)
+    }
+
+    fn write(&mut self, n: u8, v: u16) {
+        if let Some(s) = self.awp.checked_sub(n as usize) {
+            self.stack[s] = v;
+        }
+    }
+
+    fn adjust(&mut self, d: i32) {
+        self.awp = if d >= 0 {
+            self.awp + d as usize
+        } else {
+            self.awp.saturating_sub((-d) as usize)
+        };
+        if self.awp >= self.stack.len() {
+            self.stack.resize(self.awp + 1, 0);
+        }
+    }
+}
+
+proptest! {
+    /// The spilling window file is observationally identical to an
+    /// unbounded register stack — hardware spill/fill must never lose or
+    /// corrupt a value, at any physical depth.
+    #[test]
+    fn stack_window_matches_unbounded_reference(
+        ops in prop::collection::vec(arb_window_op(), 1..200),
+        depth in 9usize..64,
+    ) {
+        let mut real = StackWindow::new(depth, WindowPolicy::AutoSpill);
+        let mut reference = RefWindow::new();
+        for op in &ops {
+            match *op {
+                WindowOp::Read(n) => {
+                    prop_assert_eq!(real.read(n), reference.read(n), "read r{} after {:?}", n, op);
+                }
+                WindowOp::Write(n, v) => {
+                    real.write(n, v);
+                    reference.write(n, v);
+                }
+                WindowOp::Adjust(d) => {
+                    real.adjust(d);
+                    reference.adjust(d);
+                }
+            }
+            prop_assert_eq!(real.awp(), reference.awp);
+        }
+        // Final full-window comparison.
+        for n in 0..8 {
+            prop_assert_eq!(real.read(n), reference.read(n), "final r{}", n);
+        }
+    }
+
+    /// Spill cost is bounded: an adjustment of |d| can never stall longer
+    /// than |d| + window size cycles.
+    #[test]
+    fn spill_cost_is_bounded(
+        deltas in prop::collection::vec(-8i32..=8, 1..100),
+        depth in 9usize..32,
+    ) {
+        let mut w = StackWindow::new(depth, WindowPolicy::AutoSpill);
+        for &d in &deltas {
+            let out = w.adjust(d);
+            prop_assert!(
+                out.stall_cycles as usize <= d.unsigned_abs() as usize + 8,
+                "adjust({d}) stalled {} cycles", out.stall_cycles
+            );
+        }
+    }
+}
+
+// ---- ALU vs. wide-integer reference --------------------------------------
+
+proptest! {
+    /// Add/Sub results and flags match 32-bit reference arithmetic.
+    #[test]
+    fn add_sub_match_reference(a in any::<u16>(), b in any::<u16>()) {
+        let (r, f) = alu(AluOp::Add, a, b, Flags::default());
+        let wide = a as u32 + b as u32;
+        prop_assert_eq!(r, wide as u16);
+        prop_assert_eq!(f.c, wide > 0xffff);
+        prop_assert_eq!(f.z, wide as u16 == 0);
+        prop_assert_eq!(f.n, wide as u16 & 0x8000 != 0);
+        let expected_v = (a as i16 as i32 + b as i16 as i32) != (r as i16 as i32);
+        prop_assert_eq!(f.v, expected_v, "add overflow flag");
+
+        let (r, f) = alu(AluOp::Sub, a, b, Flags::default());
+        prop_assert_eq!(r, a.wrapping_sub(b));
+        prop_assert_eq!(f.c, a >= b, "carry = no borrow");
+        let expected_v = (a as i16 as i32 - b as i16 as i32) != (r as i16 as i32);
+        prop_assert_eq!(f.v, expected_v, "sub overflow flag");
+    }
+
+    /// The multiplier halves recompose into the exact 32-bit product.
+    #[test]
+    fn mul_halves_recompose(a in any::<u16>(), b in any::<u16>()) {
+        let (lo, _) = alu(AluOp::Mul, a, b, Flags::default());
+        let (hi, _) = alu(AluOp::Mulh, a, b, Flags::default());
+        prop_assert_eq!(((hi as u32) << 16) | lo as u32, a as u32 * b as u32);
+    }
+
+    /// Adc/Sbc chain into exact 32-bit arithmetic: a 32-bit add built from
+    /// two 16-bit halves equals the reference.
+    #[test]
+    fn carry_chains_build_32bit_add(a in any::<u32>(), b in any::<u32>()) {
+        let (lo, f1) = alu(AluOp::Add, a as u16, b as u16, Flags::default());
+        let (hi, _) = alu(AluOp::Adc, (a >> 16) as u16, (b >> 16) as u16, f1);
+        let got = ((hi as u32) << 16) | lo as u32;
+        prop_assert_eq!(got, a.wrapping_add(b));
+    }
+
+    /// Shifts match reference semantics for all amounts 0..16.
+    #[test]
+    fn shifts_match_reference(a in any::<u16>(), sh in 0u16..16) {
+        let (r, _) = alu(AluOp::Shl, a, sh, Flags::default());
+        prop_assert_eq!(r, if sh == 0 { a } else { a << (sh & 15) });
+        let (r, _) = alu(AluOp::Shr, a, sh, Flags::default());
+        prop_assert_eq!(r, a >> (sh & 15));
+        let (r, _) = alu(AluOp::Asr, a, sh, Flags::default());
+        prop_assert_eq!(r as i16, (a as i16) >> (sh & 15));
+    }
+
+    /// Condition evaluation is consistent: each condition and its negation
+    /// partition the flag space.
+    #[test]
+    fn conditions_partition(fw in 0u16..16) {
+        let f = Flags::from_word(fw);
+        prop_assert!(eval_cond(Cond::Always, f));
+        prop_assert_ne!(eval_cond(Cond::Z, f), eval_cond(Cond::Nz, f));
+        prop_assert_ne!(eval_cond(Cond::C, f), eval_cond(Cond::Nc, f));
+        prop_assert_ne!(eval_cond(Cond::N, f), eval_cond(Cond::Nn, f));
+    }
+}
+
+// ---- scheduler invariants -------------------------------------------------
+
+proptest! {
+    /// With all streams ready, a partitioned sequence grants exactly its
+    /// static shares over any whole number of rounds.
+    #[test]
+    fn partition_shares_are_exact_when_all_ready(
+        raw in prop::collection::vec(1u32..8, 2..5),
+        rounds in 1usize..20,
+    ) {
+        // Normalize to 16 slots.
+        let total: u32 = raw.iter().sum();
+        let mut shares: Vec<u32> = raw.iter().map(|&r| r * 16 / total).collect();
+        let mut sum: u32 = shares.iter().sum();
+        let mut i = 0;
+        let len = shares.len();
+        while sum < 16 {
+            shares[i % len] += 1;
+            sum += 1;
+            i += 1;
+        }
+        prop_assume!(shares.iter().all(|&s| s > 0));
+        let n = shares.len();
+        let mut sched = Scheduler::new(SchedulePolicy::partitioned(&shares), n);
+        let ready = vec![true; n];
+        for _ in 0..rounds * 16 {
+            prop_assert!(sched.pick(&ready).is_some());
+        }
+        for (s, &share) in shares.iter().enumerate() {
+            prop_assert_eq!(
+                sched.granted()[s],
+                share as u64 * rounds as u64,
+                "stream {} share", s
+            );
+        }
+    }
+
+    /// Work conservation: as long as any stream is ready, a slot is never
+    /// wasted, under arbitrary readiness patterns.
+    #[test]
+    fn scheduler_is_work_conserving(
+        pattern in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..100)
+    ) {
+        let mut sched = Scheduler::new(SchedulePolicy::round_robin(4), 4);
+        for ready in &pattern {
+            let pick = sched.pick(ready);
+            if ready.iter().any(|&r| r) {
+                prop_assert!(pick.is_some(), "slot wasted with ready streams");
+                prop_assert!(ready[pick.unwrap()], "picked a non-ready stream");
+            } else {
+                prop_assert!(pick.is_none());
+            }
+        }
+    }
+
+    /// Weighted-deficit never starves a ready stream.
+    #[test]
+    fn weighted_deficit_has_no_starvation(weights in prop::collection::vec(1u32..10, 2..5)) {
+        let n = weights.len();
+        let mut sched = Scheduler::new(SchedulePolicy::WeightedDeficit(weights), n);
+        let ready = vec![true; n];
+        for _ in 0..(n as u64 * 200) {
+            sched.pick(&ready);
+        }
+        for s in 0..n {
+            prop_assert!(sched.granted()[s] > 0, "stream {} starved", s);
+        }
+    }
+}

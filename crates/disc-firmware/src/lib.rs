@@ -1,0 +1,300 @@
+//! Tested DISC1 assembly firmware routines.
+//!
+//! The 16-bit DISC1 ISA has a hardware multiplier but no divider, no
+//! square root and no multi-word arithmetic — exactly the operations an
+//! automotive control loop needs (scaling sensor readings, computing RMS
+//! values, copying I/O buffers). This crate provides hand-written,
+//! property-tested assembly for them, as a library that links (textually)
+//! after any user program.
+//!
+//! # Calling convention
+//!
+//! Arguments go in the **caller's** `r0, r1, …`; `call` slides the window
+//! so the callee sees them as `r1, r2, …` with its return address in `r0`.
+//! Results come back in the same caller registers. All routines preserve
+//! every other caller register (they allocate their scratch with
+//! `winc`/`wdec`).
+//!
+//! | routine  | caller args | caller results |
+//! |----------|-------------|----------------|
+//! | `div16`  | `r0` = dividend, `r1` = divisor | `r0` = quotient, `r1` = remainder (÷0 ⇒ `0xffff`, dividend) |
+//! | `sqrt16` | `r0` = x | `r0` = ⌊√x⌋ |
+//! | `mul32`  | `r0` = a, `r1` = b | `r0` = high word, `r1` = low word of `a·b` |
+//! | `add32`  | `r0..r3` = a-hi, a-lo, b-hi, b-lo | `r0` = sum-hi, `r1` = sum-lo |
+//! | `memcpy` | `r0` = dst, `r1` = src, `r2` = words | (memory copied; args clobbered) |
+//! | `memset` | `r0` = dst, `r1` = value, `r2` = words | (memory filled; args clobbered) |
+//!
+//! # Example
+//!
+//! ```
+//! use disc_core::{Machine, MachineConfig};
+//! use disc_isa::Program;
+//!
+//! let src = disc_firmware::with_library(
+//!     r#"
+//!     .stream 0, main
+//! main:
+//!     li   r0, 50000
+//!     ldi  r1, 321
+//!     call div16
+//!     sta  r0, 0x10     ; 155
+//!     sta  r1, 0x11     ; 245
+//!     halt
+//! "#,
+//! );
+//! let mut m = Machine::new(MachineConfig::disc1(), &Program::assemble(&src)?);
+//! m.run(10_000)?;
+//! assert_eq!(m.internal_memory().read(0x10), 155);
+//! assert_eq!(m.internal_memory().read(0x11), 245);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+/// The firmware library source (labels `div16`, `sqrt16`, `mul32`,
+/// `add32`, `memcpy`, `memset`).
+pub const LIBRARY: &str = r#"
+; ---- disc-firmware library -------------------------------------------
+
+; div16: unsigned 16-bit restoring division.
+; callee view: r0=ret, r1=dividend/quotient-slot, r2=divisor/remainder-slot
+div16:
+    winc 5                  ; r0..r4 scratch | r5=ret | r6=n -> q | r7=d -> rem
+    clr r0                  ; quotient
+    clr r1                  ; remainder
+    ldi r2, 16              ; bit counter
+    cmpi r7, 0
+    jz  div16_zero
+div16_loop:
+    ldi r3, 1
+    shl r1, r1, r3          ; rem <<= 1
+    ldi r3, 15
+    shr r4, r6, r3          ; msb of n
+    or  r1, r1, r4
+    ldi r3, 1
+    shl r6, r6, r3          ; n <<= 1
+    shl r0, r0, r3          ; q <<= 1
+    cmp r1, r7              ; rem >= d ?
+    jnc div16_skip
+    sub r1, r1, r7
+    ori r0, r0, 1
+div16_skip:
+    subi r2, r2, 1
+    jnz div16_loop
+    mov r6, r0
+    mov r7, r1
+    wdec 5
+    ret
+div16_zero:
+    mov r7, r6              ; remainder = dividend
+    ldi r6, -1              ; quotient = 0xffff
+    wdec 5
+    ret
+
+; sqrt16: integer square root (digit-by-digit).
+; callee view: r1 = x -> floor(sqrt(x))
+sqrt16:
+    winc 5                  ; r0..r4 scratch | r5=ret | r6=x -> result
+    clr r0                  ; res
+    ldi r1, 1
+    ldi r3, 14
+    shl r1, r1, r3          ; bit = 1 << 14
+sqrt_align:
+    cmpi r1, 0
+    jz  sqrt_done
+    cmp r6, r1              ; x >= bit ?
+    jc  sqrt_loop
+    ldi r3, 2
+    shr r1, r1, r3
+    jmp sqrt_align
+sqrt_loop:
+    cmpi r1, 0
+    jz  sqrt_done
+    add r2, r0, r1          ; tmp = res + bit
+    cmp r6, r2              ; x >= tmp ?
+    jnc sqrt_else
+    sub r6, r6, r2
+    ldi r3, 1
+    shr r0, r0, r3
+    add r0, r0, r1          ; res = (res >> 1) + bit
+    jmp sqrt_next
+sqrt_else:
+    ldi r3, 1
+    shr r0, r0, r3
+sqrt_next:
+    ldi r3, 2
+    shr r1, r1, r3
+    jmp sqrt_loop
+sqrt_done:
+    mov r6, r0
+    wdec 5
+    ret
+
+; mul32: full 32-bit product via the hardware multiplier.
+; callee view: r1 = a -> hi, r2 = b -> lo
+mul32:
+    winc 2                  ; r0,r1 scratch | r2=ret | r3=a | r4=b
+    mulh r0, r3, r4
+    mul  r1, r3, r4
+    mov r3, r0
+    mov r4, r1
+    wdec 2
+    ret
+
+; add32: 32-bit addition with the carry chain.
+; callee view: r1=a-hi, r2=a-lo, r3=b-hi, r4=b-lo -> r1=sum-hi, r2=sum-lo
+add32:
+    add r2, r2, r4
+    adc r1, r1, r3
+    ret
+
+; memcpy: word copy, low-to-high (any address space).
+; callee view: r1=dst, r2=src, r3=len (all clobbered)
+memcpy:
+    winc 1                  ; r0 scratch | r1=ret | r2=dst | r3=src | r4=len
+memcpy_loop:
+    cmpi r4, 0
+    jz  memcpy_done
+    ld  r0, [r3]
+    st  r0, [r2]
+    inc r2
+    inc r3
+    dec r4
+    jmp memcpy_loop
+memcpy_done:
+    wdec 1
+    ret
+
+; memset: word fill.
+; callee view: r1=dst, r2=value, r3=len (dst/len clobbered)
+memset:
+memset_loop:
+    cmpi r3, 0
+    jz  memset_done
+    st  r2, [r1]
+    inc r1
+    dec r3
+    jmp memset_loop
+memset_done:
+    ret
+"#;
+
+/// Appends the firmware library after `user_source` so its labels resolve.
+pub fn with_library(user_source: &str) -> String {
+    format!("{user_source}\n{LIBRARY}")
+}
+
+#[cfg(test)]
+mod tests {
+    use disc_core::{Exit, Machine, MachineConfig};
+    use disc_isa::Program;
+
+    /// Calls `routine` with `args` preloaded into the caller's `r0..`,
+    /// returning the caller's `r0..r3` afterwards plus the machine for
+    /// memory checks.
+    fn call(routine: &str, args: &[u16], setup_mem: &[(u16, u16)]) -> ([u16; 4], Machine) {
+        let mut src = String::from(".stream 0, main\nmain:\n");
+        for (i, a) in args.iter().enumerate() {
+            src.push_str(&format!("    li r{i}, {a}\n"));
+        }
+        src.push_str(&format!("    call {routine}\n"));
+        for i in 0..4 {
+            src.push_str(&format!("    sta r{i}, {:#x}\n", 0x10 + i));
+        }
+        src.push_str("    halt\n");
+        let src = crate::with_library(&src);
+        let program = Program::assemble(&src).expect("firmware assembles");
+        let mut m = Machine::new(MachineConfig::disc1().with_streams(1), &program);
+        for &(addr, v) in setup_mem {
+            m.internal_memory_mut().write(addr, v);
+        }
+        let exit = m.run(100_000).expect("firmware runs");
+        assert_eq!(exit, Exit::Halted, "{routine} must return and halt");
+        let out = [
+            m.internal_memory().read(0x10),
+            m.internal_memory().read(0x11),
+            m.internal_memory().read(0x12),
+            m.internal_memory().read(0x13),
+        ];
+        (out, m)
+    }
+
+    #[test]
+    fn div16_basic() {
+        let ([q, r, ..], _) = call("div16", &[100, 7], &[]);
+        assert_eq!((q, r), (14, 2));
+        let ([q, r, ..], _) = call("div16", &[65535, 1], &[]);
+        assert_eq!((q, r), (65535, 0));
+        let ([q, r, ..], _) = call("div16", &[5, 9], &[]);
+        assert_eq!((q, r), (0, 5));
+    }
+
+    #[test]
+    fn div16_by_zero_is_saturating() {
+        let ([q, r, ..], _) = call("div16", &[1234, 0], &[]);
+        assert_eq!(q, 0xffff);
+        assert_eq!(r, 1234);
+    }
+
+    #[test]
+    fn sqrt16_basic() {
+        for (x, want) in [(0u16, 0u16), (1, 1), (2, 1), (4, 2), (99, 9), (100, 10), (65535, 255)] {
+            let ([got, ..], _) = call("sqrt16", &[x], &[]);
+            assert_eq!(got, want, "sqrt({x})");
+        }
+    }
+
+    #[test]
+    fn mul32_splits_product() {
+        let ([hi, lo, ..], _) = call("mul32", &[40_000, 50_000], &[]);
+        assert_eq!(((hi as u32) << 16) | lo as u32, 40_000u32 * 50_000);
+    }
+
+    #[test]
+    fn add32_carries_across_words() {
+        // 0x0001_ffff + 0x0000_0002 = 0x0002_0001
+        let ([hi, lo, ..], _) = call("add32", &[1, 0xffff, 0, 2], &[]);
+        assert_eq!((hi, lo), (2, 1));
+    }
+
+    #[test]
+    fn memcpy_moves_block() {
+        let setup: Vec<(u16, u16)> = (0..5).map(|i| (0x40 + i, 100 + i)).collect();
+        let (_, m) = call("memcpy", &[0x60, 0x40, 5], &setup);
+        for i in 0..5 {
+            assert_eq!(m.internal_memory().read(0x60 + i), 100 + i);
+        }
+    }
+
+    #[test]
+    fn memset_fills_block() {
+        let (_, m) = call("memset", &[0x70, 0xabcd_u16 & 0x7ff, 4], &[]);
+        let v = 0xabcd_u16 & 0x7ff;
+        for i in 0..4 {
+            assert_eq!(m.internal_memory().read(0x70 + i), v);
+        }
+        assert_eq!(m.internal_memory().read(0x74), 0, "fill stops at len");
+    }
+
+    #[test]
+    fn routines_preserve_unrelated_registers() {
+        // Load sentinels into r2/r3 around a div16 call (args r0, r1).
+        let src = crate::with_library(
+            r#"
+            .stream 0, main
+        main:
+            li  r2, 0x1111
+            li  r3, 0x2222
+            ldi r0, 100
+            ldi r1, 9
+            call div16
+            sta r2, 0x20
+            sta r3, 0x21
+            halt
+        "#,
+        );
+        let program = Program::assemble(&src).unwrap();
+        let mut m = Machine::new(MachineConfig::disc1().with_streams(1), &program);
+        m.run(100_000).unwrap();
+        assert_eq!(m.internal_memory().read(0x20), 0x1111);
+        assert_eq!(m.internal_memory().read(0x21), 0x2222);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: every firmware routine agrees with Rust reference
+//! arithmetic on random inputs, executed on the cycle-accurate machine.
+
+use disc_core::{Exit, Machine, MachineConfig};
+use disc_firmware::with_library;
+use disc_isa::Program;
+use proptest::prelude::*;
+
+fn call(routine: &str, args: &[u16]) -> [u16; 4] {
+    let mut src = String::from(".stream 0, main\nmain:\n");
+    for (i, a) in args.iter().enumerate() {
+        src.push_str(&format!("    li r{i}, {a}\n"));
+    }
+    src.push_str(&format!("    call {routine}\n"));
+    for i in 0..4 {
+        src.push_str(&format!("    sta r{i}, {:#x}\n", 0x10 + i));
+    }
+    src.push_str("    halt\n");
+    let program = Program::assemble(&with_library(&src)).unwrap();
+    let mut m = Machine::new(MachineConfig::disc1().with_streams(1), &program);
+    assert_eq!(m.run(200_000).unwrap(), Exit::Halted);
+    [
+        m.internal_memory().read(0x10),
+        m.internal_memory().read(0x11),
+        m.internal_memory().read(0x12),
+        m.internal_memory().read(0x13),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn div16_matches_rust(n in any::<u16>(), d in 1u16..) {
+        let [q, r, ..] = call("div16", &[n, d]);
+        prop_assert_eq!(q, n / d, "quotient of {} / {}", n, d);
+        prop_assert_eq!(r, n % d, "remainder of {} / {}", n, d);
+    }
+
+    #[test]
+    fn sqrt16_matches_rust(x in any::<u16>()) {
+        let [s, ..] = call("sqrt16", &[x]);
+        let want = (x as f64).sqrt().floor() as u16;
+        prop_assert_eq!(s, want, "sqrt({})", x);
+    }
+
+    #[test]
+    fn mul32_matches_rust(a in any::<u16>(), b in any::<u16>()) {
+        let [hi, lo, ..] = call("mul32", &[a, b]);
+        prop_assert_eq!(((hi as u32) << 16) | lo as u32, a as u32 * b as u32);
+    }
+
+    #[test]
+    fn add32_matches_rust(a in any::<u32>(), b in any::<u32>()) {
+        let [hi, lo, ..] = call(
+            "add32",
+            &[(a >> 16) as u16, a as u16, (b >> 16) as u16, b as u16],
+        );
+        let got = ((hi as u32) << 16) | lo as u32;
+        prop_assert_eq!(got, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn div_identity_reconstructs_dividend(n in any::<u16>(), d in 1u16..) {
+        // q*d + r == n, via mul32 + add32 run on the machine too.
+        let [q, r, ..] = call("div16", &[n, d]);
+        let [hi, lo, ..] = call("mul32", &[q, d]);
+        let [shi, slo, ..] = call("add32", &[hi, lo, 0, r]);
+        prop_assert_eq!(shi, 0, "q*d + r must fit 16 bits when n does");
+        prop_assert_eq!(slo, n);
+    }
+}

@@ -1,0 +1,1080 @@
+//! Two-pass assembler for the DISC1 instruction set.
+//!
+//! # Syntax
+//!
+//! One statement per line; `;` starts a comment. A statement is an optional
+//! `label:` prefix followed by a directive or an instruction.
+//!
+//! ```text
+//!     .equ    SENSOR, 0x8000       ; named constant
+//!     .org    0x0100               ; set location counter
+//!     .stream 0, main              ; stream 0 starts at `main`
+//!     .vector 1, 3, isr            ; stream 1, IR bit 3 vectors to `isr`
+//!     .word   0xabcdef             ; raw 24-bit program word
+//! main:
+//!     ldi  r0, 10
+//!     ld   r1, [g0 + 2]            ; register + offset addressing
+//!     add  r2, r1, r0, +w          ; trailing `, +w` / `, -w` adjusts AWP
+//!     call helper
+//!     jnz  main
+//!     halt
+//! helper:
+//!     ret  0
+//! ```
+//!
+//! Numeric literals accept decimal, `0x` hexadecimal and `0b` binary, with
+//! an optional leading `-`. Jump, call and fork targets, `ldi`, `lda`/`sta`
+//! addresses and `.word` values may reference labels or `.equ` constants.
+//!
+//! Pseudo-instructions: `li rd, imm16` (expands to `ldi` + `lui`),
+//! `inc rd`, `dec rd`, `clr rd`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::encode::encode;
+use crate::instr::{AluImmOp, AluOp, AwpMode, Cond, Instruction};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Error raised while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles DISC1 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on syntax errors, unknown
+/// mnemonics or registers, duplicate or undefined labels, and operands out
+/// of encodable range.
+///
+/// # Example
+///
+/// ```
+/// let p = disc_isa::asm::assemble(".stream 0, go\ngo: halt\n")?;
+/// assert_eq!(p.entry(0), Some(0));
+/// # Ok::<(), disc_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let statements = parse_lines(source)?;
+    let symbols = collect_symbols(&statements)?;
+    emit(&statements, &symbols)
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Label(String),
+    Org(Expr),
+    Equ(String, Expr),
+    Word(Expr),
+    Stream(Expr, Expr),
+    Vector(Expr, Expr, Expr),
+    Instr { mnemonic: String, operands: Vec<String> },
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    stmt: Stmt,
+}
+
+/// An operand expression: either a literal or a symbol reference.
+#[derive(Debug, Clone)]
+enum Expr {
+    Literal(i64),
+    Symbol(String),
+}
+
+impl Expr {
+    fn parse(text: &str, line: usize) -> Result<Expr, AsmError> {
+        let t = text.trim();
+        if t.is_empty() {
+            return Err(AsmError::new(line, "empty operand"));
+        }
+        if let Some(v) = parse_int(t) {
+            return Ok(Expr::Literal(v));
+        }
+        if is_identifier(t) {
+            return Ok(Expr::Symbol(t.to_string()));
+        }
+        Err(AsmError::new(line, format!("cannot parse operand `{t}`")))
+    }
+
+    fn eval(&self, symbols: &HashMap<String, i64>, line: usize) -> Result<i64, AsmError> {
+        match self {
+            Expr::Literal(v) => Ok(*v),
+            Expr::Symbol(name) => symbols
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::new(line, format!("undefined symbol `{name}`"))),
+        }
+    }
+}
+
+fn parse_int(t: &str) -> Option<i64> {
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn is_identifier(t: &str) -> bool {
+    let mut chars = t.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at the start of the line.
+        while let Some(pos) = text.find(':') {
+            let (head, tail) = text.split_at(pos);
+            let label = head.trim();
+            if !is_identifier(label) {
+                return Err(AsmError::new(number, format!("invalid label `{label}`")));
+            }
+            out.push(Line {
+                number,
+                stmt: Stmt::Label(label.to_string()),
+            });
+            text = tail[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (head, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let head_lower = head.to_ascii_lowercase();
+        let stmt = if let Some(directive) = head_lower.strip_prefix('.') {
+            let args: Vec<&str> = split_operands(rest);
+            match directive {
+                "org" => {
+                    expect_args(number, directive, &args, 1)?;
+                    Stmt::Org(Expr::parse(args[0], number)?)
+                }
+                "equ" => {
+                    expect_args(number, directive, &args, 2)?;
+                    let name = args[0].trim();
+                    if !is_identifier(name) {
+                        return Err(AsmError::new(
+                            number,
+                            format!("invalid constant name `{name}`"),
+                        ));
+                    }
+                    Stmt::Equ(name.to_string(), Expr::parse(args[1], number)?)
+                }
+                "word" => {
+                    expect_args(number, directive, &args, 1)?;
+                    Stmt::Word(Expr::parse(args[0], number)?)
+                }
+                "stream" => {
+                    expect_args(number, directive, &args, 2)?;
+                    Stmt::Stream(Expr::parse(args[0], number)?, Expr::parse(args[1], number)?)
+                }
+                "vector" => {
+                    expect_args(number, directive, &args, 3)?;
+                    Stmt::Vector(
+                        Expr::parse(args[0], number)?,
+                        Expr::parse(args[1], number)?,
+                        Expr::parse(args[2], number)?,
+                    )
+                }
+                other => {
+                    return Err(AsmError::new(
+                        number,
+                        format!("unknown directive `.{other}`"),
+                    ))
+                }
+            }
+        } else {
+            Stmt::Instr {
+                mnemonic: head_lower,
+                operands: split_operands(rest)
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+            }
+        };
+        out.push(Line { number, stmt });
+    }
+    Ok(out)
+}
+
+fn expect_args(line: usize, what: &str, args: &[&str], n: usize) -> Result<(), AsmError> {
+    if args.len() != n {
+        return Err(AsmError::new(
+            line,
+            format!(".{what} expects {n} operand(s), got {}", args.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Splits an operand list on top-level commas (commas inside `[...]` belong
+/// to the memory operand).
+fn split_operands(text: &str) -> Vec<&str> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(text[start..].trim());
+    out
+}
+
+/// Pass 1: assign addresses to labels, collect `.equ` constants.
+fn collect_symbols(lines: &[Line]) -> Result<HashMap<String, i64>, AsmError> {
+    let mut symbols: HashMap<String, i64> = HashMap::new();
+    let mut pc: i64 = 0;
+    for line in lines {
+        match &line.stmt {
+            Stmt::Label(name) => {
+                if symbols.insert(name.clone(), pc).is_some() {
+                    return Err(AsmError::new(
+                        line.number,
+                        format!("duplicate symbol `{name}`"),
+                    ));
+                }
+            }
+            Stmt::Equ(name, expr) => {
+                // `.equ` may only reference already-defined symbols so that
+                // pass 1 can evaluate it immediately.
+                let value = expr.eval(&symbols, line.number)?;
+                if symbols.insert(name.clone(), value).is_some() {
+                    return Err(AsmError::new(
+                        line.number,
+                        format!("duplicate symbol `{name}`"),
+                    ));
+                }
+            }
+            Stmt::Org(expr) => {
+                pc = expr.eval(&symbols, line.number)?;
+                if !(0..=0xffff).contains(&pc) {
+                    return Err(AsmError::new(line.number, ".org address out of range"));
+                }
+            }
+            Stmt::Word(_) => pc += 1,
+            Stmt::Instr { mnemonic, .. } => pc += statement_words(mnemonic) as i64,
+            Stmt::Stream(..) | Stmt::Vector(..) => {}
+        }
+        if pc > 0x1_0000 {
+            return Err(AsmError::new(line.number, "program exceeds 64K words"));
+        }
+    }
+    Ok(symbols)
+}
+
+/// Pass 2: encode instructions and apply directives.
+fn emit(lines: &[Line], symbols: &HashMap<String, i64>) -> Result<Program, AsmError> {
+    let mut program = Program::new();
+    for (name, value) in symbols {
+        if (0..=0xffff).contains(value) {
+            program.define_symbol(name.clone(), *value as u16);
+        }
+    }
+    let mut pc: u32 = 0;
+    for line in lines {
+        let n = line.number;
+        match &line.stmt {
+            Stmt::Label(_) | Stmt::Equ(..) => {}
+            Stmt::Org(expr) => pc = expr.eval(symbols, n)? as u32,
+            Stmt::Word(expr) => {
+                let v = expr.eval(symbols, n)?;
+                if !(0..=crate::INSTR_MASK as i64).contains(&v) {
+                    return Err(AsmError::new(n, ".word value out of 24-bit range"));
+                }
+                program.set_word(pc as u16, v as u32);
+                pc += 1;
+            }
+            Stmt::Stream(s, target) => {
+                let s = eval_range(s, symbols, n, 0, crate::MAX_STREAMS as i64 - 1, "stream")?;
+                let t = eval_range(target, symbols, n, 0, 0xffff, "entry address")?;
+                program.set_entry(s as usize, t as u16);
+            }
+            Stmt::Vector(s, bit, target) => {
+                let s = eval_range(s, symbols, n, 0, crate::MAX_STREAMS as i64 - 1, "stream")?;
+                let b = eval_range(bit, symbols, n, 1, 7, "vector bit")?;
+                let t = eval_range(target, symbols, n, 0, 0xffff, "vector address")?;
+                program.set_vector(s as usize, b as u8, t as u16);
+            }
+            Stmt::Instr { mnemonic, operands } => {
+                for instr in encode_statement(mnemonic, operands, symbols, n)? {
+                    program.set_word(pc as u16, encode(&instr));
+                    pc += 1;
+                }
+            }
+        }
+        if pc > 0x1_0000 {
+            return Err(AsmError::new(n, "program exceeds 64K words"));
+        }
+    }
+    Ok(program)
+}
+
+fn eval_range(
+    expr: &Expr,
+    symbols: &HashMap<String, i64>,
+    line: usize,
+    lo: i64,
+    hi: i64,
+    what: &str,
+) -> Result<i64, AsmError> {
+    let v = expr.eval(symbols, line)?;
+    if !(lo..=hi).contains(&v) {
+        return Err(AsmError::new(
+            line,
+            format!("{what} {v} out of range {lo}..={hi}"),
+        ));
+    }
+    Ok(v)
+}
+
+struct Operands<'a> {
+    line: usize,
+    mnemonic: &'a str,
+    items: Vec<&'a str>,
+    awp: AwpMode,
+}
+
+impl<'a> Operands<'a> {
+    fn new(mnemonic: &'a str, operands: &'a [String], line: usize) -> Self {
+        let mut items: Vec<&str> = operands.iter().map(|s| s.as_str()).collect();
+        let mut awp = AwpMode::None;
+        if let Some(last) = items.last() {
+            match last.to_ascii_lowercase().as_str() {
+                "+w" => {
+                    awp = AwpMode::Inc;
+                    items.pop();
+                }
+                "-w" => {
+                    awp = AwpMode::Dec;
+                    items.pop();
+                }
+                _ => {}
+            }
+        }
+        Operands {
+            line,
+            mnemonic,
+            items,
+            awp,
+        }
+    }
+
+    fn expect(&self, n: usize) -> Result<(), AsmError> {
+        if self.items.len() != n {
+            return Err(AsmError::new(
+                self.line,
+                format!(
+                    "`{}` expects {n} operand(s), got {}",
+                    self.mnemonic,
+                    self.items.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn no_awp(&self) -> Result<(), AsmError> {
+        if self.awp != AwpMode::None {
+            return Err(AsmError::new(
+                self.line,
+                format!("`{}` does not accept a window adjust suffix", self.mnemonic),
+            ));
+        }
+        Ok(())
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg, AsmError> {
+        self.items[i]
+            .parse::<Reg>()
+            .map_err(|e| AsmError::new(self.line, e.to_string()))
+    }
+
+    fn imm(
+        &self,
+        i: usize,
+        symbols: &HashMap<String, i64>,
+        lo: i64,
+        hi: i64,
+        what: &str,
+    ) -> Result<i64, AsmError> {
+        let expr = Expr::parse(self.items[i], self.line)?;
+        eval_range(&expr, symbols, self.line, lo, hi, what)
+    }
+
+    /// Parses a `[base]`, `[base + off]` or `[base - off]` memory operand.
+    fn mem(&self, i: usize, symbols: &HashMap<String, i64>) -> Result<(Reg, i8), AsmError> {
+        let text = self.items[i].trim();
+        let inner = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| {
+                AsmError::new(
+                    self.line,
+                    format!("expected memory operand `[reg +/- off]`, got `{text}`"),
+                )
+            })?
+            .trim();
+        let (base_text, off) = if let Some(pos) = inner.find(['+', '-']) {
+            let (b, rest) = inner.split_at(pos);
+            let sign = if rest.starts_with('-') { -1 } else { 1 };
+            let off_expr = Expr::parse(rest[1..].trim(), self.line)?;
+            let off = off_expr.eval(symbols, self.line)? * sign;
+            (b.trim(), off)
+        } else {
+            (inner, 0)
+        };
+        let base = base_text
+            .parse::<Reg>()
+            .map_err(|e| AsmError::new(self.line, e.to_string()))?;
+        if !(-128..=127).contains(&off) {
+            return Err(AsmError::new(
+                self.line,
+                format!("memory offset {off} out of 8-bit signed range"),
+            ));
+        }
+        Ok((base, off as i8))
+    }
+}
+
+/// Number of program words a statement assembles to (pseudo-instructions
+/// may expand to several).
+fn statement_words(mnemonic: &str) -> usize {
+    match mnemonic {
+        "li" => 2,
+        _ => 1,
+    }
+}
+
+/// Expands pseudo-instructions, or returns `None` for real mnemonics.
+///
+/// Supported pseudo-instructions:
+///
+/// * `li rd, imm16` — load a full 16-bit constant (`ldi` + `lui`);
+/// * `inc rd` / `dec rd` — add/subtract one;
+/// * `clr rd` — zero a register.
+fn encode_pseudo(
+    mnemonic: &str,
+    ops: &Operands<'_>,
+    symbols: &HashMap<String, i64>,
+) -> Result<Option<Vec<Instruction>>, AsmError> {
+    let out = match mnemonic {
+        "li" => {
+            ops.no_awp()?;
+            ops.expect(2)?;
+            let rd = ops.reg(0)?;
+            let imm = ops.imm(1, symbols, -32768, 65535, "immediate")? as u16;
+            vec![
+                Instruction::Ldi {
+                    awp: AwpMode::None,
+                    rd,
+                    imm: (imm & 0xff) as i16,
+                },
+                Instruction::Lui {
+                    rd,
+                    imm: (imm >> 8) as u8,
+                },
+            ]
+        }
+        "inc" | "dec" => {
+            ops.expect(1)?;
+            let rd = ops.reg(0)?;
+            vec![Instruction::AluImm {
+                op: if mnemonic == "inc" {
+                    AluImmOp::Addi
+                } else {
+                    AluImmOp::Subi
+                },
+                awp: ops.awp,
+                rd,
+                rs: rd,
+                imm: 1,
+            }]
+        }
+        "clr" => {
+            ops.expect(1)?;
+            vec![Instruction::Ldi {
+                awp: ops.awp,
+                rd: ops.reg(0)?,
+                imm: 0,
+            }]
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(out))
+}
+
+fn encode_statement(
+    mnemonic: &str,
+    operands: &[String],
+    symbols: &HashMap<String, i64>,
+    line: usize,
+) -> Result<Vec<Instruction>, AsmError> {
+    let ops = Operands::new(mnemonic, operands, line);
+    if let Some(expansion) = encode_pseudo(mnemonic, &ops, symbols)? {
+        return Ok(expansion);
+    }
+    encode_real(mnemonic, ops, symbols, line).map(|i| vec![i])
+}
+
+fn encode_real(
+    mnemonic: &str,
+    ops: Operands<'_>,
+    symbols: &HashMap<String, i64>,
+    line: usize,
+) -> Result<Instruction, AsmError> {
+    // R-format ALU.
+    if let Some(op) = AluOp::ALL.iter().copied().find(|o| o.mnemonic() == mnemonic) {
+        return match op {
+            AluOp::Mov | AluOp::Not => {
+                ops.expect(2)?;
+                Ok(Instruction::Alu {
+                    op,
+                    awp: ops.awp,
+                    rd: ops.reg(0)?,
+                    rs: ops.reg(1)?,
+                    rt: Reg::R0,
+                })
+            }
+            AluOp::Cmp => {
+                ops.expect(2)?;
+                Ok(Instruction::Alu {
+                    op,
+                    awp: ops.awp,
+                    rd: Reg::R0,
+                    rs: ops.reg(0)?,
+                    rt: ops.reg(1)?,
+                })
+            }
+            _ => {
+                ops.expect(3)?;
+                Ok(Instruction::Alu {
+                    op,
+                    awp: ops.awp,
+                    rd: ops.reg(0)?,
+                    rs: ops.reg(1)?,
+                    rt: ops.reg(2)?,
+                })
+            }
+        };
+    }
+    // I-format ALU.
+    if let Some(op) = AluImmOp::ALL
+        .iter()
+        .copied()
+        .find(|o| o.mnemonic() == mnemonic)
+    {
+        return if op.writes_rd() {
+            ops.expect(3)?;
+            Ok(Instruction::AluImm {
+                op,
+                awp: ops.awp,
+                rd: ops.reg(0)?,
+                rs: ops.reg(1)?,
+                imm: ops.imm(2, symbols, 0, 255, "immediate")? as u8,
+            })
+        } else {
+            ops.expect(2)?;
+            Ok(Instruction::AluImm {
+                op,
+                awp: ops.awp,
+                rd: Reg::R0,
+                rs: ops.reg(0)?,
+                imm: ops.imm(1, symbols, 0, 255, "immediate")? as u8,
+            })
+        };
+    }
+    // Jumps.
+    if let Some(cond) = Cond::ALL
+        .iter()
+        .copied()
+        .find(|c| c.mnemonic() == mnemonic)
+    {
+        ops.no_awp()?;
+        ops.expect(1)?;
+        return Ok(Instruction::Jmp {
+            cond,
+            target: ops.imm(0, symbols, 0, 0xffff, "jump target")? as u16,
+        });
+    }
+    match mnemonic {
+        "nop" => {
+            ops.no_awp()?;
+            ops.expect(0)?;
+            Ok(Instruction::Nop)
+        }
+        "ldi" => {
+            ops.expect(2)?;
+            Ok(Instruction::Ldi {
+                awp: ops.awp,
+                rd: ops.reg(0)?,
+                imm: ops.imm(1, symbols, -2048, 2047, "immediate")? as i16,
+            })
+        }
+        "lui" => {
+            ops.no_awp()?;
+            ops.expect(2)?;
+            Ok(Instruction::Lui {
+                rd: ops.reg(0)?,
+                imm: ops.imm(1, symbols, 0, 255, "immediate")? as u8,
+            })
+        }
+        "ld" => {
+            ops.expect(2)?;
+            let (base, offset) = ops.mem(1, symbols)?;
+            Ok(Instruction::Ld {
+                awp: ops.awp,
+                rd: ops.reg(0)?,
+                base,
+                offset,
+            })
+        }
+        "st" => {
+            ops.expect(2)?;
+            let (base, offset) = ops.mem(1, symbols)?;
+            Ok(Instruction::St {
+                awp: ops.awp,
+                src: ops.reg(0)?,
+                base,
+                offset,
+            })
+        }
+        "lda" => {
+            ops.expect(2)?;
+            Ok(Instruction::Lda {
+                awp: ops.awp,
+                rd: ops.reg(0)?,
+                addr: ops.imm(1, symbols, 0, 0x0fff, "direct address")? as u16,
+            })
+        }
+        "sta" => {
+            ops.expect(2)?;
+            Ok(Instruction::Sta {
+                awp: ops.awp,
+                src: ops.reg(0)?,
+                addr: ops.imm(1, symbols, 0, 0x0fff, "direct address")? as u16,
+            })
+        }
+        "tset" => {
+            ops.no_awp()?;
+            ops.expect(2)?;
+            let (base, offset) = ops.mem(1, symbols)?;
+            Ok(Instruction::Tset {
+                rd: ops.reg(0)?,
+                base,
+                offset,
+            })
+        }
+        "call" => {
+            ops.no_awp()?;
+            ops.expect(1)?;
+            Ok(Instruction::Call {
+                target: ops.imm(0, symbols, 0, 0xffff, "call target")? as u16,
+            })
+        }
+        "ret" => {
+            ops.no_awp()?;
+            let pop = match ops.items.len() {
+                0 => 0,
+                1 => ops.imm(0, symbols, 0, 255, "pop count")? as u8,
+                _ => return Err(AsmError::new(line, "`ret` expects at most one operand")),
+            };
+            Ok(Instruction::Ret { pop })
+        }
+        "reti" => {
+            ops.no_awp()?;
+            ops.expect(0)?;
+            Ok(Instruction::Reti)
+        }
+        "winc" => {
+            ops.no_awp()?;
+            ops.expect(1)?;
+            Ok(Instruction::Winc {
+                n: ops.imm(0, symbols, 0, 255, "window count")? as u8,
+            })
+        }
+        "wdec" => {
+            ops.no_awp()?;
+            ops.expect(1)?;
+            Ok(Instruction::Wdec {
+                n: ops.imm(0, symbols, 0, 255, "window count")? as u8,
+            })
+        }
+        "fork" => {
+            ops.no_awp()?;
+            ops.expect(2)?;
+            Ok(Instruction::Fork {
+                stream: ops.imm(0, symbols, 0, 7, "stream")? as u8,
+                target: ops.imm(1, symbols, 0, 0x0fff, "fork target")? as u16,
+            })
+        }
+        "signal" => {
+            ops.no_awp()?;
+            ops.expect(2)?;
+            Ok(Instruction::Signal {
+                stream: ops.imm(0, symbols, 0, 7, "stream")? as u8,
+                bit: ops.imm(1, symbols, 0, 7, "interrupt bit")? as u8,
+            })
+        }
+        "clri" => {
+            ops.no_awp()?;
+            ops.expect(1)?;
+            Ok(Instruction::Clri {
+                bit: ops.imm(0, symbols, 0, 7, "interrupt bit")? as u8,
+            })
+        }
+        "stop" => {
+            ops.no_awp()?;
+            ops.expect(0)?;
+            Ok(Instruction::Stop)
+        }
+        "halt" => {
+            ops.no_awp()?;
+            ops.expect(0)?;
+            Ok(Instruction::Halt)
+        }
+        "brk" => {
+            ops.no_awp()?;
+            ops.expect(0)?;
+            Ok(Instruction::Brk)
+        }
+        other => Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+
+    fn one(src: &str) -> Instruction {
+        let p = assemble(src).unwrap();
+        decode(p.word(0)).unwrap()
+    }
+
+    #[test]
+    fn assembles_alu_forms() {
+        assert_eq!(
+            one("add r0, r1, g2"),
+            Instruction::Alu {
+                op: AluOp::Add,
+                awp: AwpMode::None,
+                rd: Reg::R0,
+                rs: Reg::R1,
+                rt: Reg::G2,
+            }
+        );
+        assert_eq!(
+            one("mov g0, r3, +w"),
+            Instruction::Alu {
+                op: AluOp::Mov,
+                awp: AwpMode::Inc,
+                rd: Reg::G0,
+                rs: Reg::R3,
+                rt: Reg::R0,
+            }
+        );
+        assert_eq!(
+            one("cmp r1, r2"),
+            Instruction::Alu {
+                op: AluOp::Cmp,
+                awp: AwpMode::None,
+                rd: Reg::R0,
+                rs: Reg::R1,
+                rt: Reg::R2,
+            }
+        );
+    }
+
+    #[test]
+    fn assembles_memory_forms() {
+        assert_eq!(
+            one("ld r1, [g0 + 4]"),
+            Instruction::Ld {
+                awp: AwpMode::None,
+                rd: Reg::R1,
+                base: Reg::G0,
+                offset: 4,
+            }
+        );
+        assert_eq!(
+            one("st r2, [sp - 3], -w"),
+            Instruction::St {
+                awp: AwpMode::Dec,
+                src: Reg::R2,
+                base: Reg::Sp,
+                offset: -3,
+            }
+        );
+        assert_eq!(
+            one("ld r0, [r7]"),
+            Instruction::Ld {
+                awp: AwpMode::None,
+                rd: Reg::R0,
+                base: Reg::R7,
+                offset: 0,
+            }
+        );
+        assert_eq!(
+            one("tset r0, [g1 + 1]"),
+            Instruction::Tset {
+                rd: Reg::R0,
+                base: Reg::G1,
+                offset: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            "start: nop\n jmp end\n jmp start\nend: halt\n",
+        )
+        .unwrap();
+        assert_eq!(
+            decode(p.word(1)).unwrap(),
+            Instruction::Jmp {
+                cond: Cond::Always,
+                target: 3
+            }
+        );
+        assert_eq!(
+            decode(p.word(2)).unwrap(),
+            Instruction::Jmp {
+                cond: Cond::Always,
+                target: 0
+            }
+        );
+    }
+
+    #[test]
+    fn org_and_word_directives() {
+        let p = assemble(".org 0x20\n.word 0x123456\nnop\n").unwrap();
+        assert_eq!(p.word(0x20), 0x123456);
+        assert_eq!(decode(p.word(0x21)).unwrap(), Instruction::Nop);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let p = assemble(".equ PORT, 0x80\nldi r0, PORT\n").unwrap();
+        assert_eq!(
+            decode(p.word(0)).unwrap(),
+            Instruction::Ldi {
+                awp: AwpMode::None,
+                rd: Reg::R0,
+                imm: 0x80
+            }
+        );
+    }
+
+    #[test]
+    fn stream_and_vector_directives() {
+        let p = assemble(
+            ".stream 2, entry\n.vector 1, 3, isr\nentry: nop\nisr: reti\n",
+        )
+        .unwrap();
+        assert_eq!(p.entry(2), Some(0));
+        assert_eq!(p.vector(1, 3), Some(1));
+        assert_eq!(p.entry(0), None);
+        assert_eq!(p.vector(1, 4), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("jmp nowhere\n").unwrap_err();
+        assert!(err.message().contains("undefined symbol"));
+    }
+
+    #[test]
+    fn out_of_range_operands_rejected() {
+        assert!(assemble("ldi r0, 5000\n").is_err());
+        assert!(assemble("fork 9, 0\n").is_err());
+        assert!(assemble("signal 0, 8\n").is_err());
+        assert!(assemble("ld r0, [g0 + 200]\n").is_err());
+        assert!(assemble("addi r0, r0, 256\n").is_err());
+    }
+
+    #[test]
+    fn awp_suffix_rejected_where_meaningless() {
+        assert!(assemble("jmp 0, +w\n").is_err());
+        assert!(assemble("halt, +w\n").is_err());
+        assert!(assemble("call 0, -w\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; leading comment\n\n nop ; trailing\n").unwrap();
+        assert_eq!(decode(p.word(0)).unwrap(), Instruction::Nop);
+    }
+
+    #[test]
+    fn ret_defaults_to_zero_pop() {
+        assert_eq!(one("ret"), Instruction::Ret { pop: 0 });
+        assert_eq!(one("ret 3"), Instruction::Ret { pop: 3 });
+    }
+
+    #[test]
+    fn li_pseudo_expands_to_two_words() {
+        let p = assemble("li r3, 0x1234\nhalt\n").unwrap();
+        assert_eq!(
+            decode(p.word(0)).unwrap(),
+            Instruction::Ldi {
+                awp: AwpMode::None,
+                rd: Reg::R3,
+                imm: 0x34
+            }
+        );
+        assert_eq!(
+            decode(p.word(1)).unwrap(),
+            Instruction::Lui {
+                rd: Reg::R3,
+                imm: 0x12
+            }
+        );
+        assert_eq!(decode(p.word(2)).unwrap(), Instruction::Halt);
+    }
+
+    #[test]
+    fn li_keeps_labels_correct() {
+        // The 2-word expansion must shift later label addresses.
+        let p = assemble("li r0, 0xbeef\ntarget: halt\njmp target\n").unwrap();
+        assert_eq!(
+            decode(p.word(3)).unwrap(),
+            Instruction::Jmp {
+                cond: Cond::Always,
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn inc_dec_clr_pseudos() {
+        assert_eq!(
+            one("inc g1"),
+            Instruction::AluImm {
+                op: AluImmOp::Addi,
+                awp: AwpMode::None,
+                rd: Reg::G1,
+                rs: Reg::G1,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            one("dec r5, +w"),
+            Instruction::AluImm {
+                op: AluImmOp::Subi,
+                awp: AwpMode::Inc,
+                rd: Reg::R5,
+                rs: Reg::R5,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            one("clr r2"),
+            Instruction::Ldi {
+                awp: AwpMode::None,
+                rd: Reg::R2,
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn li_rejects_out_of_range() {
+        assert!(assemble("li r0, 70000\n").is_err());
+        assert!(assemble("li r0, 0xffff\n").is_ok());
+        assert!(assemble("li r0, -1\n").is_ok());
+    }
+
+    #[test]
+    fn case_insensitive_mnemonics_and_registers() {
+        assert_eq!(
+            one("ADD R0, G1, SP"),
+            Instruction::Alu {
+                op: AluOp::Add,
+                awp: AwpMode::None,
+                rd: Reg::R0,
+                rs: Reg::G1,
+                rt: Reg::Sp,
+            }
+        );
+    }
+}

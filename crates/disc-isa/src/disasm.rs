@@ -1,0 +1,158 @@
+//! Disassembly of DISC1 instructions back into assembler syntax.
+//!
+//! The produced text re-assembles to the identical instruction (the
+//! assembler/disassembler pair is round-trip tested), which makes the
+//! disassembler usable for trace output and for debugging generated
+//! programs.
+
+use crate::instr::{AluOp, Instruction};
+
+/// Formats a single instruction in the syntax accepted by
+/// [`asm::assemble`](crate::asm::assemble).
+///
+/// # Example
+///
+/// ```
+/// use disc_isa::{disasm, AluOp, AwpMode, Instruction, Reg};
+///
+/// let i = Instruction::Alu {
+///     op: AluOp::Add,
+///     awp: AwpMode::Inc,
+///     rd: Reg::R0,
+///     rs: Reg::R1,
+///     rt: Reg::G0,
+/// };
+/// assert_eq!(disasm::format_instruction(&i), "add r0, r1, g0, +w");
+/// ```
+pub fn format_instruction(instr: &Instruction) -> String {
+    match *instr {
+        Instruction::Nop => "nop".to_string(),
+        Instruction::Alu { op, awp, rd, rs, rt } => match op {
+            AluOp::Mov | AluOp::Not => {
+                format!("{op} {rd}, {rs}{}", awp.suffix())
+            }
+            AluOp::Cmp => format!("{op} {rs}, {rt}{}", awp.suffix()),
+            _ => format!("{op} {rd}, {rs}, {rt}{}", awp.suffix()),
+        },
+        Instruction::AluImm { op, awp, rd, rs, imm } => {
+            if op.writes_rd() {
+                format!("{op} {rd}, {rs}, {imm}{}", awp.suffix())
+            } else {
+                format!("{op} {rs}, {imm}{}", awp.suffix())
+            }
+        }
+        Instruction::Ldi { awp, rd, imm } => {
+            format!("ldi {rd}, {imm}{}", awp.suffix())
+        }
+        Instruction::Lui { rd, imm } => format!("lui {rd}, {imm}"),
+        Instruction::Ld { awp, rd, base, offset } => {
+            format!("ld {rd}, [{base} {offset:+}]{}", awp.suffix())
+        }
+        Instruction::St { awp, src, base, offset } => {
+            format!("st {src}, [{base} {offset:+}]{}", awp.suffix())
+        }
+        Instruction::Lda { awp, rd, addr } => {
+            format!("lda {rd}, {addr:#x}{}", awp.suffix())
+        }
+        Instruction::Sta { awp, src, addr } => {
+            format!("sta {src}, {addr:#x}{}", awp.suffix())
+        }
+        Instruction::Tset { rd, base, offset } => {
+            format!("tset {rd}, [{base} {offset:+}]")
+        }
+        Instruction::Jmp { cond, target } => format!("{cond} {target:#x}"),
+        Instruction::Call { target } => format!("call {target:#x}"),
+        Instruction::Ret { pop } => format!("ret {pop}"),
+        Instruction::Reti => "reti".to_string(),
+        Instruction::Winc { n } => format!("winc {n}"),
+        Instruction::Wdec { n } => format!("wdec {n}"),
+        Instruction::Fork { stream, target } => {
+            format!("fork {stream}, {target:#x}")
+        }
+        Instruction::Signal { stream, bit } => format!("signal {stream}, {bit}"),
+        Instruction::Clri { bit } => format!("clri {bit}"),
+        Instruction::Stop => "stop".to_string(),
+        Instruction::Halt => "halt".to_string(),
+        Instruction::Brk => "brk".to_string(),
+    }
+}
+
+/// Disassembles an encoded program word, or formats it as raw data when it
+/// does not decode.
+pub fn format_word(word: u32) -> String {
+    match crate::encode::decode(word) {
+        Ok(i) => format_instruction(&i),
+        Err(_) => format!(".word {word:#08x}"),
+    }
+}
+
+/// Produces a listing of `words` starting at program address `base`, one
+/// `addr: text` line per word.
+pub fn listing(base: u16, words: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base as usize + i;
+        out.push_str(&format!("{addr:04x}: {}\n", format_word(w)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AwpMode, Cond};
+    use crate::reg::Reg;
+
+    #[test]
+    fn formats_special_operand_shapes() {
+        assert_eq!(
+            format_instruction(&Instruction::Alu {
+                op: AluOp::Cmp,
+                awp: AwpMode::None,
+                rd: Reg::R0,
+                rs: Reg::R1,
+                rt: Reg::R2,
+            }),
+            "cmp r1, r2"
+        );
+        assert_eq!(
+            format_instruction(&Instruction::Alu {
+                op: AluOp::Mov,
+                awp: AwpMode::Dec,
+                rd: Reg::G0,
+                rs: Reg::R0,
+                rt: Reg::R0,
+            }),
+            "mov g0, r0, -w"
+        );
+        assert_eq!(
+            format_instruction(&Instruction::Ld {
+                awp: AwpMode::None,
+                rd: Reg::R1,
+                base: Reg::Sp,
+                offset: -3,
+            }),
+            "ld r1, [sp -3]"
+        );
+        assert_eq!(
+            format_instruction(&Instruction::Jmp {
+                cond: Cond::Nz,
+                target: 0x40
+            }),
+            "jnz 0x40"
+        );
+    }
+
+    #[test]
+    fn raw_words_format_as_data() {
+        assert_eq!(format_word(63 << 18), format!(".word {:#08x}", 63 << 18));
+    }
+
+    #[test]
+    fn listing_numbers_addresses() {
+        let words = vec![0, crate::encode::encode(&Instruction::Halt)];
+        let text = listing(0x10, &words);
+        assert!(text.contains("0010: nop"));
+        assert!(text.contains("0011: halt"));
+    }
+}

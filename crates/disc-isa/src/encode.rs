@@ -1,0 +1,460 @@
+//! Binary encoding of DISC1 instructions into 24-bit program words.
+//!
+//! Word layout (bit 23 is the most significant valid bit):
+//!
+//! ```text
+//! [23:18] opcode
+//! [17:16] AWP adjust field (0 none, 1 inc, 2 dec) where applicable
+//! [15:12] rd / stream
+//! [11:8]  rs / bit
+//! [7:4]   rt
+//! [7:0]   imm8 / offset8 / pop / n
+//! [11:0]  imm12 / addr12 / fork target
+//! [15:0]  jump & call target
+//! ```
+//!
+//! The all-zero word encodes `nop`, so uninitialized program memory executes
+//! harmlessly.
+
+use std::fmt;
+
+use crate::instr::{AluImmOp, AluOp, AwpMode, Cond, Instruction};
+use crate::reg::Reg;
+use crate::INSTR_MASK;
+
+// Opcode assignments. R-format ALU ops occupy 1..=15, immediate ALU ops
+// 16..=21, memory ops 24..=28, jumps 32..=39 (32 + condition code).
+const OP_NOP: u32 = 0;
+const OP_ALU_BASE: u32 = 1; // ..=15
+const OP_ALUI_BASE: u32 = 16; // ..=21
+const OP_LDI: u32 = 22;
+const OP_LUI: u32 = 23;
+const OP_LD: u32 = 24;
+const OP_ST: u32 = 25;
+const OP_LDA: u32 = 26;
+const OP_STA: u32 = 27;
+const OP_TSET: u32 = 28;
+const OP_JMP_BASE: u32 = 32; // ..=39
+const OP_CALL: u32 = 40;
+const OP_RET: u32 = 41;
+const OP_RETI: u32 = 42;
+const OP_WINC: u32 = 43;
+const OP_WDEC: u32 = 44;
+const OP_FORK: u32 = 45;
+const OP_SIGNAL: u32 = 46;
+const OP_CLRI: u32 = 47;
+const OP_STOP: u32 = 48;
+const OP_HALT: u32 = 50;
+const OP_BRK: u32 = 51;
+
+/// Error produced when decoding an invalid 24-bit program word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The offending program word.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+#[inline]
+fn reg_field(word: u32, lo: u32) -> Reg {
+    // A 4-bit field always decodes to a valid register.
+    Reg::from_index(field(word, lo, 4) as u8).expect("4-bit register field")
+}
+
+fn awp_field(word: u32) -> Result<AwpMode, DecodeError> {
+    AwpMode::from_code(field(word, 16, 2)).ok_or(DecodeError { word })
+}
+
+/// Encodes an instruction into its 24-bit program word.
+///
+/// The result always fits in [`crate::INSTR_MASK`].
+///
+/// # Panics
+///
+/// Panics if an operand is out of its encodable range (`Ldi` immediate
+/// outside `-2048..=2047`, direct address or fork target above `0x0fff`,
+/// stream index above 7, interrupt bit above 7). The assembler and builder
+/// validate operands before calling this.
+///
+/// # Example
+///
+/// ```
+/// use disc_isa::{encode, Instruction};
+///
+/// let w = encode::encode(&Instruction::Halt);
+/// assert_eq!(encode::decode(w)?, Instruction::Halt);
+/// # Ok::<(), disc_isa::DecodeError>(())
+/// ```
+pub fn encode(instr: &Instruction) -> u32 {
+    let word = match *instr {
+        Instruction::Nop => OP_NOP << 18,
+        Instruction::Alu { op, awp, rd, rs, rt } => {
+            let idx = AluOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+            ((OP_ALU_BASE + idx) << 18)
+                | (awp.code() << 16)
+                | ((rd.index() as u32) << 12)
+                | ((rs.index() as u32) << 8)
+                | ((rt.index() as u32) << 4)
+        }
+        Instruction::AluImm { op, awp, rd, rs, imm } => {
+            let idx = AluImmOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
+            ((OP_ALUI_BASE + idx) << 18)
+                | (awp.code() << 16)
+                | ((rd.index() as u32) << 12)
+                | ((rs.index() as u32) << 8)
+                | imm as u32
+        }
+        Instruction::Ldi { awp, rd, imm } => {
+            assert!(
+                (-2048..=2047).contains(&imm),
+                "ldi immediate {imm} out of 12-bit range"
+            );
+            (OP_LDI << 18)
+                | (awp.code() << 16)
+                | ((rd.index() as u32) << 12)
+                | (imm as u32 & 0x0fff)
+        }
+        Instruction::Lui { rd, imm } => {
+            (OP_LUI << 18) | ((rd.index() as u32) << 12) | imm as u32
+        }
+        Instruction::Ld { awp, rd, base, offset } => {
+            (OP_LD << 18)
+                | (awp.code() << 16)
+                | ((rd.index() as u32) << 12)
+                | ((base.index() as u32) << 8)
+                | (offset as u8 as u32)
+        }
+        Instruction::St { awp, src, base, offset } => {
+            (OP_ST << 18)
+                | (awp.code() << 16)
+                | ((src.index() as u32) << 12)
+                | ((base.index() as u32) << 8)
+                | (offset as u8 as u32)
+        }
+        Instruction::Lda { awp, rd, addr } => {
+            assert!(addr <= 0x0fff, "lda address {addr:#x} out of 12-bit range");
+            (OP_LDA << 18)
+                | (awp.code() << 16)
+                | ((rd.index() as u32) << 12)
+                | addr as u32
+        }
+        Instruction::Sta { awp, src, addr } => {
+            assert!(addr <= 0x0fff, "sta address {addr:#x} out of 12-bit range");
+            (OP_STA << 18)
+                | (awp.code() << 16)
+                | ((src.index() as u32) << 12)
+                | addr as u32
+        }
+        Instruction::Tset { rd, base, offset } => {
+            (OP_TSET << 18)
+                | ((rd.index() as u32) << 12)
+                | ((base.index() as u32) << 8)
+                | (offset as u8 as u32)
+        }
+        Instruction::Jmp { cond, target } => {
+            ((OP_JMP_BASE + cond.code()) << 18) | target as u32
+        }
+        Instruction::Call { target } => (OP_CALL << 18) | target as u32,
+        Instruction::Ret { pop } => (OP_RET << 18) | pop as u32,
+        Instruction::Reti => OP_RETI << 18,
+        Instruction::Winc { n } => (OP_WINC << 18) | n as u32,
+        Instruction::Wdec { n } => (OP_WDEC << 18) | n as u32,
+        Instruction::Fork { stream, target } => {
+            assert!(stream < 8, "fork stream {stream} out of range");
+            assert!(
+                target <= 0x0fff,
+                "fork target {target:#x} out of 12-bit range"
+            );
+            (OP_FORK << 18) | ((stream as u32) << 12) | target as u32
+        }
+        Instruction::Signal { stream, bit } => {
+            assert!(stream < 8, "signal stream {stream} out of range");
+            assert!(bit < 8, "signal bit {bit} out of range");
+            (OP_SIGNAL << 18) | ((stream as u32) << 12) | ((bit as u32) << 8)
+        }
+        Instruction::Clri { bit } => {
+            assert!(bit < 8, "clri bit {bit} out of range");
+            (OP_CLRI << 18) | ((bit as u32) << 8)
+        }
+        Instruction::Stop => OP_STOP << 18,
+        Instruction::Halt => OP_HALT << 18,
+        Instruction::Brk => OP_BRK << 18,
+    };
+    debug_assert_eq!(word & !INSTR_MASK, 0);
+    word
+}
+
+/// Decodes a 24-bit program word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode field is unassigned, the AWP
+/// field holds the invalid code `3`, or bits above bit 23 are set.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    if word & !INSTR_MASK != 0 {
+        return Err(DecodeError { word });
+    }
+    let op = field(word, 18, 6);
+    let instr = match op {
+        OP_NOP => Instruction::Nop,
+        o if (OP_ALU_BASE..OP_ALU_BASE + 15).contains(&o) => Instruction::Alu {
+            op: AluOp::ALL[(o - OP_ALU_BASE) as usize],
+            awp: awp_field(word)?,
+            rd: reg_field(word, 12),
+            rs: reg_field(word, 8),
+            rt: reg_field(word, 4),
+        },
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + 6).contains(&o) => Instruction::AluImm {
+            op: AluImmOp::ALL[(o - OP_ALUI_BASE) as usize],
+            awp: awp_field(word)?,
+            rd: reg_field(word, 12),
+            rs: reg_field(word, 8),
+            imm: field(word, 0, 8) as u8,
+        },
+        OP_LDI => {
+            let raw = field(word, 0, 12) as i16;
+            let imm = (raw << 4) >> 4; // sign-extend 12 bits
+            Instruction::Ldi {
+                awp: awp_field(word)?,
+                rd: reg_field(word, 12),
+                imm,
+            }
+        }
+        OP_LUI => Instruction::Lui {
+            rd: reg_field(word, 12),
+            imm: field(word, 0, 8) as u8,
+        },
+        OP_LD => Instruction::Ld {
+            awp: awp_field(word)?,
+            rd: reg_field(word, 12),
+            base: reg_field(word, 8),
+            offset: field(word, 0, 8) as u8 as i8,
+        },
+        OP_ST => Instruction::St {
+            awp: awp_field(word)?,
+            src: reg_field(word, 12),
+            base: reg_field(word, 8),
+            offset: field(word, 0, 8) as u8 as i8,
+        },
+        OP_LDA => Instruction::Lda {
+            awp: awp_field(word)?,
+            rd: reg_field(word, 12),
+            addr: field(word, 0, 12) as u16,
+        },
+        OP_STA => Instruction::Sta {
+            awp: awp_field(word)?,
+            src: reg_field(word, 12),
+            addr: field(word, 0, 12) as u16,
+        },
+        OP_TSET => Instruction::Tset {
+            rd: reg_field(word, 12),
+            base: reg_field(word, 8),
+            offset: field(word, 0, 8) as u8 as i8,
+        },
+        o if (OP_JMP_BASE..OP_JMP_BASE + 8).contains(&o) => Instruction::Jmp {
+            cond: Cond::from_code(o - OP_JMP_BASE).expect("3-bit condition"),
+            target: field(word, 0, 16) as u16,
+        },
+        OP_CALL => Instruction::Call {
+            target: field(word, 0, 16) as u16,
+        },
+        OP_RET => Instruction::Ret {
+            pop: field(word, 0, 8) as u8,
+        },
+        OP_RETI => Instruction::Reti,
+        OP_WINC => Instruction::Winc {
+            n: field(word, 0, 8) as u8,
+        },
+        OP_WDEC => Instruction::Wdec {
+            n: field(word, 0, 8) as u8,
+        },
+        OP_FORK => Instruction::Fork {
+            stream: field(word, 12, 3) as u8,
+            target: field(word, 0, 12) as u16,
+        },
+        OP_SIGNAL => Instruction::Signal {
+            stream: field(word, 12, 3) as u8,
+            bit: field(word, 8, 3) as u8,
+        },
+        OP_CLRI => Instruction::Clri {
+            bit: field(word, 8, 3) as u8,
+        },
+        OP_STOP => Instruction::Stop,
+        OP_HALT => Instruction::Halt,
+        OP_BRK => Instruction::Brk,
+        _ => return Err(DecodeError { word }),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction) {
+        let w = encode(&i);
+        assert_eq!(w & !INSTR_MASK, 0, "{i:?} encodes beyond 24 bits");
+        assert_eq!(decode(w), Ok(i), "word {w:#08x}");
+    }
+
+    #[test]
+    fn zero_word_is_nop() {
+        assert_eq!(decode(0), Ok(Instruction::Nop));
+        assert_eq!(encode(&Instruction::Nop), 0);
+    }
+
+    #[test]
+    fn alu_roundtrips() {
+        for op in AluOp::ALL {
+            for awp in [AwpMode::None, AwpMode::Inc, AwpMode::Dec] {
+                roundtrip(Instruction::Alu {
+                    op,
+                    awp,
+                    rd: Reg::R3,
+                    rs: Reg::G1,
+                    rt: Reg::Sp,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn alu_imm_roundtrips() {
+        for op in AluImmOp::ALL {
+            roundtrip(Instruction::AluImm {
+                op,
+                awp: AwpMode::Inc,
+                rd: Reg::R7,
+                rs: Reg::R0,
+                imm: 0xab,
+            });
+        }
+    }
+
+    #[test]
+    fn ldi_sign_extension() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            roundtrip(Instruction::Ldi {
+                awp: AwpMode::None,
+                rd: Reg::R1,
+                imm,
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 12-bit range")]
+    fn ldi_overflow_panics() {
+        encode(&Instruction::Ldi {
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            imm: 2048,
+        });
+    }
+
+    #[test]
+    fn memory_roundtrips() {
+        roundtrip(Instruction::Ld {
+            awp: AwpMode::Dec,
+            rd: Reg::R2,
+            base: Reg::Sp,
+            offset: -128,
+        });
+        roundtrip(Instruction::St {
+            awp: AwpMode::None,
+            src: Reg::G3,
+            base: Reg::R5,
+            offset: 127,
+        });
+        roundtrip(Instruction::Lda {
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            addr: 0x0fff,
+        });
+        roundtrip(Instruction::Sta {
+            awp: AwpMode::Inc,
+            src: Reg::R4,
+            addr: 0,
+        });
+        roundtrip(Instruction::Tset {
+            rd: Reg::R1,
+            base: Reg::G0,
+            offset: 3,
+        });
+    }
+
+    #[test]
+    fn control_roundtrips() {
+        for cond in Cond::ALL {
+            roundtrip(Instruction::Jmp {
+                cond,
+                target: 0xffff,
+            });
+        }
+        roundtrip(Instruction::Call { target: 0x1234 });
+        roundtrip(Instruction::Ret { pop: 255 });
+        roundtrip(Instruction::Reti);
+        roundtrip(Instruction::Winc { n: 8 });
+        roundtrip(Instruction::Wdec { n: 8 });
+    }
+
+    #[test]
+    fn stream_roundtrips() {
+        roundtrip(Instruction::Fork {
+            stream: 7,
+            target: 0x0abc,
+        });
+        roundtrip(Instruction::Signal { stream: 3, bit: 7 });
+        roundtrip(Instruction::Clri { bit: 5 });
+        roundtrip(Instruction::Stop);
+        roundtrip(Instruction::Halt);
+        roundtrip(Instruction::Brk);
+        roundtrip(Instruction::Lui {
+            rd: Reg::Mr,
+            imm: 0xff,
+        });
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        // Opcode 63 is unassigned.
+        let w = 63 << 18;
+        assert!(decode(w).is_err());
+        // Opcode 29..31 unassigned.
+        assert!(decode(29 << 18).is_err());
+        // High bits beyond bit 23 are invalid.
+        assert!(decode(1 << 24).is_err());
+    }
+
+    #[test]
+    fn invalid_awp_field_errors() {
+        // ALU add with awp code 3.
+        let w = (OP_ALU_BASE << 18) | (3 << 16);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn decode_error_reports_word() {
+        let err = decode(63 << 18).unwrap_err();
+        assert_eq!(err.word(), 63 << 18);
+        assert!(err.to_string().contains("invalid instruction word"));
+    }
+}

@@ -1,0 +1,653 @@
+//! The DISC1 instruction model.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Stack-window side effect carried by an instruction.
+///
+/// DISC adds *"stack increment and decrement ... to some instructions such as
+/// Load, Store, Add, Subtract, etc."* — the adjustment happens **at the end
+/// of the instruction**, after its operands were read and its result written
+/// relative to the old window position.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AwpMode {
+    /// Leave the active window pointer unchanged.
+    #[default]
+    None,
+    /// Increment the AWP: a fresh `R0` is allocated; old `R0` becomes `R1`.
+    Inc,
+    /// Decrement the AWP: `R0` is discarded; old `R1` becomes `R0`.
+    Dec,
+}
+
+impl AwpMode {
+    /// The 2-bit encoding of the mode.
+    pub const fn code(self) -> u32 {
+        match self {
+            AwpMode::None => 0,
+            AwpMode::Inc => 1,
+            AwpMode::Dec => 2,
+        }
+    }
+
+    /// Decodes the 2-bit field; `3` is an invalid encoding.
+    pub const fn from_code(code: u32) -> Option<AwpMode> {
+        match code {
+            0 => Some(AwpMode::None),
+            1 => Some(AwpMode::Inc),
+            2 => Some(AwpMode::Dec),
+            _ => None,
+        }
+    }
+
+    /// Assembly suffix (`""`, `", +w"`, `", -w"`).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            AwpMode::None => "",
+            AwpMode::Inc => ", +w",
+            AwpMode::Dec => ", -w",
+        }
+    }
+}
+
+/// Three-operand ALU operations (`rd <- rs op rt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd = rs + rt`, sets `Z N C V`.
+    Add,
+    /// `rd = rs + rt + C`.
+    Adc,
+    /// `rd = rs - rt`.
+    Sub,
+    /// `rd = rs - rt - borrow`.
+    Sbc,
+    /// `rd = rs & rt`.
+    And,
+    /// `rd = rs | rt`.
+    Or,
+    /// `rd = rs ^ rt`.
+    Xor,
+    /// `rd = low16(rs * rt)` using the 16×16 hardware multiplier.
+    Mul,
+    /// `rd = high16(rs * rt)`.
+    Mulh,
+    /// `rd = rs << (rt & 0xf)`.
+    Shl,
+    /// `rd = rs >> (rt & 0xf)` (logical).
+    Shr,
+    /// `rd = rs >> (rt & 0xf)` (arithmetic).
+    Asr,
+    /// `rd = rs` (register move; `rt` ignored).
+    Mov,
+    /// `rd = !rs` (bitwise complement; `rt` ignored).
+    Not,
+    /// Flags from `rs - rt`; no register written (`rd` ignored).
+    Cmp,
+}
+
+impl AluOp {
+    /// All R-format ALU operations in encoding order.
+    pub const ALL: [AluOp; 15] = [
+        AluOp::Add,
+        AluOp::Adc,
+        AluOp::Sub,
+        AluOp::Sbc,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Mul,
+        AluOp::Mulh,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Asr,
+        AluOp::Mov,
+        AluOp::Not,
+        AluOp::Cmp,
+    ];
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Adc => "adc",
+            AluOp::Sub => "sub",
+            AluOp::Sbc => "sbc",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Asr => "asr",
+            AluOp::Mov => "mov",
+            AluOp::Not => "not",
+            AluOp::Cmp => "cmp",
+        }
+    }
+
+    /// `true` when the operation writes `rd` (everything except `cmp`).
+    pub const fn writes_rd(self) -> bool {
+        !matches!(self, AluOp::Cmp)
+    }
+
+    /// `true` when the operation reads `rt` (two-source operations).
+    pub const fn reads_rt(self) -> bool {
+        !matches!(self, AluOp::Mov | AluOp::Not)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Immediate-operand ALU operations (`rd <- rs op imm8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `rd = rs + imm`.
+    Addi,
+    /// `rd = rs - imm`.
+    Subi,
+    /// `rd = rs & imm`.
+    Andi,
+    /// `rd = rs | imm`.
+    Ori,
+    /// `rd = rs ^ imm`.
+    Xori,
+    /// Flags from `rs - imm`; no register written.
+    Cmpi,
+}
+
+impl AluImmOp {
+    /// All I-format ALU operations in encoding order.
+    pub const ALL: [AluImmOp; 6] = [
+        AluImmOp::Addi,
+        AluImmOp::Subi,
+        AluImmOp::Andi,
+        AluImmOp::Ori,
+        AluImmOp::Xori,
+        AluImmOp::Cmpi,
+    ];
+
+    /// Assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Subi => "subi",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Cmpi => "cmpi",
+        }
+    }
+
+    /// `true` when the operation writes `rd` (everything except `cmpi`).
+    pub const fn writes_rd(self) -> bool {
+        !matches!(self, AluImmOp::Cmpi)
+    }
+}
+
+impl fmt::Display for AluImmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Jump conditions, evaluated against the stream's `Z N C V` flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Unconditional.
+    #[default]
+    Always,
+    /// Zero flag set (`jz`).
+    Z,
+    /// Zero flag clear (`jnz`).
+    Nz,
+    /// Carry flag set (`jc`).
+    C,
+    /// Carry flag clear (`jnc`).
+    Nc,
+    /// Negative flag set (`jn`).
+    N,
+    /// Negative flag clear (`jnn`).
+    Nn,
+    /// Overflow flag set (`jv`).
+    V,
+}
+
+impl Cond {
+    /// All conditions in encoding order.
+    pub const ALL: [Cond; 8] = [
+        Cond::Always,
+        Cond::Z,
+        Cond::Nz,
+        Cond::C,
+        Cond::Nc,
+        Cond::N,
+        Cond::Nn,
+        Cond::V,
+    ];
+
+    /// The 3-bit encoding of the condition.
+    pub const fn code(self) -> u32 {
+        match self {
+            Cond::Always => 0,
+            Cond::Z => 1,
+            Cond::Nz => 2,
+            Cond::C => 3,
+            Cond::Nc => 4,
+            Cond::N => 5,
+            Cond::Nn => 6,
+            Cond::V => 7,
+        }
+    }
+
+    /// Decodes a 3-bit condition code.
+    pub const fn from_code(code: u32) -> Option<Cond> {
+        if code < 8 {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Jump mnemonic using this condition.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Always => "jmp",
+            Cond::Z => "jz",
+            Cond::Nz => "jnz",
+            Cond::C => "jc",
+            Cond::Nc => "jnc",
+            Cond::N => "jn",
+            Cond::Nn => "jnn",
+            Cond::V => "jv",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A decoded DISC1 instruction.
+///
+/// Field widths reflect the 24-bit instruction word: immediates are 8 bits
+/// (sign behaviour documented per variant), load-immediates 12 bits, jump
+/// targets 16 bits, direct addresses and fork targets 12 bits.
+///
+/// # Example
+///
+/// ```
+/// use disc_isa::{AluOp, AwpMode, Instruction, Reg};
+///
+/// let i = Instruction::Alu {
+///     op: AluOp::Add,
+///     awp: AwpMode::Inc,
+///     rd: Reg::R0,
+///     rs: Reg::R1,
+///     rt: Reg::G0,
+/// };
+/// let word = disc_isa::encode::encode(&i);
+/// assert_eq!(disc_isa::encode::decode(word)?, i);
+/// # Ok::<(), disc_isa::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Instruction {
+    /// No operation. The all-zero word decodes to `nop`.
+    #[default]
+    Nop,
+    /// Three-operand ALU operation.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs: Reg,
+        /// Second source register (ignored by `mov`/`not`).
+        rt: Reg,
+    },
+    /// ALU operation with an 8-bit unsigned immediate.
+    AluImm {
+        /// Operation selector.
+        op: AluImmOp,
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Unsigned 8-bit immediate operand.
+        imm: u8,
+    },
+    /// Load a sign-extended 12-bit immediate: `rd = imm`.
+    Ldi {
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Destination register.
+        rd: Reg,
+        /// Signed immediate in `-2048..=2047`.
+        imm: i16,
+    },
+    /// Load upper byte: `rd = (imm << 8) | (rd & 0x00ff)`.
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// Byte placed in bits `15..=8`.
+        imm: u8,
+    },
+    /// Load from data memory: `rd = mem[rs + offset]`.
+    ///
+    /// Addresses below the internal-memory size access the synchronous
+    /// on-chip RAM; all other addresses go through the asynchronous bus
+    /// interface (pseudo-DMA, §3.6.1 of the paper).
+    Ld {
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset added to the base.
+        offset: i8,
+    },
+    /// Store to data memory: `mem[base + offset] = src`.
+    St {
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Source register providing the stored value.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset added to the base.
+        offset: i8,
+    },
+    /// Direct load from internal memory: `rd = mem[addr]`
+    /// (the paper's "9-bits immediate addressing", widened to 12 bits).
+    Lda {
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Destination register.
+        rd: Reg,
+        /// Direct word address in `0..=0x0fff`.
+        addr: u16,
+    },
+    /// Direct store to internal memory: `mem[addr] = src`.
+    Sta {
+        /// Stack-window side effect.
+        awp: AwpMode,
+        /// Source register providing the stored value.
+        src: Reg,
+        /// Direct word address in `0..=0x0fff`.
+        addr: u16,
+    },
+    /// Atomic test-and-set on internal memory:
+    /// `rd = mem[base + offset]; mem[base + offset] = 0xffff`.
+    ///
+    /// The read-modify-write is indivisible with respect to all other
+    /// streams, making it usable as a semaphore primitive (§3.6.2).
+    Tset {
+        /// Destination receiving the previous memory value.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset added to the base.
+        offset: i8,
+    },
+    /// Conditional or unconditional jump to a 16-bit absolute target.
+    Jmp {
+        /// Condition guarding the jump.
+        cond: Cond,
+        /// Absolute program address of the target.
+        target: u16,
+    },
+    /// Procedure call: increments the AWP and stores the return address in
+    /// the fresh `R0`, then jumps (§3.5).
+    Call {
+        /// Absolute program address of the callee.
+        target: u16,
+    },
+    /// Procedure return: pops `pop` locals (`AWP -= pop`), restores the
+    /// program counter from `R0`, then pops the return slot
+    /// (`AWP -= 1`).
+    Ret {
+        /// Number of locals allocated since the matching `call`.
+        pop: u8,
+    },
+    /// Return from interrupt: restores the pre-interrupt program counter and
+    /// clears the in-service IR bit (only the owning stream may clear its
+    /// IR bits).
+    Reti,
+    /// Allocate `n` fresh window registers: `AWP += n`.
+    Winc {
+        /// Number of registers to allocate.
+        n: u8,
+    },
+    /// Release `n` window registers: `AWP -= n`.
+    Wdec {
+        /// Number of registers to release.
+        n: u8,
+    },
+    /// Start instruction stream `stream` at program address `target`
+    /// by setting its background IR bit (bit 0).
+    Fork {
+        /// Target stream index (`0..8`).
+        stream: u8,
+        /// Absolute program address in `0..=0x0fff` where the stream starts.
+        target: u16,
+    },
+    /// Software interrupt: set bit `bit` in stream `stream`'s IR.
+    ///
+    /// This is the DISC inter-stream communication and synchronization
+    /// mechanism (§3.6.2/3.6.3).
+    Signal {
+        /// Target stream index (`0..8`).
+        stream: u8,
+        /// Interrupt bit to request (`0..8`, 7 = highest priority).
+        bit: u8,
+    },
+    /// Clear bit `bit` of the executing stream's own IR.
+    Clri {
+        /// Interrupt bit to clear (`0..8`).
+        bit: u8,
+    },
+    /// Deactivate the executing stream by clearing its entire IR; it will
+    /// not be scheduled again until some interrupt bit is set.
+    Stop,
+    /// Halt the whole machine (simulation convenience; a real DISC1 would
+    /// idle).
+    Halt,
+    /// Breakpoint: the simulator stops and reports the stream and address.
+    Brk,
+}
+
+impl Instruction {
+    /// The stack-window side effect of this instruction.
+    ///
+    /// `call`/`ret`/`reti` manage the window implicitly and report
+    /// [`AwpMode::None`] here; `winc`/`wdec` likewise adjust through their
+    /// own operand.
+    pub fn awp_mode(&self) -> AwpMode {
+        match *self {
+            Instruction::Alu { awp, .. }
+            | Instruction::AluImm { awp, .. }
+            | Instruction::Ldi { awp, .. }
+            | Instruction::Ld { awp, .. }
+            | Instruction::St { awp, .. }
+            | Instruction::Lda { awp, .. }
+            | Instruction::Sta { awp, .. } => awp,
+            _ => AwpMode::None,
+        }
+    }
+
+    /// `true` for instructions that may redirect the stream's control flow
+    /// (jump-type instructions in the paper's `aljmp` sense).
+    pub fn is_flow(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Jmp { .. }
+                | Instruction::Call { .. }
+                | Instruction::Ret { .. }
+                | Instruction::Reti
+                | Instruction::Fork { .. }
+        )
+    }
+
+    /// `true` for instructions that access data memory (internal or
+    /// external).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Ld { .. }
+                | Instruction::St { .. }
+                | Instruction::Lda { .. }
+                | Instruction::Sta { .. }
+                | Instruction::Tset { .. }
+        )
+    }
+
+    /// Registers read by this instruction, in operand order.
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Instruction::Alu { op, rs, rt, .. } => {
+                if op.reads_rt() {
+                    vec![rs, rt]
+                } else {
+                    vec![rs]
+                }
+            }
+            Instruction::AluImm { rs, .. } => vec![rs],
+            // `lui` merges into the existing low byte, so it reads `rd`.
+            Instruction::Lui { rd, .. } => vec![rd],
+            Instruction::Ld { base, .. } => vec![base],
+            Instruction::St { src, base, .. } => vec![src, base],
+            Instruction::Sta { src, .. } => vec![src],
+            Instruction::Tset { base, .. } => vec![base],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Register written by this instruction, if any.
+    ///
+    /// Loads report their destination even though the write may complete
+    /// asynchronously through the bus interface.
+    pub fn destination(&self) -> Option<Reg> {
+        match *self {
+            Instruction::Alu { op, rd, .. } if op.writes_rd() => Some(rd),
+            Instruction::AluImm { op, rd, .. } if op.writes_rd() => Some(rd),
+            Instruction::Ldi { rd, .. }
+            | Instruction::Lui { rd, .. }
+            | Instruction::Ld { rd, .. }
+            | Instruction::Lda { rd, .. }
+            | Instruction::Tset { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+}
+
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::disasm::format_instruction(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awp_mode_codes_roundtrip() {
+        for m in [AwpMode::None, AwpMode::Inc, AwpMode::Dec] {
+            assert_eq!(AwpMode::from_code(m.code()), Some(m));
+        }
+        assert_eq!(AwpMode::from_code(3), None);
+    }
+
+    #[test]
+    fn cond_codes_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(8), None);
+    }
+
+    #[test]
+    fn cmp_has_no_destination() {
+        let i = Instruction::Alu {
+            op: AluOp::Cmp,
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            rs: Reg::R1,
+            rt: Reg::R2,
+        };
+        assert_eq!(i.destination(), None);
+        assert_eq!(i.sources(), vec![Reg::R1, Reg::R2]);
+    }
+
+    #[test]
+    fn mov_reads_single_source() {
+        let i = Instruction::Alu {
+            op: AluOp::Mov,
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            rs: Reg::G1,
+            rt: Reg::R7,
+        };
+        assert_eq!(i.sources(), vec![Reg::G1]);
+        assert_eq!(i.destination(), Some(Reg::R0));
+    }
+
+    #[test]
+    fn flow_classification() {
+        assert!(Instruction::Jmp {
+            cond: Cond::Z,
+            target: 4
+        }
+        .is_flow());
+        assert!(Instruction::Ret { pop: 0 }.is_flow());
+        assert!(Instruction::Reti.is_flow());
+        assert!(!Instruction::Nop.is_flow());
+        assert!(!Instruction::Stop.is_flow());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Instruction::Ld {
+            awp: AwpMode::None,
+            rd: Reg::R0,
+            base: Reg::R1,
+            offset: 0
+        }
+        .is_memory());
+        assert!(Instruction::Tset {
+            rd: Reg::R0,
+            base: Reg::G0,
+            offset: -4
+        }
+        .is_memory());
+        assert!(!Instruction::Halt.is_memory());
+    }
+
+    #[test]
+    fn store_sources_include_value_and_base() {
+        let i = Instruction::St {
+            awp: AwpMode::Dec,
+            src: Reg::R2,
+            base: Reg::Sp,
+            offset: 1,
+        };
+        assert_eq!(i.sources(), vec![Reg::R2, Reg::Sp]);
+        assert_eq!(i.destination(), None);
+        assert_eq!(i.awp_mode(), AwpMode::Dec);
+    }
+}

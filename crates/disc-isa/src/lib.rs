@@ -1,0 +1,81 @@
+//! Instruction set architecture of **DISC1**, the experimental implementation
+//! of the Dynamic Instruction Stream Computer (Nemirovsky, Brewer & Wood,
+//! MICRO 1991).
+//!
+//! DISC1 is a 16-bit load/store RISC with a Harvard organization: a 24-bit
+//! program bus and a 16-bit asynchronous data bus. Every instruction is
+//! effectively single cycle. The distinguishing ISA features are:
+//!
+//! * **Stack-window register file** — the eight local registers `R0..R7` are
+//!   a window into a per-stream register stack addressed by the *active
+//!   window pointer* (AWP). Many instructions carry an optional `+w` / `-w`
+//!   suffix that increments or decrements the AWP as a side effect
+//!   (see [`AwpMode`]), so procedure call/return and local allocation cost
+//!   no extra instructions.
+//! * **Stream control** — `FORK`, `STOP`, `SIGNAL` and `CLRI` start, halt and
+//!   synchronize the machine's simultaneously resident instruction streams.
+//! * **Semaphore support** — `TSET` performs an atomic read-modify-write on
+//!   internal memory for inter-stream locking.
+//!
+//! This crate defines the instruction model ([`Instruction`]), the register
+//! name space ([`Reg`]), the binary 24-bit encoding
+//! ([`encode::encode`] / [`encode::decode`]), a two-pass
+//! [`assembler`](crate::asm) with labels and directives, a
+//! [`disassembler`](crate::disasm), and the [`Program`] container consumed by
+//! the `disc-core` cycle-accurate machine.
+//!
+//! # Example
+//!
+//! ```
+//! use disc_isa::Program;
+//!
+//! let program = Program::assemble(
+//!     r#"
+//!     .stream 0, start
+//! start:
+//!     ldi  r0, 10
+//!     ldi  r1, 0
+//! loop:
+//!     add  r1, r1, r0
+//!     subi r0, r0, 1
+//!     jnz  loop
+//!     halt
+//! "#,
+//! )?;
+//! assert_eq!(program.entry(0), Some(0));
+//! # Ok::<(), disc_isa::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+mod instr;
+mod program;
+mod reg;
+
+pub use asm::AsmError;
+pub use encode::DecodeError;
+pub use instr::{AluImmOp, AluOp, AwpMode, Cond, Instruction};
+pub use program::{Program, ProgramBuilder};
+pub use reg::{ParseRegError, Reg};
+
+/// Number of instruction streams DISC1 supports concurrently.
+pub const DISC1_STREAMS: usize = 4;
+
+/// Maximum number of instruction streams the simulator models.
+pub const MAX_STREAMS: usize = 8;
+
+/// Number of visible window (local) registers per stream (`R0..R7`).
+pub const WINDOW_REGS: usize = 8;
+
+/// Number of global registers shared between all streams (`G0..G3`).
+pub const GLOBAL_REGS: usize = 4;
+
+/// Number of interrupt priority levels per stream (bits of the IR).
+pub const IRQ_LEVELS: usize = 8;
+
+/// Width of a program-memory word in bits (the program bus is 24 bits wide).
+pub const INSTR_BITS: u32 = 24;
+
+/// Mask selecting the valid bits of an encoded instruction word.
+pub const INSTR_MASK: u32 = (1 << INSTR_BITS) - 1;

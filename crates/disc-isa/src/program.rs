@@ -1,0 +1,320 @@
+//! Program images loaded into DISC1 program memory.
+
+use std::collections::HashMap;
+
+use crate::encode::encode;
+use crate::instr::Instruction;
+use crate::{INSTR_MASK, IRQ_LEVELS, MAX_STREAMS};
+
+/// An assembled or programmatically built DISC1 program.
+///
+/// A `Program` owns the 24-bit program-memory image (Harvard instruction
+/// space), the per-stream entry points declared with `.stream`, the
+/// per-stream interrupt vectors declared with `.vector`, and the symbol
+/// table produced by the assembler.
+///
+/// # Example
+///
+/// ```
+/// use disc_isa::{Instruction, Program, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.entry(0);
+/// b.emit(Instruction::Halt);
+/// let program = b.build();
+/// assert_eq!(program.entry(0), Some(0));
+/// assert_eq!(program.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    words: Vec<u32>,
+    entries: [Option<u16>; MAX_STREAMS],
+    vectors: [[Option<u16>; IRQ_LEVELS]; MAX_STREAMS],
+    symbols: HashMap<String, u16>,
+}
+
+impl Program {
+    /// Creates an empty program (all memory reads as `nop`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assembles `source` into a program. Convenience alias for
+    /// [`asm::assemble`](crate::asm::assemble).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsmError`](crate::AsmError) from the assembler.
+    pub fn assemble(source: &str) -> Result<Self, crate::AsmError> {
+        crate::asm::assemble(source)
+    }
+
+    /// The program word at `addr`; unwritten addresses read as `0` (`nop`).
+    #[inline]
+    pub fn word(&self, addr: u16) -> u32 {
+        self.words.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes a raw 24-bit word at `addr`, growing the image as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has bits set above bit 23.
+    pub fn set_word(&mut self, addr: u16, value: u32) {
+        assert_eq!(value & !INSTR_MASK, 0, "program word exceeds 24 bits");
+        let idx = addr as usize;
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0);
+        }
+        self.words[idx] = value;
+    }
+
+    /// Encodes and stores `instr` at `addr`.
+    pub fn set_instruction(&mut self, addr: u16, instr: &Instruction) {
+        self.set_word(addr, encode(instr));
+    }
+
+    /// Number of words in the image (highest written address + 1).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when no word has been written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Entry address of `stream`, if declared.
+    pub fn entry(&self, stream: usize) -> Option<u16> {
+        self.entries.get(stream).copied().flatten()
+    }
+
+    /// Declares the entry address of `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream >= MAX_STREAMS`.
+    pub fn set_entry(&mut self, stream: usize, addr: u16) {
+        self.entries[stream] = Some(addr);
+    }
+
+    /// Interrupt vector of (`stream`, `bit`), if declared.
+    ///
+    /// Bit 0 is the background level and never vectors.
+    pub fn vector(&self, stream: usize, bit: u8) -> Option<u16> {
+        self.vectors
+            .get(stream)
+            .and_then(|v| v.get(bit as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// Declares the interrupt vector for (`stream`, `bit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream >= MAX_STREAMS` or `bit` is 0 or above 7 — bit 0
+    /// is the unvectored background level.
+    pub fn set_vector(&mut self, stream: usize, bit: u8, addr: u16) {
+        assert!(
+            (1..IRQ_LEVELS as u8).contains(&bit),
+            "vector bit {bit} out of range 1..=7"
+        );
+        self.vectors[stream][bit as usize] = Some(addr);
+    }
+
+    /// Looks up an assembler symbol (label or `.equ` constant).
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Defines a symbol (used by the assembler; also handy in tests).
+    pub fn define_symbol(&mut self, name: String, value: u16) {
+        self.symbols.insert(name, value);
+    }
+
+    /// Iterates over `(address, word)` pairs of the image.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u32)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(a, &w)| (a as u16, w))
+    }
+
+    /// Disassembly listing of the whole image.
+    pub fn listing(&self) -> String {
+        crate::disasm::listing(0, &self.words)
+    }
+}
+
+/// Incremental builder producing a [`Program`] from [`Instruction`] values,
+/// for tests and generated workloads that don't want to go through
+/// assembler text.
+///
+/// The builder maintains a location counter; labels are plain `u16`
+/// addresses obtained from [`ProgramBuilder::here`] or reserved with
+/// [`ProgramBuilder::reserve`] and patched later.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    pc: u16,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with the location counter at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current location counter.
+    pub fn here(&self) -> u16 {
+        self.pc
+    }
+
+    /// Moves the location counter.
+    pub fn org(&mut self, addr: u16) -> &mut Self {
+        self.pc = addr;
+        self
+    }
+
+    /// Emits `instr` at the location counter and advances it.
+    pub fn emit(&mut self, instr: Instruction) -> &mut Self {
+        self.program.set_instruction(self.pc, &instr);
+        self.pc = self.pc.wrapping_add(1);
+        self
+    }
+
+    /// Emits every instruction of `instrs` in order.
+    pub fn emit_all<I: IntoIterator<Item = Instruction>>(&mut self, instrs: I) -> &mut Self {
+        for i in instrs {
+            self.emit(i);
+        }
+        self
+    }
+
+    /// Emits a placeholder `nop` and returns its address for later patching
+    /// with [`ProgramBuilder::patch`].
+    pub fn reserve(&mut self) -> u16 {
+        let at = self.pc;
+        self.emit(Instruction::Nop);
+        at
+    }
+
+    /// Replaces the instruction at `addr` (typically a reserved slot).
+    pub fn patch(&mut self, addr: u16, instr: Instruction) -> &mut Self {
+        self.program.set_instruction(addr, &instr);
+        self
+    }
+
+    /// Declares the current location as the entry of `stream`.
+    pub fn entry(&mut self, stream: usize) -> &mut Self {
+        self.program.set_entry(stream, self.pc);
+        self
+    }
+
+    /// Declares the current location as the vector of (`stream`, `bit`).
+    pub fn vector(&mut self, stream: usize, bit: u8) -> &mut Self {
+        self.program.set_vector(stream, bit, self.pc);
+        self
+    }
+
+    /// Defines a named symbol at the current location.
+    pub fn label(&mut self, name: &str) -> u16 {
+        self.program.define_symbol(name.to_string(), self.pc);
+        self.pc
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Cond;
+
+    #[test]
+    fn unwritten_memory_reads_nop() {
+        let p = Program::new();
+        assert_eq!(p.word(0), 0);
+        assert_eq!(p.word(0xffff), 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn set_word_grows_image() {
+        let mut p = Program::new();
+        p.set_word(10, 0x00abcd);
+        assert_eq!(p.len(), 11);
+        assert_eq!(p.word(10), 0x00abcd);
+        assert_eq!(p.word(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 24 bits")]
+    fn set_word_rejects_wide_values() {
+        Program::new().set_word(0, 0x0100_0000);
+    }
+
+    #[test]
+    fn builder_reserve_and_patch() {
+        let mut b = ProgramBuilder::new();
+        b.entry(0);
+        let hole = b.reserve();
+        b.emit(Instruction::Halt);
+        let target = b.here();
+        b.emit(Instruction::Nop);
+        b.patch(
+            hole,
+            Instruction::Jmp {
+                cond: Cond::Always,
+                target,
+            },
+        );
+        let p = b.build();
+        assert_eq!(
+            crate::encode::decode(p.word(hole)).unwrap(),
+            Instruction::Jmp {
+                cond: Cond::Always,
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn builder_labels_become_symbols() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instruction::Nop);
+        let addr = b.label("loop");
+        b.emit(Instruction::Halt);
+        let p = b.build();
+        assert_eq!(p.symbol("loop"), Some(addr));
+        assert_eq!(p.symbol("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_bit_zero_rejected() {
+        Program::new().set_vector(0, 0, 0x100);
+    }
+
+    #[test]
+    fn iter_enumerates_image() {
+        let mut p = Program::new();
+        p.set_instruction(0, &Instruction::Halt);
+        p.set_instruction(1, &Instruction::Brk);
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, 0);
+    }
+
+    #[test]
+    fn listing_is_roundtrippable_text() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instruction::Halt);
+        let p = b.build();
+        assert!(p.listing().contains("halt"));
+    }
+}

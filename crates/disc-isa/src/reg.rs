@@ -1,0 +1,277 @@
+//! Register name space of a DISC1 instruction stream.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the sixteen architectural registers visible to an instruction
+/// stream.
+///
+/// DISC1 gives each stream *"16 registers per instruction stream, four
+/// global, four special registers and eight local (stack window)
+/// registers"*:
+///
+/// * `R0..R7` — the stack window. `R0` is the register the active window
+///   pointer (AWP) currently points at; `Rn` addresses `window[AWP - n]`.
+/// * `G0..G3` — global registers shared by every stream, used for
+///   inter-stream parameter passing and (being read-modify-write capable)
+///   as semaphores.
+/// * `Sp` — software stack pointer (a plain 16-bit register; DISC1 keeps a
+///   data stack in internal memory for spills and deep frames).
+/// * `Sr` — status register exposing the `Z N C V` flags in bits `3..=0`.
+/// * `Ir` — the stream's 8-bit interrupt request register.
+/// * `Mr` — the stream's 8-bit interrupt mask register.
+///
+/// # Example
+///
+/// ```
+/// use disc_isa::Reg;
+///
+/// let r: Reg = "g2".parse()?;
+/// assert_eq!(r, Reg::G2);
+/// assert_eq!(r.index(), 10);
+/// assert!(r.is_global());
+/// # Ok::<(), disc_isa::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Window register 0 (top of the active window; `window[AWP]`).
+    R0 = 0,
+    /// Window register 1 (`window[AWP - 1]`).
+    R1 = 1,
+    /// Window register 2.
+    R2 = 2,
+    /// Window register 3.
+    R3 = 3,
+    /// Window register 4.
+    R4 = 4,
+    /// Window register 5.
+    R5 = 5,
+    /// Window register 6.
+    R6 = 6,
+    /// Window register 7 (deepest visible window register).
+    R7 = 7,
+    /// Global register 0, shared between all streams.
+    G0 = 8,
+    /// Global register 1.
+    G1 = 9,
+    /// Global register 2.
+    G2 = 10,
+    /// Global register 3.
+    G3 = 11,
+    /// Software stack pointer.
+    Sp = 12,
+    /// Status register (flags `Z N C V` in bits `3..=0`).
+    Sr = 13,
+    /// Interrupt request register of the executing stream.
+    Ir = 14,
+    /// Interrupt mask register of the executing stream.
+    Mr = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::G0,
+        Reg::G1,
+        Reg::G2,
+        Reg::G3,
+        Reg::Sp,
+        Reg::Sr,
+        Reg::Ir,
+        Reg::Mr,
+    ];
+
+    /// The 4-bit encoding index of this register.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 4-bit register field.
+    ///
+    /// Returns `None` if `index >= 16`.
+    #[inline]
+    pub const fn from_index(index: u8) -> Option<Reg> {
+        if index < 16 {
+            Some(Self::ALL[index as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the `n`-th window register (`R0..R7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    #[inline]
+    pub const fn window(n: u8) -> Reg {
+        assert!(n < 8, "window register index out of range");
+        Self::ALL[n as usize]
+    }
+
+    /// Returns the `n`-th global register (`G0..G3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 4`.
+    #[inline]
+    pub const fn global(n: u8) -> Reg {
+        assert!(n < 4, "global register index out of range");
+        Self::ALL[8 + n as usize]
+    }
+
+    /// `true` for the stack-window registers `R0..R7`.
+    #[inline]
+    pub const fn is_window(self) -> bool {
+        (self as u8) < 8
+    }
+
+    /// `true` for the shared global registers `G0..G3`.
+    #[inline]
+    pub const fn is_global(self) -> bool {
+        let i = self as u8;
+        i >= 8 && i < 12
+    }
+
+    /// `true` for the special registers `SP`, `SR`, `IR`, `MR`.
+    #[inline]
+    pub const fn is_special(self) -> bool {
+        (self as u8) >= 12
+    }
+
+    /// Assembly mnemonic of the register (lower case).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Reg::R0 => "r0",
+            Reg::R1 => "r1",
+            Reg::R2 => "r2",
+            Reg::R3 => "r3",
+            Reg::R4 => "r4",
+            Reg::R5 => "r5",
+            Reg::R6 => "r6",
+            Reg::R7 => "r7",
+            Reg::G0 => "g0",
+            Reg::G1 => "g1",
+            Reg::G2 => "g2",
+            Reg::G3 => "g3",
+            Reg::Sp => "sp",
+            Reg::Sr => "sr",
+            Reg::Ir => "ir",
+            Reg::Mr => "mr",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl ParseRegError {
+    /// The text that failed to parse.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Reg::ALL
+            .iter()
+            .copied()
+            .find(|r| r.name() == lower)
+            .ok_or_else(|| ParseRegError {
+                text: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(r.name().parse::<Reg>().unwrap(), r);
+            assert_eq!(r.name().to_ascii_uppercase().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("r8".parse::<Reg>().is_err());
+        assert!("g4".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("pc".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Reg::R0.is_window());
+        assert!(Reg::R7.is_window());
+        assert!(!Reg::G0.is_window());
+        assert!(Reg::G3.is_global());
+        assert!(!Reg::Sp.is_global());
+        assert!(Reg::Sp.is_special());
+        assert!(Reg::Mr.is_special());
+        assert!(!Reg::R3.is_special());
+    }
+
+    #[test]
+    fn window_and_global_constructors() {
+        assert_eq!(Reg::window(0), Reg::R0);
+        assert_eq!(Reg::window(7), Reg::R7);
+        assert_eq!(Reg::global(0), Reg::G0);
+        assert_eq!(Reg::global(3), Reg::G3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window register index out of range")]
+    fn window_out_of_range_panics() {
+        let _ = Reg::window(8);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Reg::G2.to_string(), "g2");
+        assert_eq!(Reg::Ir.to_string(), "ir");
+    }
+}

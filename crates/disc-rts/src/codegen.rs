@@ -1,0 +1,168 @@
+//! Assembly generation for task sets.
+//!
+//! Each task compiles to an interrupt handler that reads its I/O device,
+//! runs its computation loop, bumps a per-task completion counter in
+//! internal memory (the host harness watches it) and returns. Handlers
+//! allocate a stack-window frame so nested preemption on the baseline
+//! cannot corrupt live registers.
+
+use disc_bus::{ExtRam, PeripheralBus};
+use disc_isa::Program;
+
+use crate::task::TaskSet;
+
+/// Internal-memory address of task `i`'s completion counter.
+pub const COMPLETION_BASE: u16 = 0x100;
+
+/// External base address of task `i`'s I/O device.
+pub const DEVICE_BASE: u16 = 0x8000;
+
+/// Address stride between task devices.
+pub const DEVICE_STRIDE: u16 = 0x400;
+
+/// IR bit used to activate a task's dedicated stream on DISC.
+pub const DISC_TASK_BIT: u8 = 3;
+
+/// Completion-counter address of task `i`.
+pub fn completion_addr(task: usize) -> u16 {
+    COMPLETION_BASE + task as u16
+}
+
+/// Device base address of task `i`.
+pub fn device_addr(task: usize) -> u16 {
+    DEVICE_BASE + task as u16 * DEVICE_STRIDE
+}
+
+/// IR bit used for task `i` on the baseline (task 0 gets the highest
+/// priority).
+pub fn baseline_task_bit(task: usize) -> u8 {
+    7 - task as u8
+}
+
+fn handler_asm(i: usize, task: &crate::Task) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("isr{i}:\n"));
+    s.push_str("    winc 6\n");
+    if task.io_reads > 0 {
+        let hi = (device_addr(i) >> 8) as u8;
+        s.push_str(&format!("    ldi r2, 0\n    lui r2, {hi}\n"));
+        s.push_str(&format!("    ldi r4, {}\n", task.io_reads));
+        s.push_str(&format!(
+            "io{i}:\n    ld r3, [r2]\n    subi r4, r4, 1\n    jnz io{i}\n"
+        ));
+    }
+    s.push_str(&format!("    ldi r1, {}\n", task.body.min(2047)));
+    s.push_str(&format!("w{i}:\n    subi r1, r1, 1\n    jnz w{i}\n"));
+    let cnt = completion_addr(i);
+    s.push_str(&format!(
+        "    lda r5, {cnt:#x}\n    addi r5, r5, 1\n    sta r5, {cnt:#x}\n"
+    ));
+    s.push_str("    wdec 6\n    reti\n");
+    s
+}
+
+fn background_asm() -> &'static str {
+    // A compute loop touching only its own r0.
+    ".stream 0, bg\nbg:\n    addi r0, r0, 1\n    jmp bg\n"
+}
+
+/// Assembles the DISC program for a task set: one dedicated
+/// interrupt-server stream per task (stream `i + 1`, vector bit
+/// [`DISC_TASK_BIT`]) plus the optional background stream 0.
+///
+/// # Panics
+///
+/// Panics if the generated assembly fails to assemble (a codegen bug).
+pub fn disc_program(set: &TaskSet) -> Program {
+    let mut src = String::new();
+    if set.background {
+        src.push_str(background_asm());
+    }
+    for (i, task) in set.tasks.iter().enumerate() {
+        src.push_str(&format!(".vector {}, {DISC_TASK_BIT}, isr{i}\n", i + 1));
+        src.push_str(&handler_asm(i, task));
+    }
+    Program::assemble(&src).expect("generated DISC assembly must assemble")
+}
+
+/// Assembles the baseline program: every handler vectors on stream 0 with
+/// priority by task index (task 0 highest), sharing the single context
+/// with the background loop.
+///
+/// # Panics
+///
+/// Panics if the generated assembly fails to assemble (a codegen bug).
+pub fn baseline_program(set: &TaskSet) -> Program {
+    let mut src = String::new();
+    src.push_str(background_asm());
+    for (i, task) in set.tasks.iter().enumerate() {
+        src.push_str(&format!(".vector 0, {}, isr{i}\n", baseline_task_bit(i)));
+        src.push_str(&handler_asm(i, task));
+    }
+    Program::assemble(&src).expect("generated baseline assembly must assemble")
+}
+
+/// Builds the peripheral bus: one external RAM window per task with the
+/// task's I/O latency.
+///
+/// # Panics
+///
+/// Panics on overlapping device windows (impossible for ≤3 tasks).
+pub fn device_bus(set: &TaskSet) -> PeripheralBus {
+    let mut bus = PeripheralBus::new();
+    for (i, task) in set.tasks.iter().enumerate() {
+        bus.map(
+            device_addr(i),
+            16,
+            Box::new(ExtRam::new(16, task.io_latency.max(1))),
+        )
+        .expect("device windows are disjoint");
+    }
+    bus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::new("a", 500, 300).with_body(20).with_io(2, 10),
+            Task::new("b", 900, 500).with_body(50),
+        ])
+    }
+
+    #[test]
+    fn disc_program_assembles_with_vectors() {
+        let p = disc_program(&set());
+        assert_eq!(p.entry(0), Some(0), "background on stream 0");
+        assert!(p.vector(1, DISC_TASK_BIT).is_some());
+        assert!(p.vector(2, DISC_TASK_BIT).is_some());
+        assert!(p.vector(3, DISC_TASK_BIT).is_none());
+    }
+
+    #[test]
+    fn baseline_program_assembles_with_priorities() {
+        let p = baseline_program(&set());
+        assert!(p.vector(0, 7).is_some(), "task 0 highest priority");
+        assert!(p.vector(0, 6).is_some());
+        assert!(p.vector(0, 5).is_none());
+    }
+
+    #[test]
+    fn device_layout_is_disjoint() {
+        assert_eq!(device_addr(0), 0x8000);
+        assert_eq!(device_addr(1), 0x8400);
+        assert_eq!(completion_addr(2), 0x102);
+        let _ = device_bus(&set());
+    }
+
+    #[test]
+    fn io_free_tasks_skip_device_code() {
+        let one = TaskSet::new(vec![Task::new("x", 100, 90)]);
+        let p = disc_program(&one);
+        let listing = p.listing();
+        assert!(!listing.contains("lui"), "no device access generated");
+    }
+}

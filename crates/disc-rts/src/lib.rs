@@ -1,0 +1,47 @@
+//! Real-time systems layer over the DISC1 and baseline machines.
+//!
+//! The paper's motivating domain is hard-real-time control: *"externally
+//! derived deadlines from the controlled system produce widely varying
+//! computational loads on the controller, as it must respond to these
+//! external requests and interrupts in a specified amount of time"* — and
+//! *"it is of no use for the average performance to meet these
+//! requirements"*, so worst-case response is what counts.
+//!
+//! This crate provides:
+//!
+//! * a task model ([`Task`], [`TaskSet`]) — periodic activations with
+//!   relative deadlines, a handler body length and per-activation external
+//!   I/O;
+//! * a code generator ([`codegen`]) that assembles each task set into a
+//!   DISC1 program (one dedicated interrupt-server stream per task) and an
+//!   equivalent baseline program (all handlers share the single stream);
+//! * a throughput-partition allocator ([`partition`]) implementing the
+//!   paper's "General scheduling" idea: each task receives a share of the
+//!   16-slot scheduler sequence proportional to its utilization;
+//! * a host harness ([`harness`]) that drives either machine cycle by
+//!   cycle, injects activations, observes completions and produces
+//!   per-task response-time/deadline statistics;
+//! * the interrupt-latency experiment ([`latency`]): dedicated-stream
+//!   delivery on DISC versus context-switched delivery on the baseline,
+//!   under configurable background load.
+//!
+//! # Example
+//!
+//! ```
+//! use disc_rts::{harness, Task, TaskSet};
+//!
+//! let set = TaskSet::new(vec![Task::new("ctl", 500, 400).with_body(20)]);
+//! let disc = harness::run_on_disc(&set, 20_000)?;
+//! assert_eq!(disc.tasks[0].misses, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod codegen;
+pub mod harness;
+pub mod latency;
+pub mod partition;
+mod task;
+
+pub use harness::{SimOutcome, TaskOutcome};
+pub use latency::{latency_experiment, LatencyReport};
+pub use task::{Task, TaskSet};

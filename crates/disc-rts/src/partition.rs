@@ -1,0 +1,243 @@
+//! Throughput partition allocation — the paper's "General scheduling".
+//!
+//! *"It has been shown [Coffman & Denning] that if the processor
+//! throughput can be partitioned arbitrarily among the executing
+//! processes, scheduling which is in some senses optimal can be achieved.
+//! This throughput partitioning must be done with very low overhead."*
+//! DISC1 partitions in 1/16 increments through the scheduler sequence
+//! table; this module computes the share table for a task set.
+
+use disc_core::{SchedulePolicy, SEQUENCE_SLOTS};
+
+use crate::task::TaskSet;
+
+/// Splits the 16 scheduler slots proportionally to `weights`, guaranteeing
+/// every stream at least one slot (largest-remainder rounding).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, longer than 16 entries, or sums to zero.
+pub fn allocate_shares(weights: &[f64]) -> Vec<u32> {
+    assert!(!weights.is_empty(), "no streams to allocate");
+    assert!(
+        weights.len() <= SEQUENCE_SLOTS,
+        "more streams than scheduler slots"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum above zero");
+    let n = weights.len();
+    let slots = SEQUENCE_SLOTS as u32;
+    // Start with the one guaranteed slot each, distribute the rest by
+    // largest remainder of the proportional entitlement.
+    let mut shares = vec![1u32; n];
+    let mut remaining = slots - n as u32;
+    let mut entitlements: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, w / total * slots as f64 - 1.0))
+        .collect();
+    while remaining > 0 {
+        entitlements.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let (idx, e) = entitlements[0];
+        shares[idx] += 1;
+        entitlements[0] = (idx, e - 1.0);
+        remaining -= 1;
+    }
+    debug_assert_eq!(shares.iter().sum::<u32>(), slots);
+    shares
+}
+
+/// Slot shares for a task set: index 0 is the background stream (slack),
+/// then one entry per task. Allocation is **deadline-aware**: each task
+/// receives the minimum share whose analytic response bound
+/// ([`response_bound`]) fits its deadline; the background stream gets the
+/// rest. When the demands exceed the table, task shares are scaled down
+/// proportionally (the set is unschedulable and [`analyze`] will say so).
+pub fn shares_for(set: &TaskSet) -> Vec<u32> {
+    let slots = SEQUENCE_SLOTS as u64;
+    let mut needs: Vec<u32> = set
+        .tasks
+        .iter()
+        .map(|t| {
+            let budget = t.deadline.saturating_sub(slots + 8).max(1);
+            let need = (t.wcet_estimate() * slots).div_ceil(budget);
+            need.clamp(1, slots - 1) as u32
+        })
+        .collect();
+    let mut total: u32 = needs.iter().sum();
+    // Keep at least one slot for the background stream.
+    while total > SEQUENCE_SLOTS as u32 - 1 {
+        let max = needs.iter().copied().max().unwrap();
+        if max == 1 {
+            break;
+        }
+        let idx = needs.iter().position(|&n| n == max).unwrap();
+        needs[idx] -= 1;
+        total -= 1;
+    }
+    let background = (SEQUENCE_SLOTS as u32).saturating_sub(total).max(1);
+    let mut shares = vec![background];
+    shares.extend(needs);
+    // Rounding slack goes to the background.
+    let sum: u32 = shares.iter().sum();
+    shares[0] += (SEQUENCE_SLOTS as u32).saturating_sub(sum);
+    shares
+}
+
+/// Builds the DISC scheduler policy for a task set: stream 0 (background)
+/// receives the slack; each task stream receives a share proportional to
+/// its utilization.
+pub fn schedule_for(set: &TaskSet) -> SchedulePolicy {
+    SchedulePolicy::partitioned(&shares_for(set))
+}
+
+/// Static schedulability verdict for one task under the utilization
+/// partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAnalysis {
+    /// Task name.
+    pub name: String,
+    /// Scheduler slots the task's stream receives (of 16).
+    pub slots: u32,
+    /// Analytic worst-case response bound in cycles.
+    pub bound: u64,
+    /// The task's deadline.
+    pub deadline: u64,
+    /// `bound <= deadline`.
+    pub schedulable: bool,
+}
+
+/// Analyzes every task of a set against the utilization partition: a task
+/// is declared schedulable when its analytic response bound fits its
+/// deadline. Conservative — the dynamic reallocation of idle slots only
+/// improves on the bound.
+pub fn analyze(set: &TaskSet) -> Vec<TaskAnalysis> {
+    let shares = shares_for(set);
+    set.tasks
+        .iter()
+        .zip(shares.iter().skip(1))
+        .map(|(task, &slots)| {
+            let bound = response_bound(task, slots);
+            TaskAnalysis {
+                name: task.name.clone(),
+                slots,
+                bound,
+                deadline: task.deadline,
+                schedulable: bound <= task.deadline,
+            }
+        })
+        .collect()
+}
+
+/// Analytic worst-case response bound for a task running on a dedicated
+/// stream holding `slots` of the 16 scheduler slots: the handler's WCET
+/// stretched by the inverse share, plus vector delivery and one partition
+/// round of jitter. Valid when the other streams stay busy (the bound is
+/// conservative; dynamic reallocation only speeds things up).
+pub fn response_bound(task: &crate::Task, slots: u32) -> u64 {
+    assert!(
+        (1..=SEQUENCE_SLOTS as u32).contains(&slots),
+        "slots must be 1..=16"
+    );
+    let stretch = SEQUENCE_SLOTS as u64;
+    task.wcet_estimate() * stretch / slots as u64 + stretch + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    #[test]
+    fn shares_sum_to_sixteen_and_respect_proportion() {
+        let s = allocate_shares(&[3.0, 1.0]);
+        assert_eq!(s.iter().sum::<u32>(), 16);
+        assert_eq!(s, vec![12, 4]);
+    }
+
+    #[test]
+    fn every_stream_gets_a_slot() {
+        let s = allocate_shares(&[100.0, 0.0001, 0.0001, 0.0001]);
+        assert_eq!(s.iter().sum::<u32>(), 16);
+        assert!(s.iter().all(|&x| x >= 1));
+        assert_eq!(s[0], 13);
+    }
+
+    #[test]
+    fn schedule_for_covers_all_streams() {
+        let set = crate::TaskSet::new(vec![
+            Task::new("a", 200, 100).with_body(20),
+            Task::new("b", 1000, 900).with_body(10),
+        ]);
+        let policy = schedule_for(&set);
+        policy.validate(3);
+        if let SchedulePolicy::Sequence(seq) = &policy {
+            assert_eq!(seq.len(), SEQUENCE_SLOTS);
+            for s in 0..3u8 {
+                assert!(seq.contains(&s), "stream {s} owns no slot");
+            }
+        } else {
+            panic!("expected a sequence policy");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams")]
+    fn too_many_streams_rejected() {
+        let _ = allocate_shares(&[1.0; 17]);
+    }
+
+    #[test]
+    fn analyze_flags_infeasible_tasks() {
+        let set = crate::TaskSet::new(vec![
+            Task::new("easy", 5000, 4500).with_body(30),
+            Task::new("impossible", 400, 60).with_body(80),
+        ]);
+        let report = analyze(&set);
+        assert_eq!(report.len(), 2);
+        assert!(report[0].schedulable, "{:?}", report[0]);
+        assert!(!report[1].schedulable, "{:?}", report[1]);
+    }
+
+    #[test]
+    fn analyze_schedulable_sets_run_clean() {
+        let set = crate::TaskSet::new(vec![
+            Task::new("a", 3000, 2800).with_body(40),
+            Task::new("b", 6000, 5500).with_body(90),
+        ]);
+        let report = analyze(&set);
+        assert!(report.iter().all(|t| t.schedulable), "{report:?}");
+        let out = crate::harness::run_on_disc_with_schedule(
+            &set,
+            60_000,
+            Some(schedule_for(&set)),
+        )
+        .unwrap();
+        assert_eq!(out.total_misses(), 0, "analysis promised schedulability");
+    }
+
+    #[test]
+    fn response_bound_holds_empirically() {
+        use crate::harness::run_on_disc_with_schedule;
+        use disc_core::SchedulePolicy;
+
+        let task = Task::new("t", 2000, 1900).with_body(40);
+        let set = crate::TaskSet::new(vec![task.clone()]);
+        for slots in [4u32, 8, 12] {
+            let schedule = SchedulePolicy::partitioned(&[16 - slots, slots]);
+            let out = run_on_disc_with_schedule(&set, 40_000, Some(schedule)).unwrap();
+            let bound = response_bound(&task, slots);
+            assert!(
+                out.tasks[0].max_response <= bound,
+                "measured {} exceeds bound {bound} at {slots} slots",
+                out.tasks[0].max_response
+            );
+        }
+    }
+
+    #[test]
+    fn response_bound_scales_inversely_with_share() {
+        let task = Task::new("t", 1000, 900).with_body(50);
+        assert!(response_bound(&task, 2) > response_bound(&task, 8) * 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Real-time task model.
+
+/// A periodic hard-real-time task.
+///
+/// Every `period` cycles (starting at `offset`) an external interrupt
+/// activates the task's handler; the handler must complete within
+/// `deadline` cycles of the activation. The handler body runs
+/// [`body`](Task::body) instructions of computation and performs
+/// [`io_reads`](Task::io_reads) external reads of
+/// [`io_latency`](Task::io_latency) cycles each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Display name.
+    pub name: String,
+    /// Activation period in cycles.
+    pub period: u64,
+    /// Relative deadline in cycles.
+    pub deadline: u64,
+    /// First activation time.
+    pub offset: u64,
+    /// Handler computation length in loop iterations (~3 instructions
+    /// each).
+    pub body: u32,
+    /// External reads per activation.
+    pub io_reads: u32,
+    /// Access time of the task's I/O device in cycles.
+    pub io_latency: u32,
+    /// `true` for sporadic tasks: activations arrive as a Poisson process
+    /// with mean inter-arrival [`period`](Task::period) instead of
+    /// strictly periodically (the paper's "stochastically occurring
+    /// interrupts").
+    pub sporadic: bool,
+}
+
+impl Task {
+    /// Creates a task with an empty body and no I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `deadline` is zero.
+    pub fn new(name: &str, period: u64, deadline: u64) -> Self {
+        assert!(period > 0, "period must be nonzero");
+        assert!(deadline > 0, "deadline must be nonzero");
+        Task {
+            name: name.to_string(),
+            period,
+            deadline,
+            offset: 0,
+            body: 1,
+            io_reads: 0,
+            io_latency: 0,
+            sporadic: false,
+        }
+    }
+
+    /// Sets the handler computation length (loop iterations).
+    pub fn with_body(mut self, body: u32) -> Self {
+        self.body = body.max(1);
+        self
+    }
+
+    /// Sets per-activation I/O: `reads` accesses of `latency` cycles each.
+    pub fn with_io(mut self, reads: u32, latency: u32) -> Self {
+        self.io_reads = reads;
+        self.io_latency = latency;
+        self
+    }
+
+    /// Sets the first activation time.
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Makes the task sporadic: exponential inter-arrival gaps with mean
+    /// [`period`](Task::period).
+    pub fn sporadic(mut self) -> Self {
+        self.sporadic = true;
+        self
+    }
+
+    /// Conservative worst-case execution time estimate in cycles: each
+    /// body iteration costs up to 6 cycles (`subi` + flag-hazard stall +
+    /// `jnz` + jump flush), each I/O read its access time plus issue/flush
+    /// overhead, plus the handler prologue/epilogue.
+    pub fn wcet_estimate(&self) -> u64 {
+        let compute = self.body as u64 * 6;
+        let io = self.io_reads as u64 * (self.io_latency as u64 + 6);
+        compute + io + 16
+    }
+
+    /// Utilization = WCET estimate / period.
+    pub fn utilization(&self) -> f64 {
+        self.wcet_estimate() as f64 / self.period as f64
+    }
+}
+
+/// A set of tasks to run together (at most 3 on DISC1 — stream 0 is the
+/// background stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSet {
+    /// The tasks, highest priority first.
+    pub tasks: Vec<Task>,
+    /// Whether a background compute stream runs alongside the tasks.
+    pub background: bool,
+}
+
+impl TaskSet {
+    /// Creates a task set with a background stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or holds more than 3 tasks (DISC1 has 4
+    /// streams and stream 0 is the background).
+    pub fn new(tasks: Vec<Task>) -> Self {
+        assert!(!tasks.is_empty(), "task set needs at least one task");
+        assert!(tasks.len() <= 3, "at most 3 tasks fit beside the background");
+        TaskSet {
+            tasks,
+            background: true,
+        }
+    }
+
+    /// Disables the background stream.
+    pub fn without_background(mut self) -> Self {
+        self.background = false;
+        self
+    }
+
+    /// Total utilization of the task set.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let t = Task::new("a", 100, 80).with_body(10).with_io(2, 30).with_offset(5);
+        assert_eq!(t.body, 10);
+        assert_eq!(t.io_reads, 2);
+        assert_eq!(t.offset, 5);
+        assert!(t.wcet_estimate() > 100, "io dominates");
+    }
+
+    #[test]
+    fn utilization_scales_with_period() {
+        let fast = Task::new("f", 100, 100).with_body(10);
+        let slow = Task::new("s", 1000, 1000).with_body(10);
+        assert!(fast.utilization() > slow.utilization() * 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3 tasks")]
+    fn too_many_tasks_rejected() {
+        let t = Task::new("x", 10, 10);
+        let _ = TaskSet::new(vec![t.clone(), t.clone(), t.clone(), t]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be nonzero")]
+    fn zero_period_rejected() {
+        let _ = Task::new("x", 0, 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Closed-form approximations of the model's measures, used to cross-check
+//! the simulator and to reason about the architecture without running it.
+//!
+//! For an always-active load the standard-processor utilization has an
+//! exact expectation:
+//!
+//! ```text
+//! Ps = 1 / (1 + busy_per_instr + aljmp · (P − 1))
+//! busy_per_instr = (alpha · tmem + (1 − alpha) · mean_io) / mean_req
+//! ```
+//!
+//! and the fully-interleaved DISC (≥ P independent always-active streams,
+//! no bus contention) approaches
+//!
+//! ```text
+//! PD ≈ min(1, 1 / busy_per_instr_aggregate…)
+//! ```
+//!
+//! bounded by the single shared bus: the machine cannot complete more than
+//! one instruction per cycle, and the bus cannot serve more than one busy
+//! cycle per cycle, so `PD ≤ min(1, mean_req_total / busy_per_instr)`.
+
+use crate::load::LoadSpec;
+
+/// Expected external-bus busy cycles per instruction of a load
+/// (`alpha·tmem + (1−alpha)·mean_io`, amortized over `mean_req`).
+pub fn busy_per_instruction(spec: &LoadSpec) -> f64 {
+    match spec.mean_req {
+        Some(req) if req > 0.0 => {
+            (spec.alpha * spec.tmem as f64 + (1.0 - spec.alpha) * spec.mean_io) / req
+        }
+        _ => 0.0,
+    }
+}
+
+/// Closed-form `Ps` for an always-active load on a `pipe_depth`-stage
+/// standard processor.
+pub fn ps_estimate(spec: &LoadSpec, pipe_depth: usize) -> f64 {
+    1.0 / (1.0 + busy_per_instruction(spec) + spec.aljmp * (pipe_depth as f64 - 1.0))
+}
+
+/// Upper bound on DISC `PD` for `k` copies of an always-active load: the
+/// issue port allows 1 instruction/cycle and the single bus allows
+/// `1 / busy_per_instruction` instructions/cycle of bus demand; with
+/// fewer than `pipe_depth` streams the jump flushes of each stream also
+/// cap its own share.
+pub fn pd_upper_bound(spec: &LoadSpec, k: usize) -> f64 {
+    let busy = busy_per_instruction(spec);
+    let bus_cap = if busy > 0.0 { 1.0 / busy } else { f64::INFINITY };
+    let duty = match spec.mean_on {
+        Some(on) => on / (on + spec.mean_off),
+        None => 1.0,
+    };
+    (k as f64 * duty).min(1.0).min(bus_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, RunConfig, Workload};
+
+    #[test]
+    fn busy_per_instruction_matches_hand_calculation() {
+        // load 1: (0.5·2 + 0.5·20)/10 = 1.1
+        let b = busy_per_instruction(&LoadSpec::load1());
+        assert!((b - 1.1).abs() < 1e-12, "got {b}");
+        assert_eq!(busy_per_instruction(&LoadSpec::load3()), 0.0);
+    }
+
+    #[test]
+    fn simulated_ps_matches_closed_form() {
+        for spec in [LoadSpec::load1(), LoadSpec::load3()] {
+            let cfg = RunConfig::new(Workload::partitioned(&spec, 1)).with_cycles(300_000);
+            let m = simulate(&cfg);
+            let analytic = ps_estimate(&spec, 4);
+            assert!(
+                (m.ps() - analytic).abs() < 0.02,
+                "{}: simulated Ps {} vs analytic {}",
+                spec.name,
+                m.ps(),
+                analytic
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_pd_respects_upper_bound() {
+        for k in 1..=4 {
+            let spec = LoadSpec::load1();
+            let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(200_000);
+            let m = simulate(&cfg);
+            let bound = pd_upper_bound(&spec, k);
+            assert!(
+                m.pd() <= bound + 0.02,
+                "k={k}: PD {} exceeds bound {bound}",
+                m.pd()
+            );
+        }
+    }
+
+    #[test]
+    fn dsp_load_bound_is_one() {
+        assert_eq!(pd_upper_bound(&LoadSpec::load3(), 4), 1.0);
+        // And the simulator reaches it.
+        let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load3(), 4))
+            .with_cycles(100_000);
+        assert!(simulate(&cfg).pd() > 0.99);
+    }
+
+    #[test]
+    fn duty_cycle_caps_single_stream_pd() {
+        let spec = LoadSpec::load2(); // ~50% duty
+        let bound = pd_upper_bound(&spec, 1);
+        assert!((0.45..=0.55).contains(&bound));
+        let cfg = RunConfig::new(Workload::partitioned(&spec, 1)).with_cycles(200_000);
+        assert!(simulate(&cfg).pd() <= bound + 0.02);
+    }
+}

@@ -1,0 +1,148 @@
+//! Random sampling for the stochastic model.
+//!
+//! Implemented locally (Knuth's product method plus a normal approximation
+//! for large means) to keep the dependency footprint at `rand` alone.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Seedable sampler over the distributions the model needs.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    rng: SmallRng,
+}
+
+impl Sampler {
+    /// Creates a sampler from a seed (runs are reproducible per seed).
+    pub fn new(seed: u64) -> Self {
+        Sampler {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws `Poisson(mean)`. Means below 30 use Knuth's product method;
+    /// larger means use the normal approximation `N(mean, mean)` rounded
+    /// and clamped at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean.is_finite() && mean >= 0.0, "invalid Poisson mean");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean < 30.0 {
+            let l = (-mean).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let z = self.normal();
+            let v = mean + mean.sqrt() * z;
+            if v < 0.0 {
+                0
+            } else {
+                v.round() as u64
+            }
+        }
+    }
+
+    /// Like [`poisson`](Self::poisson) but never returns zero (a zero-length
+    /// phase would be degenerate for on/off renewals).
+    pub fn poisson_at_least_one(&mut self, mean: f64) -> u64 {
+        self.poisson(mean).max(1)
+    }
+
+    /// Draws a standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Draws a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: &[u64]) -> f64 {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    }
+
+    #[test]
+    fn poisson_small_mean_is_unbiased() {
+        let mut s = Sampler::new(1);
+        let samples: Vec<u64> = (0..20_000).map(|_| s.poisson(4.0)).collect();
+        let m = mean_of(&samples);
+        assert!((3.9..=4.1).contains(&m), "mean {m}");
+        // Variance ≈ mean for Poisson.
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - m).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!((3.5..=4.5).contains(&var), "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_is_unbiased() {
+        let mut s = Sampler::new(2);
+        let samples: Vec<u64> = (0..20_000).map(|_| s.poisson(100.0)).collect();
+        let m = mean_of(&samples);
+        assert!((98.0..=102.0).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut s = Sampler::new(3);
+        assert_eq!(s.poisson(0.0), 0);
+        assert_eq!(s.poisson_at_least_one(0.0), 1);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut s = Sampler::new(4);
+        let hits = (0..10_000).filter(|_| s.bernoulli(0.3)).count();
+        assert!((2_800..=3_200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn seeds_reproduce() {
+        let a: Vec<u64> = {
+            let mut s = Sampler::new(42);
+            (0..32).map(|_| s.poisson(7.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = Sampler::new(42);
+            (0..32).map(|_| s.poisson(7.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Poisson mean")]
+    fn negative_mean_rejected() {
+        Sampler::new(0).poisson(-1.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Experiment drivers: run configurations, multi-seed summaries and the
+//! generators behind each of the paper's tables and sweep figures.
+
+use disc_core::SchedulePolicy;
+
+use crate::load::{LoadSpec, Workload};
+use crate::metrics::RunMetrics;
+use crate::report::Table;
+use crate::sequencer::Sequencer;
+
+/// Default simulated horizon per run.
+pub const DEFAULT_CYCLES: u64 = 200_000;
+
+/// Default number of seeds per configuration.
+pub const DEFAULT_SEEDS: u64 = 5;
+
+/// One simulation configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Stream/load assignment.
+    pub workload: Workload,
+    /// Pipeline depth (DISC1 = 4).
+    pub pipe_depth: usize,
+    /// Scheduler policy; `None` selects an even round-robin over the
+    /// workload's streams.
+    pub schedule: Option<SchedulePolicy>,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Creates a config with DISC1 defaults.
+    pub fn new(workload: Workload) -> Self {
+        RunConfig {
+            workload,
+            pipe_depth: 4,
+            schedule: None,
+            cycles: DEFAULT_CYCLES,
+            seed: 1,
+        }
+    }
+
+    /// Sets the pipeline depth.
+    pub fn with_pipe_depth(mut self, depth: usize) -> Self {
+        self.pipe_depth = depth;
+        self
+    }
+
+    /// Sets the scheduler policy.
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn schedule_for(&self) -> SchedulePolicy {
+        self.schedule
+            .clone()
+            .unwrap_or_else(|| SchedulePolicy::round_robin(self.workload.stream_count()))
+    }
+}
+
+/// Runs one configuration to completion.
+pub fn simulate(cfg: &RunConfig) -> RunMetrics {
+    let mut seq = Sequencer::new(&cfg.workload, cfg.pipe_depth, cfg.schedule_for(), cfg.seed);
+    seq.run(cfg.cycles);
+    seq.metrics().clone()
+}
+
+/// Multi-seed aggregate of a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Mean `PD` across seeds.
+    pub pd_mean: f64,
+    /// Standard deviation of `PD`.
+    pub pd_sd: f64,
+    /// Mean `Ps` across seeds.
+    pub ps_mean: f64,
+    /// Mean `delta` across seeds (percent).
+    pub delta_mean: f64,
+    /// Standard deviation of `delta`.
+    pub delta_sd: f64,
+    /// Number of seeds run.
+    pub runs: u64,
+}
+
+/// Runs `seeds` seeds of a configuration and aggregates.
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+pub fn simulate_seeds(cfg: &RunConfig, seeds: u64) -> Summary {
+    assert!(seeds > 0, "at least one seed required");
+    let mut pds = Vec::with_capacity(seeds as usize);
+    let mut pss = Vec::with_capacity(seeds as usize);
+    let mut deltas = Vec::with_capacity(seeds as usize);
+    for i in 0..seeds {
+        let m = simulate(&cfg.clone().with_seed(cfg.seed.wrapping_add(i * 7919)));
+        pds.push(m.pd());
+        pss.push(m.ps());
+        deltas.push(m.delta());
+    }
+    let stat = |xs: &[f64]| {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        (mean, var.sqrt())
+    };
+    let (pd_mean, pd_sd) = stat(&pds);
+    let (ps_mean, _) = stat(&pss);
+    let (delta_mean, delta_sd) = stat(&deltas);
+    Summary {
+        pd_mean,
+        pd_sd,
+        ps_mean,
+        delta_mean,
+        delta_sd,
+        runs: seeds,
+    }
+}
+
+/// Finds the smallest stream count (1..=max_streams) at which DISC beats
+/// the standard processor (`delta > 0`) for `spec` partitioned across
+/// streams — the crossover the paper's conclusions describe. Returns
+/// `None` when even `max_streams` streams do not reach break-even (e.g.
+/// bus-saturated workloads).
+pub fn crossover_streams(
+    spec: &crate::LoadSpec,
+    max_streams: usize,
+    cycles: u64,
+    seeds: u64,
+) -> Option<usize> {
+    for k in 1..=max_streams.min(disc_core::SEQUENCE_SLOTS) {
+        let cfg = RunConfig::new(Workload::partitioned(spec, k)).with_cycles(cycles);
+        if simulate_seeds(&cfg, seeds).delta_mean > 0.0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Human-readable point label.
+    pub label: String,
+    /// Swept parameter value.
+    pub x: f64,
+    /// Number of streams at this point.
+    pub streams: usize,
+    /// Aggregated results.
+    pub summary: Summary,
+}
+
+/// Sweeps a parameter by mapping each `(x, workload)` pair to a point.
+pub fn sweep(
+    points: impl IntoIterator<Item = (f64, Workload)>,
+    configure: impl Fn(RunConfig) -> RunConfig,
+    seeds: u64,
+) -> Vec<SweepPoint> {
+    points
+        .into_iter()
+        .map(|(x, workload)| {
+            let streams = workload.stream_count();
+            let label = workload.name.clone();
+            let cfg = configure(RunConfig::new(workload));
+            SweepPoint {
+                label,
+                x,
+                streams,
+                summary: simulate_seeds(&cfg, seeds),
+            }
+        })
+        .collect()
+}
+
+pub mod tables {
+    //! Generators for each table and sweep of the paper's evaluation.
+
+    use super::*;
+
+    /// Table 4.1 — the parameter sets (values substituted per DESIGN.md;
+    /// the published scan garbles the originals).
+    pub fn table_4_1() -> Table {
+        let mut t = Table::new(
+            "Table 4.1 - Parameter Set for Typical Programs",
+            &[
+                "meanon", "meanoff", "mean_req", "alpha", "tmem", "mean_io", "aljmp",
+            ],
+            2,
+        );
+        let all: Vec<LoadSpec> = vec![
+            LoadSpec::load1(),
+            LoadSpec::load2(),
+            LoadSpec::load3(),
+            LoadSpec::load4(),
+        ];
+        for l in &all {
+            t.push_row(
+                &l.name,
+                vec![
+                    l.mean_on.unwrap_or(f64::INFINITY),
+                    l.mean_off,
+                    l.mean_req.unwrap_or(f64::INFINITY),
+                    l.alpha,
+                    l.tmem as f64,
+                    l.mean_io,
+                    l.aljmp,
+                ],
+            );
+        }
+        t
+    }
+
+    /// Table 4.2 — `PD` (a) and `delta` (b) for loads 1–4 partitioned into
+    /// 1..=4 instruction streams.
+    pub fn table_4_2(cycles: u64, seeds: u64) -> (Table, Table) {
+        let cols = ["1 IS", "2 ISs", "3 ISs", "4 ISs"];
+        let mut pd = Table::new("Table 4.2a - Processor Utilization PD", &cols, 3);
+        let mut delta = Table::new("Table 4.2b - Delta (%)", &cols, 1);
+        for spec in LoadSpec::presets() {
+            let mut pd_row = Vec::new();
+            let mut d_row = Vec::new();
+            for k in 1..=4 {
+                let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
+                let s = simulate_seeds(&cfg, seeds);
+                pd_row.push(s.pd_mean);
+                d_row.push(s.delta_mean);
+            }
+            pd.push_row(&spec.name, pd_row);
+            delta.push_row(&spec.name, d_row);
+        }
+        (pd, delta)
+    }
+
+    /// Table 4.3 — load 1 paired with each other load: combined into one
+    /// IS, separated into two, load 1 split into two (3 ISs), and both
+    /// split (4 ISs). Returns (`PD`, `delta`).
+    pub fn table_4_3(cycles: u64, seeds: u64) -> (Table, Table) {
+        let cols = ["Combined", "Separated", "Three ISs", "Four ISs"];
+        let mut pd = Table::new("Table 4.3a - Processor Utilization PD", &cols, 3);
+        let mut delta = Table::new("Table 4.3b - Delta (%)", &cols, 1);
+        let l1 = LoadSpec::load1();
+        for other in [LoadSpec::load2(), LoadSpec::load3(), LoadSpec::load4()] {
+            let variants: Vec<Workload> = vec![
+                Workload::combined(vec![l1.clone(), other.clone()]),
+                Workload::separate(vec![l1.clone(), other.clone()]),
+                Workload::custom(
+                    "three",
+                    vec![
+                        vec![l1.clone()],
+                        vec![l1.clone()],
+                        vec![other.clone()],
+                    ],
+                ),
+                Workload::custom(
+                    "four",
+                    vec![
+                        vec![l1.clone()],
+                        vec![l1.clone()],
+                        vec![other.clone()],
+                        vec![other.clone()],
+                    ],
+                ),
+            ];
+            let mut pd_row = Vec::new();
+            let mut d_row = Vec::new();
+            for w in variants {
+                let cfg = RunConfig::new(w).with_cycles(cycles);
+                let s = simulate_seeds(&cfg, seeds);
+                pd_row.push(s.pd_mean);
+                d_row.push(s.delta_mean);
+            }
+            let label = format!("load 1 + {}", other.name);
+            pd.push_row(&label, pd_row);
+            delta.push_row(&label, d_row);
+        }
+        (pd, delta)
+    }
+
+    /// §4.2 jump-only sweep: no external requests, `aljmp` varied, 1–4
+    /// streams. Returns a `PD` table (rows = `aljmp`, columns = streams).
+    pub fn sweep_jump(cycles: u64, seeds: u64) -> Table {
+        let mut t = Table::new(
+            "Sweep: effect of jump instructions only (PD)",
+            &["1 IS", "2 ISs", "3 ISs", "4 ISs"],
+            3,
+        );
+        for aljmp in [0.05, 0.1, 0.2, 0.3, 0.4] {
+            let spec = LoadSpec::load3().with_aljmp(aljmp).named("jump");
+            let mut row = Vec::new();
+            for k in 1..=4 {
+                let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
+                row.push(simulate_seeds(&cfg, seeds).pd_mean);
+            }
+            t.push_row(&format!("aljmp={aljmp:.2}"), row);
+        }
+        t
+    }
+
+    /// §4.2 I/O-only sweep: no jumps, request spacing varied, 1–4 streams.
+    pub fn sweep_io(cycles: u64, seeds: u64) -> Table {
+        let mut t = Table::new(
+            "Sweep: effect of external I/O only (PD)",
+            &["1 IS", "2 ISs", "3 ISs", "4 ISs"],
+            3,
+        );
+        for mean_req in [5.0, 10.0, 20.0, 40.0, 80.0] {
+            let spec = LoadSpec::load1()
+                .with_aljmp(0.0)
+                .with_mean_req(Some(mean_req))
+                .named("io");
+            let mut row = Vec::new();
+            for k in 1..=4 {
+                let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
+                row.push(simulate_seeds(&cfg, seeds).pd_mean);
+            }
+            t.push_row(&format!("mean_req={mean_req:>4.0}"), row);
+        }
+        t
+    }
+
+    /// §4.2 pipeline-length sweep on load 1 (PD; rows = depth,
+    /// columns = streams).
+    pub fn sweep_pipeline(cycles: u64, seeds: u64) -> Table {
+        let cols = ["1 IS", "2 ISs", "4 ISs", "8 ISs"];
+        let mut t = Table::new("Sweep: pipeline length (PD, load 1)", &cols, 3);
+        for depth in [3usize, 4, 5, 6, 8] {
+            let mut row = Vec::new();
+            for k in [1usize, 2, 4, 8] {
+                let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), k))
+                    .with_cycles(cycles)
+                    .with_pipe_depth(depth);
+                row.push(simulate_seeds(&cfg, seeds).pd_mean);
+            }
+            t.push_row(&format!("depth={depth}"), row);
+        }
+        t
+    }
+
+    /// §4.2 scheduler-sequence sweep: different partition tables over the
+    /// same 4-stream workload (PD and per-run delta columns).
+    pub fn sweep_scheduler(cycles: u64, seeds: u64) -> Table {
+        let mut t = Table::new(
+            "Sweep: scheduler sequence (load 1 x 4 ISs)",
+            &["PD", "delta %"],
+            3,
+        );
+        let schedules: Vec<(&str, SchedulePolicy)> = vec![
+            ("even 4/4/4/4", SchedulePolicy::partitioned(&[4, 4, 4, 4])),
+            ("skewed 8/4/2/2", SchedulePolicy::partitioned(&[8, 4, 2, 2])),
+            ("extreme 13/1/1/1", SchedulePolicy::partitioned(&[13, 1, 1, 1])),
+            (
+                "weighted-deficit 4:4:4:4",
+                SchedulePolicy::WeightedDeficit(vec![4, 4, 4, 4]),
+            ),
+        ];
+        for (name, sched) in schedules {
+            let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), 4))
+                .with_cycles(cycles)
+                .with_schedule(sched);
+            let s = simulate_seeds(&cfg, seeds);
+            t.push_row(name, vec![s.pd_mean, s.delta_mean]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tables::*;
+    use super::*;
+
+    const CYCLES: u64 = 60_000;
+    const SEEDS: u64 = 3;
+
+    #[test]
+    fn summary_aggregates_multiple_seeds() {
+        let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), 2))
+            .with_cycles(30_000);
+        let s = simulate_seeds(&cfg, 4);
+        assert_eq!(s.runs, 4);
+        assert!(s.pd_mean > 0.0 && s.pd_mean < 1.0);
+        assert!(s.pd_sd < 0.1, "seeds should agree broadly");
+    }
+
+    #[test]
+    fn table_4_2_shape_matches_paper() {
+        let (pd, delta) = table_4_2(CYCLES, SEEDS);
+        // Utilization rises with the degree of partitioning (each row).
+        for r in 0..4 {
+            for c in 0..3 {
+                assert!(
+                    pd.value(r, c + 1).unwrap() >= pd.value(r, c).unwrap() - 0.02,
+                    "PD should not drop with more streams (row {r})"
+                );
+            }
+            // "The range of improvement … is dramatic as long as at least
+            // two ISs are enabled."
+            assert!(
+                delta.value(r, 3).unwrap() > delta.value(r, 0).unwrap(),
+                "delta must improve from 1 to 4 ISs (row {r})"
+            );
+        }
+        // Load 3 (DSP) is already near 1.0 alone but still gains a little.
+        let dsp_1 = pd.value(2, 0).unwrap();
+        let dsp_4 = pd.value(2, 3).unwrap();
+        assert!(dsp_1 > 0.8);
+        assert!(dsp_4 > dsp_1);
+    }
+
+    #[test]
+    fn table_4_3_shape_matches_paper() {
+        let (pd, _delta) = table_4_3(CYCLES, SEEDS);
+        for r in 0..3 {
+            let combined = pd.value(r, 0).unwrap();
+            let four = pd.value(r, 3).unwrap();
+            assert!(
+                four > combined,
+                "four ISs must beat the combined single IS (row {r})"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_sweep_interleaving_removes_penalty() {
+        let t = sweep_jump(CYCLES, SEEDS);
+        // At every aljmp, 4 streams beat 1 stream; at high aljmp the gap
+        // is large.
+        for r in 0..t.rows().len() {
+            assert!(t.value(r, 3).unwrap() > t.value(r, 0).unwrap());
+        }
+        let worst_single = t.value(4, 0).unwrap(); // aljmp = 0.4, 1 IS
+        let best_four = t.value(4, 3).unwrap();
+        assert!(best_four - worst_single > 0.2, "gap should be dramatic");
+    }
+
+    #[test]
+    fn io_sweep_relative_gain_shrinks_with_sparse_requests() {
+        let t = sweep_io(CYCLES, SEEDS);
+        // With very frequent I/O the shared bus saturates and caps the
+        // absolute gap, but the *relative* gain of 4 ISs over 1 IS is
+        // largest there and fades as requests thin out.
+        let ratio_at = |r: usize| t.value(r, 3).unwrap() / t.value(r, 0).unwrap();
+        assert!(
+            ratio_at(0) > ratio_at(4),
+            "relative multistream gain must fade with sparse I/O: {} vs {}",
+            ratio_at(0),
+            ratio_at(4)
+        );
+        // PD rises monotonically with sparser requests at any stream count.
+        for c in 0..4 {
+            for r in 0..4 {
+                assert!(t.value(r + 1, c).unwrap() >= t.value(r, c).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_sweep_deep_pipes_need_more_streams() {
+        let t = sweep_pipeline(CYCLES, SEEDS);
+        // On a deep pipe, 8 streams beat 1 stream by more than on a
+        // shallow pipe.
+        let shallow_gap = t.value(0, 3).unwrap() - t.value(0, 0).unwrap();
+        let deep_gap = t.value(4, 3).unwrap() - t.value(4, 0).unwrap();
+        assert!(deep_gap >= shallow_gap - 0.02);
+    }
+
+    #[test]
+    fn scheduler_sweep_runs_all_policies() {
+        let t = sweep_scheduler(CYCLES, SEEDS);
+        assert_eq!(t.rows().len(), 4);
+        for r in 0..4 {
+            assert!(t.value(r, 0).unwrap() > 0.3, "policy {r} PD sane");
+        }
+    }
+
+    #[test]
+    fn crossover_matches_table_shapes() {
+        // Load 1 crosses to positive delta at 2 streams; load 3 (DSP) at 2
+        // as well (its 1-stream delta is ~0 but not positive); load 4 only
+        // at 4.
+        assert_eq!(
+            crossover_streams(&LoadSpec::load1(), 8, CYCLES, SEEDS),
+            Some(2)
+        );
+        let l4 = crossover_streams(&LoadSpec::load4(), 8, CYCLES, SEEDS);
+        assert!(l4.is_some() && l4.unwrap() >= 3, "load 4 needs many streams: {l4:?}");
+    }
+
+    #[test]
+    fn table_4_1_lists_every_load() {
+        let t = table_4_1();
+        assert_eq!(t.rows().len(), 4);
+        assert!(t.to_string().contains("load 3"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The stochastic evaluation model of the DISC architecture — Section 4 of
+//! the paper.
+//!
+//! *"A stochastic model was developed to evaluate the DISC architecture.
+//! Poisson distributions, with the indicated means, were assumed for the
+//! number of consecutive instructions for which the IS is active (meanon),
+//! or inactive (meanoff), between external access requests (mean_req), and
+//! for I/O request times (mean_io)."*
+//!
+//! Rather than executing real programs, each instruction stream is a
+//! renewal process ([`StochStream`]) parameterized by a [`LoadSpec`]; the
+//! [`Sequencer`] applies the exact DISC1 scheduling and flush rules of
+//! §4.1 (it reuses the hardware scheduler from `disc-core`):
+//!
+//! * a jump-type instruction flushes all in-pipe instructions of its own
+//!   stream;
+//! * an external access with nonzero access time flushes its stream's
+//!   in-pipe instructions and parks the stream until the data returns;
+//! * an access that finds the bus busy is itself flushed and re-issued
+//!   once the bus frees.
+//!
+//! Two measures come out ([`RunMetrics`]): `PD`, processor utilization on
+//! DISC, and `delta = (PD - Ps)/Ps × 100%`, where `Ps` is the utilization
+//! of a standard single-stream processor on the same consumed workload:
+//! `Ps = N / (N + bus_busy + jumps × (pipe_length − 1))`.
+//!
+//! The [`tables`] module packages the runs behind Tables 4.1–4.3 and
+//! the jump-only / I/O-only / pipeline-depth / scheduler sweeps of §4.2.
+//!
+//! # Example
+//!
+//! ```
+//! use disc_stoch::{simulate, LoadSpec, RunConfig, Workload};
+//!
+//! // Load 1 partitioned over four streams (a Table 4.2 cell).
+//! let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), 4))
+//!     .with_cycles(100_000)
+//!     .with_seed(7);
+//! let m = simulate(&cfg);
+//! assert!(m.pd() > m.ps(), "multistreaming must beat the baseline here");
+//! ```
+
+pub mod analytic;
+mod dist;
+mod experiment;
+mod load;
+mod metrics;
+mod report;
+mod sequencer;
+mod stream_gen;
+pub mod window_study;
+
+pub use dist::Sampler;
+pub use experiment::{
+    crossover_streams, simulate, simulate_seeds, sweep, RunConfig, Summary, SweepPoint,
+    DEFAULT_CYCLES, DEFAULT_SEEDS,
+};
+pub use load::{LoadSpec, Workload};
+pub use metrics::RunMetrics;
+pub use report::Table;
+pub use sequencer::Sequencer;
+pub use stream_gen::{GenInstr, StochStream};
+pub use window_study::{run_window_study, sweep_window_depth, CallProfile, WindowStudy};
+
+pub mod tables {
+    //! Ready-made generators for each table of the paper.
+    pub use crate::experiment::tables::*;
+}

@@ -1,0 +1,273 @@
+//! Workload parameterization — the paper's Table 4.1.
+//!
+//! The available scan of the paper garbles the numeric cells of Table 4.1,
+//! so the preset values below are chosen to match the prose
+//! characterization of each load (see DESIGN.md §2/§4); every generator
+//! prints them so the substitution is explicit.
+
+/// Stochastic parameters of one program load (a Table 4.1 column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSpec {
+    /// Display name (`"load 1"`, `"load 1:4"`, …).
+    pub name: String,
+    /// Mean instructions per active burst; `None` = always active.
+    pub mean_on: Option<f64>,
+    /// Mean cycles per inactive gap (ignored when always active).
+    pub mean_off: f64,
+    /// Mean instructions between external access requests; `None` = the
+    /// load never leaves internal memory (the DSP case).
+    pub mean_req: Option<f64>,
+    /// Probability an external request goes to memory (`alpha`); the rest
+    /// are I/O.
+    pub alpha: f64,
+    /// External memory access time in cycles (`tmem`).
+    pub tmem: u32,
+    /// Mean I/O access time in cycles (`mean_io`, Poisson distributed).
+    pub mean_io: f64,
+    /// Fraction of instructions that modify program flow (`aljmp`).
+    pub aljmp: f64,
+}
+
+impl LoadSpec {
+    /// Load 1 — *"typical RTS behavior … always active"*.
+    pub fn load1() -> Self {
+        LoadSpec {
+            name: "load 1".into(),
+            mean_on: None,
+            mean_off: 0.0,
+            mean_req: Some(10.0),
+            alpha: 0.5,
+            tmem: 2,
+            mean_io: 20.0,
+            aljmp: 0.20,
+        }
+    }
+
+    /// Load 2 — *"alternatively active and inactive"* RTS behavior.
+    pub fn load2() -> Self {
+        LoadSpec {
+            name: "load 2".into(),
+            mean_on: Some(50.0),
+            mean_off: 50.0,
+            ..Self::load1()
+        }
+    }
+
+    /// Load 3 — *"a DSP type program running only from internal memory"*.
+    pub fn load3() -> Self {
+        LoadSpec {
+            name: "load 3".into(),
+            mean_on: None,
+            mean_off: 0.0,
+            mean_req: None,
+            alpha: 0.0,
+            tmem: 0,
+            mean_io: 0.0,
+            aljmp: 0.05,
+        }
+    }
+
+    /// Load 4 — *"an interrupt driven program which is only active while
+    /// handling an interrupt"*.
+    pub fn load4() -> Self {
+        LoadSpec {
+            name: "load 4".into(),
+            mean_on: Some(25.0),
+            mean_off: 100.0,
+            mean_req: Some(15.0),
+            alpha: 0.3,
+            tmem: 2,
+            mean_io: 25.0,
+            aljmp: 0.25,
+        }
+    }
+
+    /// The four presets in order.
+    pub fn presets() -> Vec<LoadSpec> {
+        vec![
+            Self::load1(),
+            Self::load2(),
+            Self::load3(),
+            Self::load4(),
+        ]
+    }
+
+    /// Renames the load.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builder-style field override for sweeps.
+    pub fn with_aljmp(mut self, aljmp: f64) -> Self {
+        self.aljmp = aljmp;
+        self
+    }
+
+    /// Builder-style field override for sweeps.
+    pub fn with_mean_req(mut self, mean_req: Option<f64>) -> Self {
+        self.mean_req = mean_req;
+        self
+    }
+
+    /// Builder-style field override for sweeps.
+    pub fn with_mean_io(mut self, mean_io: f64) -> Self {
+        self.mean_io = mean_io;
+        self
+    }
+
+    /// Builder-style field override for sweeps.
+    pub fn with_tmem(mut self, tmem: u32) -> Self {
+        self.tmem = tmem;
+        self
+    }
+
+    /// Builder-style field override for sweeps.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// `true` when the load has no inactive phases.
+    pub fn always_active(&self) -> bool {
+        self.mean_on.is_none()
+    }
+}
+
+/// Assignment of loads to instruction streams for one simulation run.
+///
+/// A stream carries one or more component [`LoadSpec`]s; with several, the
+/// stream alternates between them burst-by-burst — the paper's
+/// *"statistical combination of loads 1 and 4 into a single IS"*
+/// (`load (1:4)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    streams: Vec<Vec<LoadSpec>>,
+    /// Display name.
+    pub name: String,
+}
+
+impl Workload {
+    /// One stream per spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn separate(specs: Vec<LoadSpec>) -> Self {
+        assert!(!specs.is_empty(), "workload needs at least one load");
+        let name = specs
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .join(" | ");
+        Workload {
+            streams: specs.into_iter().map(|s| vec![s]).collect(),
+            name,
+        }
+    }
+
+    /// The same load partitioned into `k` statistically identical streams
+    /// (a Table 4.2 row cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn partitioned(spec: &LoadSpec, k: usize) -> Self {
+        assert!(k > 0, "at least one stream required");
+        Workload {
+            streams: (0..k).map(|_| vec![spec.clone()]).collect(),
+            name: format!("{} / {k} ISs", spec.name),
+        }
+    }
+
+    /// All specs statistically combined into a single stream
+    /// (`load (1:X)` in Table 4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn combined(specs: Vec<LoadSpec>) -> Self {
+        assert!(!specs.is_empty(), "workload needs at least one load");
+        let name = specs
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .join(":");
+        Workload {
+            streams: vec![specs],
+            name: format!("load ({name})"),
+        }
+    }
+
+    /// Arbitrary stream assignment (each inner vector is one stream's
+    /// component mixture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or any stream has no components.
+    pub fn custom(name: &str, streams: Vec<Vec<LoadSpec>>) -> Self {
+        assert!(!streams.is_empty(), "workload needs at least one stream");
+        assert!(
+            streams.iter().all(|s| !s.is_empty()),
+            "every stream needs at least one component"
+        );
+        Workload {
+            streams,
+            name: name.into(),
+        }
+    }
+
+    /// Number of instruction streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Component mixture of stream `s`.
+    pub fn stream(&self, s: usize) -> &[LoadSpec] {
+        &self.streams[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_prose() {
+        assert!(LoadSpec::load1().always_active());
+        assert!(!LoadSpec::load2().always_active());
+        assert_eq!(LoadSpec::load3().mean_req, None, "DSP never goes external");
+        let l4 = LoadSpec::load4();
+        assert!(l4.mean_off > l4.mean_on.unwrap(), "mostly dormant");
+    }
+
+    #[test]
+    fn partitioned_replicates_spec() {
+        let w = Workload::partitioned(&LoadSpec::load2(), 3);
+        assert_eq!(w.stream_count(), 3);
+        for s in 0..3 {
+            assert_eq!(w.stream(s)[0].name, "load 2");
+        }
+    }
+
+    #[test]
+    fn combined_is_single_stream_mixture() {
+        let w = Workload::combined(vec![LoadSpec::load1(), LoadSpec::load4()]);
+        assert_eq!(w.stream_count(), 1);
+        assert_eq!(w.stream(0).len(), 2);
+        assert!(w.name.contains("1") && w.name.contains("4"));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let l = LoadSpec::load1().with_aljmp(0.4).with_tmem(9);
+        assert_eq!(l.aljmp, 0.4);
+        assert_eq!(l.tmem, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_workload_rejected() {
+        let _ = Workload::separate(vec![]);
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's performance measures: `PD`, `Ps` and `delta`.
+
+/// Counters produced by one [`Sequencer`](crate::Sequencer) run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Instructions completed (retired, not flushed).
+    pub executed: u64,
+    /// Flow-modifying instructions completed.
+    pub jumps: u64,
+    /// Cycles the external data bus was busy.
+    pub bus_busy_cycles: u64,
+    /// Instructions dropped by same-stream jump flushes.
+    pub dropped_jump: u64,
+    /// Instructions dropped when an external access parked their stream.
+    pub dropped_io: u64,
+    /// Instructions dropped because an access found the bus busy
+    /// (includes the cancelled access itself).
+    pub dropped_bus_busy: u64,
+    /// Cycles in which no stream could issue.
+    pub bubbles: u64,
+    /// External accesses issued to the bus.
+    pub external_accesses: u64,
+    /// Accesses cancelled because the bus was busy.
+    pub bus_rejections: u64,
+    /// Pipeline depth the run used (enters the `Ps` formula).
+    pub pipe_depth: usize,
+}
+
+impl RunMetrics {
+    /// `PD` — *"processor utilization on DISC"*: completed instructions
+    /// per cycle.
+    pub fn pd(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.executed as f64 / self.cycles as f64
+        }
+    }
+
+    /// `Ps` — utilization of the standard single-stream processor on the
+    /// same consumed workload:
+    /// `N / (N + bus_busy + jumps × (pipe_length − 1))`.
+    ///
+    /// *"This assumes that instructions are not being executed in a
+    /// standard processor when it is waiting for data … every time a jump
+    /// type instruction is executed, the standard processor will require
+    /// (pipe_length − 1) cycles to be flushed from the pipeline."*
+    pub fn ps(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
+        let n = self.executed as f64;
+        let penalty =
+            self.bus_busy_cycles as f64 + self.jumps as f64 * (self.pipe_depth as f64 - 1.0);
+        n / (n + penalty)
+    }
+
+    /// `delta = (PD − Ps) / Ps × 100%`.
+    pub fn delta(&self) -> f64 {
+        let ps = self.ps();
+        if ps == 0.0 {
+            0.0
+        } else {
+            (self.pd() - ps) / ps * 100.0
+        }
+    }
+
+    /// Total dropped instructions.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_jump + self.dropped_io + self.dropped_bus_busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            cycles: 1000,
+            executed: 600,
+            jumps: 100,
+            bus_busy_cycles: 200,
+            pipe_depth: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pd_is_throughput() {
+        assert!((metrics().pd() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ps_formula_matches_paper() {
+        // N=600, busy=200, jumps*(P-1)=300 -> 600/1100.
+        let ps = metrics().ps();
+        assert!((ps - 600.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_sign_tracks_comparison() {
+        let m = metrics();
+        // PD=0.6 > Ps≈0.545 -> positive delta.
+        assert!(m.delta() > 0.0);
+        let worse = RunMetrics {
+            cycles: 2000,
+            ..metrics()
+        };
+        assert!(worse.delta() < 0.0, "PD=0.3 < Ps -> negative");
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.pd(), 0.0);
+        assert_eq!(m.ps(), 0.0);
+        assert_eq!(m.delta(), 0.0);
+    }
+
+    #[test]
+    fn deeper_pipes_penalize_standard_processor_more() {
+        let shallow = RunMetrics {
+            pipe_depth: 4,
+            ..metrics()
+        };
+        let deep = RunMetrics {
+            pipe_depth: 8,
+            ..metrics()
+        };
+        assert!(deep.ps() < shallow.ps());
+    }
+}

@@ -1,0 +1,171 @@
+//! ASCII table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple numeric table with row labels, rendered in fixed-width ASCII
+/// (and exportable as CSV), used by every table/figure generator.
+///
+/// # Example
+///
+/// ```
+/// use disc_stoch::Table;
+///
+/// let mut t = Table::new("Demo", &["a", "b"], 2);
+/// t.push_row("row 1", vec![1.0, 2.5]);
+/// let text = t.to_string();
+/// assert!(text.contains("Demo"));
+/// assert!(text.contains("2.50"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    precision: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given title, column headers and
+    /// numeric precision.
+    pub fn new(title: &str, columns: &[&str], precision: usize) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            precision,
+        }
+    }
+
+    /// Appends a labelled row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the column count.
+    pub fn push_row(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row `{label}` has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((label.to_string(), values));
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Row data.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Value at (`row`, `col`), if present.
+    pub fn value(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows.get(row).and_then(|(_, v)| v.get(col)).copied()
+    }
+
+    /// CSV rendering (header row included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("label");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(label);
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{:.*}", self.precision, v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([5])
+            .max()
+            .unwrap_or(5);
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain([self.precision + 6])
+            .max()
+            .unwrap_or(10);
+        writeln!(f, "{}", self.title)?;
+        write!(f, "{:label_width$}", "")?;
+        for c in &self.columns {
+            write!(f, "  {c:>col_width$}")?;
+        }
+        writeln!(f)?;
+        let total = label_width + (col_width + 2) * self.columns.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_width$}")?;
+            for v in values {
+                write!(f, "  {:>col_width$.*}", self.precision, v)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T", &["c1", "c2"], 3);
+        t.push_row("r1", vec![0.5, 1.0]);
+        t.push_row("longer row", vec![-2.25, 100.0]);
+        t
+    }
+
+    #[test]
+    fn renders_all_cells() {
+        let text = sample().to_string();
+        assert!(text.contains("0.500"));
+        assert!(text.contains("-2.250"));
+        assert!(text.contains("longer row"));
+        assert!(text.contains("c2"));
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "label,c1,c2");
+        assert_eq!(lines[1], "r1,0.500,1.000");
+    }
+
+    #[test]
+    fn value_accessor() {
+        let t = sample();
+        assert_eq!(t.value(1, 1), Some(100.0));
+        assert_eq!(t.value(9, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn mismatched_row_rejected() {
+        sample().push_row("bad", vec![1.0]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Stochastic instruction-stream generators.
+
+use crate::dist::Sampler;
+use crate::load::LoadSpec;
+
+/// Burst length used for always-active components inside a mixture
+/// (instructions per segment of the paper's "statistical combination").
+const MIX_BURST: f64 = 50.0;
+
+/// A modeled instruction drawn from the stream's renewal process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenInstr {
+    /// Ordinary single-cycle instruction.
+    Plain,
+    /// Flow-modifying instruction (jump/call/return/branch/interrupt —
+    /// the paper's `aljmp` class).
+    Jump,
+    /// External access with the given total access time in cycles.
+    External {
+        /// `true` when the request went to memory (`alpha`), `false` for
+        /// I/O.
+        is_mem: bool,
+        /// Access time in cycles (`tmem` or a `Poisson(mean_io)` draw).
+        latency: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// `remaining` instructions of the active burst.
+    Active { remaining: u64 },
+    /// `remaining` cycles of inactivity.
+    Inactive { remaining: u64 },
+}
+
+/// One stochastic instruction stream (a mixture of [`LoadSpec`]
+/// components, cycled burst-by-burst).
+#[derive(Debug, Clone)]
+pub struct StochStream {
+    components: Vec<LoadSpec>,
+    comp: usize,
+    phase: Phase,
+    /// Instructions until the next external request (None = never).
+    to_next_req: Option<u64>,
+    /// Cancelled access to replay once the bus frees.
+    replay: Option<GenInstr>,
+    sampler: Sampler,
+    /// Instructions generated (for diagnostics).
+    generated: u64,
+}
+
+impl StochStream {
+    /// Creates a stream cycling through `components`, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<LoadSpec>, seed: u64) -> Self {
+        assert!(!components.is_empty(), "stream needs a component");
+        let mut s = StochStream {
+            components,
+            comp: 0,
+            phase: Phase::Active { remaining: 0 },
+            to_next_req: None,
+            replay: None,
+            sampler: Sampler::new(seed),
+            generated: 0,
+        };
+        s.begin_burst();
+        s
+    }
+
+    fn spec(&self) -> &LoadSpec {
+        &self.components[self.comp]
+    }
+
+    fn begin_burst(&mut self) {
+        let (mean_on, mean_req) = {
+            let spec = self.spec();
+            (spec.mean_on, spec.mean_req)
+        };
+        let remaining = match mean_on {
+            Some(m) => self.sampler.poisson_at_least_one(m),
+            // An always-active component in a mixture still has to yield
+            // to its partners; give it the default mixing burst length.
+            None if self.components.len() > 1 => {
+                self.sampler.poisson_at_least_one(MIX_BURST)
+            }
+            None => u64::MAX,
+        };
+        self.phase = Phase::Active { remaining };
+        self.to_next_req = match mean_req {
+            Some(m) => Some(self.sampler.poisson_at_least_one(m)),
+            None => None,
+        };
+    }
+
+    fn end_burst(&mut self) {
+        // Mixtures rotate to the next component for the next burst; an
+        // always-active component contributes no inactive gap.
+        let spec = self.spec();
+        let gap = if spec.always_active() && self.components.len() > 1 {
+            0
+        } else {
+            self.sampler.poisson_at_least_one(spec.mean_off.max(1.0))
+        };
+        self.comp = (self.comp + 1) % self.components.len();
+        if gap == 0 {
+            self.begin_burst();
+        } else {
+            self.phase = Phase::Inactive { remaining: gap };
+        }
+    }
+
+    /// `true` when the stream can supply an instruction this cycle.
+    pub fn active(&self) -> bool {
+        matches!(self.phase, Phase::Active { .. })
+    }
+
+    /// Advances inactive time by one cycle (call once per cycle while the
+    /// stream is inactive).
+    pub fn tick_inactive(&mut self) {
+        if let Phase::Inactive { remaining } = &mut self.phase {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.begin_burst();
+            }
+        }
+    }
+
+    /// Stashes a cancelled external access for replay (bus was busy).
+    pub fn push_replay(&mut self, instr: GenInstr) {
+        self.replay = Some(instr);
+    }
+
+    /// Draws the next instruction of the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is inactive (callers check
+    /// [`active`](Self::active)).
+    pub fn next_instr(&mut self) -> GenInstr {
+        if let Some(instr) = self.replay.take() {
+            return instr;
+        }
+        let Phase::Active { remaining } = &mut self.phase else {
+            panic!("next_instr on an inactive stream");
+        };
+        *remaining = remaining.saturating_sub(1);
+        let burst_over = *remaining == 0;
+        self.generated += 1;
+
+        // External request due?
+        let instr = if let Some(t) = &mut self.to_next_req {
+            *t -= 1;
+            if *t == 0 {
+                let (alpha, tmem, mean_io, mean_req) = {
+                    let s = self.spec();
+                    (s.alpha, s.tmem, s.mean_io, s.mean_req)
+                };
+                if let Some(m) = mean_req {
+                    self.to_next_req = Some(self.sampler.poisson_at_least_one(m));
+                }
+                let is_mem = self.sampler.bernoulli(alpha);
+                let latency = if is_mem {
+                    tmem
+                } else {
+                    self.sampler.poisson_at_least_one(mean_io) as u32
+                };
+                GenInstr::External { is_mem, latency }
+            } else {
+                self.plain_or_jump()
+            }
+        } else {
+            self.plain_or_jump()
+        };
+
+        if burst_over {
+            self.end_burst();
+        }
+        instr
+    }
+
+    fn plain_or_jump(&mut self) -> GenInstr {
+        let aljmp = self.spec().aljmp;
+        if self.sampler.bernoulli(aljmp) {
+            GenInstr::Jump
+        } else {
+            GenInstr::Plain
+        }
+    }
+
+    /// Instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_active_load_never_idles() {
+        let mut s = StochStream::new(vec![LoadSpec::load1()], 1);
+        for _ in 0..10_000 {
+            assert!(s.active());
+            let _ = s.next_instr();
+        }
+    }
+
+    #[test]
+    fn duty_cycled_load_alternates() {
+        let mut s = StochStream::new(vec![LoadSpec::load2()], 2);
+        let mut active_slots = 0u64;
+        let mut idle_slots = 0u64;
+        for _ in 0..100_000 {
+            if s.active() {
+                active_slots += 1;
+                let _ = s.next_instr();
+            } else {
+                idle_slots += 1;
+                s.tick_inactive();
+            }
+        }
+        let duty = active_slots as f64 / (active_slots + idle_slots) as f64;
+        assert!(
+            (0.4..=0.6).contains(&duty),
+            "load 2 is ~50% duty, got {duty}"
+        );
+    }
+
+    #[test]
+    fn jump_fraction_matches_aljmp() {
+        let mut s = StochStream::new(vec![LoadSpec::load1()], 3);
+        let n = 50_000;
+        let jumps = (0..n)
+            .filter(|_| matches!(s.next_instr(), GenInstr::Jump))
+            .count();
+        let frac = jumps as f64 / n as f64;
+        // External slots displace some jumps; accept a band around 0.2.
+        assert!((0.15..=0.25).contains(&frac), "aljmp fraction {frac}");
+    }
+
+    #[test]
+    fn request_spacing_matches_mean_req() {
+        let mut s = StochStream::new(vec![LoadSpec::load1()], 4);
+        let n = 100_000;
+        let ext = (0..n)
+            .filter(|_| matches!(s.next_instr(), GenInstr::External { .. }))
+            .count();
+        let spacing = n as f64 / ext as f64;
+        assert!(
+            (9.0..=11.0).contains(&spacing),
+            "mean request spacing {spacing}"
+        );
+    }
+
+    #[test]
+    fn dsp_load_never_goes_external() {
+        let mut s = StochStream::new(vec![LoadSpec::load3()], 5);
+        for _ in 0..50_000 {
+            assert!(!matches!(s.next_instr(), GenInstr::External { .. }));
+        }
+    }
+
+    #[test]
+    fn memory_fraction_matches_alpha() {
+        let mut s = StochStream::new(vec![LoadSpec::load1()], 6);
+        let mut mem = 0u64;
+        let mut io = 0u64;
+        for _ in 0..200_000 {
+            if let GenInstr::External { is_mem, latency } = s.next_instr() {
+                if is_mem {
+                    mem += 1;
+                    assert_eq!(latency, 2, "memory access time is tmem");
+                } else {
+                    io += 1;
+                    assert!(latency >= 1);
+                }
+            }
+        }
+        let frac = mem as f64 / (mem + io) as f64;
+        assert!((0.45..=0.55).contains(&frac), "alpha fraction {frac}");
+    }
+
+    #[test]
+    fn replay_returns_same_instruction_first() {
+        let mut s = StochStream::new(vec![LoadSpec::load1()], 7);
+        let cancelled = GenInstr::External {
+            is_mem: false,
+            latency: 17,
+        };
+        s.push_replay(cancelled);
+        assert_eq!(s.next_instr(), cancelled);
+    }
+
+    #[test]
+    fn mixture_rotates_components() {
+        // Mix a jumpy and a jump-free load with short bursts; observed
+        // jump fraction must sit between the two components'.
+        let a = LoadSpec {
+            name: "jumpy".into(),
+            mean_on: Some(20.0),
+            mean_off: 1.0,
+            mean_req: None,
+            alpha: 0.0,
+            tmem: 0,
+            mean_io: 0.0,
+            aljmp: 0.5,
+        };
+        let b = LoadSpec {
+            aljmp: 0.0,
+            name: "straight".into(),
+            ..a.clone()
+        };
+        let mut s = StochStream::new(vec![a, b], 8);
+        let mut jumps = 0u64;
+        let mut total = 0u64;
+        for _ in 0..200_000 {
+            if s.active() {
+                total += 1;
+                if matches!(s.next_instr(), GenInstr::Jump) {
+                    jumps += 1;
+                }
+            } else {
+                s.tick_inactive();
+            }
+        }
+        let frac = jumps as f64 / total as f64;
+        assert!(
+            (0.15..=0.35).contains(&frac),
+            "mixture jump fraction {frac} should sit between 0 and 0.5"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Stochastic evaluation of stack-window sizing — one of the paper's
+//! stated future-work items: *"the depth and size of memory usage in the
+//! stack windows could be evaluated by stochastic means."*
+//!
+//! The model drives a real [`StackWindow`] (the same component the
+//! cycle-accurate machine uses) with a stochastic call/return process: a
+//! random walk over call depth with Poisson-distributed local-frame sizes,
+//! mildly biased toward the root so depth has a stationary distribution.
+//! The outputs are the spill/fill traffic and the stall overhead per call
+//! as a function of the physical register-file depth — exactly the curve a
+//! DISC implementor needs to size the file.
+
+use disc_core::{StackWindow, WindowPolicy};
+
+use crate::dist::Sampler;
+use crate::report::Table;
+
+/// Parameters of the stochastic call/return process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallProfile {
+    /// Probability that the next procedure event is a call (vs. return);
+    /// values below 0.5 keep the walk stable around shallow depths.
+    pub call_bias: f64,
+    /// Mean locals allocated per frame (Poisson, plus the return slot).
+    pub mean_locals: f64,
+    /// Instructions executed between procedure events (cost context).
+    pub mean_body: f64,
+}
+
+impl CallProfile {
+    /// A leaf-heavy control workload (shallow call trees, small frames).
+    pub fn control() -> Self {
+        CallProfile {
+            call_bias: 0.45,
+            mean_locals: 1.5,
+            mean_body: 12.0,
+        }
+    }
+
+    /// A recursion-heavy workload (deep call chains, larger frames).
+    pub fn recursive() -> Self {
+        CallProfile {
+            call_bias: 0.49,
+            mean_locals: 3.0,
+            mean_body: 6.0,
+        }
+    }
+}
+
+/// Result of one window-sizing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStudy {
+    /// Physical register-file depth used.
+    pub depth: usize,
+    /// Calls simulated.
+    pub calls: u64,
+    /// Instructions simulated (bodies + call/return overhead).
+    pub instructions: u64,
+    /// Words spilled to backing store.
+    pub spills: u64,
+    /// Words filled back.
+    pub fills: u64,
+    /// Stall cycles charged by the spill engine.
+    pub stall_cycles: u64,
+    /// Deepest logical stack reached.
+    pub peak_depth: usize,
+}
+
+impl WindowStudy {
+    /// Spill+fill words per call.
+    pub fn traffic_per_call(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            (self.spills + self.fills) as f64 / self.calls as f64
+        }
+    }
+
+    /// Fraction of execution time lost to spill stalls.
+    pub fn stall_overhead(&self) -> f64 {
+        let total = self.instructions + self.stall_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the call/return process against a window file of the given
+/// physical `depth` for `calls` procedure calls.
+///
+/// # Panics
+///
+/// Panics if `depth <= 8` (must exceed the visible window).
+pub fn run_window_study(
+    profile: &CallProfile,
+    depth: usize,
+    calls: u64,
+    seed: u64,
+) -> WindowStudy {
+    let mut window = StackWindow::new(depth, WindowPolicy::AutoSpill);
+    let mut sampler = Sampler::new(seed);
+    let mut frames: Vec<u32> = Vec::new(); // locals per open frame
+    let mut done_calls = 0u64;
+    let mut instructions = 0u64;
+    let mut stalls = 0u64;
+    while done_calls < calls {
+        instructions += sampler.poisson(profile.mean_body);
+        let call = frames.is_empty() || sampler.bernoulli(profile.call_bias);
+        if call {
+            // Call: return slot + locals.
+            let locals = sampler.poisson(profile.mean_locals) as u32;
+            stalls += window.adjust(1 + locals as i32).stall_cycles as u64;
+            frames.push(locals);
+            done_calls += 1;
+            instructions += 1 + locals as u64; // call + local initializers
+        } else {
+            let locals = frames.pop().expect("checked non-empty");
+            stalls += window.adjust(-((1 + locals) as i32)).stall_cycles as u64;
+            instructions += 1; // ret
+        }
+    }
+    WindowStudy {
+        depth,
+        calls: done_calls,
+        instructions,
+        spills: window.spills(),
+        fills: window.fills(),
+        stall_cycles: stalls,
+        peak_depth: window.max_depth(),
+    }
+}
+
+/// The window-sizing table: spill traffic and stall overhead versus
+/// physical depth, for both call profiles.
+pub fn sweep_window_depth(calls: u64, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Sweep: stack-window physical depth (spill traffic / stall overhead)",
+        &[
+            "ctl words/call",
+            "ctl stall %",
+            "rec words/call",
+            "rec stall %",
+        ],
+        3,
+    );
+    for depth in [12usize, 16, 24, 32, 48, 64, 96] {
+        let ctl = run_window_study(&CallProfile::control(), depth, calls, seed);
+        let rec = run_window_study(&CallProfile::recursive(), depth, calls, seed);
+        t.push_row(
+            &format!("depth={depth:>3}"),
+            vec![
+                ctl.traffic_per_call(),
+                ctl.stall_overhead() * 100.0,
+                rec.traffic_per_call(),
+                rec.stall_overhead() * 100.0,
+            ],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_files_spill_less() {
+        let p = CallProfile::recursive();
+        let shallow = run_window_study(&p, 12, 20_000, 7);
+        let deep = run_window_study(&p, 96, 20_000, 7);
+        assert!(
+            shallow.traffic_per_call() > deep.traffic_per_call(),
+            "shallow {} vs deep {}",
+            shallow.traffic_per_call(),
+            deep.traffic_per_call()
+        );
+        assert!(shallow.stall_overhead() >= deep.stall_overhead());
+    }
+
+    #[test]
+    fn control_workload_fits_small_files() {
+        let s = run_window_study(&CallProfile::control(), 64, 20_000, 3);
+        assert!(
+            s.stall_overhead() < 0.02,
+            "a 64-deep file should nearly eliminate control-code spills, got {}",
+            s.stall_overhead()
+        );
+    }
+
+    #[test]
+    fn call_return_process_is_balanced() {
+        let s = run_window_study(&CallProfile::control(), 32, 10_000, 1);
+        assert_eq!(s.calls, 10_000);
+        assert!(s.peak_depth >= 8, "walk must move");
+        assert!(s.instructions > s.calls, "bodies execute between calls");
+    }
+
+    #[test]
+    fn study_is_reproducible() {
+        let a = run_window_study(&CallProfile::recursive(), 24, 5_000, 42);
+        let b = run_window_study(&CallProfile::recursive(), 24, 5_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_table_is_monotone_in_depth() {
+        let t = sweep_window_depth(8_000, 11);
+        assert_eq!(t.rows().len(), 7);
+        // Recursive stall overhead decreases (weakly) down the rows.
+        for r in 0..t.rows().len() - 1 {
+            let here = t.value(r, 3).unwrap();
+            let next = t.value(r + 1, 3).unwrap();
+            assert!(
+                next <= here + 0.5,
+                "stall overhead should not grow with depth: row {r}: {here} -> {next}"
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Interrupt latency: dedicated-stream delivery on DISC versus the
+//! conventional context switch, idle and under full background load.
+//!
+//! ```text
+//! cargo run --example interrupt_latency
+//! ```
+
+use disc::rts::latency_experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("interrupt latency in cycles (raise -> first handler fetch)\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>12}",
+        "background load", "DISC mean", "DISC max", "base mean", "base max"
+    );
+    for busy in 0..=3 {
+        let r = latency_experiment(busy, 40, 300)?;
+        let (dm, dx) = r.disc_summary();
+        let (bm, bx) = r.baseline_summary();
+        println!(
+            "{:<28} {:>10.1} {:>10} {:>12.1} {:>12}",
+            format!("{busy} busy stream(s)"),
+            dm,
+            dx,
+            bm,
+            bx
+        );
+    }
+    println!(
+        "\nDISC keeps every context resident, so the handler starts within a\n\
+         few cycles regardless of load; the baseline pays the register save\n\
+         (and restore on return) every time."
+    );
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! A tiny machine monitor (debugger) for DISC1: load an assembly file,
+//! single-step, inspect registers/memory, disassemble, raise interrupts.
+//! Reads commands from stdin, so it works both interactively and scripted:
+//!
+//! ```text
+//! cargo run --example monitor path/to/program.asm
+//! echo "c 100
+//! r 0
+//! m 0x10 4
+//! q" | cargo run --example monitor
+//! ```
+//!
+//! Commands: `s [n]` step · `c [n]` run · `r [stream]` registers ·
+//! `m <addr> [n]` memory · `d <addr> [n]` disassemble · `i <stream> <bit>`
+//! raise interrupt · `t` stats · `q` quit.
+
+use std::io::{self, BufRead, Write};
+
+use disc::core::{Machine, MachineConfig, Status};
+use disc::isa::{disasm, Program, Reg};
+
+const DEMO: &str = r#"
+    .stream 0, main
+    .stream 1, worker
+main:
+    li  r2, 0x00ff
+    ldi r0, 8
+    ldi r1, 0
+loop:
+    add r1, r1, r0
+    subi r0, r0, 1
+    jnz loop
+    and r1, r1, r2
+    sta r1, 0x10
+    halt
+worker:
+    inc g0
+    jmp worker
+"#;
+
+fn parse_num(t: &str) -> Option<u64> {
+    if let Some(h) = t.strip_prefix("0x") {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+fn show_regs(m: &Machine, stream: usize) {
+    let s = m.stream(stream);
+    print!("stream {stream}: pc={:#06x} ir={:#04x} mr={:#04x} awp={} ", s.pc(), s.ir(), s.mr(), s.window().awp());
+    println!(
+        "flags[z={} n={} c={} v={}] wait={:?}",
+        s.flags().z as u8,
+        s.flags().n as u8,
+        s.flags().c as u8,
+        s.flags().v as u8,
+        s.wait()
+    );
+    for r in Reg::ALL {
+        print!("{r}={:#06x} ", m.reg(stream, r));
+        if r == Reg::R7 {
+            println!();
+        }
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (source, name) = match std::env::args().nth(1) {
+        Some(path) => (std::fs::read_to_string(&path)?, path),
+        None => (DEMO.to_string(), "<built-in demo>".to_string()),
+    };
+    let program = Program::assemble(&source)?;
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    m.set_idle_exit(false);
+    println!("DISC1 monitor — loaded {name} ({} words)", program.len());
+    println!("commands: s [n] | c [n] | r [stream] | m <addr> [n] | d <addr> [n] | i <s> <bit> | t | q");
+
+    let stdin = io::stdin();
+    loop {
+        print!("disc> ");
+        io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = parts.first() else { continue };
+        match cmd {
+            "q" | "quit" => break,
+            "s" | "step" => {
+                let n = parts.get(1).and_then(|t| parse_num(t)).unwrap_or(1);
+                for _ in 0..n {
+                    match m.step()? {
+                        Status::Running => {}
+                        other => {
+                            println!("stopped: {other:?}");
+                            break;
+                        }
+                    }
+                }
+                println!("cycle {}", m.cycle());
+            }
+            "c" | "continue" => {
+                let n = parts.get(1).and_then(|t| parse_num(t)).unwrap_or(10_000);
+                let exit = m.run(n)?;
+                println!("{exit} at cycle {}", m.cycle());
+            }
+            "r" | "regs" => {
+                let s = parts.get(1).and_then(|t| parse_num(t)).unwrap_or(0) as usize;
+                if s < m.stream_count() {
+                    show_regs(&m, s);
+                } else {
+                    println!("no stream {s}");
+                }
+            }
+            "m" | "mem" => {
+                let Some(addr) = parts.get(1).and_then(|t| parse_num(t)) else {
+                    println!("usage: m <addr> [n]");
+                    continue;
+                };
+                let n = parts.get(2).and_then(|t| parse_num(t)).unwrap_or(8);
+                for i in 0..n {
+                    let a = (addr + i) as u16;
+                    if (a as usize) < m.internal_memory().len() {
+                        println!("  [{a:#06x}] = {:#06x}", m.internal_memory().read(a));
+                    }
+                }
+            }
+            "d" | "dis" => {
+                let Some(addr) = parts.get(1).and_then(|t| parse_num(t)) else {
+                    println!("usage: d <addr> [n]");
+                    continue;
+                };
+                let n = parts.get(2).and_then(|t| parse_num(t)).unwrap_or(8);
+                for i in 0..n {
+                    let a = (addr + i) as u16;
+                    println!("  {a:04x}: {}", disasm::format_word(program.word(a)));
+                }
+            }
+            "i" | "irq" => {
+                let (Some(s), Some(bit)) = (
+                    parts.get(1).and_then(|t| parse_num(t)),
+                    parts.get(2).and_then(|t| parse_num(t)),
+                ) else {
+                    println!("usage: i <stream> <bit>");
+                    continue;
+                };
+                if (s as usize) < m.stream_count() && bit < 8 {
+                    m.raise_interrupt(s as usize, bit as u8);
+                    println!("raised bit {bit} on stream {s}");
+                } else {
+                    println!("out of range");
+                }
+            }
+            "t" | "stats" => {
+                let st = m.stats();
+                println!(
+                    "cycles {} retired {:?} PD {:.3} bubbles {} flushes j/io/bus/irq = {}/{}/{}/{}",
+                    st.cycles,
+                    st.retired,
+                    st.utilization(),
+                    st.bubbles,
+                    st.flushed_jump,
+                    st.flushed_io,
+                    st.flushed_bus_busy,
+                    st.flushed_irq,
+                );
+            }
+            other => println!("unknown command `{other}`"),
+        }
+    }
+    Ok(())
+}

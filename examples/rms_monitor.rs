@@ -1,0 +1,117 @@
+//! Capstone scenario: a vibration monitor computing the true RMS of a
+//! sensor signal with the firmware math library — division, 32-bit
+//! accumulation and integer square root all in DISC1 assembly — while a
+//! watchdog supervises liveness and a background stream keeps serving.
+//!
+//! RMS = sqrt( sum(x²) / n ) over a 16-sample window.
+//!
+//! ```text
+//! cargo run --release --example rms_monitor
+//! ```
+
+use disc::bus::{PeripheralBus, SensorPort, Shared, Watchdog};
+use disc::core::{Machine, MachineConfig};
+use disc::firmware::with_library;
+use disc::isa::Program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let user = r#"
+        .equ SENSOR, 0x9100
+        .equ WDOG,   0x9200
+        .equ SUM_HI, 0x20
+        .equ SUM_LO, 0x21
+        .equ RMS,    0x22
+        .equ ROUNDS, 0x23
+
+        .stream 0, background
+        .stream 1, monitor
+
+    background:
+        inc g0
+        jmp background
+
+    monitor:
+        ; accumulate 16 squared samples into a 32-bit sum
+        clr r4              ; sum hi
+        clr r5              ; sum lo
+        ldi r6, 16          ; samples to go
+    sample:
+        clr r0
+        lui r0, 0x91        ; sensor DATA
+        ld  r7, [r0]        ; read the (slow) sensor
+        mov r0, r7
+        mov r1, r7
+        call mul32          ; r0:r1 = x^2
+        mov r2, r0          ; stage b-hi
+        mov r3, r1          ; stage b-lo
+        mov r0, r4
+        mov r1, r5
+        ; add32 args: r0=a-hi r1=a-lo r2=b-hi r3=b-lo
+        call add32
+        mov r4, r0
+        mov r5, r1
+        ; kick the watchdog every sample
+        clr r0
+        lui r0, 0x92
+        st  r6, [r0]
+        dec r6
+        jnz sample
+
+        sta r4, SUM_HI
+        sta r5, SUM_LO
+        ; mean = sum / 16: 32-bit >> 4 (sum of 16 squares of 8-bit-ish
+        ; samples fits comfortably)
+        ldi r2, 4
+        shr r5, r5, r2      ; lo >>= 4
+        ldi r3, 12
+        shl r6, r4, r3      ; bits moving down from hi
+        or  r5, r5, r6
+        mov r0, r5
+        call sqrt16         ; r0 = rms
+        sta r0, RMS
+        lda r1, ROUNDS
+        inc r1
+        sta r1, ROUNDS
+        jmp monitor
+    "#;
+    let src = with_library(user);
+    let program = Program::assemble(&src)?;
+
+    // A noisy-ish deterministic vibration signal, amplitude ~40.
+    let sensor = Shared::new(SensorPort::new(40, 18, |seq| {
+        let t = seq as u32;
+        (20 + ((t * 13) % 41)) as u16
+    }));
+    let dog = Shared::new(Watchdog::new(5_000, 1, 7));
+    let mut bus = PeripheralBus::new();
+    bus.map(0x9100, SensorPort::REGS, Box::new(sensor.handle()))?;
+    bus.map(0x9200, Watchdog::REGS, Box::new(dog.handle()))?;
+
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(bus),
+    );
+    m.set_idle_exit(false);
+    m.run(120_000)?;
+
+    let rounds = m.internal_memory().read(0x23);
+    let rms = m.internal_memory().read(0x22);
+    let sum = ((m.internal_memory().read(0x20) as u32) << 16)
+        | m.internal_memory().read(0x21) as u32;
+    println!("RMS windows computed : {rounds}");
+    println!("last sum of squares  : {sum}");
+    println!("last RMS             : {rms}");
+    println!("watchdog bites       : {}", dog.borrow().bites());
+    println!("watchdog kicks       : {}", dog.borrow().kicks());
+    println!(
+        "background instrs    : {} (PD {:.3})",
+        m.stats().retired[0],
+        m.stats().utilization()
+    );
+    // Signal amplitude 20..=60 -> RMS must land inside.
+    assert!(rounds > 5, "monitor must complete windows");
+    assert!((20..=60).contains(&rms), "RMS {rms} out of signal range");
+    assert_eq!(dog.borrow().bites(), 0, "healthy loop never bites");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # DISC — Dynamic Instruction Stream Computer
+//!
+//! A full reproduction of *"DISC: Dynamic Instruction Stream Computer"*
+//! (Nemirovsky, Brewer & Wood, MICRO 1991) as a family of Rust crates.
+//! This facade crate re-exports the whole public API:
+//!
+//! * [`isa`] — the DISC1 instruction set, encoder/decoder, assembler and
+//!   disassembler.
+//! * [`core`] — the cycle-accurate DISC1 machine: dynamically interleaved
+//!   pipeline, hardware scheduler with 1/16-granularity throughput
+//!   partitioning, stack-window register files, asynchronous bus interface
+//!   and per-stream vectored interrupts.
+//! * [`bus`] — asynchronous data-bus peripherals (external memory, timers,
+//!   sensors, UART) with widely differing access times.
+//! * [`baseline`] — the paper's comparator: a conventional single-stream
+//!   pipelined processor sharing the same ISA.
+//! * [`stoch`] — the stochastic evaluation model of Section 4 (Poisson
+//!   workloads, modeled sequencer, `PD`/`Ps`/`delta` metrics and the
+//!   experiment sweeps behind Tables 4.1–4.3).
+//! * [`rts`] — the real-time systems layer: tasks, deadlines, throughput
+//!   partition allocation and interrupt-latency measurement.
+//! * [`cc`] — a small structured language compiled to stack-window
+//!   assembly.
+//! * [`firmware`] — tested assembly routines (division, square root,
+//!   32-bit arithmetic, block copy) for linking into programs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use disc::core::{Machine, MachineConfig};
+//! use disc::isa::Program;
+//!
+//! let program = Program::assemble(
+//!     r#"
+//!     .stream 0, main
+//! main:
+//!     ldi  r0, 5      ; counter
+//!     ldi  r1, 0      ; accumulator
+//! loop:
+//!     add  r1, r1, r0
+//!     subi r0, r0, 1
+//!     jnz  loop
+//!     sta  r1, 0x10   ; result -> internal memory
+//!     halt
+//! "#,
+//! )?;
+//!
+//! let mut machine = Machine::new(MachineConfig::disc1(), &program);
+//! machine.run(10_000)?;
+//! assert_eq!(machine.internal_memory().read(0x10), 15);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use disc_baseline as baseline;
+pub use disc_bus as bus;
+pub use disc_cc as cc;
+pub use disc_firmware as firmware;
+pub use disc_core as core;
+pub use disc_isa as isa;
+pub use disc_rts as rts;
+pub use disc_stoch as stoch;
