@@ -1,13 +1,19 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench repro repro-quick docs clippy examples clean
+.PHONY: all test bench bench-micro repro repro-quick docs clippy examples clean
 
 all: test
 
 test:
 	cargo test --workspace
 
+# Simulator-throughput benchmark: writes BENCH_core.json at the repo root
+# with simulated cycles/sec for three workloads next to the recorded seed
+# baseline (see EXPERIMENTS.md "Performance").
 bench:
+	cargo run --release -p disc-bench --bin bench_core
+
+bench-micro:
 	cargo bench --workspace
 
 # Full reproduction of every table/figure/experiment (writes CSV exports).

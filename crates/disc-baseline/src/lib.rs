@@ -47,8 +47,8 @@
 
 use disc_core::alu::{alu, eval_cond, imm_op};
 use disc_core::{
-    DataBus, Exit, Flags, FlatBus, InternalMemory, IrqRequest, MachineStats, SimError,
-    StackWindow, WindowPolicy,
+    DataBus, Exit, Flags, FlatBus, InternalMemory, IrqRequest, MachineStats, SimError, StackWindow,
+    WindowPolicy,
 };
 use disc_isa::{AwpMode, Cond, Instruction, Program, Reg};
 
@@ -156,8 +156,17 @@ pub struct BaselineMachine {
 
 #[derive(Debug, Clone, Copy)]
 enum IoAction {
-    Read { addr: u16, rd: Reg, tset: bool, awp: i32 },
-    Write { addr: u16, value: u16, awp: i32 },
+    Read {
+        addr: u16,
+        rd: Reg,
+        tset: bool,
+        awp: i32,
+    },
+    Write {
+        addr: u16,
+        value: u16,
+        awp: i32,
+    },
 }
 
 const FLAG_BIT: u32 = 1 << 16;
@@ -452,8 +461,8 @@ impl BaselineMachine {
                 if let Some(raised) = self.irq_raised_at[bit as usize] {
                     // Latency includes the context save below.
                     self.stats
-                        .irq_latencies
-                        .push(self.cycle - raised + self.config.ctx_save_cycles as u64);
+                        .irq_latency
+                        .record(self.cycle - raised + self.config.ctx_save_cycles as u64);
                 }
                 self.freeze = Freeze::CtxSwitch {
                     remaining: self.config.ctx_save_cycles.max(1),
@@ -476,11 +485,7 @@ impl BaselineMachine {
             }
         };
         let window_motion_in_flight = self.pending.iter().any(|(_, m)| m & 0xff != 0)
-            || self
-                .pipe
-                .iter()
-                .flatten()
-                .any(|s| moves_window(&s.instr));
+            || self.pipe.iter().flatten().any(|s| moves_window(&s.instr));
         let hazard = self
             .pending
             .iter()
@@ -575,7 +580,12 @@ impl BaselineMachine {
 
     fn complete_io(&mut self, action: IoAction) {
         match action {
-            IoAction::Read { addr, rd, tset, awp } => {
+            IoAction::Read {
+                addr,
+                rd,
+                tset,
+                awp,
+            } => {
                 let value = if tset {
                     let old = self.bus.read(addr);
                     self.bus.write(addr, 0xffff);
@@ -610,7 +620,13 @@ impl BaselineMachine {
     fn execute(&mut self, slot: Slot, ex: usize) -> Option<Exit> {
         match slot.instr {
             Instruction::Nop => {}
-            Instruction::Alu { op, awp, rd, rs, rt } => {
+            Instruction::Alu {
+                op,
+                awp,
+                rd,
+                rs,
+                rt,
+            } => {
                 let a = self.read_reg(rs);
                 let b = self.read_reg(rt);
                 let (result, flags) = alu(op, a, b, self.flags);
@@ -622,7 +638,13 @@ impl BaselineMachine {
                 }
                 self.apply_awp(Self::awp_delta(awp));
             }
-            Instruction::AluImm { op, awp, rd, rs, imm } => {
+            Instruction::AluImm {
+                op,
+                awp,
+                rd,
+                rs,
+                imm,
+            } => {
                 let a = self.read_reg(rs);
                 let (result, flags) = alu(imm_op(op), a, imm as u16, self.flags);
                 if op.writes_rd() {
@@ -641,14 +663,24 @@ impl BaselineMachine {
                 let low = self.read_reg(rd) & 0x00ff;
                 self.write_reg(rd, ((imm as u16) << 8) | low);
             }
-            Instruction::Ld { awp, rd, base, offset } => {
+            Instruction::Ld {
+                awp,
+                rd,
+                base,
+                offset,
+            } => {
                 let addr = self.read_reg(base).wrapping_add(offset as i16 as u16);
                 self.load(slot.seq, addr, rd, Self::awp_delta(awp), false);
             }
             Instruction::Lda { awp, rd, addr } => {
                 self.load(slot.seq, addr, rd, Self::awp_delta(awp), false);
             }
-            Instruction::St { awp, src, base, offset } => {
+            Instruction::St {
+                awp,
+                src,
+                base,
+                offset,
+            } => {
                 let addr = self.read_reg(base).wrapping_add(offset as i16 as u16);
                 let value = self.read_reg(src);
                 self.store(addr, value, Self::awp_delta(awp));
@@ -764,7 +796,16 @@ impl BaselineMachine {
             self.apply_awp(awp);
             return;
         }
-        self.start_io(IoAction::Read { addr, rd, tset, awp }, latency, seq);
+        self.start_io(
+            IoAction::Read {
+                addr,
+                rd,
+                tset,
+                awp,
+            },
+            latency,
+            seq,
+        );
     }
 
     fn store(&mut self, addr: u16, value: u16, awp: i32) {

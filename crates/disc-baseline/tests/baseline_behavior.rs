@@ -163,7 +163,10 @@ fn window_spill_freezes_but_preserves_values() {
     let mut m = BaselineMachine::new(cfg, &program);
     assert_eq!(m.run(100_000).unwrap(), Exit::Halted);
     assert_eq!(m.internal_memory().read(0x50), 20, "recursion result");
-    assert!(m.stats().spill_stall_cycles[0] > 0, "12-deep file must spill");
+    assert!(
+        m.stats().spill_stall_cycles[0] > 0,
+        "12-deep file must spill"
+    );
 }
 
 #[test]

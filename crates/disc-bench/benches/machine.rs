@@ -36,8 +36,7 @@ fn bench_machine(c: &mut Criterion) {
             &program,
             |b, p| {
                 b.iter(|| {
-                    let mut m =
-                        Machine::new(MachineConfig::disc1().with_streams(streams), p);
+                    let mut m = Machine::new(MachineConfig::disc1().with_streams(streams), p);
                     m.run(10_000).unwrap();
                     std::hint::black_box(m.stats().utilization())
                 });

@@ -16,8 +16,7 @@ fn bench_sequencer(c: &mut Criterion) {
             |b, &k| {
                 b.iter(|| {
                     let w = Workload::partitioned(&LoadSpec::load1(), k);
-                    let mut seq =
-                        Sequencer::new(&w, 4, SchedulePolicy::round_robin(k), 42);
+                    let mut seq = Sequencer::new(&w, 4, SchedulePolicy::round_robin(k), 42);
                     seq.run(10_000);
                     std::hint::black_box(seq.metrics().pd())
                 });

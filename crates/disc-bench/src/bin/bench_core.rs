@@ -1,0 +1,234 @@
+//! Simulator-throughput benchmark: how many simulated machine cycles per
+//! wall-clock second the cycle-accurate DISC1 core sustains on three
+//! representative workloads (compute-bound, I/O-bound, interrupt-heavy).
+//!
+//! Writes `BENCH_core.json` (override with `--out <path>`) containing the
+//! measured rates next to the recorded seed-commit baseline, so the
+//! speedup of the predecoded/allocation-free hot loop is auditable from
+//! the file alone. Pass `--smoke` for a fast schema-only run (used by CI);
+//! smoke rates are not comparable to the full run, so the baseline fields
+//! are `null` there.
+
+use std::time::Instant;
+
+use disc_core::{Machine, MachineConfig};
+use disc_isa::Program;
+
+/// Simulated cycles per timed repetition (full mode).
+const FULL_CYCLES: u64 = 2_000_000;
+/// Simulated cycles per timed repetition (smoke mode).
+const SMOKE_CYCLES: u64 = 5_000;
+/// Timed repetitions per workload; the median is reported.
+const REPS: usize = 3;
+
+/// Throughput of the seed commit (pre predecode/allocation-free rework),
+/// in simulated cycles per wall second. Measured with this same binary
+/// built at the seed tree, full mode, on the reference container — see
+/// EXPERIMENTS.md "Performance" for the procedure.
+const SEED_BASELINE: &[(&str, f64)] = &[
+    ("compute_bound_4s", SEED_COMPUTE),
+    ("io_bound_2s", SEED_IO),
+    ("interrupt_heavy_3s", SEED_IRQ),
+];
+const SEED_COMPUTE: f64 = 4_729_671.0;
+const SEED_IO: f64 = 7_871_148.0;
+const SEED_IRQ: f64 = 6_203_363.0;
+
+fn compute_program(streams: usize) -> Program {
+    let mut src = String::new();
+    for s in 0..streams {
+        src.push_str(&format!(".stream {s}, l{s}\n"));
+        src.push_str(&format!(
+            "l{s}:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    addi r2, r2, 1\n    jmp l{s}\n"
+        ));
+    }
+    Program::assemble(&src).expect("compute program assembles")
+}
+
+fn io_program() -> Program {
+    Program::assemble(
+        ".stream 0, a\n.stream 1, b\n\
+         a: lui r0, 0x80\nla: ld r1, [r0]\n    st r1, [r0]\n    jmp la\n\
+         b: ldi r0, 0\nlb: addi r0, r0, 1\n    jmp lb\n",
+    )
+    .expect("io program assembles")
+}
+
+fn irq_program(busy_streams: usize) -> Program {
+    let mut src = String::new();
+    for s in 0..busy_streams {
+        src.push_str(&format!(".stream {s}, work{s}\n"));
+        src.push_str(&format!(
+            "work{s}:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    jmp work{s}\n"
+        ));
+    }
+    src.push_str(".vector 3, 5, isr\n");
+    src.push_str("isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n");
+    Program::assemble(&src).expect("irq program assembles")
+}
+
+struct Measurement {
+    name: &'static str,
+    description: &'static str,
+    sim_cycles: u64,
+    wall_ns: u128,
+}
+
+impl Measurement {
+    fn rate(&self) -> f64 {
+        self.sim_cycles as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Times `run` (which must simulate exactly `sim_cycles` cycles) over
+/// one warmup plus [`REPS`] timed repetitions and keeps the median.
+fn measure(
+    name: &'static str,
+    description: &'static str,
+    sim_cycles: u64,
+    run: impl Fn(u64),
+) -> Measurement {
+    run(sim_cycles); // warmup
+    let mut times: Vec<u128> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            run(sim_cycles);
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    Measurement {
+        name,
+        description,
+        sim_cycles,
+        wall_ns: times[times.len() / 2],
+    }
+}
+
+fn bench_compute(cycles: u64) -> Measurement {
+    let program = compute_program(4);
+    measure(
+        "compute_bound_4s",
+        "4 streams of register arithmetic, no external bus traffic",
+        cycles,
+        |n| {
+            let mut m = Machine::new(MachineConfig::disc1().with_streams(4), &program);
+            m.run(n).expect("compute run");
+            assert_eq!(m.stats().cycles, n);
+            std::hint::black_box(m.stats().retired_total());
+        },
+    )
+}
+
+fn bench_io(cycles: u64) -> Measurement {
+    let program = io_program();
+    measure(
+        "io_bound_2s",
+        "1 stream hammering external loads/stores + 1 compute stream",
+        cycles,
+        |n| {
+            let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &program);
+            m.run(n).expect("io run");
+            assert_eq!(m.stats().cycles, n);
+            std::hint::black_box(m.stats().external_accesses);
+        },
+    )
+}
+
+fn bench_irq(cycles: u64) -> Measurement {
+    let program = irq_program(3);
+    measure(
+        "interrupt_heavy_3s",
+        "3 busy streams + dormant server stream, interrupt raised every 50 cycles",
+        cycles,
+        |n| {
+            let mut m = Machine::new(MachineConfig::disc1(), &program);
+            m.set_idle_exit(false);
+            let mut c = 0;
+            while c < n {
+                m.raise_interrupt(3, 5);
+                for _ in 0..50.min(n - c) {
+                    m.step().expect("irq step");
+                }
+                c += 50.min(n - c);
+            }
+            assert_eq!(m.stats().cycles, n);
+            std::hint::black_box(m.stats().vectors_taken[3]);
+        },
+    )
+}
+
+fn seed_rate(name: &str) -> Option<f64> {
+    SEED_BASELINE
+        .iter()
+        .find(|(n, r)| *n == name && *r > 0.0)
+        .map(|(_, r)| *r)
+}
+
+fn json_f64(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v:.1}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+    let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
+
+    eprintln!(
+        "bench_core: {} mode, {cycles} simulated cycles x {REPS} reps per workload",
+        if smoke { "smoke" } else { "full" }
+    );
+    let runs = [bench_compute(cycles), bench_io(cycles), bench_irq(cycles)];
+
+    let mut entries = Vec::new();
+    for m in &runs {
+        let rate = m.rate();
+        // Smoke runs are too short to compare against the recorded
+        // full-mode baseline.
+        let seed = if smoke { None } else { seed_rate(m.name) };
+        let speedup = seed.map(|s| rate / s);
+        eprintln!(
+            "  {:<22} {:>12.0} sim cycles/s{}",
+            m.name,
+            rate,
+            speedup
+                .map(|s| format!("  ({s:.2}x vs seed)"))
+                .unwrap_or_default()
+        );
+        entries.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"description\": \"{}\",\n      \
+             \"sim_cycles\": {},\n      \"wall_ns\": {},\n      \
+             \"sim_cycles_per_sec\": {},\n      \
+             \"seed_sim_cycles_per_sec\": {},\n      \"speedup_vs_seed\": {}\n    }}",
+            m.name,
+            m.description,
+            m.sim_cycles,
+            m.wall_ns,
+            json_f64(Some(rate)),
+            json_f64(seed),
+            speedup
+                .filter(|s| s.is_finite())
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".to_string()),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"disc-bench-core/v1\",\n  \"mode\": \"{}\",\n  \
+         \"cycles_per_run\": {},\n  \"reps\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        cycles,
+        REPS,
+        entries.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("wrote {out}");
+}

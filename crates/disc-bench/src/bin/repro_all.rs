@@ -42,22 +42,37 @@ fn main() {
     for (name, table) in [
         ("sweep_jump", disc_stoch::tables::sweep_jump(cycles, seeds)),
         ("sweep_io", disc_stoch::tables::sweep_io(cycles, seeds)),
-        ("sweep_pipeline", disc_stoch::tables::sweep_pipeline(cycles, seeds)),
-        ("sweep_scheduler", disc_stoch::tables::sweep_scheduler(cycles, seeds)),
-        ("sweep_window", disc_stoch::sweep_window_depth(cycles / 4, 11)),
+        (
+            "sweep_pipeline",
+            disc_stoch::tables::sweep_pipeline(cycles, seeds),
+        ),
+        (
+            "sweep_scheduler",
+            disc_stoch::tables::sweep_scheduler(cycles, seeds),
+        ),
+        (
+            "sweep_window",
+            disc_stoch::sweep_window_depth(cycles / 4, 11),
+        ),
     ] {
         println!("{table}");
         save(&dir, &format!("{name}.csv"), &table.to_csv());
     }
     for (name, text) in [
-        ("fig_3_1", disc_bench::figures::fig_3_1_interleaved_pipeline()),
+        (
+            "fig_3_1",
+            disc_bench::figures::fig_3_1_interleaved_pipeline(),
+        ),
         ("fig_3_2", disc_bench::figures::fig_3_2_jump()),
         ("fig_3_3", disc_bench::figures::fig_3_3_dynamic()),
         ("fig_3_4", disc_bench::figures::fig_3_4_stack_window()),
         ("fig_3_6", disc_bench::figures::fig_3_6_block_diagram()),
         ("exp_latency", disc_bench::experiments::latency_table()),
         ("exp_sync", disc_bench::experiments::sync_experiment()),
-        ("ablation_scheduler", disc_bench::experiments::scheduler_ablation()),
+        (
+            "ablation_scheduler",
+            disc_bench::experiments::scheduler_ablation(),
+        ),
     ] {
         println!("{text}");
         save(&dir, &format!("{name}.txt"), &text);

@@ -20,10 +20,26 @@ pub fn latency_table() -> String {
     let idle = latency_experiment(0, 50, 300).unwrap();
     let loaded = latency_experiment(3, 50, 300).unwrap();
     let rows = [
-        ("DISC dedicated stream, idle", idle.disc_summary(), idle.disc_percentiles()),
-        ("DISC dedicated stream, loaded", loaded.disc_summary(), loaded.disc_percentiles()),
-        ("baseline ctx switch, idle", idle.baseline_summary(), idle.baseline_percentiles()),
-        ("baseline ctx switch, loaded", loaded.baseline_summary(), loaded.baseline_percentiles()),
+        (
+            "DISC dedicated stream, idle",
+            idle.disc_summary(),
+            idle.disc_percentiles(),
+        ),
+        (
+            "DISC dedicated stream, loaded",
+            loaded.disc_summary(),
+            loaded.disc_percentiles(),
+        ),
+        (
+            "baseline ctx switch, idle",
+            idle.baseline_summary(),
+            idle.baseline_percentiles(),
+        ),
+        (
+            "baseline ctx switch, loaded",
+            loaded.baseline_summary(),
+            loaded.baseline_percentiles(),
+        ),
     ];
     for (label, (mean, worst), (p50, p99, _)) in rows {
         out.push_str(&format!(
@@ -147,7 +163,10 @@ pub fn scheduler_ablation() -> String {
     ]);
     let variants: Vec<(&str, Option<SchedulePolicy>)> = vec![
         ("even round-robin", None),
-        ("deadline-aware partition", Some(partition::schedule_for(&set))),
+        (
+            "deadline-aware partition",
+            Some(partition::schedule_for(&set)),
+        ),
         (
             "background-hog 13/2/1",
             Some(SchedulePolicy::partitioned(&[13, 2, 1])),

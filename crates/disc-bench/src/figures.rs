@@ -97,8 +97,7 @@ pub fn fig_3_3_dynamic() -> String {
         ));
     }
     let program = Program::assemble(&src).unwrap();
-    let cfg = MachineConfig::disc1()
-        .with_schedule(SchedulePolicy::partitioned(&[8, 3, 3, 2]));
+    let cfg = MachineConfig::disc1().with_schedule(SchedulePolicy::partitioned(&[8, 3, 3, 2]));
     let mut m = Machine::new(cfg, &program);
     m.set_idle_exit(false);
 

@@ -29,8 +29,13 @@ fn timer_interrupt_drives_handler_stream() {
     .unwrap();
     let timer = Shared::new(Timer::periodic(50, 1, 4));
     let mut bus = PeripheralBus::new();
-    bus.map(0x9000, Timer::REGS, Box::new(timer.handle())).unwrap();
-    let mut m = Machine::with_bus(MachineConfig::disc1().with_streams(2), &program, Box::new(bus));
+    bus.map(0x9000, Timer::REGS, Box::new(timer.handle()))
+        .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(bus),
+    );
     m.set_idle_exit(false);
     // Deactivate the server until the timer wakes it.
     m.set_reg(1, disc_isa::Reg::Ir, 0);
@@ -71,7 +76,11 @@ fn sensor_poll_reads_current_sample() {
     let mut bus = PeripheralBus::new();
     bus.map(0x9100, SensorPort::REGS, Box::new(sensor.handle()))
         .unwrap();
-    let mut m = Machine::with_bus(MachineConfig::disc1().with_streams(2), &program, Box::new(bus));
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(bus),
+    );
     assert_eq!(m.run(2_000).unwrap(), Exit::CycleLimit);
     assert!(sensor.borrow().reads() > 10, "poll loop must keep reading");
     let copied = m.internal_memory().read(0x20);
@@ -133,8 +142,13 @@ fn uart_rx_interrupt_echoes_to_tx() {
     let uart = Shared::new(Uart::new(6).with_irq(1, 5));
     uart.borrow_mut().feed(60, vec![0x11, 0x22, 0x33]);
     let mut bus = PeripheralBus::new();
-    bus.map(0xb000, Uart::REGS, Box::new(uart.handle())).unwrap();
-    let mut m = Machine::with_bus(MachineConfig::disc1().with_streams(2), &program, Box::new(bus));
+    bus.map(0xb000, Uart::REGS, Box::new(uart.handle()))
+        .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(bus),
+    );
     m.set_reg(1, disc_isa::Reg::Ir, 0);
     m.set_idle_exit(false);
     m.run(600).unwrap();
@@ -167,7 +181,8 @@ fn mixed_bus_with_ram_and_devices() {
     let timer = Shared::new(Timer::periodic(1000, 0, 7));
     let mut bus = PeripheralBus::new();
     bus.map(0x8000, 0x100, Box::new(ram.handle())).unwrap();
-    bus.map(0x9000, Timer::REGS, Box::new(timer.handle())).unwrap();
+    bus.map(0x9000, Timer::REGS, Box::new(timer.handle()))
+        .unwrap();
     let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(bus));
     assert_eq!(m.run(10_000).unwrap(), Exit::Halted);
     for i in 0..5 {
@@ -213,8 +228,13 @@ fn watchdog_recovery_runs_on_dedicated_stream() {
     .unwrap();
     let dog = Shared::new(Watchdog::new(400, 1, 7));
     let mut bus = PeripheralBus::new();
-    bus.map(0x9200, Watchdog::REGS, Box::new(dog.handle())).unwrap();
-    let mut m = Machine::with_bus(MachineConfig::disc1().with_streams(2), &program, Box::new(bus));
+    bus.map(0x9200, Watchdog::REGS, Box::new(dog.handle()))
+        .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(bus),
+    );
     m.set_idle_exit(false);
     m.set_reg(1, disc_isa::Reg::Ir, 0);
     m.run(4_000).unwrap();

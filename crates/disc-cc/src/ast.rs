@@ -138,7 +138,11 @@ mod tests {
                 Box::new(Expr::Var(r.into())),
             )
         };
-        let e = Expr::Bin(BinOp::Add, Box::new(pair("a", "b")), Box::new(pair("c", "d")));
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(pair("a", "b")),
+            Box::new(pair("c", "d")),
+        );
         assert_eq!(expr_depth(&e), 3);
     }
 }

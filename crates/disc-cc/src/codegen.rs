@@ -360,8 +360,14 @@ impl CodeGen<'_> {
                 self.eval(b, depth + 1)?;
                 let rt = self.reg(depth + 1)?;
                 match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or
-                    | BinOp::Xor | BinOp::Shl | BinOp::Shr => {
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Mul
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::Shl
+                    | BinOp::Shr => {
                         let alu = match op {
                             BinOp::Add => AluOp::Add,
                             BinOp::Sub => AluOp::Sub,
@@ -628,11 +634,8 @@ mod tests {
 
     #[test]
     fn multi_stream_compilation() {
-        let p = compile_streams(&[
-            "var a = 1; mem[0x80] = a;",
-            "var b = 2; mem[0x81] = b;",
-        ])
-        .unwrap();
+        let p =
+            compile_streams(&["var a = 1; mem[0x80] = a;", "var b = 2; mem[0x81] = b;"]).unwrap();
         assert!(p.address_of("s0.a").is_some());
         assert!(p.address_of("s1.b").is_some());
         assert_ne!(p.address_of("s0.a"), p.address_of("s1.b"));

@@ -111,10 +111,7 @@ pub(crate) fn lex(source: &str) -> Result<Lexed, CompileError> {
                 tokens.push((Token::Sym(sym), line));
                 continue;
             }
-            if let Some(&sym) = ONE_CHAR
-                .iter()
-                .find(|s| rest.starts_with(**s))
-            {
+            if let Some(&sym) = ONE_CHAR.iter().find(|s| rest.starts_with(**s)) {
                 chars.next();
                 tokens.push((Token::Sym(sym), line));
                 continue;
@@ -133,7 +130,12 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        lex(src).unwrap().tokens.into_iter().map(|(t, _)| t).collect()
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     }
 
     #[test]

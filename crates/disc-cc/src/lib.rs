@@ -98,10 +98,7 @@ pub struct RunResult {
 impl RunResult {
     /// Final value of variable `name`, if it was declared.
     pub fn var(&self, name: &str) -> Option<u16> {
-        self.vars
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Final value of internal-memory word `addr`.

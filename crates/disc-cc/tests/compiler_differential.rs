@@ -140,8 +140,7 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
 fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
     let assign = (0usize..VAR_NAMES.len(), arb_expr(2))
         .prop_map(|(i, e)| Stmt::Assign(VAR_NAMES[i].into(), e));
-    let store = (0u16..8, arb_expr(2))
-        .prop_map(|(a, e)| Stmt::Store(Expr::Num(0x80 + a), e));
+    let store = (0u16..8, arb_expr(2)).prop_map(|(a, e)| Stmt::Store(Expr::Num(0x80 + a), e));
     if depth == 0 {
         return prop_oneof![assign, store].boxed();
     }

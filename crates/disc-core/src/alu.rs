@@ -8,7 +8,6 @@ use crate::stream::Flags;
 
 /// Maps an immediate-form ALU operation onto its three-operand semantics.
 pub fn imm_op(op: AluImmOp) -> AluOp {
-
     match op {
         AluImmOp::Addi => AluOp::Add,
         AluImmOp::Subi => AluOp::Sub,
@@ -54,7 +53,11 @@ pub fn alu(op: AluOp, a: u16, b: u16, flags: Flags) -> (u16, Flags) {
             r
         }
         AluOp::Sub | AluOp::Sbc | AluOp::Cmp => {
-            let borrow_in = if op == AluOp::Sbc && !flags.c { 1u32 } else { 0 };
+            let borrow_in = if op == AluOp::Sbc && !flags.c {
+                1u32
+            } else {
+                0
+            };
             let wide = (a as u32).wrapping_sub(b as u32).wrapping_sub(borrow_in);
             let r = wide as u16;
             f.c = (a as u32) >= (b as u32 + borrow_in);

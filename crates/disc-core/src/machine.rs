@@ -56,7 +56,7 @@ const WINDOW_MASK: u32 = 0xff;
 /// Scoreboard tag for entries owned by an outstanding bus transaction.
 const BUS_SEQ: u64 = u64::MAX;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Slot {
     stream: usize,
     pc: u16,
@@ -107,6 +107,21 @@ fn dest_mask(instr: &Instruction) -> u32 {
     m
 }
 
+/// `true` when the next instruction of a stream has a hazard against the
+/// stream's own in-flight instructions.
+fn stream_hazard(st: &Stream, instr: &Instruction) -> bool {
+    if st.window_moves > 0 && touches_window(instr) {
+        return true;
+    }
+    if st.pending.is_empty() {
+        return false;
+    }
+    // RAW only: writes retire in program order through the single EX
+    // stage, so WAW/WAR need no interlock.
+    let needed = source_mask(instr);
+    st.pending.iter().any(|p| p.mask & needed != 0)
+}
+
 /// `true` when the instruction reads/writes window registers or moves the
 /// window, so it conflicts with any in-flight window motion.
 fn touches_window(instr: &Instruction) -> bool {
@@ -141,9 +156,16 @@ fn moves_window(instr: &Instruction) -> bool {
 pub struct Machine {
     config: MachineConfig,
     program: Program,
+    /// Every program word decoded once at construction; `Err` holds the
+    /// undecodable word so the fault can still be reported lazily at the
+    /// cycle the stream actually fetches it.
+    code: Vec<Result<Instruction, u32>>,
     streams: Vec<Stream>,
     globals: [u16; disc_isa::GLOBAL_REGS],
     pipe: Vec<Option<Slot>>,
+    /// Occupied pipeline slots, maintained incrementally so the idle check
+    /// in `run` does not rescan the pipe every cycle.
+    live_slots: usize,
     scheduler: Scheduler,
     intmem: InternalMemory,
     abi: Abi,
@@ -153,9 +175,23 @@ pub struct Machine {
     halted: bool,
     next_seq: u64,
     idle_exit: bool,
+    legacy_decode: bool,
     trace: Option<Trace>,
     irq_buf: Vec<IrqRequest>,
     events: Vec<TraceEvent>,
+    /// Per-cycle readiness memo for the lazy fetch probe.
+    fetch_probe: Vec<Probe>,
+    /// Decoded instruction for streams probed `Ready`; `None` on a stream
+    /// whose next word does not decode (the fault is reported if picked).
+    fetch_decoded: Vec<Option<Instruction>>,
+}
+
+/// Per-stream fetch-readiness memo, reset every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Unknown,
+    Ready,
+    NotReady,
 }
 
 impl std::fmt::Debug for Machine {
@@ -201,10 +237,17 @@ impl Machine {
             streams.push(st);
         }
         let scheduler = Scheduler::new(config.schedule.clone(), config.streams);
+        // Predecode the whole image up front so the per-cycle fetch path
+        // is a table lookup. Addresses past the image read as word 0
+        // (`nop`), matching `Program::word`.
+        let code = (0..program.len())
+            .map(|addr| disc_isa::encode::decode(program.word(addr as u16)).map_err(|e| e.word()))
+            .collect();
         Machine {
             streams,
             globals: [0; disc_isa::GLOBAL_REGS],
             pipe: vec![None; config.pipeline_depth],
+            live_slots: 0,
             scheduler,
             intmem: InternalMemory::new(config.internal_words),
             abi: Abi::new(),
@@ -214,9 +257,13 @@ impl Machine {
             halted: false,
             next_seq: 0,
             idle_exit: true,
+            legacy_decode: false,
             trace: None,
             irq_buf: Vec::new(),
             events: Vec::new(),
+            fetch_probe: vec![Probe::Unknown; config.streams],
+            fetch_decoded: vec![None; config.streams],
+            code,
             program: program.clone(),
             config,
         }
@@ -245,6 +292,21 @@ impl Machine {
     /// Slot-grant accounting of the hardware scheduler.
     pub fn scheduler_grants(&self) -> &[u64] {
         self.scheduler.granted()
+    }
+
+    /// Slots the hardware scheduler dynamically reallocated away from
+    /// their owning stream — the paper's defining mechanism. Also folded
+    /// into [`MachineStats::reallocations`] every cycle.
+    pub fn scheduler_reallocations(&self) -> u64 {
+        self.scheduler.reallocated()
+    }
+
+    /// Forces the original per-cycle decode path instead of the
+    /// predecoded store. Cycle-for-cycle behavior must be identical; this
+    /// switch exists so the differential test suite can prove it.
+    #[doc(hidden)]
+    pub fn set_legacy_decode(&mut self, enabled: bool) {
+        self.legacy_decode = enabled;
     }
 
     /// The internal 2 KB memory.
@@ -371,10 +433,13 @@ impl Machine {
     }
 
     /// `true` when every stream is inactive and nothing is in flight.
+    ///
+    /// Checked after every cycle by [`Machine::run`], so the hot case (a
+    /// busy machine) must be cheap: the pipe occupancy is an incrementally
+    /// maintained counter, and the per-stream scan only runs on the rare
+    /// cycles where the pipe is empty and the bus is quiet.
     pub fn all_idle(&self) -> bool {
-        self.streams.iter().all(|s| !s.active())
-            && !self.abi.busy()
-            && self.pipe.iter().all(Option::is_none)
+        self.live_slots == 0 && !self.abi.busy() && self.streams.iter().all(|s| !s.active())
     }
 
     /// Runs until halt, breakpoint, idleness or the cycle budget expires.
@@ -388,9 +453,7 @@ impl Machine {
             match self.step()? {
                 Status::Running => {}
                 Status::Halted => return Ok(Exit::Halted),
-                Status::Breakpoint { stream, pc } => {
-                    return Ok(Exit::Breakpoint { stream, pc })
-                }
+                Status::Breakpoint { stream, pc } => return Ok(Exit::Breakpoint { stream, pc }),
             }
             if self.idle_exit && self.all_idle() {
                 return Ok(Exit::AllIdle);
@@ -439,7 +502,7 @@ impl Machine {
 
         // 4. Execute the slot that just reached EX.
         let mut status = Status::Running;
-        if let Some(slot) = self.pipe[ex].clone() {
+        if let Some(slot) = self.pipe[ex] {
             status = self.execute(slot, ex);
         }
 
@@ -468,6 +531,12 @@ impl Machine {
 
         self.cycle += 1;
         self.stats.cycles += 1;
+        self.stats.reallocations = self.scheduler.reallocated();
+        debug_assert_eq!(
+            self.live_slots,
+            self.pipe.iter().filter(|s| s.is_some()).count(),
+            "live slot counter diverged from pipe occupancy"
+        );
 
         // 8. Trace.
         if self.trace.is_some() {
@@ -496,7 +565,9 @@ impl Machine {
 
     // ---- internals ------------------------------------------------------
 
+    /// Retires a slot just taken out of the pipe.
     fn retire(&mut self, slot: Slot) {
+        self.live_slots -= 1;
         self.stats.retired[slot.stream] += 1;
         let st = &mut self.streams[slot.stream];
         st.pending.retain(|p| p.seq != slot.seq);
@@ -522,6 +593,7 @@ impl Machine {
         for i in 0..top {
             if self.pipe[i].as_ref().is_some_and(|s| s.stream == stream) {
                 let slot = self.pipe[i].take().expect("checked above");
+                self.live_slots -= 1;
                 self.unwind_slot(&slot);
                 count += 1;
             }
@@ -556,7 +628,9 @@ impl Machine {
         }
         // Release the issuing stream's bus-tagged scoreboard entries and
         // wake everyone waiting on the bus.
-        self.streams[txn.stream].pending.retain(|p| p.seq != BUS_SEQ);
+        self.streams[txn.stream]
+            .pending
+            .retain(|p| p.seq != BUS_SEQ);
         for st in &mut self.streams {
             if matches!(st.wait, WaitState::BusTransaction | WaitState::BusFree) {
                 // Only the owner was in BusTransaction; BusFree waiters
@@ -564,9 +638,8 @@ impl Machine {
                 st.wait = WaitState::None;
             }
         }
-        self.events.push(TraceEvent::BusComplete {
-            stream: txn.stream,
-        });
+        self.events
+            .push(TraceEvent::BusComplete { stream: txn.stream });
     }
 
     fn write_target(&mut self, s: usize, target: RegTarget, value: u16) {
@@ -664,7 +737,13 @@ impl Machine {
         let s = slot.stream;
         match slot.instr {
             Instruction::Nop => {}
-            Instruction::Alu { op, awp, rd, rs, rt } => {
+            Instruction::Alu {
+                op,
+                awp,
+                rd,
+                rs,
+                rt,
+            } => {
                 let a = self.read_reg(s, rs);
                 let b = self.read_reg(s, rt);
                 let flags_in = self.streams[s].flags;
@@ -677,7 +756,13 @@ impl Machine {
                 }
                 self.apply_awp(s, Self::awp_delta(awp));
             }
-            Instruction::AluImm { op, awp, rd, rs, imm } => {
+            Instruction::AluImm {
+                op,
+                awp,
+                rd,
+                rs,
+                imm,
+            } => {
                 let a = self.read_reg(s, rs);
                 let flags_in = self.streams[s].flags;
                 let (result, flags) = alu(imm_op(op), a, imm as u16, flags_in);
@@ -697,25 +782,35 @@ impl Machine {
                 let low = self.read_reg(s, rd) & 0x00ff;
                 self.write_reg(s, rd, ((imm as u16) << 8) | low);
             }
-            Instruction::Ld { awp, rd, base, offset } => {
+            Instruction::Ld {
+                awp,
+                rd,
+                base,
+                offset,
+            } => {
                 let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
-                self.data_read(slot.clone(), ex, addr, rd, Self::awp_delta(awp), false);
+                self.data_read(slot, ex, addr, rd, Self::awp_delta(awp), false);
             }
             Instruction::Lda { awp, rd, addr } => {
-                self.data_read(slot.clone(), ex, addr, rd, Self::awp_delta(awp), false);
+                self.data_read(slot, ex, addr, rd, Self::awp_delta(awp), false);
             }
-            Instruction::St { awp, src, base, offset } => {
+            Instruction::St {
+                awp,
+                src,
+                base,
+                offset,
+            } => {
                 let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
                 let value = self.read_reg(s, src);
-                self.data_write(slot.clone(), ex, addr, value, Self::awp_delta(awp));
+                self.data_write(slot, ex, addr, value, Self::awp_delta(awp));
             }
             Instruction::Sta { awp, src, addr } => {
                 let value = self.read_reg(s, src);
-                self.data_write(slot.clone(), ex, addr, value, Self::awp_delta(awp));
+                self.data_write(slot, ex, addr, value, Self::awp_delta(awp));
             }
             Instruction::Tset { rd, base, offset } => {
                 let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
-                self.data_read(slot.clone(), ex, addr, rd, 0, true);
+                self.data_read(slot, ex, addr, rd, 0, true);
             }
             Instruction::Jmp { cond, target } => {
                 self.stats.flow_instructions += 1;
@@ -955,7 +1050,9 @@ impl Machine {
             self.streams[s].pc = target;
             self.stats.vectors_taken[s] += 1;
             if let Some(raised) = self.streams[s].irq_raised_at[bit as usize] {
-                self.stats.irq_latencies.push(self.cycle.saturating_sub(raised));
+                self.stats
+                    .irq_latency
+                    .record(self.cycle.saturating_sub(raised));
             }
             self.events.push(TraceEvent::Vector {
                 stream: s,
@@ -965,50 +1062,74 @@ impl Machine {
         }
     }
 
-    /// `true` when the next instruction of `s` has a hazard against the
-    /// stream's own in-flight instructions.
-    fn issue_hazard(&self, s: usize, instr: &Instruction) -> bool {
-        let st = &self.streams[s];
-        if st.window_moves > 0 && touches_window(instr) {
-            return true;
-        }
-        if st.pending.is_empty() {
-            return false;
-        }
-        // RAW only: writes retire in program order through the single EX
-        // stage, so WAW/WAR need no interlock.
-        let needed = source_mask(instr);
-        st.pending.iter().any(|p| p.mask & needed != 0)
-    }
+    // (issue-hazard test lives in the free `stream_hazard` so the lazy
+    // fetch probe can call it without borrowing the whole machine.)
 
     fn fetch(&mut self) -> Result<(), SimError> {
         let n = self.streams.len();
-        let mut ready = vec![false; n];
-        let mut decoded: Vec<Option<Instruction>> = vec![None; n];
-        for s in 0..n {
-            let st = &self.streams[s];
-            if !st.active() || st.wait != WaitState::None || st.spill_stall > 0 {
-                continue;
+        self.fetch_probe[..n].fill(Probe::Unknown);
+        // The scheduler queries readiness on demand: on most cycles the
+        // slot owner is ready and no other stream is ever decoded or
+        // hazard-checked. Results are memoized per cycle because the
+        // reallocation scan may revisit a stream.
+        let Self {
+            scheduler,
+            streams,
+            stats,
+            code,
+            program,
+            legacy_decode,
+            fetch_probe,
+            fetch_decoded,
+            ..
+        } = self;
+        let legacy = *legacy_decode;
+        let picked = scheduler.pick_with(|s| match fetch_probe[s] {
+            Probe::Ready => true,
+            Probe::NotReady => false,
+            Probe::Unknown => {
+                let st = &streams[s];
+                let ready = if !st.active() || st.wait != WaitState::None || st.spill_stall > 0 {
+                    false
+                } else {
+                    // Predecoded table on the hot path; live decode when
+                    // the legacy differential switch is on. Addresses past
+                    // the image are word 0 (`nop`), as predecoded.
+                    let decoded = if legacy {
+                        disc_isa::encode::decode(program.word(st.pc)).map_err(|e| e.word())
+                    } else {
+                        code.get(st.pc as usize)
+                            .copied()
+                            .unwrap_or(Ok(Instruction::Nop))
+                    };
+                    match decoded {
+                        // Report ready so the fetch below raises the fault
+                        // on the cycle the stream is actually picked.
+                        Err(_) => {
+                            fetch_decoded[s] = None;
+                            true
+                        }
+                        Ok(instr) => {
+                            if stream_hazard(st, &instr) {
+                                stats.hazard_stalls[s] += 1;
+                                false
+                            } else {
+                                fetch_decoded[s] = Some(instr);
+                                true
+                            }
+                        }
+                    }
+                };
+                fetch_probe[s] = if ready { Probe::Ready } else { Probe::NotReady };
+                ready
             }
-            let word = self.program.word(st.pc);
-            let Ok(instr) = disc_isa::encode::decode(word) else {
-                // Let the scheduler pick it so the fetch reports the fault.
-                ready[s] = true;
-                continue;
-            };
-            if self.issue_hazard(s, &instr) {
-                self.stats.hazard_stalls[s] += 1;
-                continue;
-            }
-            decoded[s] = Some(instr);
-            ready[s] = true;
-        }
-        let Some(s) = self.scheduler.pick(&ready) else {
+        });
+        let Some(s) = picked else {
             self.stats.bubbles += 1;
             return Ok(());
         };
         let pc = self.streams[s].pc;
-        let Some(instr) = decoded[s] else {
+        let Some(instr) = self.fetch_decoded[s] else {
             return Err(SimError::Decode {
                 stream: s,
                 pc,
@@ -1027,6 +1148,7 @@ impl Machine {
         if mw {
             st.window_moves += 1;
         }
+        debug_assert!(self.pipe[0].is_none(), "fetch into occupied pipe slot");
         self.pipe[0] = Some(Slot {
             stream: s,
             pc,
@@ -1034,6 +1156,7 @@ impl Machine {
             seq,
             moves_window: mw,
         });
+        self.live_slots += 1;
         Ok(())
     }
 }

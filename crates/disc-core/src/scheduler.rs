@@ -34,9 +34,7 @@ impl SchedulePolicy {
     /// default partition).
     pub fn round_robin(streams: usize) -> Self {
         assert!(streams > 0, "round_robin needs at least one stream");
-        let seq = (0..SEQUENCE_SLOTS)
-            .map(|i| (i % streams) as u8)
-            .collect();
+        let seq = (0..SEQUENCE_SLOTS).map(|i| (i % streams) as u8).collect();
         SchedulePolicy::Sequence(seq)
     }
 
@@ -130,21 +128,40 @@ impl Scheduler {
     /// `None` when no stream is ready (pipeline bubble). Advances the
     /// internal slot pointer exactly once per call.
     pub fn pick(&mut self, ready: &[bool]) -> Option<usize> {
+        self.pick_with(|s| ready.get(s).copied().unwrap_or(false))
+    }
+
+    /// Like [`pick`](Self::pick), but readiness is queried on demand.
+    ///
+    /// In the common case — the slot owner is ready — only the owner is
+    /// ever probed, which lets the machine skip decoding and hazard-
+    /// checking every other stream on most cycles. `is_ready` may be
+    /// called more than once for the same stream during the reallocation
+    /// scan; callers that probe lazily should memoize per cycle.
+    pub fn pick_with(&mut self, mut is_ready: impl FnMut(usize) -> bool) -> Option<usize> {
         let choice = match &self.policy {
             SchedulePolicy::Sequence(seq) => {
                 let len = seq.len();
                 let base = self.slot;
-                self.slot = (self.slot + 1) % len;
+                self.slot += 1;
+                if self.slot == len {
+                    self.slot = 0;
+                }
                 let owner = seq[base] as usize;
-                if ready.get(owner).copied().unwrap_or(false) {
+                if is_ready(owner) {
                     Some((owner, false))
                 } else {
                     // Dynamic reallocation: scan the sequence from the next
                     // slot so spare cycles go to streams roughly per share.
                     let mut found = None;
-                    for i in 1..=len {
-                        let cand = seq[(base + i) % len] as usize;
-                        if ready.get(cand).copied().unwrap_or(false) {
+                    let mut idx = base;
+                    for _ in 0..len {
+                        idx += 1;
+                        if idx == len {
+                            idx = 0;
+                        }
+                        let cand = seq[idx] as usize;
+                        if is_ready(cand) {
                             found = Some((cand, true));
                             break;
                         }
@@ -154,13 +171,13 @@ impl Scheduler {
             }
             SchedulePolicy::WeightedDeficit(weights) => {
                 for (s, &w) in weights.iter().enumerate() {
-                    if ready.get(s).copied().unwrap_or(false) {
+                    if is_ready(s) {
                         self.deficit[s] += w as i64;
                     }
                 }
                 let total: i64 = weights.iter().map(|&w| w as i64).sum();
                 let best = (0..weights.len())
-                    .filter(|&s| ready.get(s).copied().unwrap_or(false))
+                    .filter(|&s| is_ready(s))
                     .max_by_key(|&s| (self.deficit[s], std::cmp::Reverse(s)));
                 best.map(|s| {
                     self.deficit[s] -= total;

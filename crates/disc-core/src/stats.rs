@@ -1,11 +1,100 @@
 //! Execution statistics collected by the machine.
 
+/// Maximum number of individual latency samples retained for percentile
+/// reporting. Runs with more recorded interrupts keep a uniform reservoir
+/// of this size; the count / sum / max aggregates stay exact regardless.
+pub const IRQ_LATENCY_RESERVOIR: usize = 512;
+
+/// Bounded aggregate of measured interrupt latencies.
+///
+/// The machine used to push every latency into an unbounded `Vec`, which
+/// grows without limit on interrupt-heavy workloads. This keeps exact
+/// count/sum/max plus a deterministic uniform reservoir of up to
+/// [`IRQ_LATENCY_RESERVOIR`] samples for percentile estimates. For runs
+/// that record at most that many latencies (all current experiments), the
+/// samples are the complete sequence and percentiles are exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrqLatencyStats {
+    count: u64,
+    sum: u64,
+    max: Option<u64>,
+    samples: Vec<u64>,
+}
+
+/// SplitMix64 mix — deterministic hash used for reservoir replacement.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl IrqLatencyStats {
+    /// Records one measured latency.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = Some(self.max.map_or(latency, |m| m.max(latency)));
+        if self.samples.len() < IRQ_LATENCY_RESERVOIR {
+            self.samples.push(latency);
+        } else {
+            // Algorithm R with a deterministic pseudo-random index so two
+            // identical runs keep identical reservoirs.
+            let j = (splitmix64(self.count) % self.count) as usize;
+            if j < self.samples.len() {
+                self.samples[j] = latency;
+            }
+        }
+    }
+
+    /// Number of latencies recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no latency has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean latency across all recorded interrupts.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Worst-case latency across all recorded interrupts.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Retained samples, in recording order (complete when
+    /// `count <= IRQ_LATENCY_RESERVOIR`).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Nearest-rank percentile over the retained samples. `p` in 0..=100.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+}
+
 /// Counters describing one simulation run.
 ///
 /// The headline metric is [`utilization`](MachineStats::utilization) — the
 /// paper's `PD`, *"processor utilization on DISC"*: completed instructions
 /// divided by elapsed cycles.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Elapsed machine cycles.
     pub cycles: u64,
@@ -29,13 +118,18 @@ pub struct MachineStats {
     pub wait_bus_free_cycles: Vec<u64>,
     /// Cycles streams spent stalled on window spill/fill traffic.
     pub spill_stall_cycles: Vec<u64>,
-    /// Cycles streams were stalled by a same-stream data hazard while
-    /// scheduled (slot reallocated or bubbled).
+    /// Cycles a stream was probed for issue but held back by a
+    /// same-stream data hazard (its slot was reallocated or bubbled).
+    /// Streams the scheduler never considered that cycle are not counted.
     pub hazard_stalls: Vec<u64>,
     /// Vectored interrupts taken, per stream.
     pub vectors_taken: Vec<u64>,
-    /// Interrupt latencies in cycles (raise → first handler fetch).
-    pub irq_latencies: Vec<u64>,
+    /// Interrupt latencies in cycles (raise → first handler fetch),
+    /// aggregated with a bounded sample reservoir.
+    pub irq_latency: IrqLatencyStats,
+    /// Scheduler slot reallocations performed (a blocked stream's slot
+    /// handed to another ready stream).
+    pub reallocations: u64,
     /// Jump-type instructions executed (taken or not).
     pub flow_instructions: u64,
     /// External bus transactions issued.
@@ -81,16 +175,12 @@ impl MachineStats {
     /// Mean measured interrupt latency in cycles, if any interrupt was
     /// taken.
     pub fn mean_irq_latency(&self) -> Option<f64> {
-        if self.irq_latencies.is_empty() {
-            None
-        } else {
-            Some(self.irq_latencies.iter().sum::<u64>() as f64 / self.irq_latencies.len() as f64)
-        }
+        self.irq_latency.mean()
     }
 
     /// Worst-case measured interrupt latency in cycles.
     pub fn max_irq_latency(&self) -> Option<u64> {
-        self.irq_latencies.iter().copied().max()
+        self.irq_latency.max()
     }
 }
 
@@ -118,8 +208,31 @@ mod tests {
     fn latency_summary() {
         let mut s = MachineStats::new(1);
         assert_eq!(s.mean_irq_latency(), None);
-        s.irq_latencies = vec![2, 4, 9];
+        for l in [2, 4, 9] {
+            s.irq_latency.record(l);
+        }
         assert_eq!(s.mean_irq_latency(), Some(5.0));
         assert_eq!(s.max_irq_latency(), Some(9));
+        assert_eq!(s.irq_latency.samples(), &[2, 4, 9]);
+        assert_eq!(s.irq_latency.percentile(50.0), Some(4));
+        assert_eq!(s.irq_latency.percentile(100.0), Some(9));
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded_and_keeps_exact_aggregates() {
+        let mut agg = IrqLatencyStats::default();
+        for l in 0..10_000u64 {
+            agg.record(l);
+        }
+        assert_eq!(agg.count(), 10_000);
+        assert_eq!(agg.max(), Some(9_999));
+        assert_eq!(agg.mean(), Some(4_999.5));
+        assert_eq!(agg.samples().len(), IRQ_LATENCY_RESERVOIR);
+        // Deterministic: a second identical run keeps the same reservoir.
+        let mut again = IrqLatencyStats::default();
+        for l in 0..10_000u64 {
+            again.record(l);
+        }
+        assert_eq!(agg.samples(), again.samples());
     }
 }

@@ -60,7 +60,7 @@ pub enum TraceEvent {
 }
 
 /// One traced machine cycle.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleRecord {
     /// Cycle number.
     pub cycle: u64,
@@ -74,7 +74,7 @@ pub struct CycleRecord {
 }
 
 /// A bounded trace buffer.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     records: Vec<CycleRecord>,
     capacity: usize,

@@ -70,19 +70,15 @@ fn arb_any_instr() -> impl Strategy<Value = Instruction> {
             base,
             offset
         }),
-        (arb_cond(), 0u16..PROGRAM_LEN).prop_map(|(cond, target)| Instruction::Jmp {
-            cond,
-            target
-        }),
+        (arb_cond(), 0u16..PROGRAM_LEN)
+            .prop_map(|(cond, target)| Instruction::Jmp { cond, target }),
         (0u16..PROGRAM_LEN).prop_map(|target| Instruction::Call { target }),
         (0u8..4).prop_map(|pop| Instruction::Ret { pop }),
         Just(Instruction::Reti),
         (1u8..6).prop_map(|n| Instruction::Winc { n }),
         (1u8..6).prop_map(|n| Instruction::Wdec { n }),
-        (0u8..4, 0u16..PROGRAM_LEN).prop_map(|(stream, target)| Instruction::Fork {
-            stream,
-            target
-        }),
+        (0u8..4, 0u16..PROGRAM_LEN)
+            .prop_map(|(stream, target)| Instruction::Fork { stream, target }),
         (0u8..4, 0u8..8).prop_map(|(stream, bit)| Instruction::Signal { stream, bit }),
         (0u8..8).prop_map(|bit| Instruction::Clri { bit }),
         Just(Instruction::Stop),

@@ -198,11 +198,7 @@ fn external_store_lands_after_latency() {
     "#,
     )
     .unwrap();
-    let mut m = Machine::with_bus(
-        MachineConfig::disc1(),
-        &program,
-        Box::new(FlatBus::new(3)),
-    );
+    let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(FlatBus::new(3)));
     assert_eq!(run(&mut m, 10_000), Exit::Halted);
     // Read back through a fresh machine sharing nothing — instead verify
     // via stats: exactly one external access, and the stream waited.
@@ -492,12 +488,8 @@ fn tset_semaphore_provides_mutual_exclusion() {
 fn partitioned_schedule_shapes_throughput() {
     // 3:1 partition between two loops with long straight-line bodies so
     // jump flushes stay second-order.
-    let body: String = (0..6)
-        .map(|i| format!("addi r{i}, r{i}, 1\n"))
-        .collect();
-    let src = format!(
-        ".stream 0, a\n.stream 1, b\na: {body} jmp a\nb: {body} jmp b\n"
-    );
+    let body: String = (0..6).map(|i| format!("addi r{i}, r{i}, 1\n")).collect();
+    let src = format!(".stream 0, a\n.stream 1, b\na: {body} jmp a\nb: {body} jmp b\n");
     let program = Program::assemble(&src).unwrap();
     let cfg = MachineConfig::disc1()
         .with_streams(2)
@@ -591,9 +583,10 @@ fn decode_fault_is_reported() {
     let mut m = Machine::new(MachineConfig::disc1(), &program);
     let err = m.run(100).unwrap_err();
     match err {
-        disc_core::SimError::Decode { stream, pc, .. } => {
+        disc_core::SimError::Decode { stream, pc, word } => {
             assert_eq!(stream, 0);
             assert_eq!(pc, 1);
+            assert_eq!(word, 63 << 18);
         }
         other => panic!("unexpected error {other}"),
     }
@@ -610,11 +603,7 @@ fn wait_states_expose_through_stream_view() {
     "#,
     )
     .unwrap();
-    let mut m = Machine::with_bus(
-        MachineConfig::disc1(),
-        &program,
-        Box::new(FlatBus::new(50)),
-    );
+    let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(FlatBus::new(50)));
     // Step until the load issues.
     for _ in 0..10 {
         m.step().unwrap();

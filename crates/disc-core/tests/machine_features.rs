@@ -2,9 +2,7 @@
 //! stack-fault policy, runtime vectors, deep pipelines, weighted-deficit
 //! scheduling, trace events, external semaphores and constant building.
 
-use disc_core::{
-    Exit, FlatBus, Machine, MachineConfig, SchedulePolicy, TraceEvent, WindowPolicy,
-};
+use disc_core::{Exit, FlatBus, Machine, MachineConfig, SchedulePolicy, TraceEvent, WindowPolicy};
 use disc_isa::{Program, Reg};
 
 fn assemble(src: &str) -> Program {

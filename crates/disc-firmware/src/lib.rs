@@ -236,7 +236,15 @@ mod tests {
 
     #[test]
     fn sqrt16_basic() {
-        for (x, want) in [(0u16, 0u16), (1, 1), (2, 1), (4, 2), (99, 9), (100, 10), (65535, 255)] {
+        for (x, want) in [
+            (0u16, 0u16),
+            (1, 1),
+            (2, 1),
+            (4, 2),
+            (99, 9),
+            (100, 10),
+            (65535, 255),
+        ] {
             let ([got, ..], _) = call("sqrt16", &[x], &[]);
             assert_eq!(got, want, "sqrt({x})");
         }

@@ -100,7 +100,10 @@ enum Stmt {
     Word(Expr),
     Stream(Expr, Expr),
     Vector(Expr, Expr, Expr),
-    Instr { mnemonic: String, operands: Vec<String> },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -589,7 +592,11 @@ fn encode_real(
     line: usize,
 ) -> Result<Instruction, AsmError> {
     // R-format ALU.
-    if let Some(op) = AluOp::ALL.iter().copied().find(|o| o.mnemonic() == mnemonic) {
+    if let Some(op) = AluOp::ALL
+        .iter()
+        .copied()
+        .find(|o| o.mnemonic() == mnemonic)
+    {
         return match op {
             AluOp::Mov | AluOp::Not => {
                 ops.expect(2)?;
@@ -650,11 +657,7 @@ fn encode_real(
         };
     }
     // Jumps.
-    if let Some(cond) = Cond::ALL
-        .iter()
-        .copied()
-        .find(|c| c.mnemonic() == mnemonic)
-    {
+    if let Some(cond) = Cond::ALL.iter().copied().find(|c| c.mnemonic() == mnemonic) {
         ops.no_awp()?;
         ops.expect(1)?;
         return Ok(Instruction::Jmp {
@@ -892,10 +895,7 @@ mod tests {
 
     #[test]
     fn labels_resolve_forward_and_backward() {
-        let p = assemble(
-            "start: nop\n jmp end\n jmp start\nend: halt\n",
-        )
-        .unwrap();
+        let p = assemble("start: nop\n jmp end\n jmp start\nend: halt\n").unwrap();
         assert_eq!(
             decode(p.word(1)).unwrap(),
             Instruction::Jmp {
@@ -934,10 +934,7 @@ mod tests {
 
     #[test]
     fn stream_and_vector_directives() {
-        let p = assemble(
-            ".stream 2, entry\n.vector 1, 3, isr\nentry: nop\nisr: reti\n",
-        )
-        .unwrap();
+        let p = assemble(".stream 2, entry\n.vector 1, 3, isr\nentry: nop\nisr: reti\n").unwrap();
         assert_eq!(p.entry(2), Some(0));
         assert_eq!(p.vector(1, 3), Some(1));
         assert_eq!(p.entry(0), None);

@@ -27,14 +27,26 @@ use crate::instr::{AluOp, Instruction};
 pub fn format_instruction(instr: &Instruction) -> String {
     match *instr {
         Instruction::Nop => "nop".to_string(),
-        Instruction::Alu { op, awp, rd, rs, rt } => match op {
+        Instruction::Alu {
+            op,
+            awp,
+            rd,
+            rs,
+            rt,
+        } => match op {
             AluOp::Mov | AluOp::Not => {
                 format!("{op} {rd}, {rs}{}", awp.suffix())
             }
             AluOp::Cmp => format!("{op} {rs}, {rt}{}", awp.suffix()),
             _ => format!("{op} {rd}, {rs}, {rt}{}", awp.suffix()),
         },
-        Instruction::AluImm { op, awp, rd, rs, imm } => {
+        Instruction::AluImm {
+            op,
+            awp,
+            rd,
+            rs,
+            imm,
+        } => {
             if op.writes_rd() {
                 format!("{op} {rd}, {rs}, {imm}{}", awp.suffix())
             } else {
@@ -45,10 +57,20 @@ pub fn format_instruction(instr: &Instruction) -> String {
             format!("ldi {rd}, {imm}{}", awp.suffix())
         }
         Instruction::Lui { rd, imm } => format!("lui {rd}, {imm}"),
-        Instruction::Ld { awp, rd, base, offset } => {
+        Instruction::Ld {
+            awp,
+            rd,
+            base,
+            offset,
+        } => {
             format!("ld {rd}, [{base} {offset:+}]{}", awp.suffix())
         }
-        Instruction::St { awp, src, base, offset } => {
+        Instruction::St {
+            awp,
+            src,
+            base,
+            offset,
+        } => {
             format!("st {src}, [{base} {offset:+}]{}", awp.suffix())
         }
         Instruction::Lda { awp, rd, addr } => {

@@ -106,7 +106,13 @@ fn awp_field(word: u32) -> Result<AwpMode, DecodeError> {
 pub fn encode(instr: &Instruction) -> u32 {
     let word = match *instr {
         Instruction::Nop => OP_NOP << 18,
-        Instruction::Alu { op, awp, rd, rs, rt } => {
+        Instruction::Alu {
+            op,
+            awp,
+            rd,
+            rs,
+            rt,
+        } => {
             let idx = AluOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
             ((OP_ALU_BASE + idx) << 18)
                 | (awp.code() << 16)
@@ -114,7 +120,13 @@ pub fn encode(instr: &Instruction) -> u32 {
                 | ((rs.index() as u32) << 8)
                 | ((rt.index() as u32) << 4)
         }
-        Instruction::AluImm { op, awp, rd, rs, imm } => {
+        Instruction::AluImm {
+            op,
+            awp,
+            rd,
+            rs,
+            imm,
+        } => {
             let idx = AluImmOp::ALL.iter().position(|o| *o == op).unwrap() as u32;
             ((OP_ALUI_BASE + idx) << 18)
                 | (awp.code() << 16)
@@ -132,17 +144,25 @@ pub fn encode(instr: &Instruction) -> u32 {
                 | ((rd.index() as u32) << 12)
                 | (imm as u32 & 0x0fff)
         }
-        Instruction::Lui { rd, imm } => {
-            (OP_LUI << 18) | ((rd.index() as u32) << 12) | imm as u32
-        }
-        Instruction::Ld { awp, rd, base, offset } => {
+        Instruction::Lui { rd, imm } => (OP_LUI << 18) | ((rd.index() as u32) << 12) | imm as u32,
+        Instruction::Ld {
+            awp,
+            rd,
+            base,
+            offset,
+        } => {
             (OP_LD << 18)
                 | (awp.code() << 16)
                 | ((rd.index() as u32) << 12)
                 | ((base.index() as u32) << 8)
                 | (offset as u8 as u32)
         }
-        Instruction::St { awp, src, base, offset } => {
+        Instruction::St {
+            awp,
+            src,
+            base,
+            offset,
+        } => {
             (OP_ST << 18)
                 | (awp.code() << 16)
                 | ((src.index() as u32) << 12)
@@ -151,17 +171,11 @@ pub fn encode(instr: &Instruction) -> u32 {
         }
         Instruction::Lda { awp, rd, addr } => {
             assert!(addr <= 0x0fff, "lda address {addr:#x} out of 12-bit range");
-            (OP_LDA << 18)
-                | (awp.code() << 16)
-                | ((rd.index() as u32) << 12)
-                | addr as u32
+            (OP_LDA << 18) | (awp.code() << 16) | ((rd.index() as u32) << 12) | addr as u32
         }
         Instruction::Sta { awp, src, addr } => {
             assert!(addr <= 0x0fff, "sta address {addr:#x} out of 12-bit range");
-            (OP_STA << 18)
-                | (awp.code() << 16)
-                | ((src.index() as u32) << 12)
-                | addr as u32
+            (OP_STA << 18) | (awp.code() << 16) | ((src.index() as u32) << 12) | addr as u32
         }
         Instruction::Tset { rd, base, offset } => {
             (OP_TSET << 18)
@@ -169,9 +183,7 @@ pub fn encode(instr: &Instruction) -> u32 {
                 | ((base.index() as u32) << 8)
                 | (offset as u8 as u32)
         }
-        Instruction::Jmp { cond, target } => {
-            ((OP_JMP_BASE + cond.code()) << 18) | target as u32
-        }
+        Instruction::Jmp { cond, target } => ((OP_JMP_BASE + cond.code()) << 18) | target as u32,
         Instruction::Call { target } => (OP_CALL << 18) | target as u32,
         Instruction::Ret { pop } => (OP_RET << 18) | pop as u32,
         Instruction::Reti => OP_RETI << 18,

@@ -297,8 +297,7 @@ impl fmt::Display for Cond {
 /// assert_eq!(disc_isa::encode::decode(word)?, i);
 /// # Ok::<(), disc_isa::DecodeError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Instruction {
     /// No operation. The all-zero word decodes to `nop`.
     #[default]
@@ -553,7 +552,6 @@ impl Instruction {
         }
     }
 }
-
 
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

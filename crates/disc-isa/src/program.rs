@@ -135,10 +135,7 @@ impl Program {
 
     /// Iterates over `(address, word)` pairs of the image.
     pub fn iter(&self) -> impl Iterator<Item = (u16, u32)> + '_ {
-        self.words
-            .iter()
-            .enumerate()
-            .map(|(a, &w)| (a as u16, w))
+        self.words.iter().enumerate().map(|(a, &w)| (a as u16, w))
     }
 
     /// Disassembly listing of the whole image.

@@ -10,11 +10,7 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_awp() -> impl Strategy<Value = AwpMode> {
-    prop_oneof![
-        Just(AwpMode::None),
-        Just(AwpMode::Inc),
-        Just(AwpMode::Dec)
-    ]
+    prop_oneof![Just(AwpMode::None), Just(AwpMode::Inc), Just(AwpMode::Dec)]
 }
 
 fn arb_alu_op() -> impl Strategy<Value = AluOp> {
@@ -40,28 +36,45 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         Just(Instruction::Nop),
         arb_alu(),
-        (arb_alu_imm_op(), arb_awp(), arb_reg(), arb_reg(), any::<u8>()).prop_map(
-            |(op, awp, rd, rs, imm)| Instruction::AluImm { op, awp, rd, rs, imm }
-        ),
-        (arb_awp(), arb_reg(), -2048i16..=2047).prop_map(|(awp, rd, imm)| {
-            Instruction::Ldi { awp, rd, imm }
-        }),
+        (
+            arb_alu_imm_op(),
+            arb_awp(),
+            arb_reg(),
+            arb_reg(),
+            any::<u8>()
+        )
+            .prop_map(|(op, awp, rd, rs, imm)| Instruction::AluImm {
+                op,
+                awp,
+                rd,
+                rs,
+                imm
+            }),
+        (arb_awp(), arb_reg(), -2048i16..=2047)
+            .prop_map(|(awp, rd, imm)| { Instruction::Ldi { awp, rd, imm } }),
         (arb_reg(), any::<u8>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
         (arb_awp(), arb_reg(), arb_reg(), any::<i8>()).prop_map(|(awp, rd, base, offset)| {
-            Instruction::Ld { awp, rd, base, offset }
+            Instruction::Ld {
+                awp,
+                rd,
+                base,
+                offset,
+            }
         }),
         (arb_awp(), arb_reg(), arb_reg(), any::<i8>()).prop_map(|(awp, src, base, offset)| {
-            Instruction::St { awp, src, base, offset }
+            Instruction::St {
+                awp,
+                src,
+                base,
+                offset,
+            }
         }),
-        (arb_awp(), arb_reg(), 0u16..=0x0fff).prop_map(|(awp, rd, addr)| {
-            Instruction::Lda { awp, rd, addr }
-        }),
-        (arb_awp(), arb_reg(), 0u16..=0x0fff).prop_map(|(awp, src, addr)| {
-            Instruction::Sta { awp, src, addr }
-        }),
-        (arb_reg(), arb_reg(), any::<i8>()).prop_map(|(rd, base, offset)| {
-            Instruction::Tset { rd, base, offset }
-        }),
+        (arb_awp(), arb_reg(), 0u16..=0x0fff)
+            .prop_map(|(awp, rd, addr)| { Instruction::Lda { awp, rd, addr } }),
+        (arb_awp(), arb_reg(), 0u16..=0x0fff)
+            .prop_map(|(awp, src, addr)| { Instruction::Sta { awp, src, addr } }),
+        (arb_reg(), arb_reg(), any::<i8>())
+            .prop_map(|(rd, base, offset)| { Instruction::Tset { rd, base, offset } }),
         (arb_cond(), any::<u16>()).prop_map(|(cond, target)| Instruction::Jmp { cond, target }),
         any::<u16>().prop_map(|target| Instruction::Call { target }),
         any::<u8>().prop_map(|pop| Instruction::Ret { pop }),

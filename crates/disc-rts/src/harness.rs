@@ -4,9 +4,9 @@
 use std::collections::VecDeque;
 
 use disc_baseline::{BaselineConfig, BaselineMachine};
+use disc_core::{Machine, MachineConfig, MachineStats, SchedulePolicy, SimError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use disc_core::{Machine, MachineConfig, MachineStats, SchedulePolicy, SimError};
 
 use crate::codegen;
 use crate::task::TaskSet;
@@ -83,7 +83,9 @@ impl Target for DiscTarget {
         self.0.raise_interrupt(task + 1, codegen::DISC_TASK_BIT);
     }
     fn completions(&self, task: usize) -> u16 {
-        self.0.internal_memory().read(codegen::completion_addr(task))
+        self.0
+            .internal_memory()
+            .read(codegen::completion_addr(task))
     }
     fn stats(&self) -> &MachineStats {
         self.0.stats()
@@ -100,7 +102,9 @@ impl Target for BaselineTarget {
         self.0.raise_interrupt(codegen::baseline_task_bit(task));
     }
     fn completions(&self, task: usize) -> u16 {
-        self.0.internal_memory().read(codegen::completion_addr(task))
+        self.0
+            .internal_memory()
+            .read(codegen::completion_addr(task))
     }
     fn stats(&self) -> &MachineStats {
         self.0.stats()
@@ -141,11 +145,7 @@ fn arrival_schedule(set: &TaskSet, horizon: u64) -> Vec<Vec<u64>> {
         .collect()
 }
 
-fn drive<T: Target>(
-    mut target: T,
-    set: &TaskSet,
-    horizon: u64,
-) -> Result<SimOutcome, SimError> {
+fn drive<T: Target>(mut target: T, set: &TaskSet, horizon: u64) -> Result<SimOutcome, SimError> {
     let n = set.tasks.len();
     let schedule = arrival_schedule(set, horizon);
     let mut next_arrival = vec![0usize; n];
@@ -166,6 +166,19 @@ fn drive<T: Target>(
         .collect();
     for cycle in 0..horizon {
         for i in 0..n {
+            // An activation whose deadline expired without service was
+            // lost (coalesced on the single IR bit, or overrun). Count
+            // the miss and drop the job, so later completions are matched
+            // against the arrival they actually serviced instead of
+            // cascading inflated responses down the whole queue.
+            while let Some(&t0) = outstanding[i].front() {
+                if cycle > t0 + set.tasks[i].deadline {
+                    outstanding[i].pop_front();
+                    outcomes[i].misses += 1;
+                } else {
+                    break;
+                }
+            }
             while next_arrival[i] < schedule[i].len() && schedule[i][next_arrival[i]] == cycle {
                 target.activate(i);
                 outstanding[i].push_back(cycle);
@@ -273,7 +286,12 @@ mod tests {
         let out = run_on_disc(&set, 20_000).unwrap();
         let t = &out.tasks[0];
         assert!(t.activations >= 39);
-        assert_eq!(t.misses, 0, "responses: {:?}", &t.responses[..4.min(t.responses.len())]);
+        assert_eq!(
+            t.misses,
+            0,
+            "responses: {:?}",
+            &t.responses[..4.min(t.responses.len())]
+        );
         assert!(t.completions >= t.activations - 1);
         assert!(t.max_response <= 250);
         assert!(out.background_retired > 5_000, "background kept running");
@@ -344,7 +362,10 @@ mod tests {
         let set = TaskSet::new(vec![Task::new("s", 2000, 1800).with_body(5).sporadic()]);
         let a = run_on_disc(&set, 120_000).unwrap();
         let b = run_on_disc(&set, 120_000).unwrap();
-        assert_eq!(a.tasks[0].activations, b.tasks[0].activations, "deterministic stimulus");
+        assert_eq!(
+            a.tasks[0].activations, b.tasks[0].activations,
+            "deterministic stimulus"
+        );
         // ~60 expected arrivals; Poisson spread allows a generous band.
         let acts = a.tasks[0].activations;
         assert!((35..=90).contains(&acts), "got {acts} arrivals");
@@ -368,7 +389,12 @@ mod tests {
         ]);
         let disc = run_on_disc(&set, 80_000).unwrap();
         let base = run_on_baseline(&set, 80_000).unwrap();
-        assert!(disc.total_misses() <= base.total_misses());
+        // The steady task rides shotgun: on DISC it keeps its own stream,
+        // on the baseline it queues behind burst handlers and context
+        // switches, so its deadline record and worst response degrade.
+        let (disc_steady, base_steady) = (&disc.tasks[1], &base.tasks[1]);
+        assert!(disc_steady.misses <= base_steady.misses);
+        assert!(disc_steady.max_response <= base_steady.max_response);
         assert!(disc.background_retired > base.background_retired);
     }
 

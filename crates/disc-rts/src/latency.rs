@@ -146,8 +146,8 @@ pub fn latency_experiment(
         }
     }
     Ok(LatencyReport {
-        disc: disc.stats().irq_latencies.clone(),
-        baseline: base.stats().irq_latencies.clone(),
+        disc: disc.stats().irq_latency.samples().to_vec(),
+        baseline: base.stats().irq_latency.samples().to_vec(),
     })
 }
 

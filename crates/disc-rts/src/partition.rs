@@ -207,12 +207,8 @@ mod tests {
         ]);
         let report = analyze(&set);
         assert!(report.iter().all(|t| t.schedulable), "{report:?}");
-        let out = crate::harness::run_on_disc_with_schedule(
-            &set,
-            60_000,
-            Some(schedule_for(&set)),
-        )
-        .unwrap();
+        let out = crate::harness::run_on_disc_with_schedule(&set, 60_000, Some(schedule_for(&set)))
+            .unwrap();
         assert_eq!(out.total_misses(), 0, "analysis promised schedulability");
     }
 

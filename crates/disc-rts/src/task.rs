@@ -114,7 +114,10 @@ impl TaskSet {
     /// streams and stream 0 is the background).
     pub fn new(tasks: Vec<Task>) -> Self {
         assert!(!tasks.is_empty(), "task set needs at least one task");
-        assert!(tasks.len() <= 3, "at most 3 tasks fit beside the background");
+        assert!(
+            tasks.len() <= 3,
+            "at most 3 tasks fit beside the background"
+        );
         TaskSet {
             tasks,
             background: true,
@@ -139,7 +142,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let t = Task::new("a", 100, 80).with_body(10).with_io(2, 30).with_offset(5);
+        let t = Task::new("a", 100, 80)
+            .with_body(10)
+            .with_io(2, 30)
+            .with_offset(5);
         assert_eq!(t.body, 10);
         assert_eq!(t.io_reads, 2);
         assert_eq!(t.offset, 5);

@@ -46,7 +46,11 @@ pub fn ps_estimate(spec: &LoadSpec, pipe_depth: usize) -> f64 {
 /// cap its own share.
 pub fn pd_upper_bound(spec: &LoadSpec, k: usize) -> f64 {
     let busy = busy_per_instruction(spec);
-    let bus_cap = if busy > 0.0 { 1.0 / busy } else { f64::INFINITY };
+    let bus_cap = if busy > 0.0 {
+        1.0 / busy
+    } else {
+        f64::INFINITY
+    };
     let duty = match spec.mean_on {
         Some(on) => on / (on + spec.mean_off),
         None => 1.0,
@@ -102,8 +106,7 @@ mod tests {
     fn dsp_load_bound_is_one() {
         assert_eq!(pd_upper_bound(&LoadSpec::load3(), 4), 1.0);
         // And the simulator reaches it.
-        let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load3(), 4))
-            .with_cycles(100_000);
+        let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load3(), 4)).with_cycles(100_000);
         assert!(simulate(&cfg).pd() > 0.99);
     }
 

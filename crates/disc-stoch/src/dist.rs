@@ -97,11 +97,8 @@ mod tests {
         let m = mean_of(&samples);
         assert!((3.9..=4.1).contains(&m), "mean {m}");
         // Variance ≈ mean for Poisson.
-        let var = samples
-            .iter()
-            .map(|&x| (x as f64 - m).powi(2))
-            .sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((3.5..=4.5).contains(&var), "variance {var}");
     }
 

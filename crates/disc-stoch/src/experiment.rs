@@ -99,19 +99,29 @@ pub struct Summary {
 
 /// Runs `seeds` seeds of a configuration and aggregates.
 ///
+/// The per-seed runs are independent and execute on a
+/// [`disc_par::par_map`] pool; results are collected in seed order, so
+/// the aggregate is identical to the serial loop it replaced.
+///
 /// # Panics
 ///
 /// Panics if `seeds` is zero.
 pub fn simulate_seeds(cfg: &RunConfig, seeds: u64) -> Summary {
     assert!(seeds > 0, "at least one seed required");
+    let configs: Vec<RunConfig> = (0..seeds)
+        .map(|i| cfg.clone().with_seed(cfg.seed.wrapping_add(i * 7919)))
+        .collect();
+    let runs = disc_par::par_map(configs, |c| {
+        let m = simulate(&c);
+        (m.pd(), m.ps(), m.delta())
+    });
     let mut pds = Vec::with_capacity(seeds as usize);
     let mut pss = Vec::with_capacity(seeds as usize);
     let mut deltas = Vec::with_capacity(seeds as usize);
-    for i in 0..seeds {
-        let m = simulate(&cfg.clone().with_seed(cfg.seed.wrapping_add(i * 7919)));
-        pds.push(m.pd());
-        pss.push(m.ps());
-        deltas.push(m.delta());
+    for (pd, ps, delta) in runs {
+        pds.push(pd);
+        pss.push(ps);
+        deltas.push(delta);
     }
     let stat = |xs: &[f64]| {
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -165,25 +175,24 @@ pub struct SweepPoint {
 }
 
 /// Sweeps a parameter by mapping each `(x, workload)` pair to a point.
+///
+/// Points run concurrently; the returned vector is in input order.
 pub fn sweep(
     points: impl IntoIterator<Item = (f64, Workload)>,
-    configure: impl Fn(RunConfig) -> RunConfig,
+    configure: impl Fn(RunConfig) -> RunConfig + Sync,
     seeds: u64,
 ) -> Vec<SweepPoint> {
-    points
-        .into_iter()
-        .map(|(x, workload)| {
-            let streams = workload.stream_count();
-            let label = workload.name.clone();
-            let cfg = configure(RunConfig::new(workload));
-            SweepPoint {
-                label,
-                x,
-                streams,
-                summary: simulate_seeds(&cfg, seeds),
-            }
-        })
-        .collect()
+    disc_par::par_map(points.into_iter().collect(), |(x, workload)| {
+        let streams = workload.stream_count();
+        let label = workload.name.clone();
+        let cfg = configure(RunConfig::new(workload));
+        SweepPoint {
+            label,
+            x,
+            streams,
+            summary: simulate_seeds(&cfg, seeds),
+        }
+    })
 }
 
 pub mod tables {
@@ -230,17 +239,21 @@ pub mod tables {
         let cols = ["1 IS", "2 ISs", "3 ISs", "4 ISs"];
         let mut pd = Table::new("Table 4.2a - Processor Utilization PD", &cols, 3);
         let mut delta = Table::new("Table 4.2b - Delta (%)", &cols, 1);
-        for spec in LoadSpec::presets() {
-            let mut pd_row = Vec::new();
-            let mut d_row = Vec::new();
-            for k in 1..=4 {
-                let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
-                let s = simulate_seeds(&cfg, seeds);
-                pd_row.push(s.pd_mean);
-                d_row.push(s.delta_mean);
-            }
-            pd.push_row(&spec.name, pd_row);
-            delta.push_row(&spec.name, d_row);
+        // All load × stream-count cells are independent runs: flatten the
+        // grid, simulate concurrently, and reassemble rows in order.
+        let specs = LoadSpec::presets();
+        let cells: Vec<(LoadSpec, usize)> = specs
+            .iter()
+            .flat_map(|spec| (1..=4).map(move |k| (spec.clone(), k)))
+            .collect();
+        let results = disc_par::par_map(cells, |(spec, k)| {
+            let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
+            simulate_seeds(&cfg, seeds)
+        });
+        for (r, spec) in specs.iter().enumerate() {
+            let row = &results[r * 4..r * 4 + 4];
+            pd.push_row(&spec.name, row.iter().map(|s| s.pd_mean).collect());
+            delta.push_row(&spec.name, row.iter().map(|s| s.delta_mean).collect());
         }
         (pd, delta)
     }
@@ -253,39 +266,40 @@ pub mod tables {
         let mut pd = Table::new("Table 4.3a - Processor Utilization PD", &cols, 3);
         let mut delta = Table::new("Table 4.3b - Delta (%)", &cols, 1);
         let l1 = LoadSpec::load1();
-        for other in [LoadSpec::load2(), LoadSpec::load3(), LoadSpec::load4()] {
-            let variants: Vec<Workload> = vec![
-                Workload::combined(vec![l1.clone(), other.clone()]),
-                Workload::separate(vec![l1.clone(), other.clone()]),
-                Workload::custom(
-                    "three",
-                    vec![
-                        vec![l1.clone()],
-                        vec![l1.clone()],
-                        vec![other.clone()],
-                    ],
-                ),
-                Workload::custom(
-                    "four",
-                    vec![
-                        vec![l1.clone()],
-                        vec![l1.clone()],
-                        vec![other.clone()],
-                        vec![other.clone()],
-                    ],
-                ),
-            ];
-            let mut pd_row = Vec::new();
-            let mut d_row = Vec::new();
-            for w in variants {
-                let cfg = RunConfig::new(w).with_cycles(cycles);
-                let s = simulate_seeds(&cfg, seeds);
-                pd_row.push(s.pd_mean);
-                d_row.push(s.delta_mean);
-            }
+        let others = [LoadSpec::load2(), LoadSpec::load3(), LoadSpec::load4()];
+        // Flatten the pairing × partitioning grid and run every cell
+        // concurrently, exactly as in `table_4_2`.
+        let cells: Vec<Workload> = others
+            .iter()
+            .flat_map(|other| {
+                vec![
+                    Workload::combined(vec![l1.clone(), other.clone()]),
+                    Workload::separate(vec![l1.clone(), other.clone()]),
+                    Workload::custom(
+                        "three",
+                        vec![vec![l1.clone()], vec![l1.clone()], vec![other.clone()]],
+                    ),
+                    Workload::custom(
+                        "four",
+                        vec![
+                            vec![l1.clone()],
+                            vec![l1.clone()],
+                            vec![other.clone()],
+                            vec![other.clone()],
+                        ],
+                    ),
+                ]
+            })
+            .collect();
+        let results = disc_par::par_map(cells, |w| {
+            let cfg = RunConfig::new(w).with_cycles(cycles);
+            simulate_seeds(&cfg, seeds)
+        });
+        for (r, other) in others.iter().enumerate() {
+            let row = &results[r * 4..r * 4 + 4];
             let label = format!("load 1 + {}", other.name);
-            pd.push_row(&label, pd_row);
-            delta.push_row(&label, d_row);
+            pd.push_row(&label, row.iter().map(|s| s.pd_mean).collect());
+            delta.push_row(&label, row.iter().map(|s| s.delta_mean).collect());
         }
         (pd, delta)
     }
@@ -298,14 +312,18 @@ pub mod tables {
             &["1 IS", "2 ISs", "3 ISs", "4 ISs"],
             3,
         );
-        for aljmp in [0.05, 0.1, 0.2, 0.3, 0.4] {
+        let points = [0.05, 0.1, 0.2, 0.3, 0.4];
+        let cells: Vec<(f64, usize)> = points
+            .iter()
+            .flat_map(|&aljmp| (1..=4).map(move |k| (aljmp, k)))
+            .collect();
+        let pds = disc_par::par_map(cells, |(aljmp, k)| {
             let spec = LoadSpec::load3().with_aljmp(aljmp).named("jump");
-            let mut row = Vec::new();
-            for k in 1..=4 {
-                let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
-                row.push(simulate_seeds(&cfg, seeds).pd_mean);
-            }
-            t.push_row(&format!("aljmp={aljmp:.2}"), row);
+            let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
+            simulate_seeds(&cfg, seeds).pd_mean
+        });
+        for (r, aljmp) in points.iter().enumerate() {
+            t.push_row(&format!("aljmp={aljmp:.2}"), pds[r * 4..r * 4 + 4].to_vec());
         }
         t
     }
@@ -317,17 +335,24 @@ pub mod tables {
             &["1 IS", "2 ISs", "3 ISs", "4 ISs"],
             3,
         );
-        for mean_req in [5.0, 10.0, 20.0, 40.0, 80.0] {
+        let points = [5.0, 10.0, 20.0, 40.0, 80.0];
+        let cells: Vec<(f64, usize)> = points
+            .iter()
+            .flat_map(|&mean_req| (1..=4).map(move |k| (mean_req, k)))
+            .collect();
+        let pds = disc_par::par_map(cells, |(mean_req, k)| {
             let spec = LoadSpec::load1()
                 .with_aljmp(0.0)
                 .with_mean_req(Some(mean_req))
                 .named("io");
-            let mut row = Vec::new();
-            for k in 1..=4 {
-                let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
-                row.push(simulate_seeds(&cfg, seeds).pd_mean);
-            }
-            t.push_row(&format!("mean_req={mean_req:>4.0}"), row);
+            let cfg = RunConfig::new(Workload::partitioned(&spec, k)).with_cycles(cycles);
+            simulate_seeds(&cfg, seeds).pd_mean
+        });
+        for (r, mean_req) in points.iter().enumerate() {
+            t.push_row(
+                &format!("mean_req={mean_req:>4.0}"),
+                pds[r * 4..r * 4 + 4].to_vec(),
+            );
         }
         t
     }
@@ -337,15 +362,19 @@ pub mod tables {
     pub fn sweep_pipeline(cycles: u64, seeds: u64) -> Table {
         let cols = ["1 IS", "2 ISs", "4 ISs", "8 ISs"];
         let mut t = Table::new("Sweep: pipeline length (PD, load 1)", &cols, 3);
-        for depth in [3usize, 4, 5, 6, 8] {
-            let mut row = Vec::new();
-            for k in [1usize, 2, 4, 8] {
-                let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), k))
-                    .with_cycles(cycles)
-                    .with_pipe_depth(depth);
-                row.push(simulate_seeds(&cfg, seeds).pd_mean);
-            }
-            t.push_row(&format!("depth={depth}"), row);
+        let depths = [3usize, 4, 5, 6, 8];
+        let cells: Vec<(usize, usize)> = depths
+            .iter()
+            .flat_map(|&depth| [1usize, 2, 4, 8].map(move |k| (depth, k)))
+            .collect();
+        let pds = disc_par::par_map(cells, |(depth, k)| {
+            let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), k))
+                .with_cycles(cycles)
+                .with_pipe_depth(depth);
+            simulate_seeds(&cfg, seeds).pd_mean
+        });
+        for (r, depth) in depths.iter().enumerate() {
+            t.push_row(&format!("depth={depth}"), pds[r * 4..r * 4 + 4].to_vec());
         }
         t
     }
@@ -361,7 +390,10 @@ pub mod tables {
         let schedules: Vec<(&str, SchedulePolicy)> = vec![
             ("even 4/4/4/4", SchedulePolicy::partitioned(&[4, 4, 4, 4])),
             ("skewed 8/4/2/2", SchedulePolicy::partitioned(&[8, 4, 2, 2])),
-            ("extreme 13/1/1/1", SchedulePolicy::partitioned(&[13, 1, 1, 1])),
+            (
+                "extreme 13/1/1/1",
+                SchedulePolicy::partitioned(&[13, 1, 1, 1]),
+            ),
             (
                 "weighted-deficit 4:4:4:4",
                 SchedulePolicy::WeightedDeficit(vec![4, 4, 4, 4]),
@@ -388,8 +420,7 @@ mod tests {
 
     #[test]
     fn summary_aggregates_multiple_seeds() {
-        let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), 2))
-            .with_cycles(30_000);
+        let cfg = RunConfig::new(Workload::partitioned(&LoadSpec::load1(), 2)).with_cycles(30_000);
         let s = simulate_seeds(&cfg, 4);
         assert_eq!(s.runs, 4);
         assert!(s.pd_mean > 0.0 && s.pd_mean < 1.0);
@@ -497,7 +528,10 @@ mod tests {
             Some(2)
         );
         let l4 = crossover_streams(&LoadSpec::load4(), 8, CYCLES, SEEDS);
-        assert!(l4.is_some() && l4.unwrap() >= 3, "load 4 needs many streams: {l4:?}");
+        assert!(
+            l4.is_some() && l4.unwrap() >= 3,
+            "load 4 needs many streams: {l4:?}"
+        );
     }
 
     #[test]

@@ -84,12 +84,7 @@ impl LoadSpec {
 
     /// The four presets in order.
     pub fn presets() -> Vec<LoadSpec> {
-        vec![
-            Self::load1(),
-            Self::load2(),
-            Self::load3(),
-            Self::load4(),
-        ]
+        vec![Self::load1(), Self::load2(), Self::load3(), Self::load4()]
     }
 
     /// Renames the load.

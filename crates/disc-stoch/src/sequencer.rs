@@ -49,7 +49,12 @@ impl Sequencer {
     ///
     /// Panics if `pipe_depth` is not in `3..=8` or the schedule references
     /// missing streams.
-    pub fn new(workload: &Workload, pipe_depth: usize, schedule: SchedulePolicy, seed: u64) -> Self {
+    pub fn new(
+        workload: &Workload,
+        pipe_depth: usize,
+        schedule: SchedulePolicy,
+        seed: u64,
+    ) -> Self {
         assert!((3..=8).contains(&pipe_depth), "pipe depth must be 3..=8");
         let n = workload.stream_count();
         let streams = (0..n)

@@ -84,9 +84,7 @@ impl StochStream {
             Some(m) => self.sampler.poisson_at_least_one(m),
             // An always-active component in a mixture still has to yield
             // to its partners; give it the default mixing burst length.
-            None if self.components.len() > 1 => {
-                self.sampler.poisson_at_least_one(MIX_BURST)
-            }
+            None if self.components.len() > 1 => self.sampler.poisson_at_least_one(MIX_BURST),
             None => u64::MAX,
         };
         self.phase = Phase::Active { remaining };

@@ -93,12 +93,7 @@ impl WindowStudy {
 /// # Panics
 ///
 /// Panics if `depth <= 8` (must exceed the visible window).
-pub fn run_window_study(
-    profile: &CallProfile,
-    depth: usize,
-    calls: u64,
-    seed: u64,
-) -> WindowStudy {
+pub fn run_window_study(profile: &CallProfile, depth: usize, calls: u64, seed: u64) -> WindowStudy {
     let mut window = StackWindow::new(depth, WindowPolicy::AutoSpill);
     let mut sampler = Sampler::new(seed);
     let mut frames: Vec<u32> = Vec::new(); // locals per open frame
@@ -145,18 +140,21 @@ pub fn sweep_window_depth(calls: u64, seed: u64) -> Table {
         ],
         3,
     );
-    for depth in [12usize, 16, 24, 32, 48, 64, 96] {
+    // Each depth point is an independent pair of runs; sweep them
+    // concurrently and emit rows in depth order.
+    let depths = [12usize, 16, 24, 32, 48, 64, 96];
+    let rows = disc_par::par_map(depths.to_vec(), |depth| {
         let ctl = run_window_study(&CallProfile::control(), depth, calls, seed);
         let rec = run_window_study(&CallProfile::recursive(), depth, calls, seed);
-        t.push_row(
-            &format!("depth={depth:>3}"),
-            vec![
-                ctl.traffic_per_call(),
-                ctl.stall_overhead() * 100.0,
-                rec.traffic_per_call(),
-                rec.stall_overhead() * 100.0,
-            ],
-        );
+        vec![
+            ctl.traffic_per_call(),
+            ctl.stall_overhead() * 100.0,
+            rec.traffic_per_call(),
+            rec.stall_overhead() * 100.0,
+        ]
+    });
+    for (depth, row) in depths.iter().zip(rows) {
+        t.push_row(&format!("depth={depth:>3}"), row);
     }
     t
 }

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("polls while waiting : {}", m.internal_memory().read(0x71));
-    println!("checksum            = {:#06x}", m.internal_memory().read(0x72));
+    println!(
+        "checksum            = {:#06x}",
+        m.internal_memory().read(0x72)
+    );
     println!("cycles              = {}", m.cycle());
 
     // Cross-check the checksum in Rust.

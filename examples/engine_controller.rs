@@ -43,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Task::new("fuel", 1500, 900).with_body(60).with_io(1, 25),
         Task::new("lambda", 4000, 3500).with_body(90).with_io(3, 60),
     ]);
-    println!(
-        "task-set utilization estimate: {:.2}\n",
-        set.utilization()
-    );
+    println!("task-set utilization estimate: {:.2}\n", set.utilization());
 
     let horizon = 120_000;
     let schedule = partition::schedule_for(&set);

@@ -48,7 +48,13 @@ fn parse_num(t: &str) -> Option<u64> {
 
 fn show_regs(m: &Machine, stream: usize) {
     let s = m.stream(stream);
-    print!("stream {stream}: pc={:#06x} ir={:#04x} mr={:#04x} awp={} ", s.pc(), s.ir(), s.mr(), s.window().awp());
+    print!(
+        "stream {stream}: pc={:#06x} ir={:#04x} mr={:#04x} awp={} ",
+        s.pc(),
+        s.ir(),
+        s.mr(),
+        s.window().awp()
+    );
     println!(
         "flags[z={} n={} c={} v={}] wait={:?}",
         s.flags().z as u8,
@@ -75,7 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = Machine::new(MachineConfig::disc1(), &program);
     m.set_idle_exit(false);
     println!("DISC1 monitor — loaded {name} ({} words)", program.len());
-    println!("commands: s [n] | c [n] | r [stream] | m <addr> [n] | d <addr> [n] | i <s> <bit> | t | q");
+    println!(
+        "commands: s [n] | c [n] | r [stream] | m <addr> [n] | d <addr> [n] | i <s> <bit> | t | q"
+    );
 
     let stdin = io::stdin();
     loop {

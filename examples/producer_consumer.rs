@@ -100,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expected: u16 = (0..ITEMS).sum();
     println!("items produced/consumed : {ITEMS}");
     println!("checksum                = {sum} (expected {expected})");
-    println!("handshake flag          = {}", m.internal_memory().read(0x04));
+    println!(
+        "handshake flag          = {}",
+        m.internal_memory().read(0x04)
+    );
     println!(
         "background instructions = {} (spare slots reclaimed)",
         m.stats().retired[0]

@@ -40,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exit = machine.run(100_000)?;
 
     println!("exit: {exit}");
-    println!("sum 1..=100      = {}", machine.internal_memory().read(0x10));
-    println!("7!               = {}", machine.internal_memory().read(0x11));
+    println!(
+        "sum 1..=100      = {}",
+        machine.internal_memory().read(0x10)
+    );
+    println!(
+        "7!               = {}",
+        machine.internal_memory().read(0x11)
+    );
     println!("cycles           = {}", machine.cycle());
     println!(
         "instructions     = {} (utilization {:.3})",

@@ -97,8 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let rounds = m.internal_memory().read(0x23);
     let rms = m.internal_memory().read(0x22);
-    let sum = ((m.internal_memory().read(0x20) as u32) << 16)
-        | m.internal_memory().read(0x21) as u32;
+    let sum =
+        ((m.internal_memory().read(0x20) as u32) << 16) | m.internal_memory().read(0x21) as u32;
     println!("RMS windows computed : {rounds}");
     println!("last sum of squares  : {sum}");
     println!("last RMS             : {rms}");

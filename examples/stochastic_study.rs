@@ -22,10 +22,7 @@ fn main() {
     };
 
     println!("workload: {telemetry:#?}\n");
-    println!(
-        "{:>8} {:>8} {:>8} {:>10}",
-        "streams", "PD", "Ps", "delta %"
-    );
+    println!("{:>8} {:>8} {:>8} {:>10}", "streams", "PD", "Ps", "delta %");
     let mut best = (1, f64::MIN);
     for k in 1..=8 {
         let cfg = RunConfig::new(Workload::partitioned(&telemetry, k)).with_cycles(100_000);

@@ -54,8 +54,8 @@
 pub use disc_baseline as baseline;
 pub use disc_bus as bus;
 pub use disc_cc as cc;
-pub use disc_firmware as firmware;
 pub use disc_core as core;
+pub use disc_firmware as firmware;
 pub use disc_isa as isa;
 pub use disc_rts as rts;
 pub use disc_stoch as stoch;

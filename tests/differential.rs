@@ -38,9 +38,20 @@ fn arb_alu_imm_op() -> impl Strategy<Value = AluImmOp> {
 /// behaviour: ALU traffic, window motion and internal-memory access.
 fn arb_instr() -> impl Strategy<Value = Instruction> {
     prop_oneof![
-        (arb_alu_op(), arb_awp(), arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(
-            |(op, awp, rd, rs, rt)| Instruction::Alu { op, awp, rd, rs, rt }
-        ),
+        (
+            arb_alu_op(),
+            arb_awp(),
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_data_reg()
+        )
+            .prop_map(|(op, awp, rd, rs, rt)| Instruction::Alu {
+                op,
+                awp,
+                rd,
+                rs,
+                rt
+            }),
         (
             arb_alu_imm_op(),
             arb_awp(),
@@ -48,15 +59,30 @@ fn arb_instr() -> impl Strategy<Value = Instruction> {
             arb_data_reg(),
             any::<u8>()
         )
-            .prop_map(|(op, awp, rd, rs, imm)| Instruction::AluImm { op, awp, rd, rs, imm }),
-        (arb_awp(), arb_data_reg(), -2048i16..=2047)
-            .prop_map(|(awp, rd, imm)| Instruction::Ldi { awp, rd, imm }),
+            .prop_map(|(op, awp, rd, rs, imm)| Instruction::AluImm {
+                op,
+                awp,
+                rd,
+                rs,
+                imm
+            }),
+        (arb_awp(), arb_data_reg(), -2048i16..=2047).prop_map(|(awp, rd, imm)| Instruction::Ldi {
+            awp,
+            rd,
+            imm
+        }),
         (arb_data_reg(), any::<u8>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
         // Internal memory only: direct addresses below the 1024-word size.
-        (arb_awp(), arb_data_reg(), 0u16..1024)
-            .prop_map(|(awp, rd, addr)| Instruction::Lda { awp, rd, addr }),
-        (arb_awp(), arb_data_reg(), 0u16..1024)
-            .prop_map(|(awp, src, addr)| Instruction::Sta { awp, src, addr }),
+        (arb_awp(), arb_data_reg(), 0u16..1024).prop_map(|(awp, rd, addr)| Instruction::Lda {
+            awp,
+            rd,
+            addr
+        }),
+        (arb_awp(), arb_data_reg(), 0u16..1024).prop_map(|(awp, src, addr)| Instruction::Sta {
+            awp,
+            src,
+            addr
+        }),
         (1u8..4).prop_map(|n| Instruction::Winc { n }),
         (1u8..4).prop_map(|n| Instruction::Wdec { n }),
         Just(Instruction::Nop),

@@ -122,11 +122,7 @@ fn disc_finishes_io_batch_faster_than_baseline() {
     };
 
     let disc_program = Program::assemble(disc_src).unwrap();
-    let mut disc = Machine::with_bus(
-        MachineConfig::disc1(),
-        &disc_program,
-        Box::new(make_bus()),
-    );
+    let mut disc = Machine::with_bus(MachineConfig::disc1(), &disc_program, Box::new(make_bus()));
     let exit = disc.run(200_000).unwrap();
     assert_eq!(exit, Exit::AllIdle);
     let disc_cycles = disc.cycle();
@@ -173,14 +169,13 @@ fn stochastic_model_matches_cycle_accurate_trend() {
     };
     let pd_machine = |streams: usize| {
         let program = Program::assemble(&src_for(streams)).unwrap();
-        let mut m = Machine::new(
-            MachineConfig::disc1()
-                .with_streams(streams)
-                .with_schedule(SchedulePolicy::Sequence(
-                    (0..streams as u8).collect::<Vec<_>>(),
-                )),
-            &program,
-        );
+        let mut m =
+            Machine::new(
+                MachineConfig::disc1().with_streams(streams).with_schedule(
+                    SchedulePolicy::Sequence((0..streams as u8).collect::<Vec<_>>()),
+                ),
+                &program,
+            );
         m.run(20_000).unwrap();
         m.stats().utilization()
     };
@@ -235,7 +230,8 @@ fn timer_sensor_control_loop() {
     let timer = Shared::new(Timer::periodic(250, 1, 5));
     let sensor = Shared::new(SensorPort::new(100, 20, |_| 3));
     let mut bus = PeripheralBus::new();
-    bus.map(0x9000, Timer::REGS, Box::new(timer.handle())).unwrap();
+    bus.map(0x9000, Timer::REGS, Box::new(timer.handle()))
+        .unwrap();
     bus.map(0x9100, SensorPort::REGS, Box::new(sensor.handle()))
         .unwrap();
     let mut m = Machine::with_bus(

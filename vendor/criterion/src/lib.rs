@@ -1,0 +1,196 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this repository cannot reach crates.io, so the
+//! workspace patches `criterion` to this crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). It provides the API subset the `disc-bench`
+//! benches use — [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size`, [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a deliberately
+//! simple measurement loop: each routine is warmed up once, then timed
+//! over a fixed batch of iterations, and the mean ns/iter is printed.
+//! There is no statistical analysis, no HTML report and no saved
+//! baseline; `cargo bench` stays useful for relative comparisons while
+//! `cargo test` (which also runs harness-less bench targets) completes in
+//! milliseconds because routines run only a handful of times.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque hint preventing the optimizer from deleting a benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `iters` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_bench(id: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        last_ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.last_ns_per_iter.is_nan() {
+        println!("{id:<48} (no measurement)");
+    } else {
+        println!(
+            "{id:<48} {:>14.1} ns/iter  [{} iters]",
+            b.last_ns_per_iter, b.iters
+        );
+    }
+}
+
+/// Number of timed iterations per benchmark. Deliberately tiny: this
+/// stand-in favours fast, repeatable smoke timing over statistics.
+const DEFAULT_ITERS: u64 = 3;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            iters: DEFAULT_ITERS,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.iters, &mut f);
+        self
+    }
+}
+
+/// Group of benchmarks sharing a prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stand-in keeps its own fixed
+    /// iteration count rather than criterion's sample model.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.parent.iters, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.parent.iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_chains() {
+        let mut c = Criterion::default();
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)))
+            .bench_function("mul", |b| b.iter(|| black_box(2u64) * black_box(3)));
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("plain", |b| b.iter(|| black_box(1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,649 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment of this repository cannot reach crates.io, so the
+//! workspace patches `proptest` to this crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). It reimplements the subset of the proptest 1.x
+//! API the workspace's test suites use:
+//!
+//! - [`strategy::Strategy`] with `prop_map` and `boxed`, plus strategy
+//!   implementations for integer ranges (`a..b`, `a..=b`, `a..`), tuples
+//!   of strategies up to arity 6, [`strategy::Just`] and
+//!   [`strategy::OneOf`] (behind [`prop_oneof!`]);
+//! - [`arbitrary::any`] for the primitive types;
+//! - [`collection::vec`] with fixed or ranged sizes;
+//! - the [`proptest!`], [`prop_compose!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros;
+//! - [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//!
+//! Semantics differ from upstream in two deliberate ways: generation is
+//! fully deterministic (seeded from the test name and case index, so
+//! failures reproduce without `.proptest-regressions` files), and there is
+//! **no shrinking** — a failing case reports its input seed and message
+//! as-is. For a reproduction codebase that trades acceptably against
+//! carrying the real dependency tree.
+
+/// Strategy trait, combinators and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the strategy type behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Clone, F: Clone> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                source: self.source.clone(),
+                f: self.f.clone(),
+            }
+        }
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Object-safe generation interface backing [`BoxedStrategy`].
+    pub trait DynStrategy<V> {
+        /// Draws one value through the erased strategy.
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<V>(pub(crate) Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Weighted choice between boxed strategies; built by [`prop_oneof!`].
+    pub struct OneOf<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds a weighted union; weights must sum to a positive value.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<V> Clone for OneOf<V> {
+        fn clone(&self) -> Self {
+            OneOf {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.generate(rng);
+                }
+                pick -= *weight;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// `any::<T>()` for primitives.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value uniformly over the domain.
+        fn generate_arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    /// The canonical strategy over `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::generate_arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn generate_arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, i8, u16, i16, u32, i32, u64, i64, usize, isize, f32, f64);
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Config, RNG and the case-driving loop behind `proptest!`.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic per-case RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// RNG for one test case, derived from test name + case index so
+        /// every run of the suite regenerates identical inputs.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure: aborts the whole test.
+        Fail(String),
+        /// `prop_assume!` rejection: the case is skipped, not failed.
+        Reject(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Subset of proptest's runner configuration; only `cases` matters.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives one property: generates cases until `config.cases` pass,
+    /// panicking on the first failure. Called by the `proptest!` macro.
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut test: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let mut case: u64 = 0;
+        while passed < config.cases {
+            let mut rng = TestRng::deterministic(name, case);
+            match test(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(msg)) => {
+                    rejected += 1;
+                    if rejected > 16 * config.cases as u64 + 256 {
+                        panic!(
+                            "proptest `{name}`: gave up after {rejected} rejected cases \
+                             (last: {msg})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed at deterministic case {case}: {msg}")
+                }
+            }
+            case += 1;
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_proptest(
+                &__config,
+                stringify!($name),
+                |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __outcome
+                },
+            );
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Defines a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+        ($($pat:pat in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($pat,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+}
+
+/// Assertion that fails the current case instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            __left, __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+), __left, __right
+        );
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            __left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "{} (both: `{:?}`)",
+            format!($($fmt)+), __left
+        );
+    }};
+}
+
+/// Skips the current case (without failing) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        let strat = (0u8..8, 1u16.., -4i32..=4);
+        let elems = prop::collection::vec(strat, 3..10);
+        for case in 0..200 {
+            let mut rng = TestRng::deterministic("bounds", case);
+            let v = Strategy::generate(&elems, &mut rng);
+            assert!((3..10).contains(&v.len()));
+            for (a, b, c) in v {
+                assert!(a < 8);
+                assert!(b >= 1);
+                assert!((-4..=4).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_exclusion() {
+        let strat = prop_oneof![
+            1 => Just(1u8),
+            3 => Just(2u8),
+        ];
+        let mut saw = [false; 3];
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("oneof", case);
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == 1 || v == 2);
+            saw[v as usize] = true;
+        }
+        assert!(saw[1] && saw[2], "both arms reachable");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        let strat = prop::collection::vec(0u32..1000, 0..20);
+        let a = Strategy::generate(&strat, &mut TestRng::deterministic("t", 7));
+        let b = Strategy::generate(&strat, &mut TestRng::deterministic("t", 7));
+        let c = Strategy::generate(&strat, &mut TestRng::deterministic("t", 8));
+        assert_eq!(a, b);
+        assert!(a != c || a.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_pipeline_works(x in 0u16..100, ys in prop::collection::vec(0u8..10, 1..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_ne!(x, 13u16);
+            prop_assert_eq!(ys.len(), ys.len(), "length {} mismatch", ys.len());
+        }
+    }
+}
