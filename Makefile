@@ -1,6 +1,6 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench bench-micro repro repro-quick docs clippy examples clean
+.PHONY: all test bench bench-micro repro repro-quick soak docs clippy examples clean
 
 all: test
 
@@ -22,6 +22,12 @@ repro:
 
 repro-quick:
 	cargo run --release -p disc-bench --bin repro_all -- --quick --csv results
+
+# Bounded isolation soak: 100 seeded fault-injection campaigns over the
+# RT workload (see EXPERIMENTS.md "Fault campaigns"). Fixed seeds, exit 1
+# on any isolation-invariant violation; DISC_JOBS caps the fan-out.
+soak:
+	cargo run --release -p disc-bench --bin soak
 
 docs:
 	cargo doc --workspace --no-deps

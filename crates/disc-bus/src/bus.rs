@@ -220,6 +220,45 @@ mod tests {
     }
 
     #[test]
+    fn containing_and_identical_overlaps_rejected() {
+        let mut bus = PeripheralBus::new();
+        bus.map(0x1000, 0x100, Box::new(Echo(0))).unwrap();
+        // A window swallowing the existing one whole.
+        assert!(bus.map(0x0800, 0x1000, Box::new(Echo(0))).is_err());
+        // A window strictly inside the existing one.
+        assert!(bus.map(0x1040, 0x10, Box::new(Echo(0))).is_err());
+        // The exact same window again.
+        assert!(bus.map(0x1000, 0x100, Box::new(Echo(0))).is_err());
+        // Rejection leaves the original mapping intact.
+        assert_eq!(bus.read(0x1005), 5);
+    }
+
+    #[test]
+    fn adjacent_windows_and_address_space_edges_are_fine() {
+        let mut bus = PeripheralBus::new();
+        // Flush against both ends of the 16-bit space and each other.
+        bus.map(0x0000, 0x10, Box::new(Echo(0))).unwrap();
+        bus.map(0x0010, 0x10, Box::new(Echo(100))).unwrap();
+        bus.map(0xfff0, 0x10, Box::new(Echo(200))).unwrap();
+        assert_eq!(bus.read(0x000f), 15);
+        assert_eq!(bus.read(0x0010), 100);
+        assert_eq!(bus.read(0xffff), 215);
+        assert_eq!(bus.latency(0x0020, false), None, "gap stays unmapped");
+    }
+
+    #[test]
+    fn map_error_names_the_colliding_windows() {
+        let mut bus = PeripheralBus::new();
+        bus.map(0x1000, 0x100, Box::new(Echo(0))).unwrap();
+        let err = bus.map(0x10ff, 2, Box::new(Echo(0))).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("0x10ff"), "mentions the new window: {text}");
+        assert!(text.contains("0x1000"), "mentions the old window: {text}");
+        let err = bus.map(0xfff0, 0x20, Box::new(Echo(0))).unwrap_err();
+        assert!(err.to_string().contains("exceeds the address space"));
+    }
+
+    #[test]
     fn writes_reach_device() {
         let mut bus = PeripheralBus::new();
         bus.map(0, 4, Box::new(Echo(0))).unwrap();

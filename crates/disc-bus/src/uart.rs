@@ -15,6 +15,8 @@ use crate::bus::Peripheral;
 #[derive(Debug, Clone)]
 pub struct Uart {
     rx: VecDeque<u16>,
+    rx_capacity: usize,
+    rx_overflows: u64,
     tx: Vec<u16>,
     /// Cycles per word on the wire (models baud rate as access latency).
     word_cycles: u32,
@@ -27,15 +29,34 @@ impl Uart {
     /// Number of mapped registers.
     pub const REGS: u16 = 2;
 
+    /// Default RX FIFO depth, like a generously buffered 16550.
+    pub const DEFAULT_RX_CAPACITY: usize = 64;
+
     /// Creates a UART whose word transfer takes `word_cycles` cycles.
     pub fn new(word_cycles: u32) -> Self {
         Uart {
             rx: VecDeque::new(),
+            rx_capacity: Self::DEFAULT_RX_CAPACITY,
+            rx_overflows: 0,
             tx: Vec::new(),
             word_cycles,
             irq: None,
             rx_feed: None,
         }
+    }
+
+    /// Bounds the RX FIFO at `capacity` words. A real UART has finite
+    /// buffering: words arriving while the FIFO is full are *lost* (and
+    /// counted in [`rx_overflows`](Self::rx_overflows)), which is exactly
+    /// what happens to firmware that services RX interrupts too slowly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_rx_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "rx capacity must be nonzero");
+        self.rx_capacity = capacity;
+        self
     }
 
     /// Routes an RX-ready interrupt to (`stream`, `bit`).
@@ -60,10 +81,16 @@ impl Uart {
         self.rx_feed = Some((interval, interval, words.into(), 0));
     }
 
-    /// Pushes one word into RX immediately (raises the RX interrupt on the
-    /// next tick).
-    pub fn push_rx(&mut self, word: u16) {
+    /// Pushes one word into RX immediately (raises the RX interrupt on
+    /// the next tick). Returns `false` — dropping the word and counting
+    /// an overflow — when the FIFO is full.
+    pub fn push_rx(&mut self, word: u16) -> bool {
+        if self.rx.len() >= self.rx_capacity {
+            self.rx_overflows += 1;
+            return false;
+        }
         self.rx.push_back(word);
+        true
     }
 
     /// Words the program has transmitted.
@@ -74,6 +101,11 @@ impl Uart {
     /// Words waiting in RX.
     pub fn rx_pending(&self) -> usize {
         self.rx.len()
+    }
+
+    /// RX words lost to a full FIFO.
+    pub fn rx_overflows(&self) -> u64 {
+        self.rx_overflows
     }
 }
 
@@ -103,21 +135,24 @@ impl Peripheral for Uart {
     }
 
     fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
-        let mut arrived = false;
+        let mut arrived = None;
         if let Some((interval, countdown, words, idx)) = &mut self.rx_feed {
             if *idx < words.len() {
                 *countdown -= 1;
                 if *countdown == 0 {
-                    self.rx.push_back(words[*idx]);
+                    arrived = Some(words[*idx]);
                     *idx += 1;
                     *countdown = *interval;
-                    arrived = true;
                 }
             }
         }
-        if arrived {
-            if let Some((stream, bit)) = self.irq {
-                irqs.push(IrqRequest { stream, bit });
+        // A word lost to a full FIFO never becomes rx-ready, so it raises
+        // no interrupt either — the overflow counter is the only evidence.
+        if let Some(word) = arrived {
+            if self.push_rx(word) {
+                if let Some((stream, bit)) = self.irq {
+                    irqs.push(IrqRequest { stream, bit });
+                }
             }
         }
     }
@@ -159,5 +194,38 @@ mod tests {
         assert_eq!(irqs.len(), 2);
         assert_eq!(u.rx_pending(), 2);
         assert_eq!(u.read(0), 10);
+    }
+
+    #[test]
+    fn full_fifo_drops_and_counts() {
+        let mut u = Uart::new(1).with_rx_capacity(2);
+        assert!(u.push_rx(1));
+        assert!(u.push_rx(2));
+        assert!(!u.push_rx(3), "third word bounces");
+        assert_eq!(u.rx_overflows(), 1);
+        assert_eq!(u.rx_pending(), 2);
+        assert_eq!(u.read(0), 1);
+        assert!(u.push_rx(4), "draining one makes room again");
+        assert_eq!(u.read(0), 2);
+        assert_eq!(u.read(0), 4, "dropped word 3 is gone for good");
+    }
+
+    #[test]
+    fn overflowing_feed_raises_no_interrupts_for_lost_words() {
+        let mut u = Uart::new(1).with_irq(0, 3).with_rx_capacity(3);
+        u.feed(2, (0..8).collect::<Vec<u16>>());
+        let mut irqs = Vec::new();
+        for _ in 0..20 {
+            u.tick(&mut irqs);
+        }
+        assert_eq!(u.rx_pending(), 3, "FIFO capped at capacity");
+        assert_eq!(u.rx_overflows(), 5);
+        assert_eq!(irqs.len(), 3, "only accepted words interrupt");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Uart::new(1).with_rx_capacity(0);
     }
 }

@@ -131,4 +131,56 @@ mod tests {
         assert_eq!(w.read(1), 70);
         assert_eq!(w.read(2), 0);
     }
+
+    #[test]
+    fn bite_rearms_the_countdown() {
+        // A fired watchdog is not dead: it reloads and bites again on the
+        // next full timeout, so a wedged system keeps getting reminders.
+        let mut w = Watchdog::new(10, 0, 7);
+        let mut irqs = Vec::new();
+        for _ in 0..10 {
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.bites(), 1);
+        assert_eq!(w.read(1), 10, "count reloaded right after the bite");
+        for _ in 0..9 {
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.bites(), 1, "second bite needs the full timeout");
+        w.tick(&mut irqs);
+        assert_eq!(w.bites(), 2);
+    }
+
+    #[test]
+    fn kick_after_bite_resumes_normal_service() {
+        let mut w = Watchdog::new(10, 0, 7);
+        let mut irqs = Vec::new();
+        for _ in 0..10 {
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.bites(), 1, "firmware was wedged once");
+        // Recovery handler kicks; from here on-time kicks keep it quiet.
+        for i in 0..100 {
+            if i % 5 == 0 {
+                w.write(0, 0);
+            }
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.bites(), 1, "no further bites after recovery");
+        assert_eq!(w.read(2), 1, "BITES register preserves the history");
+    }
+
+    #[test]
+    fn last_cycle_kick_just_saves_it() {
+        let mut w = Watchdog::new(10, 0, 7);
+        let mut irqs = Vec::new();
+        for _ in 0..9 {
+            w.tick(&mut irqs);
+        }
+        assert_eq!(w.read(1), 1, "one cycle from biting");
+        w.write(0, 0); // kick at the last possible moment
+        w.tick(&mut irqs);
+        assert_eq!(w.bites(), 0);
+        assert_eq!(w.read(1), 9);
+    }
 }

@@ -157,6 +157,59 @@ fn uart_rx_interrupt_echoes_to_tx() {
 }
 
 #[test]
+fn uart_irq_storm_overflows_bounded_rx_without_wedging() {
+    // Words arrive every 5 cycles but each echo costs ~60 cycles of bus
+    // time: the 4-word RX FIFO must overflow. The point of the bounded
+    // FIFO is that the storm costs *data*, never liveness — the machine
+    // keeps running and every word is accounted for.
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+        .stream 1, idle
+        .vector 1, 5, echo
+    main:
+        jmp main
+    idle:
+        stop
+    echo:
+        lui r1, 0xb0        ; uart at 0xb000
+        ld  r0, [r1]        ; pop RX (30-cycle word time)
+        st  r0, [r1]        ; push TX (30 more)
+        reti
+    "#,
+    )
+    .unwrap();
+    let words: Vec<u16> = (1..=40).collect();
+    let uart = Shared::new(Uart::new(30).with_irq(1, 5).with_rx_capacity(4));
+    uart.borrow_mut().feed(5, words.clone());
+    let mut bus = PeripheralBus::new();
+    bus.map(0xb000, Uart::REGS, Box::new(uart.handle()))
+        .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(bus),
+    );
+    m.set_reg(1, disc_isa::Reg::Ir, 0);
+    m.set_idle_exit(false);
+    assert_eq!(m.run(3_000).unwrap(), Exit::CycleLimit);
+
+    let u = uart.borrow();
+    assert!(u.rx_overflows() > 0, "the storm must overflow the FIFO");
+    assert!(!u.transmitted().is_empty(), "some words still got through");
+    assert_eq!(
+        u.transmitted().len() as u64 + u.rx_overflows() + u.rx_pending() as u64,
+        words.len() as u64,
+        "every stormed word is echoed, dropped, or still queued"
+    );
+    assert!(
+        u.transmitted().windows(2).all(|w| w[0] < w[1]),
+        "surviving words keep their arrival order: {:?}",
+        u.transmitted()
+    );
+}
+
+#[test]
 fn mixed_bus_with_ram_and_devices() {
     // External RAM plus a timer on one decoded bus; a working buffer is
     // copied out to RAM while the timer counts.

@@ -66,13 +66,41 @@ pub struct Transaction {
     pub remaining: u32,
 }
 
+/// Error returned by [`Abi::start`] when a transaction is already
+/// outstanding.
+///
+/// The machine checks [`Abi::busy`] before issuing, so a rejected start is
+/// a scheduler bug — but it must not abort the whole simulation, so the
+/// condition is typed instead of panicking. The rejected transaction is
+/// handed back so the caller can cancel the access cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbiBusy {
+    /// The transaction that could not start.
+    pub rejected: Transaction,
+}
+
+impl std::fmt::Display for AbiBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ABI already busy: stream {} access to {:#06x} rejected",
+            self.rejected.stream, self.rejected.addr
+        )
+    }
+}
+
+impl std::error::Error for AbiBusy {}
+
 /// Asynchronous bus interface state.
 #[derive(Debug, Clone, Default)]
 pub struct Abi {
     current: Option<Transaction>,
+    /// Cycles the current transaction has been outstanding.
+    elapsed: u64,
     busy_cycles: u64,
     transactions: u64,
     rejections: u64,
+    aborts: u64,
 }
 
 impl Abi {
@@ -93,15 +121,21 @@ impl Abi {
 
     /// Starts a transaction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bus is already busy; callers check
-    /// [`busy`](Self::busy) and cancel the access instead (counting it via
-    /// [`reject`](Self::reject)).
-    pub fn start(&mut self, txn: Transaction) {
-        assert!(self.current.is_none(), "ABI already busy");
+    /// Returns [`AbiBusy`] (carrying `txn` back) when a transaction is
+    /// already outstanding. Callers normally check [`busy`](Self::busy)
+    /// first and cancel the access instead (counting it via
+    /// [`reject`](Self::reject)); the typed error keeps a scheduler bug
+    /// from aborting the whole simulation.
+    pub fn start(&mut self, txn: Transaction) -> Result<(), AbiBusy> {
+        if self.current.is_some() {
+            return Err(AbiBusy { rejected: txn });
+        }
         self.transactions += 1;
+        self.elapsed = 0;
         self.current = Some(txn);
+        Ok(())
     }
 
     /// Records an access attempt that found the bus busy.
@@ -114,12 +148,30 @@ impl Abi {
     pub fn tick(&mut self) -> Option<Transaction> {
         let txn = self.current.as_mut()?;
         self.busy_cycles += 1;
+        self.elapsed += 1;
         if txn.remaining > 1 {
             txn.remaining -= 1;
             None
         } else {
             self.current.take()
         }
+    }
+
+    /// Cycles the current transaction has been outstanding (0 when idle).
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    /// Aborts the outstanding transaction, freeing the bus. Returns the
+    /// aborted transaction so the caller can identify the stream to fault;
+    /// `None` when the bus was idle.
+    pub fn abort(&mut self) -> Option<Transaction> {
+        let txn = self.current.take();
+        if txn.is_some() {
+            self.aborts += 1;
+            self.elapsed = 0;
+        }
+        txn
     }
 
     /// Total cycles the bus spent busy.
@@ -135,6 +187,11 @@ impl Abi {
     /// Total accesses cancelled because the bus was busy.
     pub fn rejections(&self) -> u64 {
         self.rejections
+    }
+
+    /// Total transactions aborted (bus-fault timeouts).
+    pub fn aborts(&self) -> u64 {
+        self.aborts
     }
 }
 
@@ -156,10 +213,11 @@ mod tests {
     #[test]
     fn completes_after_latency() {
         let mut abi = Abi::new();
-        abi.start(read_txn(3));
+        abi.start(read_txn(3)).unwrap();
         assert!(abi.busy());
         assert_eq!(abi.tick(), None);
         assert_eq!(abi.tick(), None);
+        assert_eq!(abi.elapsed(), 2);
         let done = abi.tick().expect("third tick completes");
         assert_eq!(done.addr, 0x8000);
         assert!(!abi.busy());
@@ -170,7 +228,7 @@ mod tests {
     #[test]
     fn one_cycle_transaction_completes_immediately() {
         let mut abi = Abi::new();
-        abi.start(read_txn(1));
+        abi.start(read_txn(1)).unwrap();
         assert!(abi.tick().is_some());
     }
 
@@ -179,14 +237,36 @@ mod tests {
         let mut abi = Abi::new();
         assert_eq!(abi.tick(), None);
         assert_eq!(abi.busy_cycles(), 0);
+        assert_eq!(abi.elapsed(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "already busy")]
-    fn double_start_panics() {
+    fn double_start_is_a_typed_rejection() {
         let mut abi = Abi::new();
-        abi.start(read_txn(2));
-        abi.start(read_txn(2));
+        abi.start(read_txn(2)).unwrap();
+        let err = abi.start(read_txn(2)).unwrap_err();
+        assert_eq!(err.rejected.addr, 0x8000);
+        assert!(err.to_string().contains("already busy"));
+        // The original transaction is untouched.
+        assert!(abi.busy());
+        assert_eq!(abi.transactions(), 1);
+    }
+
+    #[test]
+    fn abort_frees_the_bus_and_counts() {
+        let mut abi = Abi::new();
+        assert_eq!(abi.abort(), None, "idle abort is a no-op");
+        assert_eq!(abi.aborts(), 0);
+        abi.start(read_txn(100)).unwrap();
+        abi.tick();
+        let txn = abi.abort().expect("outstanding transaction returned");
+        assert_eq!(txn.stream, 0);
+        assert!(!abi.busy());
+        assert_eq!(abi.aborts(), 1);
+        assert_eq!(abi.elapsed(), 0);
+        // The bus is usable again immediately.
+        abi.start(read_txn(1)).unwrap();
+        assert!(abi.tick().is_some());
     }
 
     #[test]

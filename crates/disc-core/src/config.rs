@@ -2,6 +2,45 @@
 
 use crate::scheduler::SchedulePolicy;
 
+/// How the machine reacts to external-bus faults: accesses to addresses no
+/// peripheral decodes, and (under [`BusFaultPolicy::Fault`]) transactions
+/// that exceed [`MachineConfig::abi_timeout`].
+///
+/// The paper's whole pitch is hard real-time isolation: a stalled or
+/// misbehaving peripheral must suspend *only* the requesting stream
+/// (§3.6.1). [`BusFaultPolicy::Fault`] gives that property teeth — a bad
+/// access aborts, frees the single-transaction bus, wakes the stream and
+/// delivers a per-stream bus-error interrupt on
+/// [`MachineConfig::bus_error_bit`] — instead of silently completing
+/// (unmapped) or hanging the stream forever (stuck peripheral).
+///
+/// Fault events are always visible in
+/// [`MachineStats`](crate::MachineStats) (`unmapped_accesses`,
+/// `abi_timeouts`, `bus_faults`) and in the cycle trace
+/// ([`TraceEvent::BusFault`](crate::TraceEvent::BusFault)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BusFaultPolicy {
+    /// Historical behavior, preserved bit-for-bit for differential tests:
+    /// an unmapped external access is treated as a zero-latency access and
+    /// handed to the bus anyway (an address-decoded bus then reads open-bus
+    /// `0xffff` and drops writes), and a transaction never times out — a
+    /// peripheral that never completes wedges its stream. Unmapped
+    /// accesses are still *counted* in
+    /// [`MachineStats::unmapped_accesses`](crate::MachineStats::unmapped_accesses).
+    #[default]
+    Legacy,
+    /// Robust semantics: an unmapped access aborts without touching the
+    /// bus, and a transaction outstanding longer than
+    /// [`MachineConfig::abi_timeout`] cycles is aborted, freeing the bus
+    /// and waking every waiting stream. Both deliver a bus-error interrupt
+    /// on the faulting stream's [`MachineConfig::bus_error_bit`]. A
+    /// faulted load leaves its destination register unchanged (the
+    /// scoreboard entry is released); a faulted store is dropped; the
+    /// instruction's window adjustment still applies so frame bookkeeping
+    /// stays balanced.
+    Fault,
+}
+
 /// Policy applied when a stream's window stack outgrows the physical
 /// register file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +94,16 @@ pub struct MachineConfig {
     /// Access latency in cycles of the built-in flat external memory used
     /// when no explicit bus is supplied (the paper's `tmem`).
     pub default_ext_latency: u32,
+    /// Reaction to unmapped accesses and bus-transaction timeouts.
+    pub bus_fault: BusFaultPolicy,
+    /// Cycles an external transaction may stay outstanding before it is
+    /// aborted under [`BusFaultPolicy::Fault`]; `0` disables the timeout.
+    /// Ignored under [`BusFaultPolicy::Legacy`].
+    pub abi_timeout: u64,
+    /// IR bit (1..=7) that receives the per-stream bus-error interrupt
+    /// under [`BusFaultPolicy::Fault`]. Defaults to 5, below the
+    /// stack-fault bit (6) and the conventional watchdog/NMI bit (7).
+    pub bus_error_bit: u8,
 }
 
 impl MachineConfig {
@@ -70,6 +119,9 @@ impl MachineConfig {
             window_depth: 64,
             window_policy: WindowPolicy::AutoSpill,
             default_ext_latency: 2,
+            bus_fault: BusFaultPolicy::Legacy,
+            abi_timeout: 0,
+            bus_error_bit: 5,
         }
     }
 
@@ -113,6 +165,25 @@ impl MachineConfig {
         self
     }
 
+    /// Sets the bus-fault policy.
+    pub fn with_bus_fault(mut self, policy: BusFaultPolicy) -> Self {
+        self.bus_fault = policy;
+        self
+    }
+
+    /// Sets the transaction timeout in cycles (`0` disables it) applied
+    /// under [`BusFaultPolicy::Fault`].
+    pub fn with_abi_timeout(mut self, cycles: u64) -> Self {
+        self.abi_timeout = cycles;
+        self
+    }
+
+    /// Sets the IR bit delivering bus-error interrupts.
+    pub fn with_bus_error_bit(mut self, bit: u8) -> Self {
+        self.bus_error_bit = bit;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -137,6 +208,11 @@ impl MachineConfig {
         assert!(
             self.window_depth > disc_isa::WINDOW_REGS,
             "window depth must exceed the visible window size"
+        );
+        assert!(
+            (1..8).contains(&self.bus_error_bit),
+            "bus error bit must be 1..=7 (bit 0 never vectors), got {}",
+            self.bus_error_bit
         );
         self.schedule.validate(self.streams);
     }
@@ -187,5 +263,31 @@ mod tests {
     #[should_panic(expected = "pipeline depth")]
     fn shallow_pipeline_rejected() {
         MachineConfig::disc1().with_pipeline_depth(2).validate();
+    }
+
+    #[test]
+    fn disc1_defaults_to_legacy_faults() {
+        let c = MachineConfig::disc1();
+        assert_eq!(c.bus_fault, BusFaultPolicy::Legacy);
+        assert_eq!(c.abi_timeout, 0);
+        assert_eq!(c.bus_error_bit, 5);
+    }
+
+    #[test]
+    fn fault_builder_setters() {
+        let c = MachineConfig::disc1()
+            .with_bus_fault(BusFaultPolicy::Fault)
+            .with_abi_timeout(64)
+            .with_bus_error_bit(4);
+        assert_eq!(c.bus_fault, BusFaultPolicy::Fault);
+        assert_eq!(c.abi_timeout, 64);
+        assert_eq!(c.bus_error_bit, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bus error bit")]
+    fn background_bus_error_bit_rejected() {
+        MachineConfig::disc1().with_bus_error_bit(0).validate();
     }
 }

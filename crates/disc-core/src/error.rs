@@ -55,6 +55,18 @@ pub enum SimError {
         /// Stream whose window overflowed.
         stream: usize,
     },
+    /// A bus fault (unmapped access or transaction timeout under
+    /// [`BusFaultPolicy::Fault`](crate::BusFaultPolicy::Fault)) hit a
+    /// stream whose [`MachineConfig::bus_error_bit`](crate::MachineConfig)
+    /// is masked in its MR, so the fault cannot be delivered. Silently
+    /// swallowing it would reintroduce exactly the failure mode the policy
+    /// exists to surface, so the simulation fails loudly instead.
+    UnhandledBusFault {
+        /// Stream whose access faulted.
+        stream: usize,
+        /// External address of the faulting access.
+        addr: u16,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +78,12 @@ impl fmt::Display for SimError {
             ),
             SimError::UnhandledStackFault { stream } => {
                 write!(f, "stream {stream} raised an unhandled stack fault")
+            }
+            SimError::UnhandledBusFault { stream, addr } => {
+                write!(
+                    f,
+                    "stream {stream} bus fault at {addr:#06x} with the bus-error interrupt masked"
+                )
             }
         }
     }
@@ -89,5 +107,11 @@ mod tests {
             word: 0xabcdef,
         };
         assert!(e.to_string().contains("0xabcdef"));
+        let b = SimError::UnhandledBusFault {
+            stream: 2,
+            addr: 0x8004,
+        };
+        assert!(b.to_string().contains("0x8004"));
+        assert!(b.to_string().contains("masked"));
     }
 }

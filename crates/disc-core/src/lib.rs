@@ -69,8 +69,8 @@ mod stats;
 mod stream;
 mod trace;
 
-pub use abi::{Abi, BusOp, RegTarget, Transaction};
-pub use config::{MachineConfig, WindowPolicy};
+pub use abi::{Abi, AbiBusy, BusOp, RegTarget, Transaction};
+pub use config::{BusFaultPolicy, MachineConfig, WindowPolicy};
 pub use databus::{DataBus, FlatBus, IrqRequest};
 pub use error::{Exit, SimError};
 pub use intmem::InternalMemory;
@@ -79,4 +79,4 @@ pub use regfile::{AdjustOutcome, StackWindow};
 pub use scheduler::{SchedulePolicy, Scheduler, SEQUENCE_SLOTS};
 pub use stats::MachineStats;
 pub use stream::{Flags, ServiceFrame, Stream, WaitState};
-pub use trace::{CycleRecord, StageSnapshot, Trace, TraceEvent};
+pub use trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent};

@@ -24,14 +24,14 @@ use disc_isa::{AluOp, AwpMode, Cond, Instruction, Program, Reg};
 
 use crate::abi::{Abi, BusOp, RegTarget, Transaction};
 use crate::alu::{alu, eval_cond, imm_op};
-use crate::config::MachineConfig;
+use crate::config::{BusFaultPolicy, MachineConfig};
 use crate::databus::{DataBus, FlatBus, IrqRequest};
 use crate::error::{Exit, SimError};
 use crate::intmem::InternalMemory;
 use crate::scheduler::Scheduler;
 use crate::stats::MachineStats;
 use crate::stream::{Flags, PendingWrite, ServiceFrame, Stream, WaitState};
-use crate::trace::{CycleRecord, StageSnapshot, Trace, TraceEvent};
+use crate::trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent};
 
 /// Result of a single [`Machine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +184,9 @@ pub struct Machine {
     /// Decoded instruction for streams probed `Ready`; `None` on a stream
     /// whose next word does not decode (the fault is reported if picked).
     fetch_decoded: Vec<Option<Instruction>>,
+    /// Fatal error latched inside the execute path (where `step`'s
+    /// `Result` is out of reach) and surfaced at the end of the cycle.
+    pending_error: Option<SimError>,
 }
 
 /// Per-stream fetch-readiness memo, reset every cycle.
@@ -263,6 +266,7 @@ impl Machine {
             events: Vec::new(),
             fetch_probe: vec![Probe::Unknown; config.streams],
             fetch_decoded: vec![None; config.streams],
+            pending_error: None,
             code,
             program: program.clone(),
             config,
@@ -447,7 +451,9 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`SimError::Decode`] when a stream fetches an undecodable
-    /// program word.
+    /// program word, or [`SimError::UnhandledBusFault`] when a bus fault
+    /// under [`BusFaultPolicy::Fault`] cannot be delivered because the
+    /// stream masks the bus-error interrupt.
     pub fn run(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
         for _ in 0..max_cycles {
             match self.step()? {
@@ -467,7 +473,8 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`SimError::Decode`] when a stream fetches an undecodable
-    /// program word.
+    /// program word, or [`SimError::UnhandledBusFault`] when a bus fault
+    /// cannot be delivered (see [`Machine::run`]).
     pub fn step(&mut self) -> Result<Status, SimError> {
         if self.halted {
             return Ok(Status::Halted);
@@ -486,9 +493,20 @@ impl Machine {
             }
         }
 
-        // 2. Asynchronous bus interface.
+        // 2. Asynchronous bus interface. Under the fault policy a
+        // transaction outstanding longer than `abi_timeout` is aborted —
+        // the bus frees, every waiter wakes and the issuing stream takes a
+        // bus-error interrupt — so a peripheral that never completes can
+        // stall at most its own stream for at most `abi_timeout` cycles.
         if let Some(txn) = self.abi.tick() {
             self.complete_transaction(txn);
+        } else if self.config.bus_fault == BusFaultPolicy::Fault
+            && self.config.abi_timeout > 0
+            && self.abi.elapsed() >= self.config.abi_timeout
+        {
+            if let Some(txn) = self.abi.abort() {
+                self.abort_transaction(txn);
+            }
         }
 
         // 3. Pipeline advance: retire the write stage, shift the rest.
@@ -559,6 +577,9 @@ impl Machine {
             if let Some(trace) = self.trace.as_mut() {
                 trace.push(record);
             }
+        }
+        if let Some(err) = self.pending_error.take() {
+            return Err(err);
         }
         Ok(status)
     }
@@ -640,6 +661,66 @@ impl Machine {
         }
         self.events
             .push(TraceEvent::BusComplete { stream: txn.stream });
+    }
+
+    /// Aborts a timed-out transaction: the transfer never happens, the
+    /// issuing stream's bus-tagged scoreboard entries are released (a
+    /// faulted load leaves its destination unchanged), every stream
+    /// waiting on the bus wakes, and the issuer takes a bus-error
+    /// interrupt.
+    fn abort_transaction(&mut self, txn: Transaction) {
+        self.stats.abi_timeouts += 1;
+        self.streams[txn.stream]
+            .pending
+            .retain(|p| p.seq != BUS_SEQ);
+        for st in &mut self.streams {
+            if matches!(st.wait, WaitState::BusTransaction | WaitState::BusFree) {
+                st.wait = WaitState::None;
+            }
+        }
+        self.raise_bus_fault(txn.stream, txn.addr, BusFaultKind::Timeout);
+    }
+
+    /// Delivers a bus-error interrupt to stream `s` on the configured IR
+    /// bit, recording the event in the stats and the trace. A stream that
+    /// masks the bit cannot be told its access failed; that latches
+    /// [`SimError::UnhandledBusFault`], surfaced at the end of the cycle.
+    fn raise_bus_fault(&mut self, s: usize, addr: u16, kind: BusFaultKind) {
+        let bit = self.config.bus_error_bit;
+        let cycle = self.cycle;
+        self.stats.bus_faults[s] += 1;
+        if self.streams[s].mr() & (1 << bit) == 0 && self.pending_error.is_none() {
+            self.pending_error = Some(SimError::UnhandledBusFault { stream: s, addr });
+        }
+        self.streams[s].raise(bit, cycle);
+        self.events.push(TraceEvent::BusFault {
+            stream: s,
+            addr,
+            kind,
+        });
+    }
+
+    /// Resolves the latency of an external access under the configured
+    /// fault policy. `None` means the access was aborted (fault delivered)
+    /// and must not touch the bus.
+    fn fault_checked_latency(&mut self, s: usize, addr: u16, write: bool) -> Option<u32> {
+        match self.bus.latency(addr, write) {
+            Some(latency) => Some(latency),
+            None => {
+                self.stats.unmapped_accesses += 1;
+                match self.config.bus_fault {
+                    // Historical behavior: treat the unmapped access as
+                    // zero-latency and hand it to the bus anyway (an
+                    // address-decoded bus reads open-bus 0xffff and drops
+                    // the write).
+                    BusFaultPolicy::Legacy => Some(0),
+                    BusFaultPolicy::Fault => {
+                        self.raise_bus_fault(s, addr, BusFaultKind::Unmapped);
+                        None
+                    }
+                }
+            }
+        }
     }
 
     fn write_target(&mut self, s: usize, target: RegTarget, value: u16) {
@@ -913,7 +994,13 @@ impl Machine {
             self.cancel_access(slot, ex);
             return;
         }
-        let latency = self.bus.latency(addr, false).unwrap_or(0);
+        let Some(latency) = self.fault_checked_latency(s, addr, false) else {
+            // Aborted unmapped access: the destination register keeps its
+            // old value; the window adjustment still applies so frame
+            // bookkeeping stays balanced.
+            self.apply_awp(s, awp);
+            return;
+        };
         if latency == 0 {
             let value = if tset {
                 let old = self.bus.read(addr);
@@ -947,7 +1034,11 @@ impl Machine {
             self.cancel_access(slot, ex);
             return;
         }
-        let latency = self.bus.latency(addr, true).unwrap_or(0);
+        let Some(latency) = self.fault_checked_latency(s, addr, true) else {
+            // Aborted unmapped access: the store is dropped.
+            self.apply_awp(s, awp);
+            return;
+        };
         if latency == 0 {
             self.bus.write(addr, value);
             self.apply_awp(s, awp);
@@ -983,13 +1074,20 @@ impl Machine {
         awp: i32,
     ) {
         let s = slot.stream;
-        self.stats.external_accesses += 1;
-        self.abi.start(Transaction {
+        let started = self.abi.start(Transaction {
             stream: s,
             addr,
             op,
             remaining: latency,
         });
+        if started.is_err() {
+            // Unreachable through the EX path (`data_read`/`data_write`
+            // check `busy()` first), but a typed rejection degrades to a
+            // cancelled access instead of aborting the whole simulation.
+            self.cancel_access(slot, ex);
+            return;
+        }
+        self.stats.external_accesses += 1;
         // Re-tag this instruction's scoreboard entry so the destination
         // stays busy until the bus delivers the data.
         for p in &mut self.streams[s].pending {

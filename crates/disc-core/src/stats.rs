@@ -137,6 +137,17 @@ pub struct MachineStats {
     /// `fork` instructions that targeted an already-active stream and only
     /// set its background bit.
     pub forks_ignored: u64,
+    /// External accesses to addresses no peripheral decodes. Counted under
+    /// both bus-fault policies; only
+    /// [`BusFaultPolicy::Fault`](crate::BusFaultPolicy::Fault) also aborts
+    /// the access and raises a bus-error interrupt.
+    pub unmapped_accesses: u64,
+    /// Outstanding bus transactions aborted because they exceeded
+    /// [`MachineConfig::abi_timeout`](crate::MachineConfig::abi_timeout).
+    pub abi_timeouts: u64,
+    /// Bus-error interrupts delivered, per stream (unmapped aborts plus
+    /// transaction timeouts).
+    pub bus_faults: Vec<u64>,
 }
 
 impl MachineStats {
@@ -149,8 +160,14 @@ impl MachineStats {
             spill_stall_cycles: vec![0; streams],
             hazard_stalls: vec![0; streams],
             vectors_taken: vec![0; streams],
+            bus_faults: vec![0; streams],
             ..Default::default()
         }
+    }
+
+    /// Total bus-error interrupts delivered across streams.
+    pub fn bus_faults_total(&self) -> u64 {
+        self.bus_faults.iter().sum()
     }
 
     /// Total instructions retired across streams.

@@ -15,6 +15,25 @@ pub struct StageSnapshot {
     pub instr: Instruction,
 }
 
+/// What kind of bus fault a [`TraceEvent::BusFault`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFaultKind {
+    /// The access targeted an address no peripheral decodes.
+    Unmapped,
+    /// The outstanding transaction exceeded the configured
+    /// [`abi_timeout`](crate::MachineConfig::abi_timeout) and was aborted.
+    Timeout,
+}
+
+impl std::fmt::Display for BusFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusFaultKind::Unmapped => f.write_str("unmapped"),
+            BusFaultKind::Timeout => f.write_str("timeout"),
+        }
+    }
+}
+
 /// Notable event within a cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -49,6 +68,16 @@ pub enum TraceEvent {
         bit: u8,
         /// Handler address.
         target: u16,
+    },
+    /// A bus fault was delivered to a stream (see
+    /// [`BusFaultPolicy::Fault`](crate::BusFaultPolicy::Fault)).
+    BusFault {
+        /// Faulting stream.
+        stream: usize,
+        /// External address of the faulting access.
+        addr: u16,
+        /// Unmapped access or transaction timeout.
+        kind: BusFaultKind,
     },
     /// The stack-window engine stalled a stream for spill/fill traffic.
     Spill {

@@ -1,0 +1,347 @@
+//! Behavioral tests of the bus-fault model: unmapped-access policy,
+//! transaction timeouts, fault interrupts, stats and trace visibility,
+//! and the legacy compatibility mode.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use disc_core::{
+    BusFaultKind, BusFaultPolicy, DataBus, Exit, IrqRequest, Machine, MachineConfig, SimError,
+    TraceEvent, WaitState,
+};
+use disc_isa::Program;
+
+fn assemble(src: &str) -> Program {
+    Program::assemble(src).expect("test program assembles")
+}
+
+/// External bus with two mapped windows and everything else unmapped:
+/// `0x800..0x880` is a device whose latency the test controls (set it to
+/// `u32::MAX` to model a peripheral that never completes), and
+/// `0x900..0x980` is well-behaved RAM with a 2-cycle latency.
+#[derive(Debug, Default)]
+struct TestBus {
+    device_latency: u32,
+    mem: HashMap<u16, u16>,
+    reads: u64,
+    writes: u64,
+}
+
+impl TestBus {
+    fn region(addr: u16) -> Option<&'static str> {
+        match addr {
+            0x800..=0x87f => Some("device"),
+            0x900..=0x97f => Some("ram"),
+            _ => None,
+        }
+    }
+}
+
+impl DataBus for TestBus {
+    fn latency(&self, addr: u16, _write: bool) -> Option<u32> {
+        match Self::region(addr) {
+            Some("device") => Some(self.device_latency),
+            Some(_) => Some(2),
+            None => None,
+        }
+    }
+
+    fn read(&mut self, addr: u16) -> u16 {
+        self.reads += 1;
+        match Self::region(addr) {
+            Some(_) => self.mem.get(&addr).copied().unwrap_or(0),
+            None => 0xffff, // open bus
+        }
+    }
+
+    fn write(&mut self, addr: u16, value: u16) {
+        self.writes += 1;
+        if Self::region(addr).is_some() {
+            self.mem.insert(addr, value);
+        }
+    }
+}
+
+/// Keeps a handle on the bus after the machine takes ownership.
+#[derive(Clone)]
+struct SharedBus(Rc<RefCell<TestBus>>);
+
+impl DataBus for SharedBus {
+    fn latency(&self, addr: u16, write: bool) -> Option<u32> {
+        self.0.borrow().latency(addr, write)
+    }
+    fn read(&mut self, addr: u16) -> u16 {
+        self.0.borrow_mut().read(addr)
+    }
+    fn write(&mut self, addr: u16, value: u16) {
+        self.0.borrow_mut().write(addr, value)
+    }
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        self.0.borrow_mut().tick(irqs)
+    }
+}
+
+fn shared_bus(device_latency: u32) -> (SharedBus, Rc<RefCell<TestBus>>) {
+    let inner = Rc::new(RefCell::new(TestBus {
+        device_latency,
+        ..TestBus::default()
+    }));
+    (SharedBus(inner.clone()), inner)
+}
+
+#[test]
+fn legacy_unmapped_access_completes_silently_but_is_counted() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+    main:
+        lda r1, 0x700       ; unmapped external address
+        sta r1, 0x20        ; capture what the read delivered
+        sta r1, 0x700       ; unmapped store, silently dropped
+        halt
+    "#,
+    );
+    let (bus, handle) = shared_bus(3);
+    let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(bus));
+    assert_eq!(m.run(200).unwrap(), Exit::Halted);
+    // Historical behavior: zero-latency completion, open-bus data.
+    assert_eq!(m.internal_memory().read(0x20), 0xffff);
+    assert_eq!(m.stats().unmapped_accesses, 2, "both accesses counted");
+    assert_eq!(m.stats().bus_faults_total(), 0, "no fault delivered");
+    assert_eq!(handle.borrow().reads, 1);
+    assert_eq!(handle.borrow().writes, 1);
+}
+
+#[test]
+fn fault_unmapped_read_aborts_and_raises_bus_error() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+        .vector 0, 5, buserr
+    main:
+        ldi r1, 7
+        lda r1, 0x700       ; unmapped: aborts, r1 keeps its value
+        sta r1, 0x20
+        halt
+    buserr:
+        ldi r2, 1
+        sta r2, 0x21
+        reti
+    "#,
+    );
+    let (bus, handle) = shared_bus(3);
+    let cfg = MachineConfig::disc1().with_bus_fault(BusFaultPolicy::Fault);
+    let mut m = Machine::with_bus(cfg, &program, Box::new(bus));
+    m.trace_start(256);
+    assert_eq!(m.run(500).unwrap(), Exit::Halted);
+    assert_eq!(
+        m.internal_memory().read(0x20),
+        7,
+        "faulted load leaves the destination unchanged"
+    );
+    assert_eq!(m.internal_memory().read(0x21), 1, "bus-error handler ran");
+    assert_eq!(m.stats().unmapped_accesses, 1);
+    assert_eq!(m.stats().bus_faults[0], 1);
+    assert_eq!(
+        handle.borrow().reads,
+        0,
+        "aborted access never touches the bus"
+    );
+    let trace = m.trace_take().unwrap();
+    let fault_events: Vec<_> = trace
+        .records()
+        .iter()
+        .flat_map(|r| &r.events)
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::BusFault {
+                    stream: 0,
+                    addr: 0x700,
+                    kind: BusFaultKind::Unmapped,
+                }
+            )
+        })
+        .collect();
+    assert_eq!(fault_events.len(), 1, "fault visible in the trace");
+}
+
+#[test]
+fn fault_unmapped_store_is_dropped() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+        .vector 0, 5, buserr
+    main:
+        ldi r1, 42
+        sta r1, 0x700       ; unmapped store
+        halt
+    buserr:
+        reti
+    "#,
+    );
+    let (bus, handle) = shared_bus(3);
+    let cfg = MachineConfig::disc1().with_bus_fault(BusFaultPolicy::Fault);
+    let mut m = Machine::with_bus(cfg, &program, Box::new(bus));
+    assert_eq!(m.run(500).unwrap(), Exit::Halted);
+    assert_eq!(handle.borrow().writes, 0, "store never reaches the bus");
+    assert_eq!(m.stats().bus_faults[0], 1);
+}
+
+#[test]
+fn stuck_peripheral_without_timeout_wedges_its_stream() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+    main:
+        lda r1, 0x800       ; device never completes
+        sta r1, 0x20
+        halt
+    "#,
+    );
+    let (bus, _) = shared_bus(u32::MAX);
+    // Legacy (or Fault with abi_timeout 0): no recovery path exists.
+    let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(bus));
+    assert_eq!(m.run(2_000).unwrap(), Exit::CycleLimit);
+    assert_eq!(m.stream(0).wait(), WaitState::BusTransaction);
+    assert_eq!(m.internal_memory().read(0x20), 0, "store never executed");
+}
+
+#[test]
+fn abi_timeout_aborts_stuck_transaction_and_wakes_the_stream() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+        .vector 0, 5, buserr
+    main:
+        ldi r1, 7
+        lda r1, 0x800       ; device never completes; timeout aborts
+        sta r1, 0x20
+        halt
+    buserr:
+        ldi r2, 1
+        sta r2, 0x21
+        reti
+    "#,
+    );
+    let (bus, _) = shared_bus(u32::MAX);
+    let cfg = MachineConfig::disc1()
+        .with_bus_fault(BusFaultPolicy::Fault)
+        .with_abi_timeout(16);
+    let mut m = Machine::with_bus(cfg, &program, Box::new(bus));
+    m.trace_start(256);
+    assert_eq!(m.run(500).unwrap(), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x20), 7, "destination unchanged");
+    assert_eq!(m.internal_memory().read(0x21), 1, "bus-error handler ran");
+    assert_eq!(m.stats().abi_timeouts, 1);
+    assert_eq!(m.stats().bus_faults[0], 1);
+    let trace = m.trace_take().unwrap();
+    assert!(
+        trace.records().iter().flat_map(|r| &r.events).any(|e| {
+            matches!(
+                e,
+                TraceEvent::BusFault {
+                    kind: BusFaultKind::Timeout,
+                    ..
+                }
+            )
+        }),
+        "timeout abort visible in the trace"
+    );
+}
+
+#[test]
+fn timeout_bounds_cross_stream_bus_interference() {
+    // Stream 0 hammers the stuck device; stream 1 does real work against
+    // well-behaved RAM. The single-transaction ABI couples them — but the
+    // timeout bounds each coupling episode, so stream 1 still finishes.
+    let program = assemble(
+        r#"
+        .stream 0, bad
+        .stream 1, good
+        .vector 0, 5, recover
+    bad:
+        lda r1, 0x800       ; stuck forever
+        jmp bad
+    recover:
+        reti
+    good:
+        ldi r3, 0
+        ldi r4, 8
+    loop:
+        lda r5, 0x900       ; 2-cycle RAM
+        addi r3, r3, 1
+        subi r4, r4, 1
+        jnz loop
+        sta r3, 0x22
+        halt
+    "#,
+    );
+    let (bus, _) = shared_bus(u32::MAX);
+    let cfg = MachineConfig::disc1()
+        .with_streams(2)
+        .with_bus_fault(BusFaultPolicy::Fault)
+        .with_abi_timeout(8);
+    let mut m = Machine::with_bus(cfg, &program, Box::new(bus));
+    assert_eq!(m.run(2_000).unwrap(), Exit::Halted);
+    assert_eq!(
+        m.internal_memory().read(0x22),
+        8,
+        "victim of bus contention still completed all its reads"
+    );
+    assert!(m.stats().abi_timeouts >= 1);
+    assert_eq!(
+        m.stats().bus_faults[1],
+        0,
+        "faults land only on the offending stream"
+    );
+}
+
+#[test]
+fn masked_bus_error_interrupt_is_a_sim_error() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+    main:
+        ldi mr, 1           ; mask everything except background
+        lda r1, 0x700       ; unmapped -> fault cannot be delivered
+        halt
+    "#,
+    );
+    let (bus, _) = shared_bus(3);
+    let cfg = MachineConfig::disc1().with_bus_fault(BusFaultPolicy::Fault);
+    let mut m = Machine::with_bus(cfg, &program, Box::new(bus));
+    let err = m.run(500).unwrap_err();
+    assert_eq!(
+        err,
+        SimError::UnhandledBusFault {
+            stream: 0,
+            addr: 0x700
+        }
+    );
+}
+
+#[test]
+fn configurable_bus_error_bit_routes_the_fault() {
+    let program = assemble(
+        r#"
+        .stream 0, main
+        .vector 0, 3, buserr
+    main:
+        lda r1, 0x700
+        halt
+    buserr:
+        ldi r2, 1
+        sta r2, 0x21
+        reti
+    "#,
+    );
+    let (bus, _) = shared_bus(3);
+    let cfg = MachineConfig::disc1()
+        .with_bus_fault(BusFaultPolicy::Fault)
+        .with_bus_error_bit(3);
+    let mut m = Machine::with_bus(cfg, &program, Box::new(bus));
+    assert_eq!(m.run(500).unwrap(), Exit::Halted);
+    assert_eq!(m.internal_memory().read(0x21), 1, "handler on bit 3 ran");
+}

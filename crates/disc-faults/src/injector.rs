@@ -1,0 +1,423 @@
+//! The fault-injecting bus wrapper.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use disc_core::{DataBus, IrqRequest};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Counters of every fault the injector actually delivered.
+///
+/// Obtained through a [`FaultLogHandle`]; campaigns assert on these to
+/// prove the planned faults really happened (a soak run that "passes"
+/// because the fault window missed the workload proves nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Latency probes answered with inflated latency.
+    pub inflated_probes: u64,
+    /// Latency probes answered "stuck" (`u32::MAX`).
+    pub stuck_probes: u64,
+    /// Latency probes answered "unmapped" by a blackout.
+    pub blackouts: u64,
+    /// Reads whose data had bits flipped.
+    pub bit_flips: u64,
+    /// Interrupt requests from the wrapped bus that were discarded.
+    pub dropped_irqs: u64,
+    /// Phantom interrupt requests injected.
+    pub spurious_irqs: u64,
+}
+
+impl FaultLog {
+    /// Total faults delivered, across every kind.
+    pub fn total(&self) -> u64 {
+        self.inflated_probes
+            + self.stuck_probes
+            + self.blackouts
+            + self.bit_flips
+            + self.dropped_irqs
+            + self.spurious_irqs
+    }
+}
+
+/// Cloneable handle on a [`FaultInjector`]'s log, usable after the
+/// injector (inside its machine) has been moved away.
+#[derive(Debug, Clone)]
+pub struct FaultLogHandle(Rc<RefCell<FaultLog>>);
+
+impl FaultLogHandle {
+    /// Copy of the counters as of now.
+    pub fn snapshot(&self) -> FaultLog {
+        *self.0.borrow()
+    }
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer). Every probabilistic
+/// decision hashes `(seed, fault index, cycle, address/key)` through this,
+/// so outcomes depend only on the plan and the cycle-accurate access
+/// pattern — never on host RNG state or call ordering.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `true` with probability `p` as a pure function of the inputs.
+fn chance(seed: u64, fault: usize, cycle: u64, key: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let h = mix(seed
+        ^ (fault as u64).wrapping_mul(0xd6e8_feb8_6659_fd93)
+        ^ cycle.wrapping_mul(0xa076_1d64_78bd_642f)
+        ^ key.wrapping_mul(0xe703_7ed1_a0b4_28db));
+    (h as f64) < p * (u64::MAX as f64)
+}
+
+/// A [`DataBus`] decorator that injects the faults scheduled by a
+/// [`FaultPlan`] into an arbitrary wrapped bus.
+///
+/// The injector keeps its own cycle counter, advanced at the top of
+/// [`tick`](DataBus::tick) so every probe within one machine cycle sees
+/// the same cycle number. All decisions are derived by hashing
+/// `(seed, fault, cycle, address)`, so two runs of the same machine with
+/// the same plan produce byte-identical behavior and [`FaultLog`]s.
+///
+/// ```
+/// use disc_core::FlatBus;
+/// use disc_faults::{AddrRange, FaultInjector, FaultPlan, FaultWindow};
+///
+/// let plan = FaultPlan::new(1).stuck(AddrRange::at(0x8000), FaultWindow::from(500));
+/// let injector = FaultInjector::new(plan, Box::new(FlatBus::new(2)));
+/// let log = injector.log_handle();
+/// // … Machine::with_bus(cfg, &program, Box::new(injector)) …
+/// assert_eq!(log.snapshot().total(), 0);
+/// ```
+pub struct FaultInjector {
+    inner: Box<dyn DataBus>,
+    plan: FaultPlan,
+    cycle: u64,
+    log: Rc<RefCell<FaultLog>>,
+    scratch: Vec<IrqRequest>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("cycle", &self.cycle)
+            .field("log", &self.log.borrow())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultInjector {
+    /// Wraps `inner`, injecting the faults scheduled by `plan`.
+    pub fn new(plan: FaultPlan, inner: Box<dyn DataBus>) -> Self {
+        FaultInjector {
+            inner,
+            plan,
+            cycle: 0,
+            log: Rc::new(RefCell::new(FaultLog::default())),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Handle on the fault log, valid after the injector moves into a
+    /// machine.
+    pub fn log_handle(&self) -> FaultLogHandle {
+        FaultLogHandle(Rc::clone(&self.log))
+    }
+
+    /// Cycles ticked so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl DataBus for FaultInjector {
+    fn latency(&self, addr: u16, write: bool) -> Option<u32> {
+        let cycle = self.cycle;
+        // A blackout hides the address entirely — even from a peripheral
+        // that would otherwise be stuck.
+        for f in self.plan.faults() {
+            if matches!(f.kind, FaultKind::Blackout)
+                && f.window.contains(cycle)
+                && f.range.contains(addr)
+            {
+                self.log.borrow_mut().blackouts += 1;
+                return None;
+            }
+        }
+        let base = self.inner.latency(addr, write)?;
+        let mut latency = base;
+        let mut stuck = false;
+        let mut inflated = false;
+        for f in self.plan.faults() {
+            if !f.window.contains(cycle) || !f.range.contains(addr) {
+                continue;
+            }
+            match f.kind {
+                FaultKind::Stuck => stuck = true,
+                FaultKind::LatencyAdd { cycles } => {
+                    latency = latency.saturating_add(cycles);
+                    inflated = true;
+                }
+                _ => {}
+            }
+        }
+        if stuck {
+            self.log.borrow_mut().stuck_probes += 1;
+            return Some(u32::MAX);
+        }
+        if inflated {
+            self.log.borrow_mut().inflated_probes += 1;
+        }
+        Some(latency)
+    }
+
+    fn read(&mut self, addr: u16) -> u16 {
+        let mut value = self.inner.read(addr);
+        let cycle = self.cycle;
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            if let FaultKind::BitFlip { mask, probability } = f.kind {
+                if f.window.contains(cycle)
+                    && f.range.contains(addr)
+                    && chance(self.plan.seed(), i, cycle, addr as u64, probability)
+                {
+                    value ^= mask;
+                    self.log.borrow_mut().bit_flips += 1;
+                }
+            }
+        }
+        value
+    }
+
+    fn write(&mut self, addr: u16, value: u16) {
+        // Data-corruption faults target the read path; writes pass
+        // through (a blackout already stops them at the latency probe).
+        self.inner.write(addr, value);
+    }
+
+    fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+        // Advance first so latency/read probes triggered later in this
+        // same machine cycle agree with the interrupt decisions below.
+        self.cycle += 1;
+        let cycle = self.cycle;
+        self.scratch.clear();
+        self.inner.tick(&mut self.scratch);
+        'requests: for (n, irq) in self.scratch.drain(..).enumerate() {
+            for (i, f) in self.plan.faults().iter().enumerate() {
+                if let FaultKind::DropIrq {
+                    stream,
+                    bit,
+                    probability,
+                } = f.kind
+                {
+                    if f.window.contains(cycle)
+                        && irq.stream == stream
+                        && irq.bit == bit
+                        && chance(
+                            self.plan.seed(),
+                            i,
+                            cycle,
+                            // Distinguish multiple same-cycle requests.
+                            (n as u64) << 32 | u64::from(bit),
+                            probability,
+                        )
+                    {
+                        self.log.borrow_mut().dropped_irqs += 1;
+                        continue 'requests;
+                    }
+                }
+            }
+            irqs.push(irq);
+        }
+        for f in self.plan.faults() {
+            if let FaultKind::SpuriousIrq {
+                stream,
+                bit,
+                interval,
+            } = f.kind
+            {
+                if f.window.contains(cycle) && (cycle - f.window.start()).is_multiple_of(interval) {
+                    irqs.push(IrqRequest { stream, bit });
+                    self.log.borrow_mut().spurious_irqs += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AddrRange, FaultWindow};
+    use disc_core::FlatBus;
+
+    fn flat_injector(plan: FaultPlan) -> FaultInjector {
+        FaultInjector::new(plan, Box::new(FlatBus::new(2)))
+    }
+
+    fn tick_to(inj: &mut FaultInjector, cycle: u64) -> Vec<IrqRequest> {
+        let mut irqs = Vec::new();
+        while inj.cycle() < cycle {
+            inj.tick(&mut irqs);
+        }
+        irqs
+    }
+
+    #[test]
+    fn passthrough_when_plan_is_empty() {
+        let mut inj = flat_injector(FaultPlan::new(0));
+        assert_eq!(inj.latency(0x1000, false), Some(2));
+        inj.write(0x1000, 0xabcd);
+        assert_eq!(inj.read(0x1000), 0xabcd);
+        assert_eq!(inj.log_handle().snapshot().total(), 0);
+    }
+
+    #[test]
+    fn latency_add_inflates_within_window() {
+        let plan = FaultPlan::new(0).latency_add(
+            AddrRange::new(0x1000, 0x10ff),
+            7,
+            FaultWindow::between(10, 20),
+        );
+        let mut inj = flat_injector(plan);
+        assert_eq!(inj.latency(0x1000, false), Some(2), "before window");
+        tick_to(&mut inj, 10);
+        assert_eq!(inj.latency(0x1000, false), Some(9), "inside window");
+        assert_eq!(inj.latency(0x2000, false), Some(2), "outside range");
+        tick_to(&mut inj, 20);
+        assert_eq!(inj.latency(0x1000, false), Some(2), "after window");
+        assert_eq!(inj.log_handle().snapshot().inflated_probes, 1);
+    }
+
+    #[test]
+    fn stuck_overrides_latency_add() {
+        let plan = FaultPlan::new(0)
+            .latency_add(AddrRange::at(0x100), 3, FaultWindow::always())
+            .stuck(AddrRange::at(0x100), FaultWindow::always());
+        let inj = flat_injector(plan);
+        assert_eq!(inj.latency(0x100, false), Some(u32::MAX));
+        assert_eq!(inj.log_handle().snapshot().stuck_probes, 1);
+    }
+
+    #[test]
+    fn blackout_unmaps_and_wins_over_stuck() {
+        let plan = FaultPlan::new(0)
+            .stuck(AddrRange::at(0x100), FaultWindow::always())
+            .blackout(AddrRange::at(0x100), FaultWindow::between(5, 10));
+        let mut inj = flat_injector(plan);
+        tick_to(&mut inj, 5);
+        assert_eq!(inj.latency(0x100, false), None);
+        tick_to(&mut inj, 10);
+        assert_eq!(inj.latency(0x100, false), Some(u32::MAX));
+        let log = inj.log_handle().snapshot();
+        assert_eq!(log.blackouts, 1);
+        assert_eq!(log.stuck_probes, 1);
+    }
+
+    #[test]
+    fn certain_bit_flip_inverts_masked_bits() {
+        let plan =
+            FaultPlan::new(0).bit_flip(AddrRange::at(0x40), 0x8001, 1.0, FaultWindow::always());
+        let mut inj = flat_injector(plan);
+        inj.write(0x40, 0x0ff0);
+        assert_eq!(inj.read(0x40), 0x8ff1);
+        assert_eq!(inj.read(0x41), 0, "untargeted address unaffected");
+        assert_eq!(inj.log_handle().snapshot().bit_flips, 1);
+    }
+
+    #[test]
+    fn probabilistic_flips_are_reproducible() {
+        let run = || {
+            let plan = FaultPlan::new(42).bit_flip(AddrRange::all(), 1, 0.5, FaultWindow::always());
+            let mut inj = flat_injector(plan);
+            let mut seen = Vec::new();
+            for c in 0..64u64 {
+                tick_to(&mut inj, c + 1);
+                seen.push(inj.read((c % 8) as u16));
+            }
+            (seen, inj.log_handle().snapshot())
+        };
+        let (a, la) = run();
+        let (b, lb) = run();
+        assert_eq!(a, b, "identical plans replay identically");
+        assert_eq!(la, lb);
+        assert!(la.bit_flips > 8 && la.bit_flips < 56, "p=0.5 flips some");
+        // A different seed decides differently somewhere.
+        let plan = FaultPlan::new(43).bit_flip(AddrRange::all(), 1, 0.5, FaultWindow::always());
+        let mut inj = flat_injector(plan);
+        let mut other = Vec::new();
+        for c in 0..64u64 {
+            tick_to(&mut inj, c + 1);
+            other.push(inj.read((c % 8) as u16));
+        }
+        assert_ne!(a, other, "seed changes the outcome sequence");
+    }
+
+    /// Bus double whose tick raises one IRQ per cycle.
+    struct Chatty;
+    impl DataBus for Chatty {
+        fn latency(&self, _a: u16, _w: bool) -> Option<u32> {
+            Some(0)
+        }
+        fn read(&mut self, _a: u16) -> u16 {
+            0
+        }
+        fn write(&mut self, _a: u16, _v: u16) {}
+        fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
+            irqs.push(IrqRequest { stream: 1, bit: 4 });
+        }
+    }
+
+    #[test]
+    fn drop_irq_discards_matching_requests() {
+        let plan = FaultPlan::new(0).drop_irq(1, 4, 1.0, FaultWindow::between(0, 10));
+        let mut inj = FaultInjector::new(plan, Box::new(Chatty));
+        let irqs = tick_to(&mut inj, 30);
+        assert_eq!(irqs.len(), 21, "only the windowed requests are dropped");
+        assert_eq!(inj.log_handle().snapshot().dropped_irqs, 9);
+    }
+
+    #[test]
+    fn drop_irq_ignores_other_lines() {
+        let plan = FaultPlan::new(0).drop_irq(0, 4, 1.0, FaultWindow::always());
+        let mut inj = FaultInjector::new(plan, Box::new(Chatty));
+        let irqs = tick_to(&mut inj, 10);
+        assert_eq!(irqs.len(), 10, "stream mismatch: nothing dropped");
+    }
+
+    #[test]
+    fn spurious_irq_fires_on_its_interval() {
+        let plan = FaultPlan::new(0).spurious_irq(2, 6, 4, FaultWindow::between(8, 21));
+        let mut inj = flat_injector(plan);
+        let irqs = tick_to(&mut inj, 40);
+        let expect = IrqRequest { stream: 2, bit: 6 };
+        assert_eq!(irqs, vec![expect; 4], "cycles 8, 12, 16, 20");
+        assert_eq!(inj.log_handle().snapshot().spurious_irqs, 4);
+    }
+
+    #[test]
+    fn mix_is_a_bijective_scramble() {
+        // Sanity: distinct inputs stay distinct and outputs look spread.
+        let outs: Vec<u64> = (0..4).map(mix).collect();
+        for i in 0..outs.len() {
+            for j in i + 1..outs.len() {
+                assert_ne!(outs[i], outs[j]);
+            }
+        }
+        assert!(chance(1, 0, 0, 0, 1.0));
+        assert!(!chance(1, 0, 0, 0, 0.0));
+    }
+}

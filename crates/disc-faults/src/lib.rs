@@ -1,0 +1,43 @@
+//! Deterministic fault injection for the DISC1 external bus.
+//!
+//! Real-time controllers earn their keep when the plant misbehaves: a
+//! sensor stops answering, an interrupt line glitches, a bus transceiver
+//! goes marginal. The DISC paper's isolation argument — a stream blocked
+//! on slow I/O *"does not stall the processor, only that stream"* — is
+//! exactly a claim about fault containment, and this crate exists to test
+//! it mechanically.
+//!
+//! [`FaultInjector`] wraps any [`DataBus`](disc_core::DataBus) and applies
+//! a scripted [`FaultPlan`]: latency inflation, peripherals stuck forever,
+//! transient read-data bit flips, dropped and spurious interrupts, and
+//! address-range blackouts, each scoped to an [`AddrRange`] and a
+//! [`FaultWindow`] of cycles. Probabilistic faults are decided by hashing
+//! `(seed, fault, cycle, address)`, never by a stateful RNG, so a
+//! campaign seed replays **byte for byte** — the property that turns a
+//! flaky soak failure into a unit test.
+//!
+//! Pair the injector with the machine's bus-fault model
+//! ([`BusFaultPolicy::Fault`](disc_core::BusFaultPolicy) plus
+//! [`abi_timeout`](disc_core::MachineConfig::abi_timeout)) to check that
+//! firmware *recovers*; leave the machine on `Legacy` to demonstrate the
+//! failure modes the fault model was built to fix.
+//!
+//! ```
+//! use disc_core::FlatBus;
+//! use disc_faults::{AddrRange, FaultInjector, FaultPlan, FaultWindow};
+//!
+//! // Sensor at 0x8000 wedges between cycles 1000 and 3000; IRQ line for
+//! // (stream 2, bit 4) drops 20% of requests for the whole run.
+//! let plan = FaultPlan::new(0xc0ffee)
+//!     .stuck(AddrRange::at(0x8000), FaultWindow::between(1_000, 3_000))
+//!     .drop_irq(2, 4, 0.2, FaultWindow::always());
+//! let injector = FaultInjector::new(plan, Box::new(FlatBus::new(2)));
+//! let log = injector.log_handle(); // survives the move into a Machine
+//! # let _ = log;
+//! ```
+
+mod injector;
+mod plan;
+
+pub use injector::{FaultInjector, FaultLog, FaultLogHandle};
+pub use plan::{AddrRange, Fault, FaultKind, FaultPlan, FaultWindow};

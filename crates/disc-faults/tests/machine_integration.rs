@@ -1,0 +1,276 @@
+//! Whole-stack fault-injection tests: a [`Machine`] driving a
+//! [`PeripheralBus`] through a [`FaultInjector`], exercising the bus-fault
+//! model end to end — including the canonical firmware pattern of a
+//! watchdog kick loop surviving a stuck sensor.
+
+use disc_bus::{PeripheralBus, SensorPort, Shared, Timer, Watchdog};
+use disc_core::{BusFaultPolicy, Exit, Machine, MachineConfig, MachineStats, WaitState};
+use disc_faults::{AddrRange, FaultInjector, FaultLog, FaultPlan, FaultWindow};
+use disc_isa::Program;
+
+const WATCHDOG_BASE: u16 = 0x800;
+const SENSOR_BASE: u16 = 0x900;
+const TIMER_BASE: u16 = 0xa00;
+
+fn assemble(src: &str) -> Program {
+    Program::assemble(src).expect("test program assembles")
+}
+
+/// Control-loop firmware: kick the watchdog, sample the sensor, record
+/// progress, repeat. A bus error (bit 5) just resumes the loop.
+const KICK_LOOP: &str = r#"
+    .stream 0, main
+    .vector 0, 5, buserr
+main:
+    ldi r3, 0
+loop:
+    sta r3, 0x800       ; kick the watchdog
+    lda r1, 0x900       ; sample the sensor (may be stuck)
+    sta r1, 0x20        ; latest sample
+    addi r3, r3, 1
+    sta r3, 0x21        ; progress counter
+    jmp loop
+buserr:
+    reti
+"#;
+
+struct ControlRig {
+    machine: Machine,
+    watchdog: Shared<Watchdog>,
+    sensor: Shared<SensorPort>,
+    log: disc_faults::FaultLogHandle,
+}
+
+/// Builds machine + peripherals + injector for the kick-loop firmware.
+fn control_rig(cfg: MachineConfig, plan: FaultPlan) -> ControlRig {
+    let watchdog = Shared::new(Watchdog::new(300, 0, 7));
+    let sensor = Shared::new(SensorPort::triangle(50, 5, 100));
+    let mut bus = PeripheralBus::new();
+    bus.map(WATCHDOG_BASE, Watchdog::REGS, Box::new(watchdog.handle()))
+        .unwrap();
+    bus.map(SENSOR_BASE, SensorPort::REGS, Box::new(sensor.handle()))
+        .unwrap();
+    let injector = FaultInjector::new(plan, Box::new(bus));
+    let log = injector.log_handle();
+    let machine = Machine::with_bus(cfg, &assemble(KICK_LOOP), Box::new(injector));
+    ControlRig {
+        machine,
+        watchdog,
+        sensor,
+        log,
+    }
+}
+
+fn stuck_sensor_plan() -> FaultPlan {
+    FaultPlan::new(0xfee1_dead).stuck(
+        AddrRange::new(SENSOR_BASE, SENSOR_BASE + SensorPort::REGS - 1),
+        FaultWindow::between(1_000, 3_000),
+    )
+}
+
+#[test]
+fn kick_loop_survives_stuck_sensor_with_fault_policy() {
+    let cfg = MachineConfig::disc1()
+        .with_bus_fault(BusFaultPolicy::Fault)
+        .with_abi_timeout(40);
+    let mut rig = control_rig(cfg, stuck_sensor_plan());
+    assert_eq!(rig.machine.run(6_000).unwrap(), Exit::CycleLimit);
+
+    let log = rig.log.snapshot();
+    assert!(log.stuck_probes > 0, "the fault window was exercised");
+    assert!(
+        rig.machine.stats().abi_timeouts >= 10,
+        "each stuck read was cut off by the ABI timeout (got {})",
+        rig.machine.stats().abi_timeouts
+    );
+    assert_eq!(
+        rig.machine.stats().bus_faults[0],
+        rig.machine.stats().abi_timeouts,
+        "every timeout delivered a bus-error interrupt"
+    );
+    assert_eq!(
+        rig.watchdog.borrow().bites(),
+        0,
+        "firmware kept kicking right through the fault"
+    );
+    assert!(rig.watchdog.borrow().kicks() > 50);
+    let progress = rig.machine.internal_memory().read(0x21);
+    assert!(
+        progress > 100,
+        "control loop kept iterating (progress {progress})"
+    );
+    assert!(rig.sensor.borrow().reads() > 0, "healthy reads completed");
+}
+
+#[test]
+fn kick_loop_wedges_on_stuck_sensor_under_legacy_policy() {
+    // Identical plan, identical firmware — only the policy differs. The
+    // first stuck read parks the stream forever and the kicks stop.
+    let mut rig = control_rig(MachineConfig::disc1(), stuck_sensor_plan());
+    assert_eq!(rig.machine.run(6_000).unwrap(), Exit::CycleLimit);
+
+    assert_eq!(
+        rig.machine.stream(0).wait(),
+        WaitState::BusTransaction,
+        "stream is still parked on the dead transaction"
+    );
+    assert!(
+        rig.watchdog.borrow().bites() >= 5,
+        "unkicked watchdog kept biting (got {})",
+        rig.watchdog.borrow().bites()
+    );
+    assert_eq!(rig.machine.stats().abi_timeouts, 0);
+    assert_eq!(rig.machine.stats().bus_faults_total(), 0);
+
+    // The recovered run made strictly more progress than the wedged one.
+    let wedged = rig.machine.internal_memory().read(0x21);
+    let cfg = MachineConfig::disc1()
+        .with_bus_fault(BusFaultPolicy::Fault)
+        .with_abi_timeout(40);
+    let mut recovered = control_rig(cfg, stuck_sensor_plan());
+    recovered.machine.run(6_000).unwrap();
+    assert!(recovered.machine.internal_memory().read(0x21) > wedged);
+}
+
+#[test]
+fn latency_inflation_slows_the_workload_down() {
+    let run = |plan: FaultPlan| -> u64 {
+        let mut rig = control_rig(
+            MachineConfig::disc1()
+                .with_bus_fault(BusFaultPolicy::Fault)
+                .with_abi_timeout(200),
+            plan,
+        );
+        rig.machine.run(4_000).unwrap();
+        u64::from(rig.machine.internal_memory().read(0x21))
+    };
+    let healthy = run(FaultPlan::new(1));
+    let degraded = run(FaultPlan::new(1).latency_add(
+        AddrRange::new(SENSOR_BASE, SENSOR_BASE + SensorPort::REGS - 1),
+        25,
+        FaultWindow::always(),
+    ));
+    assert!(
+        degraded < healthy,
+        "inflated sensor latency must cost iterations ({degraded} vs {healthy})"
+    );
+    assert!(degraded > 0, "slower, but still making progress");
+}
+
+#[test]
+fn blackout_window_raises_unmapped_bus_faults_then_clears() {
+    let cfg = MachineConfig::disc1().with_bus_fault(BusFaultPolicy::Fault);
+    let plan = FaultPlan::new(9).blackout(
+        AddrRange::new(SENSOR_BASE, SENSOR_BASE + SensorPort::REGS - 1),
+        FaultWindow::between(500, 1_500),
+    );
+    let mut rig = control_rig(cfg, plan);
+    assert_eq!(rig.machine.run(4_000).unwrap(), Exit::CycleLimit);
+    let log = rig.log.snapshot();
+    assert!(log.blackouts > 0, "blackout was hit");
+    assert!(rig.machine.stats().unmapped_accesses >= log.blackouts);
+    assert!(
+        rig.machine.stats().bus_faults[0] >= log.blackouts,
+        "each blacked-out access faulted"
+    );
+    assert_eq!(rig.machine.stats().abi_timeouts, 0, "aborts, not timeouts");
+    assert!(
+        rig.machine.internal_memory().read(0x21) > 50,
+        "loop survived the blackout window"
+    );
+}
+
+/// Spin loop with one handler counting deliveries of IR bit 4.
+const IRQ_COUNTER: &str = r#"
+    .stream 0, main
+    .vector 0, 4, tick
+main:
+    jmp main
+tick:
+    lda r2, 0x23
+    addi r2, r2, 1
+    sta r2, 0x23
+    reti
+"#;
+
+#[test]
+fn spurious_irqs_reach_the_handler() {
+    let plan = FaultPlan::new(3).spurious_irq(0, 4, 500, FaultWindow::between(0, 4_001));
+    let injector = FaultInjector::new(plan, Box::new(PeripheralBus::new()));
+    let log = injector.log_handle();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1(),
+        &assemble(IRQ_COUNTER),
+        Box::new(injector),
+    );
+    assert_eq!(m.run(5_000).unwrap(), Exit::CycleLimit);
+    assert_eq!(
+        log.snapshot().spurious_irqs,
+        8,
+        "cycles 500..=4000, step 500"
+    );
+    assert_eq!(
+        m.internal_memory().read(0x23),
+        8,
+        "every phantom interrupt vectored"
+    );
+}
+
+#[test]
+fn dropped_irqs_never_reach_the_handler() {
+    let timer = Shared::new(Timer::periodic(400, 0, 4));
+    let mut bus = PeripheralBus::new();
+    bus.map(TIMER_BASE, Timer::REGS, Box::new(timer.handle()))
+        .unwrap();
+    let plan = FaultPlan::new(4).drop_irq(0, 4, 1.0, FaultWindow::always());
+    let injector = FaultInjector::new(plan, Box::new(bus));
+    let log = injector.log_handle();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1(),
+        &assemble(IRQ_COUNTER),
+        Box::new(injector),
+    );
+    assert_eq!(m.run(5_000).unwrap(), Exit::CycleLimit);
+    assert!(timer.borrow().fires() >= 12);
+    assert_eq!(
+        log.snapshot().dropped_irqs,
+        timer.borrow().fires(),
+        "every timer interrupt was eaten"
+    );
+    assert_eq!(m.internal_memory().read(0x23), 0, "handler never ran");
+}
+
+#[test]
+fn faulted_campaign_replays_byte_for_byte() {
+    let campaign = || -> (MachineStats, FaultLog, Vec<u16>) {
+        let plan = FaultPlan::new(0x5eed)
+            .stuck(
+                AddrRange::new(SENSOR_BASE, SENSOR_BASE + 1),
+                FaultWindow::between(800, 1_600),
+            )
+            .bit_flip(
+                AddrRange::new(SENSOR_BASE, SENSOR_BASE + 1),
+                0x0101,
+                0.3,
+                FaultWindow::always(),
+            )
+            .latency_add(AddrRange::at(WATCHDOG_BASE), 3, FaultWindow::from(2_000))
+            .spurious_irq(0, 4, 700, FaultWindow::always());
+        let cfg = MachineConfig::disc1()
+            .with_bus_fault(BusFaultPolicy::Fault)
+            .with_abi_timeout(64);
+        let mut rig = control_rig(cfg, plan);
+        rig.machine.run(10_000).unwrap();
+        let mem = (0x20..0x28)
+            .map(|a| rig.machine.internal_memory().read(a))
+            .collect();
+        (rig.machine.stats().clone(), rig.log.snapshot(), mem)
+    };
+    let (stats_a, log_a, mem_a) = campaign();
+    let (stats_b, log_b, mem_b) = campaign();
+    assert_eq!(stats_a, stats_b, "machine statistics replay exactly");
+    assert_eq!(log_a, log_b, "fault log replays exactly");
+    assert_eq!(mem_a, mem_b, "memory effects replay exactly");
+    assert!(log_a.total() > 0, "the campaign did inject faults");
+    assert!(log_a.bit_flips > 0, "probabilistic faults fired too");
+}

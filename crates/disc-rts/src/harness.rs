@@ -56,6 +56,10 @@ pub struct SimOutcome {
     pub max_irq_latency: Option<u64>,
     /// Background instructions retired (progress of the non-RT work).
     pub background_retired: u64,
+    /// Full machine statistics, including the bus-fault counters
+    /// (`bus_faults`, `abi_timeouts`, `unmapped_accesses`) a fault
+    /// campaign asserts on.
+    pub stats: MachineStats,
 }
 
 impl SimOutcome {
@@ -225,6 +229,7 @@ fn drive<T: Target>(mut target: T, set: &TaskSet, horizon: u64) -> Result<SimOut
         utilization: stats.utilization(),
         max_irq_latency: stats.max_irq_latency(),
         background_retired: stats.retired[0],
+        stats: stats.clone(),
         tasks: outcomes,
     })
 }
@@ -250,14 +255,38 @@ pub fn run_on_disc_with_schedule(
     horizon: u64,
     schedule: Option<SchedulePolicy>,
 ) -> Result<SimOutcome, SimError> {
+    run_on_disc_with_bus(
+        set,
+        horizon,
+        schedule,
+        MachineConfig::disc1(),
+        Box::new(codegen::device_bus(set)),
+    )
+}
+
+/// Like [`run_on_disc_with_schedule`] but with an explicit base machine
+/// configuration (e.g. a [`BusFaultPolicy`](disc_core::BusFaultPolicy)
+/// and ABI timeout) and an arbitrary external bus — typically a
+/// `disc_faults::FaultInjector` wrapping [`codegen::device_bus`]. The
+/// stream count is derived from the task set regardless of `cfg`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the machine.
+pub fn run_on_disc_with_bus(
+    set: &TaskSet,
+    horizon: u64,
+    schedule: Option<SchedulePolicy>,
+    cfg: MachineConfig,
+    bus: Box<dyn disc_core::DataBus>,
+) -> Result<SimOutcome, SimError> {
     let program = codegen::disc_program(set);
     let streams = set.tasks.len() + 1;
-    let mut cfg = MachineConfig::disc1().with_streams(streams);
+    let mut cfg = cfg.with_streams(streams);
     if let Some(s) = schedule {
         cfg = cfg.with_schedule(s);
     }
-    let bus = codegen::device_bus(set);
-    let mut machine = Machine::with_bus(cfg, &program, Box::new(bus));
+    let mut machine = Machine::with_bus(cfg, &program, bus);
     machine.set_idle_exit(false);
     drive(DiscTarget(machine), set, horizon)
 }

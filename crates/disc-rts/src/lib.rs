@@ -23,7 +23,12 @@
 //!   per-task response-time/deadline statistics;
 //! * the interrupt-latency experiment ([`latency`]): dedicated-stream
 //!   delivery on DISC versus context-switched delivery on the baseline,
-//!   under configurable background load.
+//!   under configurable background load;
+//! * the isolation soak harness ([`soak`]): seeded, deterministic fault
+//!   campaigns (via `disc-faults`) aimed at one victim task per run, with
+//!   every run checked against isolation invariants — non-victim tasks
+//!   keep their throughput and deadlines — relative to a fault-free
+//!   reference.
 //!
 //! # Example
 //!
@@ -40,8 +45,10 @@ pub mod codegen;
 pub mod harness;
 pub mod latency;
 pub mod partition;
+pub mod soak;
 mod task;
 
 pub use harness::{SimOutcome, TaskOutcome};
 pub use latency::{latency_experiment, LatencyReport};
+pub use soak::{RunVerdict, SoakConfig, SoakReport, SoakRun};
 pub use task::{Task, TaskSet};

@@ -18,7 +18,11 @@
 //!   workloads, modeled sequencer, `PD`/`Ps`/`delta` metrics and the
 //!   experiment sweeps behind Tables 4.1–4.3).
 //! * [`rts`] — the real-time systems layer: tasks, deadlines, throughput
-//!   partition allocation and interrupt-latency measurement.
+//!   partition allocation, interrupt-latency measurement and the
+//!   isolation soak harness.
+//! * [`faults`] — deterministic, seeded fault injection on the external
+//!   bus: latency inflation, stuck peripherals, bit flips, dropped and
+//!   spurious interrupts, address blackouts.
 //! * [`cc`] — a small structured language compiled to stack-window
 //!   assembly.
 //! * [`firmware`] — tested assembly routines (division, square root,
@@ -55,6 +59,7 @@ pub use disc_baseline as baseline;
 pub use disc_bus as bus;
 pub use disc_cc as cc;
 pub use disc_core as core;
+pub use disc_faults as faults;
 pub use disc_firmware as firmware;
 pub use disc_isa as isa;
 pub use disc_rts as rts;
