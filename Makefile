@@ -1,6 +1,6 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench bench-micro repro repro-quick soak docs clippy examples clean
+.PHONY: all test bench bench-micro repro repro-quick soak reports docs clippy examples clean
 
 all: test
 
@@ -28,6 +28,15 @@ repro-quick:
 # on any isolation-invariant violation; DISC_JOBS caps the fan-out.
 soak:
 	cargo run --release -p disc-bench --bin soak
+
+# Structured run reports (schema disc-run-report/v1) under results/:
+# the quick reproduction pass, a short soak campaign, and the
+# observability demo. CI schema-checks every results/*.report.json and
+# uploads them as workflow artifacts.
+reports:
+	cargo run --release -p disc-bench --bin repro_all -- --quick --csv results
+	cargo run --release -p disc-bench --bin soak -- --runs 10 --report results/soak.report.json
+	cargo run --release --example obs_demo
 
 docs:
 	cargo doc --workspace --no-deps

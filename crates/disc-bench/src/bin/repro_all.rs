@@ -1,9 +1,14 @@
 //! Runs every table, figure and experiment generator in order — the full
 //! reproduction pass recorded in EXPERIMENTS.md. Pass `--quick` to reduce
 //! the stochastic runs, and `--csv <dir>` to additionally export every
-//! table as CSV and every figure/experiment as text into `<dir>`.
+//! table as CSV and every figure/experiment as text into `<dir>`. Every
+//! run also writes a schema-versioned `results/repro_all.report.json`
+//! summarizing the tables, the cycle-attribution profile of the Table 4.1
+//! machine workload, and the producing configuration.
 
 use std::path::PathBuf;
+
+use disc_obs::{Json, RunReport};
 
 fn csv_dir() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
@@ -23,22 +28,28 @@ fn save(dir: &Option<PathBuf>, name: &str, contents: &str) {
 fn main() {
     let (cycles, seeds) = disc_bench::run_scale();
     let dir = csv_dir();
+    let mut report_tables: Vec<(String, Json)> = Vec::new();
     println!("=== DISC reproduction: all tables, figures and experiments ===");
     println!("stochastic runs: {seeds} seeds x {cycles} cycles per cell\n");
 
     let t41 = disc_stoch::tables::table_4_1();
     println!("{t41}");
     save(&dir, "table_4_1.csv", &t41.to_csv());
+    report_tables.push(("table_4_1".into(), disc_bench::table_json(&t41)));
     let (pd2, d2) = disc_stoch::tables::table_4_2(cycles, seeds);
     println!("{pd2}");
     println!("{d2}");
     save(&dir, "table_4_2a.csv", &pd2.to_csv());
     save(&dir, "table_4_2b.csv", &d2.to_csv());
+    report_tables.push(("table_4_2a".into(), disc_bench::table_json(&pd2)));
+    report_tables.push(("table_4_2b".into(), disc_bench::table_json(&d2)));
     let (pd3, d3) = disc_stoch::tables::table_4_3(cycles, seeds);
     println!("{pd3}");
     println!("{d3}");
     save(&dir, "table_4_3a.csv", &pd3.to_csv());
     save(&dir, "table_4_3b.csv", &d3.to_csv());
+    report_tables.push(("table_4_3a".into(), disc_bench::table_json(&pd3)));
+    report_tables.push(("table_4_3b".into(), disc_bench::table_json(&d3)));
     for (name, table) in [
         ("sweep_jump", disc_stoch::tables::sweep_jump(cycles, seeds)),
         ("sweep_io", disc_stoch::tables::sweep_io(cycles, seeds)),
@@ -57,6 +68,7 @@ fn main() {
     ] {
         println!("{table}");
         save(&dir, &format!("{name}.csv"), &table.to_csv());
+        report_tables.push((name.to_string(), disc_bench::table_json(&table)));
     }
     for (name, text) in [
         (
@@ -77,7 +89,36 @@ fn main() {
         println!("{text}");
         save(&dir, &format!("{name}.txt"), &text);
     }
+    // Cycle attribution for the Table 4.1 machine workload, appended
+    // after all the historical output so prior sections stay
+    // byte-identical.
+    let attribution = disc_bench::experiments::cycle_attribution();
+    println!("{attribution}");
+    save(&dir, "cycle_attribution.txt", &attribution);
     if let Some(d) = &dir {
         println!("exports written to {}", d.display());
+    }
+
+    let machine = disc_bench::experiments::cycle_attribution_machine();
+    let report = RunReport::from_machine("repro_all", &machine)
+        .section(
+            "scale",
+            Json::obj([
+                (
+                    "mode",
+                    Json::str(if cycles == disc_bench::FULL_CYCLES {
+                        "full"
+                    } else {
+                        "quick"
+                    }),
+                ),
+                ("cycles_per_cell", Json::U64(cycles)),
+                ("seeds", Json::U64(seeds)),
+            ]),
+        )
+        .section("tables", Json::Obj(report_tables));
+    match report.write_under("results", "repro_all") {
+        Ok(path) => println!("run report written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run report: {e}"),
     }
 }

@@ -6,8 +6,10 @@
 //! A failing seed prints in the summary and replays exactly with
 //! `--runs 1 --base-seed <seed>`.
 //!
-//! Usage: `soak [--runs N] [--horizon CYCLES] [--base-seed SEED]`
-//! (worker count follows `DISC_JOBS`).
+//! Usage: `soak [--runs N] [--horizon CYCLES] [--base-seed SEED]
+//! [--report PATH]` (worker count follows `DISC_JOBS`). `--report` writes
+//! the campaign's schema-versioned run report JSON to PATH in addition to
+//! the stdout summary.
 
 use disc_rts::SoakConfig;
 
@@ -25,6 +27,7 @@ fn parse_u64(args: &mut std::env::Args, flag: &str) -> u64 {
 
 fn main() {
     let mut cfg = SoakConfig::default();
+    let mut report_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -32,8 +35,16 @@ fn main() {
             "--runs" | "--seeds" => cfg.runs = parse_u64(&mut args, &arg),
             "--horizon" => cfg.horizon = parse_u64(&mut args, &arg),
             "--base-seed" => cfg.base_seed = parse_u64(&mut args, &arg),
+            "--report" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--report needs a path"));
+                report_path = Some(std::path::PathBuf::from(value));
+            }
             "--help" | "-h" => {
-                println!("usage: soak [--runs N] [--horizon CYCLES] [--base-seed SEED]");
+                println!(
+                    "usage: soak [--runs N] [--horizon CYCLES] [--base-seed SEED] [--report PATH]"
+                );
                 return;
             }
             other => {
@@ -51,6 +62,15 @@ fn main() {
     );
     let report = disc_rts::soak::run_campaign(&cfg);
     print!("{}", report.summary());
+    if let Some(path) = report_path {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create report dir");
+            }
+        }
+        std::fs::write(&path, report.run_report(&cfg).render()).expect("write run report");
+        eprintln!("run report written to {}", path.display());
+    }
     if !report.passed() {
         std::process::exit(1);
     }

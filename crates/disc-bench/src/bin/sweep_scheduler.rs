@@ -1,6 +1,22 @@
 //! §4.2 sweep: scheduler sequence variants. Pass `--quick` to reduce.
 
+use disc_obs::{Json, RunReport};
+
 fn main() {
     let (cycles, seeds) = disc_bench::run_scale();
-    println!("{}", disc_stoch::tables::sweep_scheduler(cycles, seeds));
+    let table = disc_stoch::tables::sweep_scheduler(cycles, seeds);
+    println!("{table}");
+    let report = RunReport::new("sweep_scheduler")
+        .section(
+            "scale",
+            Json::obj([
+                ("cycles_per_cell", Json::U64(cycles)),
+                ("seeds", Json::U64(seeds)),
+            ]),
+        )
+        .section("table", disc_bench::table_json(&table));
+    match report.write_under("results", "sweep_scheduler") {
+        Ok(path) => eprintln!("run report written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write run report: {e}"),
+    }
 }

@@ -9,6 +9,38 @@
 pub mod experiments;
 pub mod figures;
 
+use disc_obs::Json;
+
+/// Renders a `disc-stoch` result table as JSON for inclusion in a
+/// [`disc_obs::RunReport`] section.
+pub fn table_json(table: &disc_stoch::Table) -> Json {
+    Json::obj([
+        ("title", Json::str(table.title())),
+        (
+            "columns",
+            Json::Arr(table.columns().iter().map(Json::str).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                table
+                    .rows()
+                    .iter()
+                    .map(|(label, values)| {
+                        Json::obj([
+                            ("label", Json::str(label)),
+                            (
+                                "values",
+                                Json::Arr(values.iter().map(|&v| Json::F64(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Standard horizon for "full" table runs.
 pub const FULL_CYCLES: u64 = 200_000;
 

@@ -77,6 +77,6 @@ pub use intmem::InternalMemory;
 pub use machine::{Machine, Status};
 pub use regfile::{AdjustOutcome, StackWindow};
 pub use scheduler::{SchedulePolicy, Scheduler, SEQUENCE_SLOTS};
-pub use stats::MachineStats;
+pub use stats::{CycleAttribution, IrqLatencyStats, MachineStats, ATTRIBUTION_BUCKETS};
 pub use stream::{Flags, ServiceFrame, Stream, WaitState};
-pub use trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent};
+pub use trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent, TraceSink};

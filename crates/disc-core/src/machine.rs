@@ -31,7 +31,7 @@ use crate::intmem::InternalMemory;
 use crate::scheduler::Scheduler;
 use crate::stats::MachineStats;
 use crate::stream::{Flags, PendingWrite, ServiceFrame, Stream, WaitState};
-use crate::trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent};
+use crate::trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent, TraceSink};
 
 /// Result of a single [`Machine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,9 +176,15 @@ pub struct Machine {
     next_seq: u64,
     idle_exit: bool,
     legacy_decode: bool,
-    trace: Option<Trace>,
+    trace: Option<Box<dyn TraceSink>>,
     irq_buf: Vec<IrqRequest>,
     events: Vec<TraceEvent>,
+    /// Per-cycle scratch: stream spent this cycle in a spill stall
+    /// (feeds the attribution classifier without re-deriving state).
+    attr_spill: Vec<bool>,
+    /// Per-cycle scratch: stream was probed for issue but lost to a
+    /// same-stream data hazard.
+    attr_hazard: Vec<bool>,
     /// Per-cycle readiness memo for the lazy fetch probe.
     fetch_probe: Vec<Probe>,
     /// Decoded instruction for streams probed `Ready`; `None` on a stream
@@ -264,6 +270,8 @@ impl Machine {
             trace: None,
             irq_buf: Vec::new(),
             events: Vec::new(),
+            attr_spill: vec![false; config.streams],
+            attr_hazard: vec![false; config.streams],
             fetch_probe: vec![Probe::Unknown; config.streams],
             fetch_decoded: vec![None; config.streams],
             pending_error: None,
@@ -426,14 +434,37 @@ impl Machine {
         self.idle_exit = enabled;
     }
 
-    /// Starts collecting a cycle trace of at most `capacity` cycles.
+    /// Starts collecting a cycle trace of at most `capacity` cycles into
+    /// the built-in bounded ring buffer. Capacity 0 keeps nothing (the
+    /// machine still runs, the buffer just stays empty).
     pub fn trace_start(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+        self.trace = Some(Box::new(Trace::new(capacity)));
     }
 
     /// Stops tracing and returns the collected trace.
+    ///
+    /// Returns `Some` only when the active sink is the bounded [`Trace`]
+    /// installed by [`Machine::trace_start`]; any other sink is finished
+    /// and dropped — recover custom sinks with
+    /// [`Machine::take_trace_sink`] instead.
     pub fn trace_take(&mut self) -> Option<Trace> {
-        self.trace.take()
+        self.take_trace_sink()
+            .and_then(|sink| sink.into_any().downcast::<Trace>().ok())
+            .map(|t| *t)
+    }
+
+    /// Installs an arbitrary [`TraceSink`] observing every subsequent
+    /// cycle, replacing any previous sink without finishing it.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes the active sink, calling [`TraceSink::finish`] on it so
+    /// buffered output is flushed before the sink is handed back.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.trace.take()?;
+        sink.finish();
+        Some(sink)
     }
 
     /// `true` when every stream is inactive and nothing is in flight.
@@ -480,6 +511,8 @@ impl Machine {
             return Ok(Status::Halted);
         }
         self.events.clear();
+        self.attr_spill.fill(false);
+        self.attr_hazard.fill(false);
         let ex = self.config.pipeline_depth - 2;
 
         // 1. Peripheral time and interrupt lines.
@@ -529,6 +562,7 @@ impl Machine {
             if self.streams[s].spill_stall > 0 {
                 self.streams[s].spill_stall -= 1;
                 self.stats.spill_stall_cycles[s] += 1;
+                self.attr_spill[s] = true;
             }
         }
 
@@ -538,12 +572,33 @@ impl Machine {
             self.fetch()?;
         }
 
-        // 7. Per-stream wait accounting.
+        // 7. Per-stream wait accounting and cycle attribution. Every
+        // stream lands in exactly one attribution bucket per cycle;
+        // issue takes priority, so a stream whose stall expired and then
+        // issued the same cycle counts as issue here even though the
+        // flat stall counter above still ticked.
+        let issued = self.pipe[0].as_ref().map(|slot| slot.stream);
         for (s, st) in self.streams.iter().enumerate() {
             match st.wait {
                 WaitState::BusTransaction => self.stats.wait_txn_cycles[s] += 1,
                 WaitState::BusFree => self.stats.wait_bus_free_cycles[s] += 1,
                 WaitState::None => {}
+            }
+            let attr = &mut self.stats.attribution;
+            if issued == Some(s) {
+                attr.issue[s] += 1;
+            } else if st.wait == WaitState::BusTransaction {
+                attr.bus_txn_wait[s] += 1;
+            } else if st.wait == WaitState::BusFree {
+                attr.bus_free_wait[s] += 1;
+            } else if self.attr_spill[s] {
+                attr.spill_stall[s] += 1;
+            } else if self.attr_hazard[s] {
+                attr.hazard_stall[s] += 1;
+            } else if !st.active() {
+                attr.idle[s] += 1;
+            } else {
+                attr.not_scheduled[s] += 1;
             }
         }
 
@@ -555,28 +610,35 @@ impl Machine {
             self.pipe.iter().filter(|s| s.is_some()).count(),
             "live slot counter diverged from pipe occupancy"
         );
+        debug_assert!(
+            (0..self.streams.len()).all(|s| self.stats.attribution.total(s) == self.stats.cycles),
+            "cycle attribution diverged from elapsed cycles"
+        );
 
-        // 8. Trace.
-        if self.trace.is_some() {
-            let record = CycleRecord {
-                cycle: self.cycle - 1,
-                stages: self
-                    .pipe
-                    .iter()
-                    .map(|slot| {
-                        slot.as_ref().map(|s| StageSnapshot {
-                            stream: s.stream,
-                            pc: s.pc,
-                            instr: s.instr,
+        // 8. Trace sink. Counters-only sinks skip the record assembly
+        // entirely via `wants_records`.
+        if let Some(mut sink) = self.trace.take() {
+            if sink.wants_records() {
+                let record = CycleRecord {
+                    cycle: self.cycle - 1,
+                    stages: self
+                        .pipe
+                        .iter()
+                        .map(|slot| {
+                            slot.as_ref().map(|s| StageSnapshot {
+                                stream: s.stream,
+                                pc: s.pc,
+                                instr: s.instr,
+                            })
                         })
-                    })
-                    .collect(),
-                fetched: self.pipe[0].as_ref().map(|s| s.stream),
-                events: std::mem::take(&mut self.events),
-            };
-            if let Some(trace) = self.trace.as_mut() {
-                trace.push(record);
+                        .collect(),
+                    fetched: self.pipe[0].as_ref().map(|s| s.stream),
+                    events: std::mem::take(&mut self.events),
+                };
+                sink.record_cycle(record);
             }
+            sink.observe_stats(self.cycle - 1, &self.stats);
+            self.trace = Some(sink);
         }
         if let Some(err) = self.pending_error.take() {
             return Err(err);
@@ -1179,6 +1241,7 @@ impl Machine {
             legacy_decode,
             fetch_probe,
             fetch_decoded,
+            attr_hazard,
             ..
         } = self;
         let legacy = *legacy_decode;
@@ -1210,6 +1273,7 @@ impl Machine {
                         Ok(instr) => {
                             if stream_hazard(st, &instr) {
                                 stats.hazard_stalls[s] += 1;
+                                attr_hazard[s] = true;
                                 false
                             } else {
                                 fetch_decoded[s] = Some(instr);

@@ -89,6 +89,140 @@ impl IrqLatencyStats {
     }
 }
 
+/// Names of the cycle-attribution buckets, in the order returned by
+/// [`CycleAttribution::buckets`].
+pub const ATTRIBUTION_BUCKETS: [&str; 7] = [
+    "issue",
+    "hazard-stall",
+    "bus-txn-wait",
+    "bus-free-wait",
+    "spill-stall",
+    "idle",
+    "not-scheduled",
+];
+
+/// Per-stream attribution of every elapsed machine cycle.
+///
+/// Each cycle, every stream is classified into exactly one bucket, so for
+/// every stream the buckets sum to the elapsed cycle count — the
+/// accounting invariant the paper's measurement claims (PD shares,
+/// partition isolation, interference analysis) rest on. Classification
+/// priority, first match wins:
+///
+/// 1. **issue** — the stream's instruction entered the pipeline;
+/// 2. **bus-txn-wait** — waiting on its own outstanding bus transaction;
+/// 3. **bus-free-wait** — waiting for the single-transaction bus to free;
+/// 4. **spill-stall** — stalled by stack-window spill/fill traffic;
+/// 5. **hazard-stall** — probed by the scheduler but held back by a
+///    same-stream data hazard;
+/// 6. **idle** — inactive (no unmasked IR bit set);
+/// 7. **not-scheduled** — active and issuable, but the slot went to
+///    another stream.
+///
+/// Because issue takes priority, `spill_stall`/`hazard_stall` here count
+/// cycles the stream was stalled *and did not issue*; the flat
+/// [`MachineStats`] counters keep their historical definitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleAttribution {
+    /// Cycles the stream issued an instruction.
+    pub issue: Vec<u64>,
+    /// Cycles lost to a same-stream data hazard at the issue probe.
+    pub hazard_stall: Vec<u64>,
+    /// Cycles waiting on the stream's own bus transaction.
+    pub bus_txn_wait: Vec<u64>,
+    /// Cycles waiting for the bus to free after a cancelled access.
+    pub bus_free_wait: Vec<u64>,
+    /// Cycles stalled by window spill/fill traffic.
+    pub spill_stall: Vec<u64>,
+    /// Cycles the stream was inactive.
+    pub idle: Vec<u64>,
+    /// Cycles the stream was runnable but another stream got the slot.
+    pub not_scheduled: Vec<u64>,
+}
+
+impl CycleAttribution {
+    /// Creates zeroed attribution for `streams` streams.
+    pub fn new(streams: usize) -> Self {
+        CycleAttribution {
+            issue: vec![0; streams],
+            hazard_stall: vec![0; streams],
+            bus_txn_wait: vec![0; streams],
+            bus_free_wait: vec![0; streams],
+            spill_stall: vec![0; streams],
+            idle: vec![0; streams],
+            not_scheduled: vec![0; streams],
+        }
+    }
+
+    /// Number of streams tracked.
+    pub fn streams(&self) -> usize {
+        self.issue.len()
+    }
+
+    /// The seven bucket values of stream `s`, ordered as
+    /// [`ATTRIBUTION_BUCKETS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn buckets(&self, s: usize) -> [u64; 7] {
+        [
+            self.issue[s],
+            self.hazard_stall[s],
+            self.bus_txn_wait[s],
+            self.bus_free_wait[s],
+            self.spill_stall[s],
+            self.idle[s],
+            self.not_scheduled[s],
+        ]
+    }
+
+    /// Total cycles attributed to stream `s` (must equal the elapsed cycle
+    /// count of the run).
+    pub fn total(&self, s: usize) -> u64 {
+        self.buckets(s).iter().sum()
+    }
+
+    /// Checks the accounting invariant: every stream's buckets sum to
+    /// `cycles`. Returns one message per violating stream.
+    pub fn check(&self, cycles: u64) -> Result<(), Vec<String>> {
+        let bad: Vec<String> = (0..self.streams())
+            .filter(|&s| self.total(s) != cycles)
+            .map(|s| {
+                format!(
+                    "stream {s}: buckets sum to {} but {cycles} cycles elapsed",
+                    self.total(s)
+                )
+            })
+            .collect();
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Renders the per-stream breakdown as a fixed-width table, one row
+    /// per stream, one column per bucket, each cell the share of elapsed
+    /// cycles in percent.
+    pub fn table(&self) -> String {
+        let mut out = String::from("stream ");
+        for b in ATTRIBUTION_BUCKETS {
+            out.push_str(&format!("{b:>14}"));
+        }
+        out.push_str(&format!("{:>12}\n", "cycles"));
+        for s in 0..self.streams() {
+            let total = self.total(s).max(1);
+            out.push_str(&format!("s{s:<6}"));
+            for v in self.buckets(s) {
+                out.push_str(&format!("{:>13.1}%", v as f64 / total as f64 * 100.0));
+            }
+            out.push_str(&format!("{:>12}\n", self.total(s)));
+        }
+        out
+    }
+}
+
 /// Counters describing one simulation run.
 ///
 /// The headline metric is [`utilization`](MachineStats::utilization) — the
@@ -148,6 +282,9 @@ pub struct MachineStats {
     /// Bus-error interrupts delivered, per stream (unmapped aborts plus
     /// transaction timeouts).
     pub bus_faults: Vec<u64>,
+    /// Per-stream attribution of every elapsed cycle into exactly one
+    /// bucket (issue / stall / wait / idle / not-scheduled).
+    pub attribution: CycleAttribution,
 }
 
 impl MachineStats {
@@ -161,6 +298,7 @@ impl MachineStats {
             hazard_stalls: vec![0; streams],
             vectors_taken: vec![0; streams],
             bus_faults: vec![0; streams],
+            attribution: CycleAttribution::new(streams),
             ..Default::default()
         }
     }
@@ -251,5 +389,49 @@ mod tests {
             again.record(l);
         }
         assert_eq!(agg.samples(), again.samples());
+    }
+
+    #[test]
+    fn attribution_totals_and_check() {
+        let mut a = CycleAttribution::new(2);
+        a.issue[0] = 6;
+        a.hazard_stall[0] = 2;
+        a.idle[0] = 2;
+        a.issue[1] = 3;
+        a.not_scheduled[1] = 7;
+        assert_eq!(a.streams(), 2);
+        assert_eq!(a.total(0), 10);
+        assert_eq!(a.total(1), 10);
+        assert_eq!(a.buckets(1), [3, 0, 0, 0, 0, 0, 7]);
+        assert!(a.check(10).is_ok());
+        let err = a.check(11).unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err[0].contains("stream 0"));
+    }
+
+    #[test]
+    fn attribution_table_renders_all_streams_and_buckets() {
+        let mut a = CycleAttribution::new(3);
+        for s in 0..3 {
+            a.issue[s] = 25;
+            a.idle[s] = 75;
+        }
+        let table = a.table();
+        assert_eq!(table.lines().count(), 4);
+        for b in ATTRIBUTION_BUCKETS {
+            assert!(table.contains(b), "missing column {b}");
+        }
+        assert!(table.contains("s0"));
+        assert!(table.contains("s2"));
+        assert!(table.contains("25.0%"));
+        assert!(table.contains("75.0%"));
+        assert!(table.contains("100"));
+    }
+
+    #[test]
+    fn machine_stats_carries_attribution() {
+        let s = MachineStats::new(3);
+        assert_eq!(s.attribution.streams(), 3);
+        assert!(s.attribution.check(0).is_ok());
     }
 }

@@ -1,8 +1,20 @@
 //! Cycle-by-cycle tracing, used by the figure generators to reproduce the
 //! paper's pipeline diagrams (Figures 3.1 and 3.2) and the dynamic
 //! reallocation timeline (Figure 3.3).
+//!
+//! Tracing is built around the [`TraceSink`] trait: the machine assembles
+//! one [`CycleRecord`] per cycle and hands it to whatever sink is
+//! attached. The bounded ring-buffer [`Trace`] is the built-in sink behind
+//! [`Machine::trace_start`](crate::Machine::trace_start); streaming sinks
+//! (JSONL events, counter sampling) live in the `disc-obs` crate and
+//! attach through
+//! [`Machine::set_trace_sink`](crate::Machine::set_trace_sink).
+
+use std::collections::VecDeque;
 
 use disc_isa::Instruction;
+
+use crate::stats::MachineStats;
 
 /// Snapshot of one pipeline stage in one cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,31 +114,83 @@ pub struct CycleRecord {
     pub events: Vec<TraceEvent>,
 }
 
-/// A bounded trace buffer.
+/// Consumer of per-cycle trace data.
+///
+/// The machine calls [`record_cycle`](TraceSink::record_cycle) once per
+/// simulated cycle (when [`wants_records`](TraceSink::wants_records) is
+/// `true`) and [`observe_stats`](TraceSink::observe_stats) every cycle
+/// regardless, so counters-only sinks can sample
+/// [`MachineStats`] without paying for record assembly.
+///
+/// Sinks are strictly *passive*: they observe the machine and must never
+/// influence simulation behavior.
+pub trait TraceSink: 'static {
+    /// Whether the machine should assemble full [`CycleRecord`]s for this
+    /// sink. Counters-only sinks return `false` to keep the hot path
+    /// cheap (no per-stage snapshotting, no event buffering).
+    fn wants_records(&self) -> bool {
+        true
+    }
+
+    /// One completed machine cycle. Only called when
+    /// [`wants_records`](TraceSink::wants_records) returns `true`.
+    fn record_cycle(&mut self, record: CycleRecord);
+
+    /// Called once per cycle (after any [`record_cycle`]
+    /// (TraceSink::record_cycle)) with the cycle number just completed and
+    /// the statistics as of the end of that cycle.
+    fn observe_stats(&mut self, cycle: u64, stats: &MachineStats) {
+        let _ = (cycle, stats);
+    }
+
+    /// Flush hook, called when the sink is detached from the machine.
+    fn finish(&mut self) {}
+
+    /// Recovers the concrete sink type after
+    /// [`Machine::take_trace_sink`](crate::Machine::take_trace_sink).
+    /// Implementations are one line: `self`.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+/// A bounded trace buffer: the built-in ring-buffer [`TraceSink`].
+///
+/// Keeps the most recent `capacity` cycles with O(1) eviction per cycle
+/// (the buffer used to evict with `Vec::remove(0)`, which made long
+/// traced runs quadratic). A capacity of 0 keeps nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
-    records: Vec<CycleRecord>,
+    records: VecDeque<CycleRecord>,
     capacity: usize,
 }
 
 impl Trace {
     /// Creates a trace keeping at most `capacity` cycles (oldest dropped).
+    /// `capacity` 0 records nothing and is valid.
     pub fn new(capacity: usize) -> Self {
         Trace {
-            records: Vec::new(),
+            records: VecDeque::new(),
             capacity,
         }
     }
 
-    pub(crate) fn push(&mut self, record: CycleRecord) {
-        if self.records.len() == self.capacity {
-            self.records.remove(0);
+    /// Appends one cycle, evicting the oldest when full (O(1)).
+    pub fn push(&mut self, record: CycleRecord) {
+        if self.capacity == 0 {
+            return;
         }
-        self.records.push(record);
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// Maximum number of cycles retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Recorded cycles, oldest first.
-    pub fn records(&self) -> &[CycleRecord] {
+    pub fn records(&self) -> &VecDeque<CycleRecord> {
         &self.records
     }
 
@@ -145,8 +209,7 @@ impl Trace {
         out.push_str("$version disc-core trace $end\n");
         out.push_str("$timescale 1 ns $end\n");
         out.push_str("$scope module disc1 $end\n");
-        // Identifier codes: '!' onward.
-        let id = |i: usize| char::from(b'!' + i as u8);
+        let id = vcd_id;
         for i in 0..depth {
             let name = stage_names.get(i).copied().unwrap_or("stage");
             out.push_str(&format!("$var wire 8 {} {name}{i} $end\n", id(i)));
@@ -206,6 +269,41 @@ impl Trace {
     }
 }
 
+impl TraceSink for Trace {
+    fn record_cycle(&mut self, record: CycleRecord) {
+        self.push(record);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Printable-ASCII characters usable in a VCD identifier code
+/// (`'!'..='~'`).
+const VCD_ID_RANGE: usize = 94;
+
+/// Generates the VCD identifier code for signal `i`.
+///
+/// VCD identifiers must stay within printable ASCII (33–126). The old
+/// single-character scheme `b'!' + i` overflowed `u8` past signal 93 and
+/// left the printable range well before that, so deep stage counts
+/// produced corrupt waveforms. Signals 0–93 keep their historical
+/// single-character codes; higher indices get multi-character codes via
+/// bijective base-94 numeration, which never collides.
+fn vcd_id(mut i: usize) -> String {
+    let mut id = String::new();
+    loop {
+        id.push(char::from(b'!' + (i % VCD_ID_RANGE) as u8));
+        i /= VCD_ID_RANGE;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    id
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +351,116 @@ mod tests {
         assert!(vcd.contains("b00000010 !"), "stream 2 in IF:\n{vcd}");
         assert!(vcd.contains("b11111111"), "bubble encodes as 0xff");
         assert!(vcd.contains("#4"), "second cycle changes recorded");
+    }
+
+    #[test]
+    fn zero_capacity_trace_keeps_nothing_and_never_panics() {
+        // Regression: `Trace::new(0)` used to panic on the very first push
+        // (`Vec::remove(0)` on an empty buffer when len == capacity == 0).
+        let mut t = Trace::new(0);
+        for c in 0..4 {
+            t.push(CycleRecord {
+                cycle: c,
+                ..Default::default()
+            });
+        }
+        assert!(t.records().is_empty());
+        assert_eq!(t.capacity(), 0);
+        assert!(t.to_vcd(&[]).contains("$enddefinitions"));
+        assert_eq!(t.pipeline_diagram(&[]), "");
+    }
+
+    #[test]
+    fn full_buffer_eviction_is_constant_time() {
+        // Perf sanity: a full bounded trace must sustain O(1) eviction.
+        // With the old `Vec::remove(0)` eviction this loop performed ~2.9
+        // billion element moves and took minutes; as a ring buffer it is
+        // instant. Functional assertions keep the test meaningful even on
+        // a fast machine.
+        const CAPACITY: usize = 10_000;
+        const PUSHES: u64 = 300_000;
+        let mut t = Trace::new(CAPACITY);
+        for c in 0..PUSHES {
+            t.push(CycleRecord {
+                cycle: c,
+                ..Default::default()
+            });
+        }
+        assert_eq!(t.records().len(), CAPACITY);
+        assert_eq!(t.records()[0].cycle, PUSHES - CAPACITY as u64);
+        assert_eq!(t.records()[CAPACITY - 1].cycle, PUSHES - 1);
+    }
+
+    #[test]
+    fn vcd_ids_stay_printable_and_unique_past_94_signals() {
+        let n = 300;
+        let ids: Vec<String> = (0..n).map(vcd_id).collect();
+        for id in &ids {
+            assert!(!id.is_empty());
+            assert!(
+                id.bytes().all(|b| (33..=126).contains(&b)),
+                "id {id:?} leaves printable ASCII"
+            );
+        }
+        let distinct: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(distinct.len(), n, "identifier codes must not collide");
+        // Historical single-character codes are preserved.
+        assert_eq!(vcd_id(0), "!");
+        assert_eq!(vcd_id(93), "~");
+        assert_eq!(vcd_id(94), "!!");
+    }
+
+    #[test]
+    fn vcd_export_handles_deep_stage_counts() {
+        // 120 stages + the fetch signal: far past the 94-code
+        // single-character range that used to overflow.
+        let depth = 120;
+        let mut t = Trace::new(4);
+        t.push(CycleRecord {
+            cycle: 0,
+            stages: (0..depth)
+                .map(|i| {
+                    (i % 2 == 0).then_some(StageSnapshot {
+                        stream: i % 8,
+                        pc: i as u16,
+                        instr: Instruction::Nop,
+                    })
+                })
+                .collect(),
+            fetched: Some(1),
+            events: vec![],
+        });
+        let names: Vec<String> = (0..depth).map(|i| format!("st{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let vcd = t.to_vcd(&refs);
+        let mut ids = std::collections::HashSet::new();
+        let mut vars = 0;
+        for line in vcd.lines() {
+            if let Some(rest) = line.strip_prefix("$var wire 8 ") {
+                let id = rest.split_whitespace().next().unwrap();
+                assert!(id.bytes().all(|b| (33..=126).contains(&b)), "{id:?}");
+                assert!(ids.insert(id.to_string()), "duplicate id {id:?}");
+                vars += 1;
+            }
+        }
+        assert_eq!(vars, depth + 1, "one signal per stage plus fetch");
+    }
+
+    #[test]
+    fn trace_sink_roundtrip_matches_direct_pushes() {
+        let record = CycleRecord {
+            cycle: 7,
+            stages: vec![None],
+            fetched: None,
+            events: vec![],
+        };
+        let mut direct = Trace::new(4);
+        direct.push(record.clone());
+        let mut sink: Box<dyn TraceSink> = Box::new(Trace::new(4));
+        sink.record_cycle(record);
+        sink.finish();
+        let roundtripped = *sink.into_any().downcast::<Trace>().unwrap();
+        assert_eq!(roundtripped, direct);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! The cycle-attribution accounting invariant: every elapsed machine
+//! cycle lands in exactly one per-stream bucket, so for every stream the
+//! seven buckets sum to the elapsed cycle count — across compute, hazard,
+//! bus-contention, ABI-wait, spill and partitioned-scheduler workloads.
+
+use disc_core::{CycleAttribution, Exit, FlatBus, Machine, MachineConfig, SchedulePolicy, Trace};
+use disc_isa::Program;
+
+fn assert_balanced(m: &Machine) {
+    let stats = m.stats();
+    if let Err(violations) = stats.attribution.check(stats.cycles) {
+        panic!("attribution imbalance: {}", violations.join("; "));
+    }
+}
+
+/// Issue count can never exceed what entered the pipe and never falls
+/// below what retired.
+fn assert_issue_bounds(m: &Machine) {
+    let stats = m.stats();
+    for s in 0..stats.attribution.streams() {
+        assert!(
+            stats.attribution.issue[s] >= stats.retired[s],
+            "stream {s}: issued {} < retired {}",
+            stats.attribution.issue[s],
+            stats.retired[s]
+        );
+    }
+}
+
+#[test]
+fn compute_loop_attribution_balances() {
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 50
+        ldi r1, 0
+    loop:
+        add r1, r1, r0
+        subi r0, r0, 1
+        jnz loop
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    assert_eq!(m.run(100_000).unwrap(), Exit::Halted);
+    assert_balanced(&m);
+    assert_issue_bounds(&m);
+    let a = &m.stats().attribution;
+    assert!(a.issue[0] > 0);
+    // The dependent loop must show hazard stalls in the attribution too.
+    assert!(a.hazard_stall[0] > 0, "dependent loop should stall");
+}
+
+#[test]
+fn abi_wait_attribution_balances() {
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        lui r0, 0x80
+        ld  r1, [r0]
+        addi r1, r1, 1
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut bus = FlatBus::new(9);
+    bus.poke(0x8000, 5);
+    let mut m = Machine::with_bus(MachineConfig::disc1(), &program, Box::new(bus));
+    assert_eq!(m.run(10_000).unwrap(), Exit::Halted);
+    assert_balanced(&m);
+    let a = &m.stats().attribution;
+    assert!(
+        a.bus_txn_wait[0] >= 8,
+        "latency-9 load should wait, got {}",
+        a.bus_txn_wait[0]
+    );
+}
+
+#[test]
+fn bus_contention_attribution_balances() {
+    // Two streams hammer external memory: one of them must spend cycles
+    // waiting for the single-transaction bus to free.
+    let program = Program::assemble(
+        r#"
+        .stream 0, a
+        .stream 1, b
+    a:
+        lui r0, 0x80
+    la: ld r1, [r0]
+        jmp la
+    b:
+        lui r0, 0x81
+    lb: ld r1, [r0]
+        jmp lb
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::with_bus(
+        MachineConfig::disc1().with_streams(2),
+        &program,
+        Box::new(FlatBus::new(6)),
+    );
+    assert_eq!(m.run(2_000).unwrap(), Exit::CycleLimit);
+    assert_balanced(&m);
+    assert_issue_bounds(&m);
+    let a = &m.stats().attribution;
+    assert!(a.bus_txn_wait[0] + a.bus_txn_wait[1] > 0);
+    assert!(
+        a.bus_free_wait[0] + a.bus_free_wait[1] > 0,
+        "contending streams should wait on a busy bus"
+    );
+}
+
+#[test]
+fn spill_workload_attribution_balances() {
+    // Deep recursion on a shallow register file forces window spill/fill
+    // stalls (same workload as `deep_recursion_spills_and_recovers`).
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 24
+        call down
+        sta r0, 0xc0
+        halt
+    down:
+        cmpi r1, 0
+        jz base
+        winc 1
+        subi r0, r2, 1
+        call down
+        addi r0, r0, 1
+        mov r2, r0
+        wdec 1
+        ret
+    base:
+        ldi r1, 0
+        ret
+    "#,
+    )
+    .unwrap();
+    let cfg = MachineConfig::disc1().with_window_depth(16);
+    let mut m = Machine::new(cfg, &program);
+    assert_eq!(m.run(100_000).unwrap(), Exit::Halted);
+    assert_balanced(&m);
+    assert!(
+        m.stats().attribution.spill_stall[0] > 0,
+        "deep recursion must surface spill stalls in the attribution"
+    );
+}
+
+#[test]
+fn partitioned_schedule_attributes_not_scheduled() {
+    // Stream 1 is runnable every cycle but owns only 1 of 16 sequence
+    // slots — most of its cycles must land in `not-scheduled`.
+    let program = Program::assemble(
+        r#"
+        .stream 0, a
+        .stream 1, b
+    a: jmp a
+    b: jmp b
+    "#,
+    )
+    .unwrap();
+    let seq = vec![0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0];
+    let cfg = MachineConfig::disc1()
+        .with_streams(2)
+        .with_schedule(SchedulePolicy::Sequence(seq));
+    let mut m = Machine::new(cfg, &program);
+    assert_eq!(m.run(1_600).unwrap(), Exit::CycleLimit);
+    assert_balanced(&m);
+    let a = &m.stats().attribution;
+    assert!(
+        a.not_scheduled[1] > a.issue[1],
+        "a 1/16-slot stream should mostly be not-scheduled: {:?} vs {:?}",
+        a.not_scheduled[1],
+        a.issue[1]
+    );
+}
+
+#[test]
+fn idle_streams_attribute_idle() {
+    // Config has 4 streams but only stream 0 runs a program; the other
+    // three must be classified idle for the whole run.
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        ldi r0, 3
+    loop:
+        subi r0, r0, 1
+        jnz loop
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    assert_eq!(m.run(10_000).unwrap(), Exit::Halted);
+    assert_balanced(&m);
+    let stats = m.stats();
+    for s in 1..stats.attribution.streams() {
+        assert_eq!(
+            stats.attribution.idle[s], stats.cycles,
+            "unprogrammed stream {s} must be idle every cycle"
+        );
+    }
+}
+
+#[test]
+fn attribution_stops_with_the_machine() {
+    // Stepping past halt must not grow any bucket (step returns Halted
+    // without advancing the cycle counter).
+    let program = Program::assemble(
+        r#"
+        .stream 0, main
+    main:
+        halt
+    "#,
+    )
+    .unwrap();
+    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    assert_eq!(m.run(100).unwrap(), Exit::Halted);
+    let frozen: CycleAttribution = m.stats().attribution.clone();
+    let cycles = m.stats().cycles;
+    for _ in 0..10 {
+        m.step().unwrap();
+    }
+    assert_eq!(m.stats().attribution, frozen);
+    assert_eq!(m.stats().cycles, cycles);
+    assert_balanced(&m);
+}
+
+#[test]
+fn tracing_does_not_change_attribution() {
+    // Observability must be passive: the same program with and without a
+    // trace sink produces identical attribution and stats.
+    let src = r#"
+        .stream 0, a
+        .stream 1, b
+    a:
+        ldi r0, 20
+    la: subi r0, r0, 1
+        jnz la
+        halt
+    b: jmp b
+    "#;
+    let program = Program::assemble(src).unwrap();
+    let cfg = MachineConfig::disc1().with_streams(2);
+    let mut plain = Machine::new(cfg.clone(), &program);
+    plain.run(500).unwrap();
+    let mut traced = Machine::new(cfg, &program);
+    traced.set_trace_sink(Box::new(Trace::new(64)));
+    traced.run(500).unwrap();
+    let observed = traced.trace_take().expect("ring trace comes back");
+    assert!(!observed.records().is_empty());
+    assert_eq!(plain.stats(), traced.stats());
+}

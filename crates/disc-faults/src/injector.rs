@@ -38,6 +38,19 @@ impl FaultLog {
             + self.dropped_irqs
             + self.spurious_irqs
     }
+
+    /// Every counter with its stable name, in declaration order — the
+    /// serialization contract run reports rely on.
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("inflated_probes", self.inflated_probes),
+            ("stuck_probes", self.stuck_probes),
+            ("blackouts", self.blackouts),
+            ("bit_flips", self.bit_flips),
+            ("dropped_irqs", self.dropped_irqs),
+            ("spurious_irqs", self.spurious_irqs),
+        ]
+    }
 }
 
 /// Cloneable handle on a [`FaultInjector`]'s log, usable after the
@@ -406,6 +419,33 @@ mod tests {
         let expect = IrqRequest { stream: 2, bit: 6 };
         assert_eq!(irqs, vec![expect; 4], "cycles 8, 12, 16, 20");
         assert_eq!(inj.log_handle().snapshot().spurious_irqs, 4);
+    }
+
+    #[test]
+    fn counters_name_every_field_and_cover_total() {
+        let log = FaultLog {
+            inflated_probes: 1,
+            stuck_probes: 2,
+            blackouts: 3,
+            bit_flips: 4,
+            dropped_irqs: 5,
+            spurious_irqs: 6,
+        };
+        let counters = log.counters();
+        let sum: u64 = counters.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, log.total(), "counters() must cover every field");
+        let names: Vec<&str> = counters.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "inflated_probes",
+                "stuck_probes",
+                "blackouts",
+                "bit_flips",
+                "dropped_irqs",
+                "spurious_irqs"
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Schema-versioned structured run reports.
+//!
+//! Every experiment driver (`repro_all`, `soak`, the sweeps, `obs_demo`)
+//! emits a [`RunReport`]: a JSON document carrying the report schema
+//! version, the producing tool, a deterministic configuration
+//! fingerprint, machine statistics with the per-stream cycle
+//! attribution, scheduler grant shares, and any tool-specific sections.
+//! CI checks every `results/*.report.json` against this schema, so the
+//! shape here is a compatibility contract — bump [`RUN_REPORT_SCHEMA`]
+//! when changing it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use disc_core::{
+    BusFaultPolicy, CycleAttribution, Machine, MachineConfig, MachineStats, SchedulePolicy,
+    WindowPolicy, ATTRIBUTION_BUCKETS,
+};
+
+use crate::json::Json;
+
+/// Schema identifier stamped into every report.
+pub const RUN_REPORT_SCHEMA: &str = "disc-run-report/v1";
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic 64-bit fingerprint of a machine configuration, rendered
+/// as 16 hex digits. Every field (including the full schedule contents)
+/// folds into the hash, so two configs fingerprint equal iff they
+/// simulate identically.
+pub fn config_fingerprint(config: &MachineConfig) -> String {
+    let mut h: u64 = 0x44495343; // "DISC"
+    let mut fold = |v: u64| h = splitmix64(h ^ v);
+    fold(config.streams as u64);
+    fold(config.pipeline_depth as u64);
+    match &config.schedule {
+        SchedulePolicy::Sequence(slots) => {
+            fold(1);
+            fold(slots.len() as u64);
+            for &s in slots {
+                fold(u64::from(s));
+            }
+        }
+        SchedulePolicy::WeightedDeficit(weights) => {
+            fold(2);
+            fold(weights.len() as u64);
+            for &w in weights {
+                fold(u64::from(w));
+            }
+        }
+    }
+    fold(config.internal_words as u64);
+    fold(config.window_depth as u64);
+    fold(match config.window_policy {
+        WindowPolicy::AutoSpill => 1,
+        WindowPolicy::Fault => 2,
+    });
+    fold(u64::from(config.default_ext_latency));
+    fold(match config.bus_fault {
+        BusFaultPolicy::Legacy => 1,
+        BusFaultPolicy::Fault => 2,
+    });
+    fold(config.abi_timeout);
+    fold(u64::from(config.bus_error_bit));
+    format!("{h:016x}")
+}
+
+/// Renders a [`MachineConfig`] (plus its fingerprint) as JSON.
+pub fn config_json(config: &MachineConfig) -> Json {
+    let schedule = match &config.schedule {
+        SchedulePolicy::Sequence(slots) => Json::obj([
+            ("policy", Json::str("sequence")),
+            ("slots", Json::u64s(slots.iter().map(|&s| u64::from(s)))),
+        ]),
+        SchedulePolicy::WeightedDeficit(weights) => Json::obj([
+            ("policy", Json::str("weighted-deficit")),
+            ("weights", Json::u64s(weights.iter().map(|&w| u64::from(w)))),
+        ]),
+    };
+    Json::obj([
+        ("fingerprint", Json::str(config_fingerprint(config))),
+        ("streams", Json::U64(config.streams as u64)),
+        ("pipeline_depth", Json::U64(config.pipeline_depth as u64)),
+        ("schedule", schedule),
+        ("internal_words", Json::U64(config.internal_words as u64)),
+        ("window_depth", Json::U64(config.window_depth as u64)),
+        (
+            "window_policy",
+            Json::str(match config.window_policy {
+                WindowPolicy::AutoSpill => "auto-spill",
+                WindowPolicy::Fault => "fault",
+            }),
+        ),
+        (
+            "default_ext_latency",
+            Json::U64(u64::from(config.default_ext_latency)),
+        ),
+        (
+            "bus_fault",
+            Json::str(match config.bus_fault {
+                BusFaultPolicy::Legacy => "legacy",
+                BusFaultPolicy::Fault => "fault",
+            }),
+        ),
+        ("abi_timeout", Json::U64(config.abi_timeout)),
+        ("bus_error_bit", Json::U64(u64::from(config.bus_error_bit))),
+    ])
+}
+
+/// Renders a [`CycleAttribution`] as JSON: one array per bucket plus the
+/// per-stream totals (each of which must equal the elapsed cycles).
+pub fn attribution_json(attr: &CycleAttribution) -> Json {
+    let mut obj = Json::obj([("buckets", {
+        Json::Arr(ATTRIBUTION_BUCKETS.iter().map(|&b| Json::str(b)).collect())
+    })]);
+    let per_bucket: [(&str, &Vec<u64>); 7] = [
+        ("issue", &attr.issue),
+        ("hazard_stall", &attr.hazard_stall),
+        ("bus_txn_wait", &attr.bus_txn_wait),
+        ("bus_free_wait", &attr.bus_free_wait),
+        ("spill_stall", &attr.spill_stall),
+        ("idle", &attr.idle),
+        ("not_scheduled", &attr.not_scheduled),
+    ];
+    for (name, values) in per_bucket {
+        obj.push(name, Json::u64s(values.iter().copied()));
+    }
+    obj.push(
+        "totals",
+        Json::u64s((0..attr.streams()).map(|s| attr.total(s))),
+    );
+    obj
+}
+
+/// Renders [`MachineStats`] (including the attribution) as JSON.
+pub fn stats_json(stats: &MachineStats) -> Json {
+    Json::obj([
+        ("cycles", Json::U64(stats.cycles)),
+        ("retired", Json::u64s(stats.retired.iter().copied())),
+        ("utilization", Json::F64(stats.utilization())),
+        ("bubbles", Json::U64(stats.bubbles)),
+        ("flushed_jump", Json::U64(stats.flushed_jump)),
+        ("flushed_io", Json::U64(stats.flushed_io)),
+        ("flushed_bus_busy", Json::U64(stats.flushed_bus_busy)),
+        ("flushed_irq", Json::U64(stats.flushed_irq)),
+        (
+            "wait_txn_cycles",
+            Json::u64s(stats.wait_txn_cycles.iter().copied()),
+        ),
+        (
+            "wait_bus_free_cycles",
+            Json::u64s(stats.wait_bus_free_cycles.iter().copied()),
+        ),
+        (
+            "spill_stall_cycles",
+            Json::u64s(stats.spill_stall_cycles.iter().copied()),
+        ),
+        (
+            "hazard_stalls",
+            Json::u64s(stats.hazard_stalls.iter().copied()),
+        ),
+        (
+            "vectors_taken",
+            Json::u64s(stats.vectors_taken.iter().copied()),
+        ),
+        (
+            "irq_latency",
+            Json::obj([
+                ("count", Json::U64(stats.irq_latency.count())),
+                (
+                    "mean",
+                    stats.irq_latency.mean().map_or(Json::Null, Json::F64),
+                ),
+                ("max", stats.irq_latency.max().map_or(Json::Null, Json::U64)),
+            ]),
+        ),
+        ("reallocations", Json::U64(stats.reallocations)),
+        ("flow_instructions", Json::U64(stats.flow_instructions)),
+        ("external_accesses", Json::U64(stats.external_accesses)),
+        ("unmapped_accesses", Json::U64(stats.unmapped_accesses)),
+        ("abi_timeouts", Json::U64(stats.abi_timeouts)),
+        ("bus_faults", Json::u64s(stats.bus_faults.iter().copied())),
+        ("attribution", attribution_json(&stats.attribution)),
+    ])
+}
+
+/// Scheduler grant/reallocation shares as JSON.
+pub fn scheduler_json(granted: &[u64], reallocations: u64) -> Json {
+    let total: u64 = granted.iter().sum();
+    Json::obj([
+        ("granted", Json::u64s(granted.iter().copied())),
+        (
+            "grant_share",
+            Json::Arr(
+                granted
+                    .iter()
+                    .map(|&g| Json::F64(g as f64 / total.max(1) as f64))
+                    .collect(),
+            ),
+        ),
+        ("reallocations", Json::U64(reallocations)),
+    ])
+}
+
+/// A schema-versioned structured run summary, built section by section
+/// and written under `results/`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    sections: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// Starts a report produced by `tool` (e.g. `"repro_all"`).
+    pub fn new(tool: &str) -> Self {
+        RunReport {
+            sections: vec![
+                ("schema".into(), Json::str(RUN_REPORT_SCHEMA)),
+                ("tool".into(), Json::str(tool)),
+            ],
+        }
+    }
+
+    /// Appends a named section.
+    pub fn section(mut self, name: &str, value: Json) -> Self {
+        self.sections.push((name.into(), value));
+        self
+    }
+
+    /// Appends the `config` section (fields + fingerprint).
+    pub fn with_config(self, config: &MachineConfig) -> Self {
+        self.section("config", config_json(config))
+    }
+
+    /// Appends the `stats` section (counters + attribution).
+    pub fn with_stats(self, stats: &MachineStats) -> Self {
+        self.section("stats", stats_json(stats))
+    }
+
+    /// Appends the `scheduler` section (grants, shares, reallocations).
+    pub fn with_scheduler(self, granted: &[u64], reallocations: u64) -> Self {
+        self.section("scheduler", scheduler_json(granted, reallocations))
+    }
+
+    /// Captures config, stats and scheduler shares straight off a
+    /// finished machine.
+    pub fn from_machine(tool: &str, machine: &Machine) -> Self {
+        RunReport::new(tool)
+            .with_config(machine.config())
+            .with_stats(machine.stats())
+            .with_scheduler(
+                machine.scheduler_grants(),
+                machine.scheduler_reallocations(),
+            )
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.sections.clone())
+    }
+
+    /// The report rendered as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Writes the report as `<dir>/<name>.report.json`, creating `dir`
+    /// if needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write failures.
+    pub fn write_under(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.report.json"));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let base = MachineConfig::disc1();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp.len(), 16);
+        assert_eq!(fp, config_fingerprint(&MachineConfig::disc1()));
+        let other = MachineConfig::disc1().with_streams(2);
+        assert_ne!(fp, config_fingerprint(&other));
+        // Schedule *contents* matter, not just the variant.
+        let seq_a =
+            MachineConfig::disc1().with_schedule(SchedulePolicy::Sequence(vec![0, 1, 2, 3]));
+        let seq_b =
+            MachineConfig::disc1().with_schedule(SchedulePolicy::Sequence(vec![0, 1, 3, 2]));
+        assert_ne!(config_fingerprint(&seq_a), config_fingerprint(&seq_b));
+    }
+
+    #[test]
+    fn report_carries_schema_and_sections() {
+        let stats = MachineStats::new(2);
+        let report = RunReport::new("unit-test")
+            .with_config(&MachineConfig::disc1())
+            .with_stats(&stats)
+            .with_scheduler(&[3, 1], 0)
+            .section("extra", Json::U64(7));
+        let text = report.render();
+        assert!(text.contains("\"schema\": \"disc-run-report/v1\""));
+        assert!(text.contains("\"tool\": \"unit-test\""));
+        assert!(text.contains("\"fingerprint\""));
+        assert!(text.contains("\"attribution\""));
+        assert!(text.contains("\"grant_share\""));
+        assert!(text.contains("\"extra\": 7"));
+    }
+
+    #[test]
+    fn attribution_json_lists_all_buckets_and_totals() {
+        let mut attr = CycleAttribution::new(2);
+        attr.issue[0] = 4;
+        attr.idle[0] = 6;
+        attr.not_scheduled[1] = 10;
+        let rendered = attribution_json(&attr).render();
+        for bucket in ATTRIBUTION_BUCKETS {
+            assert!(rendered.contains(bucket), "missing {bucket}");
+        }
+        assert!(rendered.contains("\"totals\":[10,10]"));
+    }
+}

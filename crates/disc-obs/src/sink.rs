@@ -1,0 +1,352 @@
+//! Streaming [`TraceSink`] implementations: JSONL event streams and
+//! counters-only sampling.
+//!
+//! The bounded ring buffer ([`disc_core::Trace`]) keeps the *last* N
+//! cycles; these sinks instead observe *every* cycle as it happens —
+//! [`JsonlSink`] serializes each [`CycleRecord`] to one JSON line, and
+//! [`SamplingSink`] skips record assembly entirely (via
+//! [`TraceSink::wants_records`]) and snapshots [`MachineStats`] deltas
+//! every N cycles.
+
+use std::io::{self, Write};
+
+use disc_core::{CycleRecord, MachineStats, TraceEvent, TraceSink};
+
+use crate::json::Json;
+
+/// Serializes every traced cycle as one JSON object per line.
+///
+/// Writes are buffered by whatever `W` the caller supplies; an I/O error
+/// latches (subsequent records are dropped) and is reported by
+/// [`JsonlSink::into_inner`] so a full disk cannot panic the simulation.
+pub struct JsonlSink<W: Write + 'static> {
+    writer: W,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: Write + 'static> JsonlSink<W> {
+    /// Wraps `writer`; each traced cycle becomes one line of JSON.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the writer and any latched I/O error.
+    pub fn into_inner(self) -> (W, Option<io::Error>) {
+        (self.writer, self.error)
+    }
+}
+
+impl<W: Write + 'static> TraceSink for JsonlSink<W> {
+    fn record_cycle(&mut self, record: CycleRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = cycle_json(&record).render();
+        match writeln!(self.writer, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Renders one [`CycleRecord`] as a JSON object (the JSONL line format).
+pub fn cycle_json(record: &CycleRecord) -> Json {
+    let stages = record
+        .stages
+        .iter()
+        .map(|slot| match slot {
+            None => Json::Null,
+            Some(s) => Json::obj([
+                ("stream", Json::U64(s.stream as u64)),
+                ("pc", Json::U64(u64::from(s.pc))),
+                ("instr", Json::str(s.instr.to_string())),
+            ]),
+        })
+        .collect();
+    Json::obj([
+        ("cycle", Json::U64(record.cycle)),
+        (
+            "fetched",
+            match record.fetched {
+                Some(s) => Json::U64(s as u64),
+                None => Json::Null,
+            },
+        ),
+        ("stages", Json::Arr(stages)),
+        (
+            "events",
+            Json::Arr(record.events.iter().map(event_json).collect()),
+        ),
+    ])
+}
+
+/// Renders one [`TraceEvent`] as a JSON object with a `"type"` tag.
+pub fn event_json(event: &TraceEvent) -> Json {
+    match event {
+        TraceEvent::Flush {
+            stream,
+            count,
+            cause,
+        } => Json::obj([
+            ("type", Json::str("flush")),
+            ("stream", Json::U64(*stream as u64)),
+            ("count", Json::U64(*count as u64)),
+            ("cause", Json::str(*cause)),
+        ]),
+        TraceEvent::BusStart {
+            stream,
+            addr,
+            latency,
+        } => Json::obj([
+            ("type", Json::str("bus-start")),
+            ("stream", Json::U64(*stream as u64)),
+            ("addr", Json::U64(u64::from(*addr))),
+            ("latency", Json::U64(u64::from(*latency))),
+        ]),
+        TraceEvent::BusComplete { stream } => Json::obj([
+            ("type", Json::str("bus-complete")),
+            ("stream", Json::U64(*stream as u64)),
+        ]),
+        TraceEvent::Vector {
+            stream,
+            bit,
+            target,
+        } => Json::obj([
+            ("type", Json::str("vector")),
+            ("stream", Json::U64(*stream as u64)),
+            ("bit", Json::U64(u64::from(*bit))),
+            ("target", Json::U64(u64::from(*target))),
+        ]),
+        TraceEvent::BusFault { stream, addr, kind } => Json::obj([
+            ("type", Json::str("bus-fault")),
+            ("stream", Json::U64(*stream as u64)),
+            ("addr", Json::U64(u64::from(*addr))),
+            ("kind", Json::str(kind.to_string())),
+        ]),
+        TraceEvent::Spill { stream, cycles } => Json::obj([
+            ("type", Json::str("spill")),
+            ("stream", Json::U64(*stream as u64)),
+            ("cycles", Json::U64(u64::from(*cycles))),
+        ]),
+    }
+}
+
+/// One counters snapshot taken by [`SamplingSink`]: deltas over the
+/// sampling window ending at `cycle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSample {
+    /// Cycle the window ends on (inclusive).
+    pub cycle: u64,
+    /// Instructions retired in the window.
+    pub retired: u64,
+    /// Bubble cycles in the window.
+    pub bubbles: u64,
+    /// Instructions flushed in the window.
+    pub flushed: u64,
+    /// External bus transactions issued in the window.
+    pub external_accesses: u64,
+    /// Scheduler reallocations in the window.
+    pub reallocations: u64,
+    /// Windowed utilization: retired / window length.
+    pub utilization: f64,
+}
+
+/// Counters-only sink: snapshots [`MachineStats`] deltas every `every`
+/// cycles without ever paying for [`CycleRecord`] assembly.
+pub struct SamplingSink {
+    every: u64,
+    samples: Vec<StatsSample>,
+    last_cycle: u64,
+    last_retired: u64,
+    last_bubbles: u64,
+    last_flushed: u64,
+    last_external: u64,
+    last_realloc: u64,
+}
+
+impl SamplingSink {
+    /// Samples once every `every` cycles (`every` is clamped to at
+    /// least 1).
+    pub fn new(every: u64) -> Self {
+        SamplingSink {
+            every: every.max(1),
+            samples: Vec::new(),
+            last_cycle: 0,
+            last_retired: 0,
+            last_bubbles: 0,
+            last_flushed: 0,
+            last_external: 0,
+            last_realloc: 0,
+        }
+    }
+
+    /// The collected samples, oldest first.
+    pub fn samples(&self) -> &[StatsSample] {
+        &self.samples
+    }
+
+    /// Renders the samples as a JSON array.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.samples
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("cycle", Json::U64(s.cycle)),
+                        ("retired", Json::U64(s.retired)),
+                        ("bubbles", Json::U64(s.bubbles)),
+                        ("flushed", Json::U64(s.flushed)),
+                        ("external_accesses", Json::U64(s.external_accesses)),
+                        ("reallocations", Json::U64(s.reallocations)),
+                        ("utilization", Json::F64(s.utilization)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl TraceSink for SamplingSink {
+    fn wants_records(&self) -> bool {
+        false
+    }
+
+    fn record_cycle(&mut self, _record: CycleRecord) {}
+
+    fn observe_stats(&mut self, cycle: u64, stats: &MachineStats) {
+        // `cycle` is 0-based; sample when the window boundary passes.
+        if !(cycle + 1).is_multiple_of(self.every) {
+            return;
+        }
+        let window = (cycle + 1) - self.last_cycle;
+        let retired = stats.retired_total();
+        let flushed = stats.flushed_total();
+        self.samples.push(StatsSample {
+            cycle,
+            retired: retired - self.last_retired,
+            bubbles: stats.bubbles - self.last_bubbles,
+            flushed: flushed - self.last_flushed,
+            external_accesses: stats.external_accesses - self.last_external,
+            reallocations: stats.reallocations - self.last_realloc,
+            utilization: (retired - self.last_retired) as f64 / window.max(1) as f64,
+        });
+        self.last_cycle = cycle + 1;
+        self.last_retired = retired;
+        self.last_bubbles = stats.bubbles;
+        self.last_flushed = flushed;
+        self.last_external = stats.external_accesses;
+        self.last_realloc = stats.reallocations;
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{CycleRecord, StageSnapshot};
+    use disc_isa::Instruction;
+
+    fn record(cycle: u64) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            stages: vec![
+                Some(StageSnapshot {
+                    stream: 1,
+                    pc: 0x10,
+                    instr: Instruction::Nop,
+                }),
+                None,
+            ],
+            fetched: Some(1),
+            events: vec![TraceEvent::Flush {
+                stream: 0,
+                count: 2,
+                cause: "jump",
+            }],
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_cycle() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record_cycle(record(0));
+        sink.record_cycle(record(1));
+        sink.finish();
+        assert_eq!(sink.lines(), 2);
+        let (buf, err) = sink.into_inner();
+        assert!(err.is_none());
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record_cycle(record(0));
+        sink.record_cycle(record(1));
+        assert_eq!(sink.lines(), 0);
+        let (_, err) = sink.into_inner();
+        assert_eq!(err.unwrap().kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn sampling_sink_reports_window_deltas() {
+        let mut sink = SamplingSink::new(10);
+        assert!(!sink.wants_records());
+        let mut stats = MachineStats::new(1);
+        for cycle in 0..30u64 {
+            stats.cycles = cycle + 1;
+            stats.retired[0] += 1; // one instruction per cycle
+            if cycle % 2 == 0 {
+                stats.bubbles += 1;
+            }
+            sink.observe_stats(cycle, &stats);
+        }
+        let samples = sink.samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].cycle, 9);
+        assert_eq!(samples[2].cycle, 29);
+        for s in samples {
+            assert_eq!(s.retired, 10);
+            assert_eq!(s.bubbles, 5);
+            assert!((s.utilization - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -327,6 +327,25 @@ mod tests {
     }
 
     #[test]
+    fn disc_outcome_attribution_balances_under_rt_workload() {
+        // The interrupt-driven RT harness exercises vectors, external
+        // I/O and scheduler reallocation together; the per-stream cycle
+        // attribution must still account for every elapsed cycle.
+        let set = TaskSet::new(vec![
+            Task::new("fast", 400, 300).with_body(20).with_io(1, 8),
+            Task::new("slow", 900, 800).with_body(60),
+        ]);
+        let out = run_on_disc(&set, 20_000).unwrap();
+        if let Err(violations) = out.stats.attribution.check(out.stats.cycles) {
+            panic!("attribution imbalance: {}", violations.join("; "));
+        }
+        // The harness keeps every stream busy enough that some cycles
+        // must land outside plain issue for at least one stream.
+        let issued: u64 = out.stats.attribution.issue.iter().sum();
+        assert!(issued > 0 && issued < out.stats.cycles * out.stats.attribution.streams() as u64);
+    }
+
+    #[test]
     fn baseline_pays_context_switch_latency() {
         let set = TaskSet::new(vec![Task::new("t", 800, 700).with_body(10)]);
         let disc = run_on_disc(&set, 20_000).unwrap();

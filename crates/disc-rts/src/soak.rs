@@ -20,6 +20,7 @@
 
 use disc_core::{BusFaultPolicy, MachineConfig, SimError};
 use disc_faults::{AddrRange, FaultInjector, FaultLog, FaultPlan, FaultWindow};
+use disc_obs::{stats_json, Json, RunReport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -136,6 +137,93 @@ impl SoakReport {
     /// Faults delivered across the campaign.
     pub fn faults_delivered(&self) -> u64 {
         self.runs.iter().map(|r| r.fault_log.total()).sum()
+    }
+
+    /// Builds the campaign's schema-versioned [`RunReport`]: campaign
+    /// parameters and verdict, aggregated fault-injection counters, the
+    /// per-run failure list, and the fault-free reference outcome with
+    /// its full stats (including the per-stream cycle attribution) plus
+    /// the fingerprinted machine configuration every run used.
+    pub fn run_report(&self, cfg: &SoakConfig) -> RunReport {
+        let machine_cfg = cfg
+            .machine_config()
+            .with_streams(self.reference.tasks.len() + 1);
+        let mut fault_totals = FaultLog::default();
+        for run in &self.runs {
+            fault_totals.inflated_probes += run.fault_log.inflated_probes;
+            fault_totals.stuck_probes += run.fault_log.stuck_probes;
+            fault_totals.blackouts += run.fault_log.blackouts;
+            fault_totals.bit_flips += run.fault_log.bit_flips;
+            fault_totals.dropped_irqs += run.fault_log.dropped_irqs;
+            fault_totals.spurious_irqs += run.fault_log.spurious_irqs;
+        }
+        let failures = Json::Arr(
+            self.failed()
+                .iter()
+                .map(|run| {
+                    let detail = match &run.verdict {
+                        RunVerdict::Violations(v) => Json::Arr(v.iter().map(Json::str).collect()),
+                        RunVerdict::SimFault(e) => {
+                            Json::Arr(vec![Json::str(format!("simulator fault: {e}"))])
+                        }
+                        RunVerdict::Clean => unreachable!("failed() filters clean runs"),
+                    };
+                    Json::obj([
+                        ("seed", Json::U64(run.seed)),
+                        ("victim", Json::U64(run.victim as u64)),
+                        ("violations", detail),
+                    ])
+                })
+                .collect(),
+        );
+        RunReport::new("soak")
+            .section(
+                "campaign",
+                Json::obj([
+                    ("base_seed", Json::U64(cfg.base_seed)),
+                    ("runs", Json::U64(cfg.runs)),
+                    ("horizon", Json::U64(cfg.horizon)),
+                    ("abi_timeout", Json::U64(cfg.abi_timeout)),
+                    ("clean", Json::U64(self.clean() as u64)),
+                    ("passed", Json::Bool(self.passed())),
+                    ("faults_delivered", Json::U64(self.faults_delivered())),
+                    (
+                        "bus_faults",
+                        Json::U64(self.runs.iter().map(|r| r.bus_faults).sum()),
+                    ),
+                    (
+                        "abi_timeouts",
+                        Json::U64(self.runs.iter().map(|r| r.abi_timeouts).sum()),
+                    ),
+                ]),
+            )
+            .section(
+                "fault_counters",
+                Json::obj(
+                    fault_totals
+                        .counters()
+                        .into_iter()
+                        .map(|(name, v)| (name, Json::U64(v))),
+                ),
+            )
+            .section("failures", failures)
+            .section(
+                "reference",
+                Json::obj([
+                    ("cycles", Json::U64(self.reference.cycles)),
+                    ("utilization", Json::F64(self.reference.utilization)),
+                    (
+                        "max_irq_latency",
+                        self.reference.max_irq_latency.map_or(Json::Null, Json::U64),
+                    ),
+                    (
+                        "background_retired",
+                        Json::U64(self.reference.background_retired),
+                    ),
+                    ("stats", stats_json(&self.reference.stats)),
+                ]),
+            )
+            .with_config(&machine_cfg)
     }
 
     /// Multi-line human-readable summary (one line per failed run).
@@ -399,6 +487,22 @@ mod tests {
         assert!(report.faults_delivered() > 0);
         assert!(report.runs.iter().all(|r| r.bus_faults > 0));
         assert!(report.summary().contains("6/6 runs clean"));
+    }
+
+    #[test]
+    fn run_report_captures_campaign_and_reference() {
+        let cfg = quick_cfg(2);
+        let report = run_campaign(&cfg);
+        let text = report.run_report(&cfg).render();
+        assert!(text.contains("\"schema\": \"disc-run-report/v1\""));
+        assert!(text.contains("\"tool\": \"soak\""));
+        assert!(text.contains("\"faults_delivered\""));
+        assert!(text.contains("\"inflated_probes\""));
+        assert!(text.contains("\"attribution\""));
+        assert!(text.contains("\"fingerprint\""));
+        // Reference run attribution must balance against its cycles.
+        let stats = &report.reference.stats;
+        assert!(stats.attribution.check(stats.cycles).is_ok());
     }
 
     #[test]

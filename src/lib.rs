@@ -62,5 +62,6 @@ pub use disc_core as core;
 pub use disc_faults as faults;
 pub use disc_firmware as firmware;
 pub use disc_isa as isa;
+pub use disc_obs as obs;
 pub use disc_rts as rts;
 pub use disc_stoch as stoch;
