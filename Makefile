@@ -1,6 +1,6 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench bench-micro repro repro-quick soak reports docs clippy examples clean
+.PHONY: all test bench bench-micro repro repro-quick soak fuzz fuzz-long reports docs clippy examples clean
 
 all: test
 
@@ -28,6 +28,18 @@ repro-quick:
 # on any isolation-invariant violation; DISC_JOBS caps the fan-out.
 soak:
 	cargo run --release -p disc-bench --bin soak
+
+# Differential fuzzing against the disc-ref golden-reference interpreter
+# (see EXPERIMENTS.md "Conformance fuzzing"). `fuzz` replays the
+# regression corpus plus 1000 fixed seeds and exits 1 on any divergence;
+# `fuzz-long` runs a 100k-seed campaign. A failing seed is minimized,
+# printed, and replays with
+# `cargo run --release -p disc-bench --bin fuzz -- --no-corpus --seed <seed> --count 1`.
+fuzz:
+	cargo run --release -p disc-bench --bin fuzz -- --seed 0 --count 1000
+
+fuzz-long:
+	cargo run --release -p disc-bench --bin fuzz -- --seed 0 --count 100000
 
 # Structured run reports (schema disc-run-report/v1) under results/:
 # the quick reproduction pass, a short soak campaign, and the

@@ -8,6 +8,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod fuzz;
 
 use disc_obs::Json;
 

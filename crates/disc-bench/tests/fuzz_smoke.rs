@@ -1,0 +1,65 @@
+//! Differential-fuzzing smoke test: replays the regression corpus and a
+//! fixed block of fresh seeds on every test run. The full campaign runs
+//! via `make fuzz` / `make fuzz-long`; this keeps a meaningful slice of
+//! it in `cargo test`.
+
+use disc_bench::fuzz::{check_seed, generate, run_campaign};
+
+/// Seeds checked by `cargo test` on every run. The fuzz binary's default
+/// campaign covers 1000; CI runs that too (`make fuzz`).
+const SMOKE_SEEDS: u64 = 200;
+
+#[test]
+fn regression_corpus_stays_green() {
+    let corpus = include_str!("../fuzz/regressions.txt");
+    let seeds: Vec<u64> = corpus
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            l.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).expect("hex seed"))
+                .unwrap_or_else(|| l.parse().expect("decimal seed"))
+        })
+        .collect();
+    assert!(!seeds.is_empty(), "corpus must not be empty");
+    for seed in seeds {
+        if let Err(div) = check_seed(seed) {
+            panic!("regression seed resurfaced:\n{div}");
+        }
+    }
+}
+
+#[test]
+fn fresh_seed_block_matches() {
+    let report = run_campaign(&[], 0, SMOKE_SEEDS);
+    assert_eq!(report.programs, SMOKE_SEEDS);
+    assert!(report.instructions > 0);
+    if !report.passed() {
+        let mut msg = String::new();
+        for d in &report.divergences {
+            msg.push_str(&d.to_string());
+        }
+        panic!("{} divergences:\n{msg}", report.divergences.len());
+    }
+}
+
+#[test]
+fn microarchitecture_knobs_are_exercised() {
+    // The generator must actually vary the timing-only knobs, otherwise
+    // the differential test silently loses most of its power.
+    let gps: Vec<_> = (0..128).map(generate).collect();
+    assert!(gps.iter().any(|g| g.schedule.is_some()), "sequence tables");
+    assert!(gps.iter().any(|g| g.ext_latency == 0), "zero-latency bus");
+    assert!(gps.iter().any(|g| g.ext_latency > 1), "slow bus");
+    assert!(gps.iter().any(|g| g.window_depth < 64), "shallow windows");
+    assert!(
+        gps.iter()
+            .map(|g| g.pipeline_depth)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            > 2,
+        "pipeline depths"
+    );
+    assert!(gps.iter().any(|g| !g.exact), "cross-signal programs");
+}

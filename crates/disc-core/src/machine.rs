@@ -331,6 +331,15 @@ impl Machine {
         &mut self.intmem
     }
 
+    /// Mutable access to the external data bus (test setup and
+    /// post-mortem inspection, e.g. the differential fuzz harness reading
+    /// back external memory). Accesses through this handle bypass the
+    /// asynchronous bus interface entirely: no latency, no transaction,
+    /// no stats.
+    pub fn bus_mut(&mut self) -> &mut dyn DataBus {
+        &mut *self.bus
+    }
+
     /// Immutable view of stream `s`.
     ///
     /// # Panics
@@ -652,6 +661,12 @@ impl Machine {
     fn retire(&mut self, slot: Slot) {
         self.live_slots -= 1;
         self.stats.retired[slot.stream] += 1;
+        if self.trace.is_some() {
+            self.events.push(TraceEvent::Retire {
+                stream: slot.stream,
+                pc: slot.pc,
+            });
+        }
         let st = &mut self.streams[slot.stream];
         st.pending.retain(|p| p.seq != slot.seq);
         if slot.moves_window {

@@ -98,6 +98,16 @@ pub enum TraceEvent {
         /// Stall cycles charged.
         cycles: u32,
     },
+    /// An instruction left the write stage (architecturally committed).
+    /// Only emitted while a sink is attached; the differential fuzz
+    /// harness uses the per-stream retire order as the program-order
+    /// ground truth to compare against the reference model.
+    Retire {
+        /// Stream the instruction belongs to.
+        stream: usize,
+        /// Program address of the retired instruction.
+        pc: u16,
+    },
 }
 
 /// One traced machine cycle.

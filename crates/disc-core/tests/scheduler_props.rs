@@ -1,0 +1,149 @@
+//! Property tests for the DISC1 hardware scheduler: sequence-table
+//! shares are honored to 1/16 granularity, and dynamic reallocation
+//! never wastes a slot while any stream is ready.
+
+use disc_core::{SchedulePolicy, Scheduler, SEQUENCE_SLOTS};
+use proptest::prelude::*;
+
+/// A random 16-slot sequence table drawn over 8 streams; tests reduce
+/// the entries mod the stream count they draw separately.
+fn arb_raw_table() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..8, SEQUENCE_SLOTS)
+}
+
+fn share(table: &[u8], s: usize) -> u64 {
+    table.iter().filter(|&&x| x as usize == s).count() as u64
+}
+
+proptest! {
+    /// With every stream ready, grants over whole frames equal the
+    /// static 1/16 shares exactly, and mid-frame each stream is within
+    /// one slot of its proportional entitlement.
+    #[test]
+    fn granted_shares_match_partition(
+        streams in 2usize..=8,
+        raw_table in arb_raw_table(),
+        frames in 1u64..6,
+    ) {
+        let table: Vec<u8> = raw_table.iter().map(|&x| x % streams as u8).collect();
+        let mut table = table;
+        for (s, slot) in table.iter_mut().enumerate().take(streams) {
+            *slot = s as u8;
+        }
+        let mut sched = Scheduler::new(SchedulePolicy::Sequence(table.clone()), streams);
+        let ready = vec![true; streams];
+        for cycle in 0..frames * SEQUENCE_SLOTS as u64 {
+            let pick = sched.pick(&ready);
+            prop_assert!(pick.is_some(), "ready streams must always be granted");
+            // Mid-frame bound: a stream never exceeds its entitlement for
+            // the frames elapsed so far by more than one slot.
+            let done_frames = (cycle + 1) / SEQUENCE_SLOTS as u64;
+            for s in 0..streams {
+                let granted = sched.granted()[s];
+                let entitled = share(&table, s) * (done_frames + 1);
+                prop_assert!(
+                    granted <= entitled,
+                    "stream {s} granted {granted} > entitlement {entitled} \
+                     after cycle {cycle}"
+                );
+            }
+        }
+        // Whole frames: shares are exact.
+        for s in 0..streams {
+            prop_assert_eq!(
+                sched.granted()[s],
+                share(&table, s) * frames,
+                "stream {} share over {} frames (table {:?})",
+                s, frames, &table
+            );
+        }
+        prop_assert_eq!(sched.reallocated(), 0, "no reallocation when all ready");
+    }
+
+    /// A stalled owner's slot always goes to some ready stream *with a
+    /// slot in the table* — never to a stalled stream, never wasted as a
+    /// bubble. (A stream absent from the table has a static share of
+    /// zero and is starved by design, so it does not count as a
+    /// reallocation candidate.)
+    #[test]
+    fn stalled_slots_reallocate_to_ready_streams(
+        streams in 2usize..=8,
+        raw_table in arb_raw_table(),
+        ready_bits in 1u8..=0xff,
+        cycles in 1usize..64,
+    ) {
+        let table: Vec<u8> = raw_table.iter().map(|&x| x % streams as u8).collect();
+        let ready: Vec<bool> = (0..streams)
+            .map(|s| ready_bits & (1 << (s % 8)) != 0)
+            .collect();
+        let any_tabled_ready = table.iter().any(|&t| ready[t as usize]);
+        let mut sched = Scheduler::new(SchedulePolicy::Sequence(table.clone()), streams);
+        for cycle in 0..cycles {
+            let pick = sched.pick(&ready);
+            match pick {
+                Some(s) => {
+                    prop_assert!(
+                        ready[s],
+                        "cycle {cycle}: granted stalled stream {s} (ready {ready:?})"
+                    );
+                    prop_assert!(
+                        table.contains(&(s as u8)),
+                        "cycle {cycle}: granted stream {s} outside the table {table:?}"
+                    );
+                }
+                None => prop_assert!(
+                    !any_tabled_ready,
+                    "cycle {cycle}: bubble despite ready tabled streams \
+                     (ready {ready:?}, table {table:?})"
+                ),
+            }
+        }
+        if !any_tabled_ready {
+            prop_assert!(sched.granted().iter().all(|&g| g == 0));
+            return Ok(());
+        }
+        // Every slot whose owner was stalled must have been reallocated.
+        let expected_realloc: u64 = (0..cycles)
+            .filter(|&c| !ready[table[c % table.len()] as usize])
+            .count() as u64;
+        prop_assert_eq!(sched.reallocated(), expected_realloc);
+    }
+
+    /// When no stream is ready the scheduler reports a bubble and grants
+    /// nothing.
+    #[test]
+    fn all_stalled_gives_bubbles(
+        streams in 2usize..=8,
+        cycles in 1usize..32,
+    ) {
+        let mut sched = Scheduler::new(SchedulePolicy::round_robin(streams), streams);
+        let ready = vec![false; streams];
+        for _ in 0..cycles {
+            prop_assert_eq!(sched.pick(&ready), None);
+        }
+        prop_assert!(sched.granted().iter().all(|&g| g == 0));
+        prop_assert_eq!(sched.reallocated(), 0);
+    }
+
+    /// A sole ready stream receives the machine's entire throughput no
+    /// matter how small its static share is (paper Figure 3.3).
+    #[test]
+    fn sole_ready_stream_gets_full_throughput(
+        streams in 2usize..=8,
+        raw_table in arb_raw_table(),
+        lucky in 0usize..8,
+    ) {
+        let table: Vec<u8> = raw_table.iter().map(|&x| x % streams as u8).collect();
+        let mut table = table;
+        for (s, slot) in table.iter_mut().enumerate().take(streams) {
+            *slot = s as u8;
+        }
+        let lucky = lucky % streams;
+        let ready: Vec<bool> = (0..streams).map(|s| s == lucky).collect();
+        let mut sched = Scheduler::new(SchedulePolicy::Sequence(table), streams);
+        for _ in 0..64 {
+            prop_assert_eq!(sched.pick(&ready), Some(lucky));
+        }
+        prop_assert_eq!(sched.granted()[lucky], 64);
+    }
+}

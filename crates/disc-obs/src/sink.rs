@@ -150,6 +150,11 @@ pub fn event_json(event: &TraceEvent) -> Json {
             ("stream", Json::U64(*stream as u64)),
             ("cycles", Json::U64(u64::from(*cycles))),
         ]),
+        TraceEvent::Retire { stream, pc } => Json::obj([
+            ("type", Json::str("retire")),
+            ("stream", Json::U64(*stream as u64)),
+            ("pc", Json::U64(u64::from(*pc))),
+        ]),
     }
 }
 

@@ -1,0 +1,220 @@
+//! Reference ALU and condition evaluation, written against the ISA
+//! contract rather than shared with `disc-core`.
+//!
+//! Flag conventions (ISA §"status register"):
+//!
+//! * `Z` — result is zero; `N` — bit 15 of the result.
+//! * Additions set `C` on carry out of bit 15; subtractions set `C` when
+//!   **no** borrow occurred (`a >= b + borrow_in`), the classic
+//!   borrow-inverted carry.
+//! * `V` is two's-complement overflow for add/sub, cleared by the logical
+//!   ops, multiplies and shifts, and untouched by `mov`/`not`.
+//! * Shifts move the last bit shifted out into `C`; a shift count of zero
+//!   leaves `C` clear.
+
+use disc_isa::{AluImmOp, AluOp, Cond};
+
+/// Condition flags of one reference stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefFlags {
+    /// Zero.
+    pub z: bool,
+    /// Negative (bit 15).
+    pub n: bool,
+    /// Carry / not-borrow.
+    pub c: bool,
+    /// Two's-complement overflow.
+    pub v: bool,
+}
+
+impl RefFlags {
+    /// Packs the flags into the low nibble of an `sr` word
+    /// (`Z N C V` in bits `0..=3`).
+    pub fn to_word(self) -> u16 {
+        (self.z as u16) | (self.n as u16) << 1 | (self.c as u16) << 2 | (self.v as u16) << 3
+    }
+
+    /// Unpacks an `sr` word.
+    pub fn from_word(w: u16) -> Self {
+        RefFlags {
+            z: w & 1 != 0,
+            n: w & 2 != 0,
+            c: w & 4 != 0,
+            v: w & 8 != 0,
+        }
+    }
+}
+
+fn zn(r: u16) -> (bool, bool) {
+    (r == 0, r & 0x8000 != 0)
+}
+
+/// Two's-complement overflow of `a + b = r` (sign of both inputs differs
+/// from the sign of the result).
+fn add_overflow(a: u16, b: u16, r: u16) -> bool {
+    ((a ^ r) & (b ^ r) & 0x8000) != 0
+}
+
+/// Two's-complement overflow of `a - b = r`.
+fn sub_overflow(a: u16, b: u16, r: u16) -> bool {
+    ((a ^ b) & (a ^ r) & 0x8000) != 0
+}
+
+fn add_like(a: u16, b: u16, carry_in: bool, mut f: RefFlags) -> (u16, RefFlags) {
+    let wide = a as u32 + b as u32 + carry_in as u32;
+    let r = wide as u16;
+    f.c = wide > 0xffff;
+    f.v = add_overflow(a, b, r);
+    (f.z, f.n) = zn(r);
+    (r, f)
+}
+
+fn sub_like(a: u16, b: u16, borrow_in: bool, mut f: RefFlags) -> (u16, RefFlags) {
+    let r = a.wrapping_sub(b).wrapping_sub(borrow_in as u16);
+    f.c = a as u32 >= b as u32 + borrow_in as u32;
+    f.v = sub_overflow(a, b, r);
+    (f.z, f.n) = zn(r);
+    (r, f)
+}
+
+fn logic_like(r: u16, mut f: RefFlags) -> (u16, RefFlags) {
+    f.c = false;
+    f.v = false;
+    (f.z, f.n) = zn(r);
+    (r, f)
+}
+
+/// Evaluates the reference ALU: result plus updated flags. The caller
+/// discards the result for `cmp`.
+pub fn ref_alu(op: AluOp, a: u16, b: u16, flags: RefFlags) -> (u16, RefFlags) {
+    let mut f = flags;
+    match op {
+        AluOp::Add => add_like(a, b, false, f),
+        AluOp::Adc => add_like(a, b, flags.c, f),
+        AluOp::Sub | AluOp::Cmp => sub_like(a, b, false, f),
+        AluOp::Sbc => sub_like(a, b, !flags.c, f),
+        AluOp::And => logic_like(a & b, f),
+        AluOp::Or => logic_like(a | b, f),
+        AluOp::Xor => logic_like(a ^ b, f),
+        AluOp::Mul => logic_like((a as u32 * b as u32) as u16, f),
+        AluOp::Mulh => logic_like(((a as u32 * b as u32) >> 16) as u16, f),
+        AluOp::Shl => {
+            let sh = (b & 0xf) as u32;
+            let wide = (a as u32) << sh;
+            let r = wide as u16;
+            f.c = sh > 0 && wide & 0x1_0000 != 0;
+            f.v = false;
+            (f.z, f.n) = zn(r);
+            (r, f)
+        }
+        AluOp::Shr => {
+            let sh = (b & 0xf) as u32;
+            let r = if sh == 0 { a } else { a >> sh };
+            f.c = sh > 0 && (a >> (sh - 1)) & 1 != 0;
+            f.v = false;
+            (f.z, f.n) = zn(r);
+            (r, f)
+        }
+        AluOp::Asr => {
+            let sh = (b & 0xf) as u32;
+            let r = ((a as i16) >> sh) as u16;
+            f.c = sh > 0 && ((a as i16) >> (sh - 1)) & 1 != 0;
+            f.v = false;
+            (f.z, f.n) = zn(r);
+            (r, f)
+        }
+        AluOp::Mov => {
+            (f.z, f.n) = zn(a);
+            (a, f)
+        }
+        AluOp::Not => {
+            let r = !a;
+            (f.z, f.n) = zn(r);
+            (r, f)
+        }
+    }
+}
+
+/// Evaluates an immediate-form ALU operation (`b` is the zero-extended
+/// 8-bit immediate).
+pub fn ref_alu_imm(op: AluImmOp, a: u16, imm: u8, flags: RefFlags) -> (u16, RefFlags) {
+    let three_op = match op {
+        AluImmOp::Addi => AluOp::Add,
+        AluImmOp::Subi => AluOp::Sub,
+        AluImmOp::Andi => AluOp::And,
+        AluImmOp::Ori => AluOp::Or,
+        AluImmOp::Xori => AluOp::Xor,
+        AluImmOp::Cmpi => AluOp::Cmp,
+    };
+    ref_alu(three_op, a, imm as u16, flags)
+}
+
+/// Evaluates a jump condition.
+pub fn ref_cond(cond: Cond, f: RefFlags) -> bool {
+    match cond {
+        Cond::Always => true,
+        Cond::Z => f.z,
+        Cond::Nz => !f.z,
+        Cond::C => f.c,
+        Cond::Nc => !f.c,
+        Cond::N => f.n,
+        Cond::Nn => !f.n,
+        Cond::V => f.v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_word_roundtrip() {
+        for w in 0..16u16 {
+            assert_eq!(RefFlags::from_word(w).to_word(), w);
+        }
+        // High bits of an `sr` write are ignored.
+        assert_eq!(RefFlags::from_word(0xfff5).to_word(), 0x5);
+    }
+
+    #[test]
+    fn sub_carry_is_not_borrow() {
+        let (r, f) = ref_alu(AluOp::Sub, 3, 5, RefFlags::default());
+        assert_eq!(r, 0xfffe);
+        assert!(!f.c && f.n);
+        let (_, f) = ref_alu(AluOp::Sub, 5, 5, RefFlags::default());
+        assert!(f.c && f.z);
+    }
+
+    #[test]
+    fn sbc_borrows_when_carry_clear() {
+        let mut f = RefFlags {
+            c: false,
+            ..Default::default()
+        };
+        assert_eq!(ref_alu(AluOp::Sbc, 10, 3, f).0, 6);
+        f.c = true;
+        assert_eq!(ref_alu(AluOp::Sbc, 10, 3, f).0, 7);
+    }
+
+    #[test]
+    fn mov_keeps_carry_and_overflow() {
+        let f = RefFlags {
+            c: true,
+            v: true,
+            ..Default::default()
+        };
+        let (_, f2) = ref_alu(AluOp::Mov, 1, 0, f);
+        assert!(f2.c && f2.v && !f2.z);
+    }
+
+    #[test]
+    fn shifts_capture_last_bit_out() {
+        let (r, f) = ref_alu(AluOp::Shl, 0x8001, 1, RefFlags::default());
+        assert_eq!(r, 2);
+        assert!(f.c);
+        let (_, f) = ref_alu(AluOp::Shr, 1, 1, RefFlags::default());
+        assert!(f.c);
+        let (r, _) = ref_alu(AluOp::Asr, 0x8000, 15, RefFlags::default());
+        assert_eq!(r, 0xffff);
+    }
+}

@@ -1,0 +1,765 @@
+//! The reference interpreter: one instruction at a time, one stream at a
+//! time, every bus access instant.
+//!
+//! Architecturally the DISC1 pipeline commits all state changes at the EX
+//! stage in program order; flushes only ever remove *unexecuted* younger
+//! instructions, and bus waits, spill stalls and scheduling merely decide
+//! *when* a stream's next instruction executes. The reference model
+//! therefore executes each stream's instruction sequence directly,
+//! delivering pending vectored interrupts between instructions (the
+//! machine delivers them between EX slots of the same stream, which is the
+//! same program-order point).
+
+use std::collections::BTreeMap;
+
+use disc_isa::{encode, Instruction, Program, Reg, GLOBAL_REGS, IRQ_LEVELS, MAX_STREAMS};
+
+use crate::alu::{ref_alu, ref_alu_imm, ref_cond, RefFlags};
+use crate::window::RefWindow;
+
+/// Stack-window pressure policy of the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefWindowPolicy {
+    /// Hardware spills/fills transparently; never faults.
+    #[default]
+    AutoSpill,
+    /// Overflow/underflow of the physical file raises IR bit 6.
+    Fault,
+}
+
+/// Configuration of the reference machine.
+#[derive(Debug, Clone)]
+pub struct RefConfig {
+    /// Number of instruction streams.
+    pub streams: usize,
+    /// Words of internal (zero-latency) data memory.
+    pub internal_words: usize,
+    /// Physical stack-window depth per stream.
+    pub window_depth: usize,
+    /// Window pressure policy.
+    pub window_policy: RefWindowPolicy,
+}
+
+impl RefConfig {
+    /// The DISC1 configuration of the paper: 4 streams, 1 Kword internal
+    /// memory, 64-deep window file with transparent spill.
+    pub fn disc1() -> Self {
+        RefConfig {
+            streams: 4,
+            internal_words: 1024,
+            window_depth: 64,
+            window_policy: RefWindowPolicy::AutoSpill,
+        }
+    }
+
+    /// Same configuration with a different stream count.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+}
+
+/// Why the reference machine stopped running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefExit {
+    /// A stream executed `halt`.
+    Halted,
+    /// Every stream went inactive.
+    AllIdle,
+    /// A stream executed `brk`.
+    Breakpoint {
+        /// Stream that hit the breakpoint.
+        stream: usize,
+        /// Address of the `brk`.
+        pc: u16,
+    },
+    /// A stream fetched an undecodable word.
+    Decode {
+        /// Stream that faulted.
+        stream: usize,
+        /// Address of the bad word.
+        pc: u16,
+        /// The word itself.
+        word: u32,
+    },
+    /// The step budget ran out first.
+    StepLimit,
+}
+
+/// One nested interrupt-service record.
+#[derive(Debug, Clone, Copy)]
+struct ServiceFrame {
+    bit: u8,
+    resume_pc: u16,
+    flags: RefFlags,
+}
+
+/// Architectural state of one reference stream.
+#[derive(Debug)]
+struct RefStream {
+    pc: u16,
+    flags: RefFlags,
+    window: RefWindow,
+    sp: u16,
+    ir: u8,
+    mr: u8,
+    service: Vec<ServiceFrame>,
+    vectors: [Option<u16>; IRQ_LEVELS],
+    retired: u64,
+    retired_pcs: Vec<u16>,
+}
+
+impl RefStream {
+    fn new(window_depth: usize, fault_on_pressure: bool) -> Self {
+        RefStream {
+            pc: 0,
+            flags: RefFlags::default(),
+            window: RefWindow::new(window_depth, fault_on_pressure),
+            sp: 0,
+            ir: 0,
+            mr: 0xff,
+            service: Vec::new(),
+            vectors: [None; IRQ_LEVELS],
+            retired: 0,
+            retired_pcs: Vec::new(),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.ir & self.mr != 0
+    }
+
+    fn service_level(&self) -> u8 {
+        self.service.last().map(|f| f.bit).unwrap_or(0)
+    }
+
+    /// Highest armed bit strictly above the current service level; bit 0
+    /// (background) never preempts.
+    fn pending_interrupt(&self) -> Option<u8> {
+        let armed = self.ir & self.mr;
+        if armed == 0 {
+            return None;
+        }
+        let top = 7 - armed.leading_zeros() as u8;
+        if top > self.service_level() && top > 0 {
+            Some(top)
+        } else {
+            None
+        }
+    }
+
+    fn raise(&mut self, bit: u8) {
+        assert!(bit < 8);
+        self.ir |= 1 << bit;
+    }
+
+    fn clear_irq(&mut self, bit: u8) {
+        assert!(bit < 8);
+        self.ir &= !(1 << bit);
+    }
+}
+
+enum Outcome {
+    Normal,
+    Halt,
+    Brk,
+}
+
+/// The golden-reference DISC1 machine.
+#[derive(Debug)]
+pub struct RefMachine {
+    streams: Vec<RefStream>,
+    globals: [u16; GLOBAL_REGS],
+    intmem: Vec<u16>,
+    /// Sparse external memory; unwritten words read 0 (flat-RAM model).
+    extmem: BTreeMap<u16, u16>,
+    code: Vec<Result<Instruction, u32>>,
+    halted: bool,
+    steps: u64,
+}
+
+impl RefMachine {
+    /// Builds a reference machine and loads `program` (entries activate
+    /// their streams at background level, exactly like the hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.streams` is 0 or above [`MAX_STREAMS`].
+    pub fn new(config: RefConfig, program: &Program) -> Self {
+        assert!(
+            (1..=MAX_STREAMS).contains(&config.streams),
+            "stream count {} out of range 1..={MAX_STREAMS}",
+            config.streams
+        );
+        let fault = config.window_policy == RefWindowPolicy::Fault;
+        let mut streams = Vec::with_capacity(config.streams);
+        for s in 0..config.streams {
+            let mut st = RefStream::new(config.window_depth, fault);
+            for bit in 1..IRQ_LEVELS as u8 {
+                st.vectors[bit as usize] = program.vector(s, bit);
+            }
+            if let Some(entry) = program.entry(s) {
+                st.pc = entry;
+                st.raise(0);
+            }
+            streams.push(st);
+        }
+        let code = (0..program.len())
+            .map(|addr| encode::decode(program.word(addr as u16)).map_err(|e| e.word()))
+            .collect();
+        RefMachine {
+            streams,
+            globals: [0; GLOBAL_REGS],
+            intmem: vec![0; config.internal_words],
+            extmem: BTreeMap::new(),
+            code,
+            halted: false,
+            steps: 0,
+        }
+    }
+
+    /// Runs until halt, breakpoint, decode fault, idleness, or until
+    /// `max_steps` instructions have executed across all streams.
+    pub fn run(&mut self, max_steps: u64) -> RefExit {
+        if self.halted {
+            return RefExit::Halted;
+        }
+        loop {
+            let mut progressed = false;
+            for s in 0..self.streams.len() {
+                self.deliver_vectors(s);
+                if !self.streams[s].active() {
+                    continue;
+                }
+                progressed = true;
+                if self.steps >= max_steps {
+                    return RefExit::StepLimit;
+                }
+                self.steps += 1;
+                if let Some(exit) = self.step_stream(s) {
+                    return exit;
+                }
+            }
+            if !progressed {
+                return RefExit::AllIdle;
+            }
+        }
+    }
+
+    /// Delivers pending vectored interrupts to stream `s`. Only the
+    /// highest pending bit is considered (matching the hardware); an
+    /// uninstalled vector leaves the stream executing sequentially.
+    fn deliver_vectors(&mut self, s: usize) {
+        while let Some(bit) = self.streams[s].pending_interrupt() {
+            let Some(target) = self.streams[s].vectors[bit as usize] else {
+                return;
+            };
+            let st = &mut self.streams[s];
+            st.service.push(ServiceFrame {
+                bit,
+                resume_pc: st.pc,
+                flags: st.flags,
+            });
+            st.pc = target;
+        }
+    }
+
+    /// Executes one instruction of stream `s`.
+    fn step_stream(&mut self, s: usize) -> Option<RefExit> {
+        let pc = self.streams[s].pc;
+        let word_at = |code: &[Result<Instruction, u32>], pc: u16| {
+            code.get(pc as usize)
+                .copied()
+                .unwrap_or(Ok(Instruction::Nop))
+        };
+        let instr = match word_at(&self.code, pc) {
+            Ok(i) => i,
+            Err(word) => {
+                return Some(RefExit::Decode {
+                    stream: s,
+                    pc,
+                    word,
+                })
+            }
+        };
+        self.streams[s].pc = pc.wrapping_add(1);
+        match self.execute(s, pc, instr) {
+            Outcome::Normal => {
+                self.streams[s].retired += 1;
+                self.streams[s].retired_pcs.push(pc);
+                None
+            }
+            Outcome::Halt => {
+                self.halted = true;
+                Some(RefExit::Halted)
+            }
+            Outcome::Brk => Some(RefExit::Breakpoint { stream: s, pc }),
+        }
+    }
+
+    fn execute(&mut self, s: usize, pc: u16, instr: Instruction) -> Outcome {
+        match instr {
+            Instruction::Nop => {}
+            Instruction::Alu {
+                op,
+                awp,
+                rd,
+                rs,
+                rt,
+            } => {
+                let a = self.read_reg(s, rs);
+                let b = self.read_reg(s, rt);
+                let (result, flags) = ref_alu(op, a, b, self.streams[s].flags);
+                if op.writes_rd() {
+                    self.write_reg(s, rd, result);
+                }
+                // A result written into `sr` wins over the ALU flags.
+                if rd != Reg::Sr || !op.writes_rd() {
+                    self.streams[s].flags = flags;
+                }
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::AluImm {
+                op,
+                awp,
+                rd,
+                rs,
+                imm,
+            } => {
+                let a = self.read_reg(s, rs);
+                let (result, flags) = ref_alu_imm(op, a, imm, self.streams[s].flags);
+                if op.writes_rd() {
+                    self.write_reg(s, rd, result);
+                }
+                if rd != Reg::Sr || !op.writes_rd() {
+                    self.streams[s].flags = flags;
+                }
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::Ldi { awp, rd, imm } => {
+                self.write_reg(s, rd, imm as u16);
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::Lui { rd, imm } => {
+                let low = self.read_reg(s, rd) & 0x00ff;
+                self.write_reg(s, rd, ((imm as u16) << 8) | low);
+            }
+            Instruction::Ld {
+                awp,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+                let value = self.data_read(addr, false);
+                self.write_reg(s, rd, value);
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::Lda { awp, rd, addr } => {
+                let value = self.data_read(addr, false);
+                self.write_reg(s, rd, value);
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::St {
+                awp,
+                src,
+                base,
+                offset,
+            } => {
+                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+                let value = self.read_reg(s, src);
+                self.data_write(addr, value);
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::Sta { awp, src, addr } => {
+                let value = self.read_reg(s, src);
+                self.data_write(addr, value);
+                self.apply_awp(s, awp_delta(awp));
+            }
+            Instruction::Tset { rd, base, offset } => {
+                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+                let value = self.data_read(addr, true);
+                self.write_reg(s, rd, value);
+            }
+            Instruction::Jmp { cond, target } => {
+                if ref_cond(cond, self.streams[s].flags) {
+                    self.streams[s].pc = target;
+                }
+            }
+            Instruction::Call { target } => {
+                self.apply_awp(s, 1);
+                let ret = pc.wrapping_add(1);
+                self.streams[s].window.write(0, ret);
+                self.streams[s].pc = target;
+            }
+            Instruction::Ret { pop } => {
+                self.apply_awp(s, -(pop as i32));
+                let ret = self.streams[s].window.read(0);
+                self.apply_awp(s, -1);
+                self.streams[s].pc = ret;
+            }
+            Instruction::Reti => {
+                if let Some(frame) = self.streams[s].service.pop() {
+                    let st = &mut self.streams[s];
+                    st.clear_irq(frame.bit);
+                    st.pc = frame.resume_pc;
+                    st.flags = frame.flags;
+                }
+            }
+            Instruction::Winc { n } => self.apply_awp(s, n as i32),
+            Instruction::Wdec { n } => self.apply_awp(s, -(n as i32)),
+            Instruction::Fork { stream, target } => {
+                let t = stream as usize;
+                if t < self.streams.len() {
+                    if !self.streams[t].active() {
+                        self.streams[t].pc = target;
+                    }
+                    self.streams[t].raise(0);
+                }
+            }
+            Instruction::Signal { stream, bit } => {
+                let t = stream as usize;
+                if t < self.streams.len() {
+                    self.streams[t].raise(bit);
+                }
+            }
+            Instruction::Clri { bit } => self.streams[s].clear_irq(bit),
+            Instruction::Stop => {
+                // Deactivate the level being serviced; other latched
+                // requests stay pending. The service frame (if any) is
+                // deliberately *not* popped — `stop` parks the stream,
+                // it does not return from the handler.
+                let level = self.streams[s].service_level();
+                self.streams[s].clear_irq(level);
+            }
+            Instruction::Halt => return Outcome::Halt,
+            Instruction::Brk => return Outcome::Brk,
+        }
+        Outcome::Normal
+    }
+
+    fn apply_awp(&mut self, s: usize, delta: i32) {
+        if delta == 0 {
+            return;
+        }
+        if self.streams[s].window.adjust(delta) {
+            self.streams[s].raise(6);
+        }
+    }
+
+    fn read_reg(&self, s: usize, r: Reg) -> u16 {
+        match r {
+            r if r.is_window() => self.streams[s].window.read(r.index()),
+            r if r.is_global() => self.globals[(r.index() - 8) as usize],
+            Reg::Sp => self.streams[s].sp,
+            Reg::Sr => self.streams[s].flags.to_word(),
+            Reg::Ir => self.streams[s].ir as u16,
+            Reg::Mr => self.streams[s].mr as u16,
+            _ => unreachable!("register space is exhaustive"),
+        }
+    }
+
+    fn write_reg(&mut self, s: usize, r: Reg, value: u16) {
+        match r {
+            r if r.is_window() => self.streams[s].window.write(r.index(), value),
+            r if r.is_global() => self.globals[(r.index() - 8) as usize] = value,
+            Reg::Sp => self.streams[s].sp = value,
+            Reg::Sr => self.streams[s].flags = RefFlags::from_word(value),
+            Reg::Ir => self.streams[s].ir = value as u8,
+            Reg::Mr => self.streams[s].mr = value as u8,
+            _ => unreachable!("register space is exhaustive"),
+        }
+    }
+
+    fn data_read(&mut self, addr: u16, tset: bool) -> u16 {
+        if let Some(cell) = self.intmem.get_mut(addr as usize) {
+            let value = *cell;
+            if tset {
+                *cell = 0xffff;
+            }
+            value
+        } else {
+            let value = self.extmem.get(&addr).copied().unwrap_or(0);
+            if tset {
+                self.extmem.insert(addr, 0xffff);
+            }
+            value
+        }
+    }
+
+    fn data_write(&mut self, addr: u16, value: u16) {
+        if let Some(cell) = self.intmem.get_mut(addr as usize) {
+            *cell = value;
+        } else {
+            self.extmem.insert(addr, value);
+        }
+    }
+
+    // ---- inspection -----------------------------------------------------
+
+    /// Number of streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` once a `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions executed so far across all streams.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Program counter of stream `s`.
+    pub fn pc(&self, s: usize) -> u16 {
+        self.streams[s].pc
+    }
+
+    /// Packed `sr` word of stream `s`.
+    pub fn flags_word(&self, s: usize) -> u16 {
+        self.streams[s].flags.to_word()
+    }
+
+    /// Software stack pointer of stream `s`.
+    pub fn sp(&self, s: usize) -> u16 {
+        self.streams[s].sp
+    }
+
+    /// Interrupt request register of stream `s`.
+    pub fn ir(&self, s: usize) -> u8 {
+        self.streams[s].ir
+    }
+
+    /// Interrupt mask register of stream `s`.
+    pub fn mr(&self, s: usize) -> u8 {
+        self.streams[s].mr
+    }
+
+    /// `true` while stream `s` has any armed interrupt bit.
+    pub fn active(&self, s: usize) -> bool {
+        self.streams[s].active()
+    }
+
+    /// Active window pointer of stream `s`.
+    pub fn awp(&self, s: usize) -> usize {
+        self.streams[s].window.awp()
+    }
+
+    /// Window register `Rn` of stream `s` as currently visible.
+    pub fn window_reg(&self, s: usize, n: u8) -> u16 {
+        self.streams[s].window.read(n)
+    }
+
+    /// Logical window slot `slot` of stream `s`.
+    pub fn window_slot(&self, s: usize, slot: usize) -> u16 {
+        self.streams[s].window.read_slot(slot)
+    }
+
+    /// Peak logical window depth of stream `s`.
+    pub fn max_window_depth(&self, s: usize) -> usize {
+        self.streams[s].window.max_depth()
+    }
+
+    /// Nested service depth of stream `s`.
+    pub fn service_depth(&self, s: usize) -> usize {
+        self.streams[s].service.len()
+    }
+
+    /// Interrupt level stream `s` is currently servicing (0 = background).
+    pub fn service_level(&self, s: usize) -> u8 {
+        self.streams[s].service_level()
+    }
+
+    /// Instructions architecturally executed by stream `s`.
+    pub fn retired(&self, s: usize) -> u64 {
+        self.streams[s].retired
+    }
+
+    /// Addresses of the instructions stream `s` executed, in order.
+    pub fn retired_pcs(&self, s: usize) -> &[u16] {
+        &self.streams[s].retired_pcs
+    }
+
+    /// Global register `i`.
+    pub fn global(&self, i: usize) -> u16 {
+        self.globals[i]
+    }
+
+    /// Internal memory word `addr`.
+    pub fn internal(&self, addr: u16) -> u16 {
+        self.intmem[addr as usize]
+    }
+
+    /// Internal memory size in words.
+    pub fn internal_len(&self) -> usize {
+        self.intmem.len()
+    }
+
+    /// External memory word `addr` (unwritten words read 0).
+    pub fn external(&self, addr: u16) -> u16 {
+        self.extmem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Every external address the program wrote (or `tset`), sorted.
+    pub fn external_addrs(&self) -> Vec<u16> {
+        self.extmem.keys().copied().collect()
+    }
+
+    /// Raises IR bit `bit` of stream `s` (test hook, mirrors the machine).
+    pub fn raise_interrupt(&mut self, s: usize, bit: u8) {
+        self.streams[s].raise(bit);
+    }
+
+    /// Installs an interrupt vector (test hook, mirrors the machine).
+    pub fn set_vector(&mut self, s: usize, bit: u8, target: u16) {
+        assert!((1..IRQ_LEVELS as u8).contains(&bit));
+        self.streams[s].vectors[bit as usize] = Some(target);
+    }
+}
+
+fn awp_delta(mode: disc_isa::AwpMode) -> i32 {
+    match mode {
+        disc_isa::AwpMode::None => 0,
+        disc_isa::AwpMode::Inc => 1,
+        disc_isa::AwpMode::Dec => -1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_asm(src: &str) -> (RefMachine, RefExit) {
+        let program = Program::assemble(src).expect("assemble");
+        let mut m = RefMachine::new(RefConfig::disc1().with_streams(1), &program);
+        let exit = m.run(100_000);
+        (m, exit)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (m, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             ldi r0, 7\n\
+             ldi r1, 5\n\
+             mul r2, r0, r1\n\
+             halt\n",
+        );
+        assert_eq!(exit, RefExit::Halted);
+        assert_eq!(m.window_reg(0, 2), 35);
+        // ldi, ldi, mul executed; halt is not counted as retired.
+        assert_eq!(m.retired(0), 3);
+    }
+
+    #[test]
+    fn call_ret_window_discipline() {
+        let (m, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             ldi r0, 1\n\
+             call fn\n\
+             add r1, r0, r0\n\
+             halt\n\
+             fn:\n\
+             winc 2\n\
+             ldi r0, 9\n\
+             ret 2\n",
+        );
+        assert_eq!(exit, RefExit::Halted);
+        assert_eq!(m.awp(0), 7, "call/ret must balance the window");
+        assert_eq!(m.window_reg(0, 1), 2);
+    }
+
+    #[test]
+    fn loops_terminate() {
+        let (m, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             ldi r0, 0\n\
+             ldi r7, 10\n\
+             loop:\n\
+             addi r0, r0, 3\n\
+             subi r7, r7, 1\n\
+             jnz loop\n\
+             halt\n",
+        );
+        assert_eq!(exit, RefExit::Halted);
+        assert_eq!(m.window_reg(0, 0), 30);
+    }
+
+    #[test]
+    fn self_signal_vectors_and_resumes() {
+        let (m, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             ldi r1, 0\n\
+             signal 0, 3\n\
+             addi r1, r1, 1\n\
+             stop\n\
+             .vector 0, 3, isr\n\
+             isr:\n\
+             ldi g0, 77\n\
+             reti\n",
+        );
+        assert_eq!(exit, RefExit::AllIdle);
+        assert_eq!(m.global(0), 77);
+        assert_eq!(m.window_reg(0, 1), 1, "background resumed after reti");
+        assert_eq!(m.service_depth(0), 0);
+    }
+
+    #[test]
+    fn fork_starts_second_stream() {
+        let program = Program::assemble(
+            ".stream 0, main\nmain:\n\
+             fork 1, other\n\
+             stop\n\
+             other:\n\
+             ldi g1, 5\n\
+             stop\n",
+        )
+        .expect("assemble");
+        let mut m = RefMachine::new(RefConfig::disc1().with_streams(2), &program);
+        assert_eq!(m.run(1_000), RefExit::AllIdle);
+        assert_eq!(m.global(1), 5);
+        assert!(!m.active(0) && !m.active(1));
+    }
+
+    #[test]
+    fn tset_is_atomic_read_set() {
+        let (m, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             ldi r6, 0x40\n\
+             tset r0, [r6]\n\
+             tset r1, [r6]\n\
+             halt\n",
+        );
+        assert_eq!(exit, RefExit::Halted);
+        assert_eq!(m.window_reg(0, 0), 0, "first tset sees the old value");
+        assert_eq!(m.window_reg(0, 1), 0xffff, "second tset sees the lock");
+        assert_eq!(m.internal(0x40), 0xffff);
+    }
+
+    #[test]
+    fn external_memory_is_instant() {
+        let (m, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             ldi r0, 123\n\
+             sta r0, 0xa00\n\
+             lda r1, 0xa00\n\
+             halt\n",
+        );
+        assert_eq!(exit, RefExit::Halted);
+        assert_eq!(m.window_reg(0, 1), 123);
+        assert_eq!(m.external(0xa00), 123);
+        assert_eq!(m.external_addrs(), vec![0xa00]);
+    }
+
+    #[test]
+    fn step_limit_reports() {
+        let (_, exit) = run_asm(
+            ".stream 0, main\nmain:\n\
+             loop:\n\
+             jmp loop\n",
+        );
+        assert_eq!(exit, RefExit::StepLimit);
+    }
+}

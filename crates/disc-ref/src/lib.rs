@@ -1,0 +1,41 @@
+//! Golden-reference architectural model of the DISC1 core.
+//!
+//! `disc-ref` is a deliberately simple, non-pipelined interpreter of the
+//! DISC1 instruction set. It shares the `disc-isa` decoder with the
+//! cycle-accurate simulator but **none** of `disc-core`'s execution code:
+//! the ALU, flag rules, stack-window register file and interrupt delivery
+//! are re-implemented here directly from the ISA contract, so the two
+//! models only agree when both read the specification the same way.
+//!
+//! The model executes one instruction at a time, one stream at a time
+//! (round-robin at instruction granularity), with every external bus
+//! access completing instantly. All pipeline phenomena of the real
+//! machine — flushes, bus waits, spill stalls, slot reallocation — are
+//! timing-only, so the final *architectural* state (registers, flags,
+//! window stacks, internal/external memory, globals, interrupt state and
+//! the per-stream retired-instruction streams) must match the
+//! cycle-accurate machine exactly. The `disc-bench` fuzz harness leans on
+//! this as its differential oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use disc_isa::Program;
+//! use disc_ref::{RefConfig, RefExit, RefMachine};
+//!
+//! let program = Program::assemble(
+//!     ".stream 0, main\nmain:\n    ldi r0, 21\n    add r1, r0, r0\n    halt\n",
+//! )
+//! .unwrap();
+//! let mut m = RefMachine::new(RefConfig::disc1(), &program);
+//! assert_eq!(m.run(1_000), RefExit::Halted);
+//! assert_eq!(m.window_reg(0, 1), 42);
+//! ```
+
+mod alu;
+mod interp;
+mod window;
+
+pub use alu::{ref_alu, ref_alu_imm, ref_cond, RefFlags};
+pub use interp::{RefConfig, RefExit, RefMachine, RefWindowPolicy};
+pub use window::RefWindow;

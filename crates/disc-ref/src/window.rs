@@ -1,0 +1,160 @@
+//! Reference stack-window register file.
+//!
+//! The architectural contract (paper §3.5, mirrored from the ISA not from
+//! `disc-core`): a per-stream register stack addressed by the active
+//! window pointer, `Rn = stack[awp - n]`. Incrementing allocates a fresh
+//! `R0`; decrementing discards it; slot contents persist across
+//! dec/re-inc. Reads or decrements reaching below the stack bottom
+//! saturate (reads return 0, writes are dropped, the AWP pins at 0).
+//!
+//! The physical file is finite. In the reference model spill/fill traffic
+//! is free (timing is not modelled), but residency still matters under
+//! the fault policy: growing past the physical depth or shrinking back
+//! onto spilled-out slots must report a stack fault exactly where the
+//! hardware would raise one.
+
+use disc_isa::WINDOW_REGS;
+
+/// Reference stack-window file for one stream.
+#[derive(Debug, Clone)]
+pub struct RefWindow {
+    stack: Vec<u16>,
+    awp: usize,
+    /// Lowest logical slot resident in physical registers.
+    resident_low: usize,
+    depth: usize,
+    /// `true` = fault policy (report overflow/underflow of the physical
+    /// file); `false` = auto spill/fill (never faults).
+    fault_on_pressure: bool,
+    max_awp: usize,
+}
+
+impl RefWindow {
+    /// Creates a window file with `depth` physical registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth <= WINDOW_REGS` — the physical file must at least
+    /// hold one full visible window.
+    pub fn new(depth: usize, fault_on_pressure: bool) -> Self {
+        assert!(depth > WINDOW_REGS, "physical depth must exceed the window");
+        RefWindow {
+            stack: vec![0; depth],
+            awp: WINDOW_REGS - 1,
+            resident_low: 0,
+            depth,
+            fault_on_pressure,
+            max_awp: WINDOW_REGS - 1,
+        }
+    }
+
+    /// Current active window pointer (logical slot of `R0`).
+    pub fn awp(&self) -> usize {
+        self.awp
+    }
+
+    /// Deepest AWP observed plus one (peak logical stack depth).
+    pub fn max_depth(&self) -> usize {
+        self.max_awp + 1
+    }
+
+    /// Reads `Rn`; underflowed reads return 0.
+    pub fn read(&self, n: u8) -> u16 {
+        assert!((n as usize) < WINDOW_REGS);
+        match self.awp.checked_sub(n as usize) {
+            Some(slot) => self.stack[slot],
+            None => 0,
+        }
+    }
+
+    /// Writes `Rn`; underflowed writes are dropped.
+    pub fn write(&mut self, n: u8, value: u16) {
+        assert!((n as usize) < WINDOW_REGS);
+        if let Some(slot) = self.awp.checked_sub(n as usize) {
+            self.stack[slot] = value;
+        }
+    }
+
+    /// Reads a logical slot directly (state comparison path).
+    pub fn read_slot(&self, slot: usize) -> u16 {
+        self.stack.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Moves the AWP by `delta`. Returns `true` when the move pressured
+    /// the physical file under the fault policy (stack-fault interrupt).
+    pub fn adjust(&mut self, delta: i32) -> bool {
+        let new_awp = if delta >= 0 {
+            self.awp.saturating_add(delta as usize)
+        } else {
+            self.awp.saturating_sub((-delta) as usize)
+        };
+        self.awp = new_awp;
+        self.max_awp = self.max_awp.max(new_awp);
+        if new_awp >= self.stack.len() {
+            self.stack.resize(new_awp + 1, 0);
+        }
+        let mut fault = false;
+        if new_awp >= self.resident_low + self.depth {
+            // Grew past the top of the physical file: the oldest resident
+            // slots leave it (spilled by hardware, faulting otherwise).
+            fault = self.fault_on_pressure;
+            self.resident_low = new_awp + 1 - self.depth;
+        } else {
+            // Shrinking: the whole visible window must be resident.
+            let window_low = new_awp.saturating_sub(WINDOW_REGS - 1);
+            if window_low < self.resident_low {
+                fault = self.fault_on_pressure;
+                self.resident_low = window_low;
+            }
+        }
+        fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_on_increment() {
+        let mut w = RefWindow::new(64, false);
+        w.write(0, 10);
+        assert!(!w.adjust(1));
+        assert_eq!(w.read(1), 10);
+        w.write(0, 99);
+        w.adjust(-1);
+        assert_eq!(w.read(0), 10);
+        // Contents persist across dec/re-inc.
+        w.adjust(1);
+        assert_eq!(w.read(0), 99);
+    }
+
+    #[test]
+    fn underflow_saturates() {
+        let mut w = RefWindow::new(64, false);
+        assert!(!w.adjust(-30));
+        assert_eq!(w.awp(), 0);
+        assert_eq!(w.read(1), 0);
+        w.write(1, 7); // dropped
+        assert_eq!(w.read(1), 0);
+    }
+
+    #[test]
+    fn fault_policy_reports_overflow_and_refill() {
+        let mut w = RefWindow::new(9, true);
+        assert!(!w.adjust(1)); // awp 8, exactly fills the file
+        assert!(w.adjust(1)); // awp 9: one slot past -> fault
+        assert!(w.adjust(-2), "shrinking back over a spilled slot faults");
+    }
+
+    #[test]
+    fn autospill_never_faults() {
+        let mut w = RefWindow::new(9, false);
+        for _ in 0..40 {
+            assert!(!w.adjust(1));
+        }
+        for _ in 0..40 {
+            assert!(!w.adjust(-1));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential tests on *real* programs: everything the `disc-cc`
+//! compiler or the firmware library emits must finish with identical
+//! architectural state on the cycle-accurate machine and the reference
+//! interpreter.
+
+use disc_core::{Exit, Machine, MachineConfig};
+use disc_isa::{Program, Reg};
+use disc_ref::{RefConfig, RefExit, RefMachine};
+
+/// Runs `program` single-stream on both models to a `halt` and asserts
+/// the architectural state matches everywhere it is comparable.
+fn assert_same_final_state(program: &Program, what: &str) {
+    let mut m = Machine::new(MachineConfig::disc1().with_streams(1), program);
+    let exit = m.run(3_000_000).expect("machine executes");
+    assert_eq!(exit, Exit::Halted, "{what}: machine must halt");
+
+    let mut r = RefMachine::new(RefConfig::disc1().with_streams(1), program);
+    let rexit = r.run(1_000_000);
+    assert_eq!(rexit, RefExit::Halted, "{what}: reference must halt");
+
+    assert_eq!(
+        m.stats().retired[0],
+        r.retired(0),
+        "{what}: retired instruction count"
+    );
+    let st = m.stream(0);
+    assert_eq!(st.flags().to_word(), r.flags_word(0), "{what}: final flags");
+    assert_eq!(st.window().awp(), r.awp(0), "{what}: final awp");
+    let depth = st.window().max_depth().max(r.max_window_depth(0));
+    for slot in 0..depth {
+        assert_eq!(
+            st.window().read_slot(slot),
+            r.window_slot(0, slot),
+            "{what}: window slot {slot}"
+        );
+    }
+    assert_eq!(m.reg(0, Reg::Sp), r.sp(0), "{what}: sp");
+    for addr in 0..r.internal_len() as u16 {
+        assert_eq!(
+            m.internal_memory().read(addr),
+            r.internal(addr),
+            "{what}: internal memory {addr:#x}"
+        );
+    }
+    for g in 0..disc_isa::GLOBAL_REGS {
+        assert_eq!(m.global(g), r.global(g), "{what}: global g{g}");
+    }
+}
+
+// ---- disc-cc compiled programs -----------------------------------------
+
+/// Compiles `source` with disc-cc and checks both models agree; also
+/// pins the expected values of the named variables on the reference.
+fn check_compiled(source: &str, expect: &[(&str, u16)]) {
+    let compiled = disc_cc::compile(source).expect("source compiles");
+    assert_same_final_state(&compiled.program, "compiled program");
+
+    let mut r = RefMachine::new(RefConfig::disc1().with_streams(1), &compiled.program);
+    assert_eq!(r.run(1_000_000), RefExit::Halted);
+    for (name, want) in expect {
+        let addr = compiled
+            .variables()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+            .expect("variable exists");
+        assert_eq!(r.internal(addr), *want, "variable {name}");
+    }
+}
+
+#[test]
+fn compiled_arithmetic_matches() {
+    check_compiled(
+        "var x = 7; var y = x * x + 1; mem[0x10] = y;",
+        &[("x", 7), ("y", 50)],
+    );
+}
+
+#[test]
+fn compiled_loop_matches() {
+    check_compiled(
+        "var n = 10; var sum = 0;\n\
+         while (n) { sum = sum + n * n; n = n - 1; }\n\
+         mem[0x20] = sum;",
+        &[("sum", 385), ("n", 0)],
+    );
+}
+
+#[test]
+fn compiled_branches_and_logic_match() {
+    check_compiled(
+        "var a = 3; var b = 0; var r = 0;\n\
+         if (a && !b) { r = 1; } else { r = 2; }\n\
+         if (a >= 4 || b == 0) { r = r + 10; }\n\
+         var s = (a << 4) ^ (a | 9);",
+        &[("r", 11), ("s", 0x30 ^ (3 | 9))],
+    );
+}
+
+#[test]
+fn compiled_memory_traffic_matches() {
+    check_compiled(
+        "var i = 8; \n\
+         while (i) { mem[0x40 + i] = i * 5; i = i - 1; }\n\
+         var total = mem[0x41] + mem[0x44] + mem[0x48];",
+        &[("total", 5 + 20 + 40)],
+    );
+}
+
+#[test]
+fn compiled_wrapping_arithmetic_matches() {
+    check_compiled(
+        "var big = 65535; var w = big + 3; var m = big * big;\n\
+         var sh = big >> 3; var neg = -w;",
+        &[
+            ("w", 2),
+            ("m", 1),
+            ("sh", 0x1fff),
+            ("neg", 0u16.wrapping_sub(2)),
+        ],
+    );
+}
+
+// ---- firmware kernels ---------------------------------------------------
+
+/// Assembles a firmware call harness and checks both models agree.
+fn check_firmware(routine: &str, args: &[u16]) {
+    let mut src = String::from(".stream 0, main\nmain:\n");
+    for (i, a) in args.iter().enumerate() {
+        src.push_str(&format!("    li r{i}, {a}\n"));
+    }
+    src.push_str(&format!("    call {routine}\n"));
+    for i in 0..4 {
+        src.push_str(&format!("    sta r{i}, {:#x}\n", 0x10 + i));
+    }
+    src.push_str("    halt\n");
+    let src = disc_firmware::with_library(&src);
+    let program = Program::assemble(&src).expect("firmware assembles");
+    assert_same_final_state(&program, &format!("firmware {routine}{args:?}"));
+}
+
+#[test]
+fn firmware_div16_matches() {
+    for (n, d) in [(100u16, 7u16), (65535, 1), (5, 9), (1234, 0), (40000, 123)] {
+        check_firmware("div16", &[n, d]);
+    }
+}
+
+#[test]
+fn firmware_sqrt16_matches() {
+    for x in [0u16, 1, 2, 99, 100, 65535] {
+        check_firmware("sqrt16", &[x]);
+    }
+}
+
+#[test]
+fn firmware_mul32_and_add32_match() {
+    check_firmware("mul32", &[40_000, 50_000]);
+    check_firmware("mul32", &[0xffff, 0xffff]);
+    check_firmware("add32", &[1, 0xffff, 0, 2]);
+    check_firmware("add32", &[0xffff, 0xffff, 0xffff, 0xffff]);
+}
+
+#[test]
+fn firmware_memcpy_and_memset_match() {
+    // memcpy reads uninitialized (zero) source words — still deterministic.
+    check_firmware("memcpy", &[0x60, 0x40, 5]);
+    check_firmware("memset", &[0x70, 0x2bd, 4]);
+}

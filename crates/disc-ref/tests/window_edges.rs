@@ -1,0 +1,218 @@
+//! Stack-window register file edge cases, pinned against the reference
+//! interpreter: spills and fills at the exact physical-depth boundary,
+//! AWP underflow, and the fault (non-spilling) window policy.
+
+use disc_core::{Exit, Machine, MachineConfig, WindowPolicy};
+use disc_isa::Program;
+use disc_ref::{RefConfig, RefExit, RefMachine, RefWindowPolicy};
+
+/// Runs `source` single-stream on both models with the given window
+/// configuration and asserts identical final architectural state.
+/// Returns the reference machine for extra pinned assertions.
+fn run_both(source: &str, depth: usize, fault: bool) -> RefMachine {
+    let program = Program::assemble(source).expect("test program assembles");
+
+    let mut mc = MachineConfig::disc1()
+        .with_streams(1)
+        .with_window_depth(depth);
+    if fault {
+        mc = mc.with_window_policy(WindowPolicy::Fault);
+    }
+    let mut m = Machine::new(mc, &program);
+    let exit = m.run(200_000).expect("machine executes");
+    assert!(
+        matches!(exit, Exit::Halted | Exit::AllIdle),
+        "machine exit: {exit:?}"
+    );
+
+    let mut rc = RefConfig::disc1().with_streams(1);
+    rc.window_depth = depth;
+    if fault {
+        rc.window_policy = RefWindowPolicy::Fault;
+    }
+    let mut r = RefMachine::new(rc, &program);
+    let rexit = r.run(100_000);
+    match exit {
+        Exit::Halted => assert_eq!(rexit, RefExit::Halted),
+        Exit::AllIdle => assert_eq!(rexit, RefExit::AllIdle),
+        _ => unreachable!(),
+    }
+
+    let st = m.stream(0);
+    assert_eq!(st.ir(), r.ir(0), "final ir");
+    assert_eq!(st.service_level(), r.service_level(0), "service level");
+    assert_eq!(st.window().awp(), r.awp(0), "final awp");
+    assert_eq!(st.flags().to_word(), r.flags_word(0), "final flags");
+    let slots = st.window().max_depth().max(r.max_window_depth(0));
+    for slot in 0..slots {
+        assert_eq!(
+            st.window().read_slot(slot),
+            r.window_slot(0, slot),
+            "window slot {slot}"
+        );
+    }
+    for addr in 0..0x100u16 {
+        assert_eq!(
+            m.internal_memory().read(addr),
+            r.internal(addr),
+            "internal {addr:#x}"
+        );
+    }
+    assert_eq!(m.stats().retired[0], r.retired(0), "retired count");
+    r
+}
+
+#[test]
+fn values_survive_spill_and_fill_at_exact_boundary() {
+    // Physical depth 12, AWP starts at 7 (slots 0..=11 resident after one
+    // winc 4). One more winc crosses the boundary and must spill exactly
+    // one slot; the wdec walk back must fill it with the original value.
+    let src = r#"
+        .stream 0, main
+    main:
+        ldi r0, 0x111       ; slot 7 (awp=7)
+        winc 4              ; awp=11: resident set exactly full
+        ldi r0, 0x222       ; slot 11
+        winc 1              ; awp=12: spills slot 0
+        ldi r0, 0x333       ; slot 12
+        wdec 1              ; back to 11
+        add r1, r0, r0      ; r0 must still be 0x222
+        sta r1, 0x20
+        wdec 4              ; refill: r0 is the original slot-7 value again
+        sta r0, 0x21
+        halt
+    "#;
+    let r = run_both(src, 12, false);
+    assert_eq!(r.internal(0x20), 0x444, "slot 11 survived the spill");
+    assert_eq!(r.internal(0x21), 0x111, "slot 7 refilled from the stack");
+    assert_eq!(r.window_slot(0, 12), 0x333, "spilled excursion slot kept");
+}
+
+#[test]
+fn deep_excursion_spills_and_refills_many_slots() {
+    // Marker in every visible register, then an excursion far past the
+    // physical depth; on return every marker must be back.
+    let src = r#"
+        .stream 0, main
+    main:
+        ldi r0, 10
+        ldi r1, 11
+        ldi r2, 12
+        ldi r3, 13
+        ldi r4, 14
+        ldi r5, 15
+        ldi r6, 16
+        ldi r7, 17
+        winc 40             ; 5x the physical depth of 8+1
+        ldi r0, 99
+        wdec 40
+        sta r0, 0x30
+        sta r7, 0x31
+        halt
+    "#;
+    let r = run_both(src, 9, false);
+    assert_eq!(r.internal(0x30), 10, "r0 refilled");
+    assert_eq!(r.internal(0x31), 17, "r7 refilled");
+}
+
+#[test]
+fn awp_underflow_saturates_identically() {
+    // wdec below the initial frame: AWP saturates at 0, leaving only
+    // slot 0 visible as r0 — writes to r1.. drop and reads return 0 on
+    // both models, and climbing back restores the original frame.
+    let src = r#"
+        .stream 0, main
+    main:
+        ldi r0, 7           ; slot 7
+        wdec 200            ; far below zero: saturates at awp=0
+        ldi r1, 5           ; r1 is out of window: the write drops
+        add r2, r1, r1      ; reads/writes out of window: 0, dropped
+        sta r2, 0x40        ; r2 reads as 0
+        winc 7              ; climb back up to the original frame
+        sta r0, 0x41        ; slot 7 still holds 7
+        halt
+    "#;
+    let r = run_both(src, 64, false);
+    assert_eq!(r.internal(0x40), 0, "out-of-window register reads as 0");
+    assert_eq!(r.internal(0x41), 7, "original frame restored");
+}
+
+#[test]
+fn ret_pops_past_zero_saturate() {
+    // `ret 255` saturates the pop at AWP 0 and takes its return address
+    // from slot 0 — which main seeded with a landing pad, so the wild
+    // return is fully deterministic on both models.
+    let src = r#"
+        .stream 0, main
+    main:
+        wdec 7              ; expose slot 0 as r0
+        ldi r0, done        ; seed the landing pad
+        winc 7              ; restore the frame
+        call sub
+        halt                ; skipped: sub returns to `done` instead
+    sub:
+        ret 255             ; wildly wrong pop count: must not diverge
+    done:
+        ldi r0, 0x5a        ; awp saturated to 0: only r0 is in window
+        sta r0, 0x50
+        halt
+    "#;
+    let r = run_both(src, 64, false);
+    assert_eq!(r.internal(0x50), 0x5a, "wild return landed on the pad");
+}
+
+#[test]
+fn fault_policy_raises_bit_6_instead_of_spilling() {
+    // Depth 12, no spill hardware: the winc that crosses the boundary
+    // must raise IR bit 6 and vector to the installed handler.
+    let src = r#"
+        .stream 0, main
+        .vector 0, 6, ovf
+    main:
+        ldi r0, 1
+        winc 4              ; fills the physical window exactly: no fault
+        winc 1              ; crosses: faults
+        ldi r2, 2
+        halt
+    ovf:
+        ldi r3, 0x77
+        sta r3, 0x60
+        reti
+    "#;
+    let r = run_both(src, 12, true);
+    assert_eq!(r.internal(0x60), 0x77, "overflow handler ran");
+}
+
+#[test]
+fn fault_policy_without_handler_latches_ir_bit() {
+    // Same overflow with no vector installed: bit 6 stays pending in IR
+    // on both models and execution continues.
+    let src = r#"
+        .stream 0, main
+    main:
+        winc 20
+        ldi r0, 5
+        sta r0, 0x70
+        halt
+    "#;
+    let r = run_both(src, 12, true);
+    assert_eq!(r.ir(0) & (1 << 6), 1 << 6, "fault bit pending");
+    assert_eq!(r.internal(0x70), 5, "stream kept running");
+}
+
+#[test]
+fn boundary_is_exact_no_fault_at_full_window() {
+    // Filling the window to exactly its physical depth must NOT fault.
+    let src = r#"
+        .stream 0, main
+    main:
+        winc 4              ; awp=11 with depth 12: exactly full
+        ldi r0, 9
+        sta r0, 0x80
+        wdec 4
+        halt
+    "#;
+    let r = run_both(src, 12, true);
+    assert_eq!(r.ir(0) & (1 << 6), 0, "no spurious fault at the boundary");
+    assert_eq!(r.internal(0x80), 9);
+}
