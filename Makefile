@@ -1,6 +1,6 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench bench-micro repro repro-quick soak fuzz fuzz-long reports docs clippy examples clean
+.PHONY: all test bench bench-check bench-micro repro repro-quick soak fuzz fuzz-long reports docs clippy examples clean
 
 all: test
 
@@ -8,10 +8,16 @@ test:
 	cargo test --workspace
 
 # Simulator-throughput benchmark: writes BENCH_core.json at the repo root
-# with simulated cycles/sec for three workloads next to the recorded seed
-# baseline (see EXPERIMENTS.md "Performance").
+# with simulated cycles/sec for four workloads in both step modes next to
+# the recorded seed baseline (see EXPERIMENTS.md "Performance").
 bench:
 	cargo run --release -p disc-bench --bin bench_core
+
+# Perf-regression gate: quick single-rep re-measure of every workload,
+# exit 1 if any cycle-by-cycle rate drops >25% below the committed
+# BENCH_core.json baseline. Used by CI after the bench smoke step.
+bench-check:
+	DISC_BENCH_REPS=1 cargo run --release -p disc-bench --bin bench_core -- --check
 
 bench-micro:
 	cargo bench --workspace
@@ -41,7 +47,7 @@ fuzz:
 fuzz-long:
 	cargo run --release -p disc-bench --bin fuzz -- --seed 0 --count 100000
 
-# Structured run reports (schema disc-run-report/v1) under results/:
+# Structured run reports (schema disc-run-report/v2) under results/:
 # the quick reproduction pass, a short soak campaign, and the
 # observability demo. CI schema-checks every results/*.report.json and
 # uploads them as workflow artifacts.

@@ -1,17 +1,27 @@
 //! Simulator-throughput benchmark: how many simulated machine cycles per
-//! wall-clock second the cycle-accurate DISC1 core sustains on three
-//! representative workloads (compute-bound, I/O-bound, interrupt-heavy).
+//! wall-clock second the cycle-accurate DISC1 core sustains on four
+//! representative workloads (compute-bound, I/O-bound, interrupt-heavy,
+//! and a quiescence-heavy timer idle loop).
 //!
-//! Writes `BENCH_core.json` (override with `--out <path>`) containing the
-//! measured rates next to the recorded seed-commit baseline, so the
-//! speedup of the predecoded/allocation-free hot loop is auditable from
-//! the file alone. Pass `--smoke` for a fast schema-only run (used by CI);
-//! smoke rates are not comparable to the full run, so the baseline fields
-//! are `null` there.
+//! Every workload is timed twice — once per [`StepMode`] — so
+//! `BENCH_core.json` records what event skipping buys (`skip_speedup`)
+//! next to the measured rates and the recorded seed-commit baseline.
+//! Pass `--smoke` for a fast schema-only run (used by CI); smoke rates
+//! are not comparable to the full run, so the baseline fields are `null`
+//! there. Pass `--check` to re-measure and fail (exit 1) if any
+//! workload's cycle-by-cycle rate drops more than 25% below the
+//! committed `BENCH_core.json` baseline (override the path with
+//! `--baseline <path>`); that is the CI perf-regression gate.
+//!
+//! `DISC_BENCH_REPS` and `DISC_BENCH_CYCLES` override the repetition
+//! count and the simulated cycles per repetition (`make bench-check`
+//! uses `DISC_BENCH_REPS=1` for a quick gate). Invalid values abort with
+//! an error instead of being silently ignored.
 
 use std::time::Instant;
 
-use disc_core::{Machine, MachineConfig};
+use disc_bus::{PeripheralBus, Timer};
+use disc_core::{Machine, MachineConfig, StepMode};
 use disc_isa::Program;
 
 /// Simulated cycles per timed repetition (full mode).
@@ -20,11 +30,15 @@ const FULL_CYCLES: u64 = 2_000_000;
 const SMOKE_CYCLES: u64 = 5_000;
 /// Timed repetitions per workload; the median is reported.
 const REPS: usize = 3;
+/// A `--check` run must sustain at least this fraction of the committed
+/// baseline rate on every workload.
+const CHECK_FLOOR: f64 = 0.75;
 
 /// Throughput of the seed commit (pre predecode/allocation-free rework),
 /// in simulated cycles per wall second. Measured with this same binary
 /// built at the seed tree, full mode, on the reference container — see
-/// EXPERIMENTS.md "Performance" for the procedure.
+/// EXPERIMENTS.md "Performance" for the procedure. `timer_idle_1s` has
+/// no entry: the workload did not exist at the seed commit.
 const SEED_BASELINE: &[(&str, f64)] = &[
     ("compute_bound_4s", SEED_COMPUTE),
     ("io_bound_2s", SEED_IO),
@@ -67,52 +81,84 @@ fn irq_program(busy_streams: usize) -> Program {
     Program::assemble(&src).expect("irq program assembles")
 }
 
+fn timer_program() -> Program {
+    Program::assemble(
+        ".stream 0, idle\n.vector 0, 5, isr\n\
+         idle:\n    stop\n\
+         isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n",
+    )
+    .expect("timer program assembles")
+}
+
 struct Measurement {
     name: &'static str,
     description: &'static str,
     sim_cycles: u64,
     wall_ns: u128,
+    /// Median wall time of the same workload under [`StepMode::EventSkip`].
+    skip_wall_ns: u128,
 }
 
 impl Measurement {
     fn rate(&self) -> f64 {
         self.sim_cycles as f64 / (self.wall_ns as f64 / 1e9)
     }
+
+    fn skip_rate(&self) -> f64 {
+        self.sim_cycles as f64 / (self.skip_wall_ns as f64 / 1e9)
+    }
 }
 
-/// Times `run` (which must simulate exactly `sim_cycles` cycles) over
-/// one warmup plus [`REPS`] timed repetitions and keeps the median.
-fn measure(
-    name: &'static str,
-    description: &'static str,
-    sim_cycles: u64,
-    run: impl Fn(u64),
-) -> Measurement {
-    run(sim_cycles); // warmup
-    let mut times: Vec<u128> = (0..REPS)
+/// Times `run` (which must simulate exactly `sim_cycles` cycles in the
+/// given step mode) over one warmup plus `reps` timed repetitions and
+/// keeps the median.
+fn median_ns(sim_cycles: u64, reps: usize, mode: StepMode, run: &impl Fn(u64, StepMode)) -> u128 {
+    run(sim_cycles, mode); // warmup
+    let mut times: Vec<u128> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
-            run(sim_cycles);
+            run(sim_cycles, mode);
             t0.elapsed().as_nanos()
         })
         .collect();
     times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn measure(
+    name: &'static str,
+    description: &'static str,
+    sim_cycles: u64,
+    reps: usize,
+    both_modes: bool,
+    run: impl Fn(u64, StepMode),
+) -> Measurement {
+    let wall_ns = median_ns(sim_cycles, reps, StepMode::CycleByCycle, &run);
+    let skip_wall_ns = if both_modes {
+        median_ns(sim_cycles, reps, StepMode::EventSkip, &run)
+    } else {
+        wall_ns
+    };
     Measurement {
         name,
         description,
         sim_cycles,
-        wall_ns: times[times.len() / 2],
+        wall_ns,
+        skip_wall_ns,
     }
 }
 
-fn bench_compute(cycles: u64) -> Measurement {
+fn bench_compute(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
     let program = compute_program(4);
     measure(
         "compute_bound_4s",
         "4 streams of register arithmetic, no external bus traffic",
         cycles,
-        |n| {
-            let mut m = Machine::new(MachineConfig::disc1().with_streams(4), &program);
+        reps,
+        both_modes,
+        |n, mode| {
+            let config = MachineConfig::disc1().with_streams(4).with_step_mode(mode);
+            let mut m = Machine::new(config, &program);
             m.run(n).expect("compute run");
             assert_eq!(m.stats().cycles, n);
             std::hint::black_box(m.stats().retired_total());
@@ -120,14 +166,17 @@ fn bench_compute(cycles: u64) -> Measurement {
     )
 }
 
-fn bench_io(cycles: u64) -> Measurement {
+fn bench_io(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
     let program = io_program();
     measure(
         "io_bound_2s",
         "1 stream hammering external loads/stores + 1 compute stream",
         cycles,
-        |n| {
-            let mut m = Machine::new(MachineConfig::disc1().with_streams(2), &program);
+        reps,
+        both_modes,
+        |n, mode| {
+            let config = MachineConfig::disc1().with_streams(2).with_step_mode(mode);
+            let mut m = Machine::new(config, &program);
             m.run(n).expect("io run");
             assert_eq!(m.stats().cycles, n);
             std::hint::black_box(m.stats().external_accesses);
@@ -135,25 +184,48 @@ fn bench_io(cycles: u64) -> Measurement {
     )
 }
 
-fn bench_irq(cycles: u64) -> Measurement {
+fn bench_irq(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
     let program = irq_program(3);
     measure(
         "interrupt_heavy_3s",
         "3 busy streams + dormant server stream, interrupt raised every 50 cycles",
         cycles,
-        |n| {
-            let mut m = Machine::new(MachineConfig::disc1(), &program);
+        reps,
+        both_modes,
+        |n, mode| {
+            let mut m = Machine::new(MachineConfig::disc1().with_step_mode(mode), &program);
             m.set_idle_exit(false);
             let mut c = 0;
             while c < n {
                 m.raise_interrupt(3, 5);
-                for _ in 0..50.min(n - c) {
-                    m.step().expect("irq step");
-                }
-                c += 50.min(n - c);
+                let chunk = 50.min(n - c);
+                m.run(chunk).expect("irq run");
+                c += chunk;
             }
             assert_eq!(m.stats().cycles, n);
             std::hint::black_box(m.stats().vectors_taken[3]);
+        },
+    )
+}
+
+fn bench_timer_idle(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
+    let program = timer_program();
+    measure(
+        "timer_idle_1s",
+        "1 parked stream woken by a periodic timer every 1000 cycles (quiescence-heavy)",
+        cycles,
+        reps,
+        both_modes,
+        |n, mode| {
+            let mut bus = PeripheralBus::new();
+            bus.map(0x9000, Timer::REGS, Box::new(Timer::periodic(1000, 0, 5)))
+                .expect("map timer");
+            let config = MachineConfig::disc1().with_streams(1).with_step_mode(mode);
+            let mut m = Machine::with_bus(config, &program, Box::new(bus));
+            m.set_idle_exit(false);
+            m.run(n).expect("timer run");
+            assert_eq!(m.stats().cycles, n);
+            std::hint::black_box(m.stats().vectors_taken[0]);
         },
     )
 }
@@ -172,34 +244,133 @@ fn json_f64(x: Option<f64>) -> String {
     }
 }
 
+/// Reads a positive-integer environment override, aborting with a clear
+/// error when the variable is set but not a positive integer.
+fn env_override(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("bench_core: {name}={raw:?} is not a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Extracts `(name, sim_cycles_per_sec)` pairs from a committed
+/// `BENCH_core.json`. The file is generated by this binary, so a
+/// line-oriented scan of the stable formatting is sufficient — no JSON
+/// parser needed.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\":"))?;
+        Some(rest.trim().trim_end_matches(',').trim_matches('"').into())
+    };
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        if let Some(v) = field(line, "name") {
+            name = Some(v);
+        } else if let Some(v) = field(line, "sim_cycles_per_sec") {
+            if let (Some(n), Ok(rate)) = (name.take(), v.parse::<f64>()) {
+                out.push((n, rate));
+            }
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_core.json".to_string());
-    let cycles = if smoke { SMOKE_CYCLES } else { FULL_CYCLES };
+    let check = args.iter().any(|a| a == "--check");
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = arg_after("--out").unwrap_or_else(|| "BENCH_core.json".to_string());
+    let baseline_path = arg_after("--baseline").unwrap_or_else(|| "BENCH_core.json".to_string());
+    let reps = env_override("DISC_BENCH_REPS").map_or(REPS, |n| n as usize);
+    let cycles =
+        env_override("DISC_BENCH_CYCLES").unwrap_or(if smoke { SMOKE_CYCLES } else { FULL_CYCLES });
 
     eprintln!(
-        "bench_core: {} mode, {cycles} simulated cycles x {REPS} reps per workload",
-        if smoke { "smoke" } else { "full" }
+        "bench_core: {} mode, {cycles} simulated cycles x {reps} reps per workload",
+        if check {
+            "check"
+        } else if smoke {
+            "smoke"
+        } else {
+            "full"
+        }
     );
-    let runs = [bench_compute(cycles), bench_io(cycles), bench_irq(cycles)];
+    // The check gate compares only cycle-by-cycle rates, so skip the
+    // event-skip timings there to keep it quick.
+    let both = !check;
+    let runs = [
+        bench_compute(cycles, reps, both),
+        bench_io(cycles, reps, both),
+        bench_irq(cycles, reps, both),
+        bench_timer_idle(cycles, reps, both),
+    ];
+
+    if check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "no workload rates found in {baseline_path}"
+        );
+        let mut failed = false;
+        for m in &runs {
+            let rate = m.rate();
+            let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
+                eprintln!(
+                    "  {:<22} {rate:>12.0} sim cycles/s  (no baseline, skipped)",
+                    m.name
+                );
+                continue;
+            };
+            let ratio = rate / base;
+            let ok = ratio >= CHECK_FLOOR;
+            failed |= !ok;
+            eprintln!(
+                "  {:<22} {rate:>12.0} sim cycles/s  ({ratio:.2}x of baseline {base:.0}) {}",
+                m.name,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+        }
+        if failed {
+            eprintln!(
+                "bench_core: throughput regression: a workload fell below {:.0}% of {baseline_path}",
+                CHECK_FLOOR * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_core: all workloads within {:.0}% of baseline",
+            CHECK_FLOOR * 100.0
+        );
+        return;
+    }
 
     let mut entries = Vec::new();
     for m in &runs {
         let rate = m.rate();
+        let skip_rate = m.skip_rate();
         // Smoke runs are too short to compare against the recorded
         // full-mode baseline.
         let seed = if smoke { None } else { seed_rate(m.name) };
         let speedup = seed.map(|s| rate / s);
         eprintln!(
-            "  {:<22} {:>12.0} sim cycles/s{}",
+            "  {:<22} {:>12.0} sim cycles/s  event-skip {:>12.0} ({:.2}x){}",
             m.name,
             rate,
+            skip_rate,
+            skip_rate / rate,
             speedup
                 .map(|s| format!("  ({s:.2}x vs seed)"))
                 .unwrap_or_default()
@@ -208,12 +379,15 @@ fn main() {
             "    {{\n      \"name\": \"{}\",\n      \"description\": \"{}\",\n      \
              \"sim_cycles\": {},\n      \"wall_ns\": {},\n      \
              \"sim_cycles_per_sec\": {},\n      \
+             \"event_skip_sim_cycles_per_sec\": {},\n      \"skip_speedup\": {},\n      \
              \"seed_sim_cycles_per_sec\": {},\n      \"speedup_vs_seed\": {}\n    }}",
             m.name,
             m.description,
             m.sim_cycles,
             m.wall_ns,
             json_f64(Some(rate)),
+            json_f64(Some(skip_rate)),
+            json_f64(Some(skip_rate / rate)),
             json_f64(seed),
             speedup
                 .filter(|s| s.is_finite())
@@ -222,11 +396,11 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"disc-bench-core/v1\",\n  \"mode\": \"{}\",\n  \
+        "{{\n  \"schema\": \"disc-bench-core/v2\",\n  \"mode\": \"{}\",\n  \
          \"cycles_per_run\": {},\n  \"reps\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         cycles,
-        REPS,
+        reps,
         entries.join(",\n")
     );
     std::fs::write(&out, &json).expect("write benchmark json");

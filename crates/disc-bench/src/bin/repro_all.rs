@@ -99,8 +99,10 @@ fn main() {
         println!("exports written to {}", d.display());
     }
 
+    let t0 = std::time::Instant::now();
     let machine = disc_bench::experiments::cycle_attribution_machine();
-    let report = RunReport::from_machine("repro_all", &machine)
+    let wall = t0.elapsed().as_secs_f64();
+    let report = RunReport::from_machine_timed("repro_all", &machine, Some(wall))
         .section(
             "scale",
             Json::obj([

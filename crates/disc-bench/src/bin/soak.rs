@@ -7,10 +7,13 @@
 //! `--runs 1 --base-seed <seed>`.
 //!
 //! Usage: `soak [--runs N] [--horizon CYCLES] [--base-seed SEED]
-//! [--report PATH]` (worker count follows `DISC_JOBS`). `--report` writes
-//! the campaign's schema-versioned run report JSON to PATH in addition to
-//! the stdout summary.
+//! [--step-mode MODE] [--report PATH]` (worker count follows
+//! `DISC_JOBS`). `--report` writes the campaign's schema-versioned run
+//! report JSON to PATH in addition to the stdout summary. `--step-mode`
+//! selects `cycle-by-cycle` (default) or `event-skip`; the campaign
+//! verdict must be identical either way.
 
+use disc_core::StepMode;
 use disc_rts::SoakConfig;
 
 fn parse_u64(args: &mut std::env::Args, flag: &str) -> u64 {
@@ -41,9 +44,22 @@ fn main() {
                     .unwrap_or_else(|| panic!("--report needs a path"));
                 report_path = Some(std::path::PathBuf::from(value));
             }
+            "--step-mode" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--step-mode needs a value"));
+                cfg.step_mode = match value.as_str() {
+                    "cycle-by-cycle" => StepMode::CycleByCycle,
+                    "event-skip" => StepMode::EventSkip,
+                    other => panic!(
+                        "bad --step-mode value {other:?} (expected cycle-by-cycle or event-skip)"
+                    ),
+                };
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: soak [--runs N] [--horizon CYCLES] [--base-seed SEED] [--report PATH]"
+                    "usage: soak [--runs N] [--horizon CYCLES] [--base-seed SEED] \
+                     [--step-mode cycle-by-cycle|event-skip] [--report PATH]"
                 );
                 return;
             }
@@ -60,7 +76,9 @@ fn main() {
         cfg.base_seed,
         disc_par::max_jobs().min(cfg.runs.max(1) as usize),
     );
+    let t0 = std::time::Instant::now();
     let report = disc_rts::soak::run_campaign(&cfg);
+    let wall_secs = t0.elapsed().as_secs_f64();
     print!("{}", report.summary());
     if let Some(path) = report_path {
         if let Some(dir) = path.parent() {
@@ -68,7 +86,8 @@ fn main() {
                 std::fs::create_dir_all(dir).expect("create report dir");
             }
         }
-        std::fs::write(&path, report.run_report(&cfg).render()).expect("write run report");
+        let rendered = report.run_report_timed(&cfg, Some(wall_secs)).render();
+        std::fs::write(&path, rendered).expect("write run report");
         eprintln!("run report written to {}", path.display());
     }
     if !report.passed() {

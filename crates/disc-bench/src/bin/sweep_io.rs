@@ -4,7 +4,9 @@ use disc_obs::{Json, RunReport};
 
 fn main() {
     let (cycles, seeds) = disc_bench::run_scale();
+    let t0 = std::time::Instant::now();
     let table = disc_stoch::tables::sweep_io(cycles, seeds);
+    let wall = t0.elapsed().as_secs_f64();
     println!("{table}");
     let report = RunReport::new("sweep_io")
         .section(
@@ -14,7 +16,11 @@ fn main() {
                 ("seeds", Json::U64(seeds)),
             ]),
         )
-        .section("table", disc_bench::table_json(&table));
+        .section("table", disc_bench::table_json(&table))
+        .section(
+            "timing",
+            disc_bench::sweep_timing(&table, cycles, seeds, wall),
+        );
     match report.write_under("results", "sweep_io") {
         Ok(path) => eprintln!("run report written to {}", path.display()),
         Err(e) => eprintln!("warning: could not write run report: {e}"),

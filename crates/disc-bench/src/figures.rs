@@ -1,6 +1,6 @@
 //! Reproductions of the paper's figures on the cycle-accurate machine.
 
-use disc_core::{Machine, MachineConfig, SchedulePolicy};
+use disc_core::{Machine, MachineConfig, SchedulePolicy, StepMode};
 use disc_isa::{Program, Reg};
 
 /// Figure 3.1 — the interleaved pipeline: five independent streams on a
@@ -10,6 +10,13 @@ use disc_isa::{Program, Reg};
 ///
 /// Panics if the demo program fails to assemble or run (a bug).
 pub fn fig_3_1_interleaved_pipeline() -> String {
+    fig_3_1_with(StepMode::CycleByCycle)
+}
+
+/// [`fig_3_1_interleaved_pipeline`] under an explicit [`StepMode`]. The
+/// equivalence tests render every figure in both modes and require
+/// byte-identical text.
+pub fn fig_3_1_with(mode: StepMode) -> String {
     let mut src = String::new();
     for s in 0..5 {
         src.push_str(&format!(".stream {s}, l{s}\n"));
@@ -23,7 +30,8 @@ pub fn fig_3_1_interleaved_pipeline() -> String {
     let cfg = MachineConfig::disc1()
         .with_streams(5)
         .with_pipeline_depth(5)
-        .with_schedule(SchedulePolicy::Sequence(vec![0, 1, 2, 3, 4]));
+        .with_schedule(SchedulePolicy::Sequence(vec![0, 1, 2, 3, 4]))
+        .with_step_mode(mode);
     let mut m = Machine::new(cfg, &program);
     // Warm the pipe, then trace a window.
     m.run(10).unwrap();
@@ -51,6 +59,11 @@ pub fn fig_3_1_interleaved_pipeline() -> String {
 ///
 /// Panics if the demo program fails to assemble or run (a bug).
 pub fn fig_3_2_jump() -> String {
+    fig_3_2_with(StepMode::CycleByCycle)
+}
+
+/// [`fig_3_2_jump`] under an explicit [`StepMode`].
+pub fn fig_3_2_with(mode: StepMode) -> String {
     let body = "    addi r0, r0, 1\n    addi r1, r1, 1\n    addi r2, r2, 1\n";
     let run_with = |streams: usize| {
         let mut src = String::new();
@@ -62,7 +75,8 @@ pub fn fig_3_2_jump() -> String {
         let cfg = MachineConfig::disc1()
             .with_streams(streams.max(1))
             .with_pipeline_depth(5)
-            .with_schedule(SchedulePolicy::Sequence(seq));
+            .with_schedule(SchedulePolicy::Sequence(seq))
+            .with_step_mode(mode);
         let mut m = Machine::new(cfg, &program);
         m.run(400).unwrap();
         let st = m.stats();
@@ -88,6 +102,11 @@ pub fn fig_3_2_jump() -> String {
 ///
 /// Panics if the demo program fails to assemble or run (a bug).
 pub fn fig_3_3_dynamic() -> String {
+    fig_3_3_with(StepMode::CycleByCycle)
+}
+
+/// [`fig_3_3_dynamic`] under an explicit [`StepMode`].
+pub fn fig_3_3_with(mode: StepMode) -> String {
     let mut src = String::new();
     for s in 0..4 {
         src.push_str(&format!(".stream {s}, l{s}\n"));
@@ -97,7 +116,9 @@ pub fn fig_3_3_dynamic() -> String {
         ));
     }
     let program = Program::assemble(&src).unwrap();
-    let cfg = MachineConfig::disc1().with_schedule(SchedulePolicy::partitioned(&[8, 3, 3, 2]));
+    let cfg = MachineConfig::disc1()
+        .with_schedule(SchedulePolicy::partitioned(&[8, 3, 3, 2]))
+        .with_step_mode(mode);
     let mut m = Machine::new(cfg, &program);
     m.set_idle_exit(false);
 
@@ -142,6 +163,13 @@ pub fn fig_3_3_dynamic() -> String {
 ///
 /// Panics if the demo program fails to assemble or run (a bug).
 pub fn fig_3_4_stack_window() -> String {
+    fig_3_4_with(StepMode::CycleByCycle)
+}
+
+/// [`fig_3_4_stack_window`] under an explicit [`StepMode`]. This figure
+/// single-steps the machine, where skipping never engages; the knob
+/// still exercises the mode plumbing.
+pub fn fig_3_4_with(mode: StepMode) -> String {
     let program = Program::assemble(
         r#"
         .stream 0, main
@@ -163,7 +191,7 @@ pub fn fig_3_4_stack_window() -> String {
     "#,
     )
     .unwrap();
-    let mut m = Machine::new(MachineConfig::disc1(), &program);
+    let mut m = Machine::new(MachineConfig::disc1().with_step_mode(mode), &program);
     let mut out = String::from(
         "Figures 3.4/3.5 - Stack Window Movements\n\n\
          cycle  AWP  event\n",

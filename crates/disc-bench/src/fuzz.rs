@@ -22,7 +22,9 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-use disc_core::{CycleRecord, Exit, Machine, MachineConfig, SchedulePolicy, TraceEvent, TraceSink};
+use disc_core::{
+    CycleRecord, Exit, Machine, MachineConfig, SchedulePolicy, StepMode, TraceEvent, TraceSink,
+};
 use disc_isa::{encode::encode, AluImmOp, AluOp, AwpMode, Cond, Instruction, Program, Reg};
 use disc_ref::{RefConfig, RefExit, RefMachine};
 
@@ -100,6 +102,12 @@ pub struct GenProgram {
     /// Random 16-slot sequence table, or `None` for round-robin
     /// (architecturally invisible).
     pub schedule: Option<Vec<u8>>,
+    /// Timing mode for the machine run (architecturally invisible). When
+    /// [`StepMode::EventSkip`] is drawn, the runner additionally executes
+    /// a second, sink-free machine where quiescence skipping can actually
+    /// engage (the retire-log sink pins it off on the primary machine)
+    /// and requires its final state and statistics to be identical.
+    pub step_mode: StepMode,
     /// External address ranges `[lo, hi)` the program may touch, for the
     /// external-memory comparison sweep.
     pub ext_regions: Vec<(u16, u16)>,
@@ -685,6 +693,11 @@ pub fn generate(seed: u64) -> GenProgram {
         window_depth: rng.pick(&[12usize, 16, 64]),
         ext_latency: rng.below(4) as u32,
         schedule,
+        step_mode: if rng.chance(50) {
+            StepMode::EventSkip
+        } else {
+            StepMode::CycleByCycle
+        },
         ext_regions,
     }
 }
@@ -733,7 +746,8 @@ fn machine_config(gp: &GenProgram) -> MachineConfig {
     let mut cfg = MachineConfig::disc1()
         .with_streams(gp.streams)
         .with_window_depth(gp.window_depth)
-        .with_default_ext_latency(gp.ext_latency);
+        .with_default_ext_latency(gp.ext_latency)
+        .with_step_mode(gp.step_mode);
     cfg.pipeline_depth = gp.pipeline_depth;
     if let Some(table) = &gp.schedule {
         cfg = cfg.with_schedule(SchedulePolicy::Sequence(table.clone()));
@@ -764,6 +778,16 @@ pub fn compare_with_budget(
         .take_trace_sink()
         .and_then(|sink| sink.into_any().downcast::<RetireLog>().ok())
         .expect("retire log sink");
+
+    // When the timing knob drew EventSkip, the primary machine above had
+    // skipping pinned off by its trace sink; run a second, sink-free
+    // machine where fast-forwarding can engage and hold it to the same
+    // exit, statistics (including cycle attribution) and final state.
+    let skipper = (gp.step_mode == StepMode::EventSkip).then(|| {
+        let mut skipper = Machine::new(machine_config(gp), &gp.program);
+        let exit = skipper.run(machine_cycles);
+        (skipper, exit)
+    });
 
     let mut reference = RefMachine::new(ref_config(gp), &gp.program);
     let r_exit = reference.run(ref_steps);
@@ -906,13 +930,93 @@ pub fn compare_with_budget(
     for &(lo, hi) in &gp.ext_regions {
         ext_addrs.extend(lo..hi);
     }
-    for addr in ext_addrs {
+    for &addr in &ext_addrs {
         let m_val = machine.bus_mut().read(addr);
         if m_val != reference.external(addr) {
             details.push(format!(
                 "external[{addr:#x}]: {m_val:#06x} vs {:#06x}",
                 reference.external(addr)
             ));
+        }
+    }
+
+    // EventSkip cross-check: the sink-free machine must be
+    // indistinguishable from the pinned cycle-by-cycle run.
+    if let Some((mut skipper, s_exit)) = skipper {
+        if s_exit != m_exit {
+            details.push(format!(
+                "event-skip: exit {s_exit:?} vs cycle-by-cycle {m_exit:?}"
+            ));
+        }
+        if skipper.stats() != machine.stats() {
+            details.push(format!(
+                "event-skip: stats diverge:\n    skip  {:?}\n    exact {:?}",
+                skipper.stats(),
+                machine.stats()
+            ));
+        }
+        for s in 0..gp.streams {
+            let a = machine.stream(s);
+            let b = skipper.stream(s);
+            let ctl = |st: &disc_core::Stream| {
+                (
+                    st.pc(),
+                    st.ir(),
+                    st.mr(),
+                    st.flags().to_word(),
+                    st.service_depth(),
+                    st.service_level(),
+                    st.window().awp(),
+                )
+            };
+            if ctl(a) != ctl(b) {
+                details.push(format!(
+                    "event-skip: stream {s} control state {:?} vs {:?}",
+                    ctl(b),
+                    ctl(a)
+                ));
+            }
+            for slot in 0..a.window().max_depth() {
+                if a.window().read_slot(slot) != b.window().read_slot(slot) {
+                    details.push(format!(
+                        "event-skip: stream {s} window slot {slot}: {:#06x} vs {:#06x}",
+                        b.window().read_slot(slot),
+                        a.window().read_slot(slot)
+                    ));
+                }
+            }
+            if machine.reg(s, Reg::Sp) != skipper.reg(s, Reg::Sp) {
+                details.push(format!(
+                    "event-skip: stream {s} sp {:#06x} vs {:#06x}",
+                    skipper.reg(s, Reg::Sp),
+                    machine.reg(s, Reg::Sp)
+                ));
+            }
+        }
+        for g in 0..disc_isa::GLOBAL_REGS {
+            if machine.global(g) != skipper.global(g) {
+                details.push(format!(
+                    "event-skip: global g{g}: {:#06x} vs {:#06x}",
+                    skipper.global(g),
+                    machine.global(g)
+                ));
+            }
+        }
+        for addr in 0..reference.internal_len() as u16 {
+            if machine.internal_memory().read(addr) != skipper.internal_memory().read(addr) {
+                details.push(format!(
+                    "event-skip: internal[{addr:#x}]: {:#06x} vs {:#06x}",
+                    skipper.internal_memory().read(addr),
+                    machine.internal_memory().read(addr)
+                ));
+            }
+        }
+        for &addr in &ext_addrs {
+            if machine.bus_mut().read(addr) != skipper.bus_mut().read(addr) {
+                details.push(format!(
+                    "event-skip: external[{addr:#x}] diverges from cycle-by-cycle"
+                ));
+            }
         }
     }
 

@@ -1,0 +1,389 @@
+//! Equivalence tests for [`StepMode::EventSkip`]: fast-forwarding through
+//! quiescent cycles must be architecturally invisible. Every scenario here
+//! runs twice — cycle-by-cycle and event-skip — through `Machine::run`
+//! (never a manual step loop) and demands identical final architectural
+//! state, `MachineStats` (including per-stream `CycleAttribution`,
+//! bucket for bucket), and `RunReport` content modulo the timing section.
+//!
+//! Coverage: the bench workloads (io_bound_2s, interrupt_heavy_3s,
+//! timer_idle_1s), a stuck-peripheral fault plan under the `Fault` bus
+//! policy, a watchdog-bite recovery loop, the fig_* figure workloads, the
+//! differential-fuzz regression corpus with the mode forced on, a seeded
+//! soak campaign, and byte-identical JSONL traces (a per-cycle sink pins
+//! skipping off).
+
+use disc_bench::figures;
+use disc_bench::fuzz::{compare, generate};
+use disc_bus::{ExtRam, PeripheralBus, Timer, Watchdog};
+use disc_core::{BusFaultPolicy, Machine, MachineConfig, StepMode};
+use disc_faults::{AddrRange, FaultInjector, FaultPlan, FaultWindow};
+use disc_isa::{Program, Reg};
+use disc_obs::{config_fingerprint, config_json, stats_json, JsonlSink};
+use disc_rts::soak;
+
+/// Runs `build`+`drive` in both step modes and asserts the results are
+/// indistinguishable. `expect_skips` additionally requires that the
+/// event-skip run actually fast-forwarded (otherwise the scenario proves
+/// nothing about skipping).
+fn assert_modes_equivalent(
+    label: &str,
+    expect_skips: bool,
+    build: impl Fn(StepMode) -> Machine,
+    drive: impl Fn(&mut Machine),
+) {
+    let mut cbc = build(StepMode::CycleByCycle);
+    drive(&mut cbc);
+    let mut skip = build(StepMode::EventSkip);
+    drive(&mut skip);
+
+    // Stats — covers cycles, retired counts, vectors, bus counters and
+    // the per-stream attribution in one structural comparison…
+    assert_eq!(cbc.stats(), skip.stats(), "{label}: stats diverge");
+    // …but attribution exactness is the property under test, so check it
+    // bucket for bucket with its own message, and require the skip run's
+    // buckets to still sum to its cycle count.
+    assert_eq!(
+        cbc.stats().attribution,
+        skip.stats().attribution,
+        "{label}: cycle attribution diverges"
+    );
+    skip.stats()
+        .attribution
+        .check(skip.stats().cycles)
+        .unwrap_or_else(|e| panic!("{label}: skip-run attribution unbalanced: {e:?}"));
+
+    // Final architectural state, stream by stream.
+    for s in 0..cbc.stream_count() {
+        let a = cbc.stream(s);
+        let b = skip.stream(s);
+        assert_eq!(a.pc(), b.pc(), "{label}: stream {s} pc");
+        assert_eq!(a.ir(), b.ir(), "{label}: stream {s} ir");
+        assert_eq!(a.mr(), b.mr(), "{label}: stream {s} mr");
+        assert_eq!(
+            a.flags().to_word(),
+            b.flags().to_word(),
+            "{label}: stream {s} flags"
+        );
+        assert_eq!(
+            (a.service_depth(), a.service_level()),
+            (b.service_depth(), b.service_level()),
+            "{label}: stream {s} service state"
+        );
+        assert_eq!(
+            a.window().awp(),
+            b.window().awp(),
+            "{label}: stream {s} awp"
+        );
+        for slot in 0..a.window().max_depth() {
+            assert_eq!(
+                a.window().read_slot(slot),
+                b.window().read_slot(slot),
+                "{label}: stream {s} window slot {slot}"
+            );
+        }
+        assert_eq!(
+            cbc.reg(s, Reg::Sp),
+            skip.reg(s, Reg::Sp),
+            "{label}: stream {s} sp"
+        );
+    }
+    for g in 0..disc_isa::GLOBAL_REGS {
+        assert_eq!(cbc.global(g), skip.global(g), "{label}: global g{g}");
+    }
+    for addr in 0..cbc.config().internal_words as u16 {
+        assert_eq!(
+            cbc.internal_memory().read(addr),
+            skip.internal_memory().read(addr),
+            "{label}: internal[{addr:#x}]"
+        );
+    }
+
+    // Skip accounting: the default mode never skips; the scenario's
+    // quiescence expectation must hold in event-skip mode.
+    assert_eq!(cbc.skip_stats().skips, 0, "{label}: default mode skipped");
+    if expect_skips {
+        let st = skip.skip_stats();
+        assert!(st.skips > 0, "{label}: event skip never engaged");
+        assert!(st.cycles_skipped >= st.skips, "{label}: skip bookkeeping");
+    }
+
+    // RunReport equivalence modulo the timing section: the config
+    // fingerprint, the rendered config and the full stats tree are what
+    // the report is built from.
+    assert_eq!(
+        config_fingerprint(cbc.config()),
+        config_fingerprint(skip.config()),
+        "{label}: config fingerprints diverge"
+    );
+    assert_eq!(
+        config_json(cbc.config()),
+        config_json(skip.config()),
+        "{label}: config sections diverge"
+    );
+    assert_eq!(
+        stats_json(cbc.stats()),
+        stats_json(skip.stats()),
+        "{label}: stats sections diverge"
+    );
+}
+
+fn io_program() -> Program {
+    Program::assemble(
+        ".stream 0, a\n.stream 1, b\n\
+         a: lui r0, 0x80\nla: ld r1, [r0]\n    st r1, [r0]\n    jmp la\n\
+         b: ldi r0, 0\nlb: addi r0, r0, 1\n    jmp lb\n",
+    )
+    .expect("io program assembles")
+}
+
+#[test]
+fn io_bound_2s_attribution_matches() {
+    let program = io_program();
+    assert_modes_equivalent(
+        "io_bound_2s",
+        false, // the compute stream keeps a slot live every cycle
+        |mode| {
+            let config = MachineConfig::disc1().with_streams(2).with_step_mode(mode);
+            Machine::new(config, &program)
+        },
+        |m| {
+            m.run(50_000).expect("io run");
+        },
+    );
+}
+
+#[test]
+fn interrupt_heavy_3s_attribution_matches() {
+    let mut src = String::new();
+    for s in 0..3 {
+        src.push_str(&format!(".stream {s}, work{s}\n"));
+        src.push_str(&format!(
+            "work{s}:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    jmp work{s}\n"
+        ));
+    }
+    src.push_str(".vector 3, 5, isr\n");
+    src.push_str("isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n");
+    let program = Program::assemble(&src).expect("irq program assembles");
+    assert_modes_equivalent(
+        "interrupt_heavy_3s",
+        false, // three busy streams: never quiescent
+        |mode| {
+            let mut m = Machine::new(MachineConfig::disc1().with_step_mode(mode), &program);
+            m.set_idle_exit(false);
+            m
+        },
+        |m| {
+            // Same driver as the bench workload: an external interrupt
+            // every 50 cycles, advanced through run(), not step().
+            for _ in 0..400 {
+                m.raise_interrupt(3, 5);
+                m.run(50).expect("irq run");
+            }
+        },
+    );
+}
+
+#[test]
+fn timer_idle_quiescence_matches_and_skips() {
+    let program = Program::assemble(
+        ".stream 0, idle\n.vector 0, 5, isr\n\
+         idle:\n    stop\n\
+         isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n",
+    )
+    .expect("timer program assembles");
+    assert_modes_equivalent(
+        "timer_idle",
+        true, // parked between timer fires: quiescence-dominated
+        |mode| {
+            let mut bus = PeripheralBus::new();
+            bus.map(0x9000, Timer::REGS, Box::new(Timer::periodic(1_000, 0, 5)))
+                .expect("map timer");
+            let config = MachineConfig::disc1().with_streams(1).with_step_mode(mode);
+            let mut m = Machine::with_bus(config, &program, Box::new(bus));
+            m.set_idle_exit(false);
+            m
+        },
+        |m| {
+            m.run(60_000).expect("timer run");
+        },
+    );
+}
+
+#[test]
+fn stuck_peripheral_fault_plan_matches() {
+    // One stream hammering a device that a deterministic fault plan
+    // wedges mid-run; the Fault bus policy's ABI timeout is the only
+    // thing that unsticks it, so the run alternates quiescent waits with
+    // bursts of recovery work.
+    let program = Program::assemble(
+        ".stream 0, a\n\
+         a: lui r0, 0x80\nla: ld r1, [r0]\n    st r1, [r0]\n    jmp la\n",
+    )
+    .expect("stuck program assembles");
+    assert_modes_equivalent(
+        "stuck_peripheral",
+        true,
+        |mode| {
+            let mut bus = PeripheralBus::new();
+            bus.map(0x8000, 16, Box::new(ExtRam::new(16, 3)))
+                .expect("map device ram");
+            let plan = FaultPlan::new(0xbad).stuck(
+                AddrRange::new(0x8000, 0x800f),
+                FaultWindow::between(2_000, 8_000),
+            );
+            let injector = FaultInjector::new(plan, Box::new(bus));
+            let config = MachineConfig::disc1()
+                .with_streams(1)
+                .with_bus_fault(BusFaultPolicy::Fault)
+                .with_abi_timeout(64)
+                .with_step_mode(mode);
+            Machine::with_bus(config, &program, Box::new(injector))
+        },
+        |m| {
+            m.run(20_000).expect("stuck run");
+        },
+    );
+}
+
+#[test]
+fn watchdog_bite_matches() {
+    // A parked "wedged" stream that only runs when the watchdog bites;
+    // the recovery handler kicks the dog and parks again, so the whole
+    // run is timeout-long quiescent stretches punctuated by handlers.
+    let program = Program::assemble(
+        ".stream 0, idle\n.vector 0, 7, isr\n\
+         idle:\n    stop\n\
+         isr:\n    ldi r0, 1\n    lui r1, 0x90\n    st r0, [r1]\n    reti\n",
+    )
+    .expect("watchdog program assembles");
+    assert_modes_equivalent(
+        "watchdog_bite",
+        true,
+        |mode| {
+            let mut bus = PeripheralBus::new();
+            bus.map(0x9000, Watchdog::REGS, Box::new(Watchdog::new(500, 0, 7)))
+                .expect("map watchdog");
+            let config = MachineConfig::disc1().with_streams(1).with_step_mode(mode);
+            let mut m = Machine::with_bus(config, &program, Box::new(bus));
+            m.set_idle_exit(false);
+            m
+        },
+        |m| {
+            m.run(30_000).expect("watchdog run");
+        },
+    );
+}
+
+#[test]
+fn fig_workloads_render_identically_across_modes() {
+    assert_eq!(
+        figures::fig_3_1_with(StepMode::CycleByCycle),
+        figures::fig_3_1_with(StepMode::EventSkip),
+        "fig 3.1 diverges"
+    );
+    assert_eq!(
+        figures::fig_3_2_with(StepMode::CycleByCycle),
+        figures::fig_3_2_with(StepMode::EventSkip),
+        "fig 3.2 diverges"
+    );
+    assert_eq!(
+        figures::fig_3_3_with(StepMode::CycleByCycle),
+        figures::fig_3_3_with(StepMode::EventSkip),
+        "fig 3.3 diverges"
+    );
+    assert_eq!(
+        figures::fig_3_4_with(StepMode::CycleByCycle),
+        figures::fig_3_4_with(StepMode::EventSkip),
+        "fig 3.4 diverges"
+    );
+}
+
+#[test]
+fn fuzz_corpus_identical_across_modes() {
+    // Replay the whole regression corpus with EventSkip forced on: the
+    // differential runner then executes three models per seed — the
+    // sink-pinned machine, a sink-free event-skip machine, and the
+    // golden-reference interpreter — and requires all to agree.
+    let corpus = include_str!("../fuzz/regressions.txt");
+    let mut seeds = 0;
+    for line in corpus.lines() {
+        let entry = line.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let seed = entry
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).expect("hex seed"))
+            .unwrap_or_else(|| entry.parse().expect("decimal seed"));
+        let mut gp = generate(seed);
+        gp.step_mode = StepMode::EventSkip;
+        if let Err(div) = compare(&gp) {
+            panic!("corpus seed diverged under event skip:\n{div}");
+        }
+        seeds += 1;
+    }
+    assert!(seeds > 0, "corpus must not be empty");
+}
+
+#[test]
+fn seeded_soak_campaign_identical_across_modes() {
+    let cfg = |mode| soak::SoakConfig {
+        runs: 4,
+        horizon: 20_000,
+        step_mode: mode,
+        ..soak::SoakConfig::default()
+    };
+    let cbc_cfg = cfg(StepMode::CycleByCycle);
+    let skip_cfg = cfg(StepMode::EventSkip);
+    let cbc = soak::run_campaign(&cbc_cfg);
+    let skip = soak::run_campaign(&skip_cfg);
+    // Verdicts, fault logs, per-run stats and the reference outcome must
+    // all be identical…
+    assert_eq!(cbc, skip, "soak campaigns diverge across step modes");
+    // …and so must the untimed run reports (the config fingerprint
+    // deliberately ignores step_mode).
+    assert_eq!(
+        cbc.run_report(&cbc_cfg).render(),
+        skip.run_report(&skip_cfg).render(),
+        "soak run reports diverge across step modes"
+    );
+}
+
+#[test]
+fn jsonl_trace_bytes_identical_and_sink_pins_skipping() {
+    // A per-cycle sink must see every cycle, so attaching one both pins
+    // skipping off and yields byte-identical trace output in either mode
+    // — even on a workload that otherwise skips heavily.
+    let program = Program::assemble(
+        ".stream 0, idle\n.vector 0, 5, isr\n\
+         idle:\n    stop\n\
+         isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n",
+    )
+    .expect("timer program assembles");
+    let trace_bytes = |mode| {
+        let mut bus = PeripheralBus::new();
+        bus.map(0x9000, Timer::REGS, Box::new(Timer::periodic(400, 0, 5)))
+            .expect("map timer");
+        let config = MachineConfig::disc1().with_streams(1).with_step_mode(mode);
+        let mut m = Machine::with_bus(config, &program, Box::new(bus));
+        m.set_idle_exit(false);
+        m.set_trace_sink(Box::new(JsonlSink::new(Vec::<u8>::new())));
+        m.run(5_000).expect("traced run");
+        let skips = m.skip_stats().skips;
+        let sink = m
+            .take_trace_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<JsonlSink<Vec<u8>>>()
+            .unwrap();
+        let (bytes, err) = sink.into_inner();
+        assert!(err.is_none(), "sink write error");
+        (bytes, skips)
+    };
+    let (cbc_bytes, cbc_skips) = trace_bytes(StepMode::CycleByCycle);
+    let (skip_bytes, skip_skips) = trace_bytes(StepMode::EventSkip);
+    assert_eq!(cbc_skips, 0);
+    assert_eq!(skip_skips, 0, "a per-cycle sink must pin skipping off");
+    assert!(!cbc_bytes.is_empty(), "trace must not be empty");
+    assert_eq!(cbc_bytes, skip_bytes, "trace bytes diverge across modes");
+}

@@ -62,4 +62,14 @@ fn microarchitecture_knobs_are_exercised() {
         "pipeline depths"
     );
     assert!(gps.iter().any(|g| !g.exact), "cross-signal programs");
+    assert!(
+        gps.iter()
+            .any(|g| g.step_mode == disc_core::StepMode::EventSkip),
+        "event-skip runs"
+    );
+    assert!(
+        gps.iter()
+            .any(|g| g.step_mode == disc_core::StepMode::CycleByCycle),
+        "cycle-by-cycle runs"
+    );
 }

@@ -74,6 +74,13 @@ impl Peripheral for Actuator {
     fn tick(&mut self, _irqs: &mut Vec<IrqRequest>) {
         self.cycle += 1;
     }
+
+    // Ticks only advance the timestamp clock; that alone never needs to
+    // bound a skip, but the clock must still move so command timestamps
+    // stay identical across step modes.
+    fn advance(&mut self, cycles: u64) {
+        self.cycle += cycles;
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,30 @@ pub trait Peripheral {
     fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
         let _ = irqs;
     }
+
+    /// Earliest absolute machine cycle `>= now` at which a [`tick`]
+    /// (Peripheral::tick) may produce an observable effect, or `None`
+    /// when no future tick can. Mirrors
+    /// [`DataBus::next_event`](disc_core::DataBus::next_event): the tick
+    /// during the machine step starting at cycle `now` counts as
+    /// happening *at* `now`, and the caller never skips past the returned
+    /// cycle.
+    ///
+    /// The default (`None`) is only sound for devices whose `tick` is a
+    /// no-op; any device overriding `tick` must override `next_event` and
+    /// [`advance`](Peripheral::advance) together.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
+    }
+
+    /// Advances device-internal time by `cycles` machine cycles in one
+    /// step, exactly equivalent to that many [`tick`](Peripheral::tick)
+    /// calls *given* the caller's guarantee that the skipped stretch ends
+    /// strictly before [`next_event`](Peripheral::next_event).
+    fn advance(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
 }
 
 /// Error returned by [`PeripheralBus::map`] on overlapping or empty
@@ -162,6 +186,19 @@ impl DataBus for PeripheralBus {
     fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
         for m in &mut self.mappings {
             m.device.tick(irqs);
+        }
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.mappings
+            .iter()
+            .filter_map(|m| m.device.next_event(now))
+            .min()
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        for m in &mut self.mappings {
+            m.device.advance(cycles);
         }
     }
 }

@@ -80,6 +80,14 @@ impl<T: Peripheral> Peripheral for Shared<T> {
     fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
         self.0.borrow_mut().tick(irqs)
     }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.0.borrow().next_event(now)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        self.0.borrow_mut().advance(cycles)
+    }
 }
 
 #[cfg(test)]

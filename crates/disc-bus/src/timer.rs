@@ -121,6 +121,27 @@ impl Peripheral for Timer {
             }
         }
     }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.enabled() {
+            return None;
+        }
+        // `count` cycles of countdown remain; the fire happens during the
+        // tick that decrements it to zero.
+        Some(now + u64::from(self.count.max(1)) - 1)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        if !self.enabled() || cycles == 0 {
+            return;
+        }
+        debug_assert!(
+            cycles < u64::from(self.count),
+            "advance({cycles}) would fire a timer with count {}",
+            self.count
+        );
+        self.count -= cycles as u32;
+    }
 }
 
 #[cfg(test)]

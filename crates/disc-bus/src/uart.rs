@@ -156,6 +156,32 @@ impl Peripheral for Uart {
             }
         }
     }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // Only an active RX feed makes future ticks observable; the word
+        // arrives during the tick that drains the countdown.
+        if let Some((_, countdown, words, idx)) = &self.rx_feed {
+            if *idx < words.len() {
+                return Some(now + u64::from((*countdown).max(1)) - 1);
+            }
+        }
+        None
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        if let Some((_, countdown, words, idx)) = &mut self.rx_feed {
+            if *idx < words.len() {
+                debug_assert!(
+                    cycles < u64::from(*countdown),
+                    "advance({cycles}) would deliver an RX word with countdown {countdown}"
+                );
+                *countdown -= cycles as u32;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

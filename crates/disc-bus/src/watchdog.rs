@@ -89,6 +89,23 @@ impl Peripheral for Watchdog {
             });
         }
     }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // The bite happens during the tick that drains the countdown.
+        Some(now + u64::from(self.count.max(1)) - 1)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        debug_assert!(
+            cycles < u64::from(self.count),
+            "advance({cycles}) would bite a watchdog with count {}",
+            self.count
+        );
+        self.count -= cycles as u32;
+    }
 }
 
 #[cfg(test)]

@@ -162,6 +162,30 @@ impl Abi {
         self.elapsed
     }
 
+    /// Advances `cycles` cycles in one step, exactly equivalent to that
+    /// many [`tick`](Self::tick) calls *given* the caller's guarantee that
+    /// the outstanding transaction does not complete within the stretch
+    /// (`cycles < remaining`). A no-op when idle or `cycles` is 0.
+    ///
+    /// Used by [`StepMode::EventSkip`](crate::StepMode) to fast-forward
+    /// quiescent stretches without per-cycle bookkeeping.
+    pub fn advance(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let Some(txn) = self.current.as_mut() else {
+            return;
+        };
+        debug_assert!(
+            cycles < u64::from(txn.remaining),
+            "advance({cycles}) would complete a transaction with {} cycles left",
+            txn.remaining
+        );
+        txn.remaining -= cycles as u32;
+        self.elapsed += cycles;
+        self.busy_cycles += cycles;
+    }
+
     /// Aborts the outstanding transaction, freeing the bus. Returns the
     /// aborted transaction so the caller can identify the stream to fault;
     /// `None` when the bus was idle.

@@ -41,6 +41,29 @@ pub enum BusFaultPolicy {
     Fault,
 }
 
+/// How [`Machine::run`](crate::Machine::run) advances simulated time.
+///
+/// The default steps every cycle through the full pipeline model.
+/// [`StepMode::EventSkip`] fast-forwards through *quiescent* stretches —
+/// cycles where no stream can issue because everything is suspended on a
+/// bus transaction, stalled by spill traffic, or dormant awaiting an
+/// interrupt — by computing the next architecturally observable event
+/// (ABI completion/timeout, peripheral countdowns via
+/// [`DataBus::next_event`](crate::DataBus::next_event), sampling-sink
+/// boundaries) and bulk-updating every counter exactly as if the cycles
+/// had been stepped singly. Final architectural state, statistics and
+/// cycle attribution are identical in both modes; only wall-clock time
+/// differs. A trace sink that needs every cycle (the default for
+/// [`TraceSink`](crate::TraceSink)) pins skipping off while attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StepMode {
+    /// Execute every cycle through the pipeline model (default).
+    #[default]
+    CycleByCycle,
+    /// Fast-forward through quiescent cycles to the next wake event.
+    EventSkip,
+}
+
 /// Policy applied when a stream's window stack outgrows the physical
 /// register file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -104,6 +127,10 @@ pub struct MachineConfig {
     /// under [`BusFaultPolicy::Fault`]. Defaults to 5, below the
     /// stack-fault bit (6) and the conventional watchdog/NMI bit (7).
     pub bus_error_bit: u8,
+    /// How [`Machine::run`](crate::Machine::run) advances time. The
+    /// default cycle-by-cycle mode is byte-identical to historical
+    /// behavior; [`StepMode::EventSkip`] is an opt-in performance mode.
+    pub step_mode: StepMode,
 }
 
 impl MachineConfig {
@@ -122,6 +149,7 @@ impl MachineConfig {
             bus_fault: BusFaultPolicy::Legacy,
             abi_timeout: 0,
             bus_error_bit: 5,
+            step_mode: StepMode::CycleByCycle,
         }
     }
 
@@ -181,6 +209,12 @@ impl MachineConfig {
     /// Sets the IR bit delivering bus-error interrupts.
     pub fn with_bus_error_bit(mut self, bit: u8) -> Self {
         self.bus_error_bit = bit;
+        self
+    }
+
+    /// Sets the stepping mode used by [`Machine::run`](crate::Machine::run).
+    pub fn with_step_mode(mut self, mode: StepMode) -> Self {
+        self.step_mode = mode;
         self
     }
 

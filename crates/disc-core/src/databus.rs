@@ -44,6 +44,38 @@ pub trait DataBus {
     fn tick(&mut self, irqs: &mut Vec<IrqRequest>) {
         let _ = irqs;
     }
+
+    /// Earliest absolute machine cycle `>= now` at which a [`tick`]
+    /// (DataBus::tick) may produce an observable effect (an interrupt
+    /// request, a state change visible through [`read`](DataBus::read), or
+    /// a latency change), or `None` when no future tick can.
+    ///
+    /// The machine ticks the bus exactly once per cycle; the tick that
+    /// happens during the machine step starting at cycle `now` counts as
+    /// occurring *at* `now`. [`StepMode::EventSkip`](crate::StepMode) uses
+    /// this hook to fast-forward quiescent stretches: the machine
+    /// guarantees it never skips past the returned cycle, and compensates
+    /// the omitted ticks with one [`advance`](DataBus::advance) call.
+    ///
+    /// The default (`None`) is only sound for buses whose `tick` is a
+    /// no-op (such as [`FlatBus`]); any implementation overriding `tick`
+    /// must override `next_event` and `advance` together.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
+    }
+
+    /// Advances peripheral-internal time by `cycles` machine cycles in one
+    /// step, exactly equivalent to `cycles` calls to [`tick`]
+    /// (DataBus::tick) *given* the caller's guarantee that the skipped
+    /// stretch ends strictly before [`next_event`](DataBus::next_event) —
+    /// i.e. no tick in the stretch would have raised an interrupt or
+    /// otherwise changed observable state.
+    ///
+    /// The default (no-op) pairs with the default `next_event`.
+    fn advance(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
 }
 
 /// Flat external RAM with a uniform access latency (the paper's `tmem`).

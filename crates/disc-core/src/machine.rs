@@ -24,12 +24,12 @@ use disc_isa::{AluOp, AwpMode, Cond, Instruction, Program, Reg};
 
 use crate::abi::{Abi, BusOp, RegTarget, Transaction};
 use crate::alu::{alu, eval_cond, imm_op};
-use crate::config::{BusFaultPolicy, MachineConfig};
+use crate::config::{BusFaultPolicy, MachineConfig, StepMode};
 use crate::databus::{DataBus, FlatBus, IrqRequest};
 use crate::error::{Exit, SimError};
 use crate::intmem::InternalMemory;
 use crate::scheduler::Scheduler;
-use crate::stats::MachineStats;
+use crate::stats::{MachineStats, SkipStats};
 use crate::stream::{Flags, PendingWrite, ServiceFrame, Stream, WaitState};
 use crate::trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent, TraceSink};
 
@@ -171,6 +171,9 @@ pub struct Machine {
     abi: Abi,
     bus: Box<dyn DataBus>,
     stats: MachineStats,
+    /// Fast-forward accounting, nonzero only under
+    /// [`StepMode::EventSkip`].
+    skip_stats: SkipStats,
     cycle: u64,
     halted: bool,
     next_seq: u64,
@@ -262,6 +265,7 @@ impl Machine {
             abi: Abi::new(),
             bus,
             stats: MachineStats::new(config.streams),
+            skip_stats: SkipStats::default(),
             cycle: 0,
             halted: false,
             next_seq: 0,
@@ -299,6 +303,12 @@ impl Machine {
     /// Execution statistics.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Fast-forward accounting of [`StepMode::EventSkip`]. All zero in
+    /// the default cycle-by-cycle mode.
+    pub fn skip_stats(&self) -> &SkipStats {
+        &self.skip_stats
     }
 
     /// Slot-grant accounting of the hardware scheduler.
@@ -495,6 +505,9 @@ impl Machine {
     /// under [`BusFaultPolicy::Fault`] cannot be delivered because the
     /// stream masks the bus-error interrupt.
     pub fn run(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        if self.config.step_mode == StepMode::EventSkip {
+            return self.run_event_skip(max_cycles);
+        }
         for _ in 0..max_cycles {
             match self.step()? {
                 Status::Running => {}
@@ -506,6 +519,145 @@ impl Machine {
             }
         }
         Ok(Exit::CycleLimit)
+    }
+
+    /// [`run`](Self::run) under [`StepMode::EventSkip`]: identical to the
+    /// cycle-by-cycle loop except that between steps, when the machine is
+    /// provably quiescent (nothing can issue, execute or change state),
+    /// time jumps straight to the next wake event with one bulk counter
+    /// update instead of stepping through the stall cycles one by one.
+    fn run_event_skip(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        let mut remaining = max_cycles;
+        while remaining > 0 {
+            match self.step()? {
+                Status::Running => {}
+                Status::Halted => return Ok(Exit::Halted),
+                Status::Breakpoint { stream, pc } => return Ok(Exit::Breakpoint { stream, pc }),
+            }
+            remaining -= 1;
+            if self.idle_exit && self.all_idle() {
+                return Ok(Exit::AllIdle);
+            }
+            if remaining > 0 && self.quiescent() {
+                let n = self.next_wake(remaining) - self.cycle;
+                if n > 0 {
+                    self.apply_skip(n);
+                    remaining -= n;
+                }
+            }
+        }
+        Ok(Exit::CycleLimit)
+    }
+
+    /// `true` when the next step provably changes no architectural state
+    /// beyond counter ticks: the pipeline is empty, no stream can issue
+    /// (inactive, bus-waiting or spill-stalled), and no stream would take
+    /// a vectored interrupt. Peripheral/ABI/sink activity is bounded
+    /// separately by [`next_wake`](Self::next_wake).
+    fn quiescent(&self) -> bool {
+        if self.live_slots != 0 {
+            return false;
+        }
+        self.streams.iter().all(|st| {
+            if st.wait != WaitState::None {
+                return true;
+            }
+            // A deliverable vector preempts even a spill-stalled stream
+            // (vector delivery does not check `spill_stall`).
+            if st
+                .pending_interrupt()
+                .is_some_and(|bit| st.vectors[bit as usize].is_some())
+            {
+                return false;
+            }
+            !st.active() || st.spill_stall > 0
+        })
+    }
+
+    /// First absolute cycle whose step must run normally, bounded by the
+    /// remaining cycle `budget`: the minimum over the outstanding ABI
+    /// transaction's completion (or fault-policy timeout), the bus's next
+    /// peripheral event, the spill-stall expiry of any stream that would
+    /// become issuable, and the attached sink's next observation.
+    fn next_wake(&self, budget: u64) -> u64 {
+        let now = self.cycle;
+        let mut wake = now.saturating_add(budget);
+        if let Some(txn) = self.abi.current() {
+            // `tick` completes the transaction when `remaining` reaches 1,
+            // i.e. during the step starting `remaining - 1` cycles from
+            // now; the timeout abort fires on the step that pushes
+            // `elapsed` past the configured limit.
+            wake = wake.min(now + u64::from(txn.remaining) - 1);
+            if self.config.bus_fault == BusFaultPolicy::Fault && self.config.abi_timeout > 0 {
+                wake = wake.min(
+                    now + self
+                        .config
+                        .abi_timeout
+                        .saturating_sub(self.abi.elapsed() + 1),
+                );
+            }
+        }
+        if let Some(t) = self.bus.next_event(now) {
+            wake = wake.min(t.max(now));
+        }
+        for st in &self.streams {
+            // The spill countdown and the fetch happen in the same step,
+            // so a stream with `spill_stall == k` can issue during the
+            // step starting `k - 1` cycles from now.
+            if st.active() && st.wait == WaitState::None && st.spill_stall > 0 {
+                wake = wake.min(now + u64::from(st.spill_stall) - 1);
+            }
+        }
+        if let Some(sink) = &self.trace {
+            if let Some(t) = sink.next_observe(now) {
+                wake = wake.min(t.max(now));
+            }
+        }
+        wake
+    }
+
+    /// Bulk-applies `n` quiescent cycles: exactly the counter updates `n`
+    /// individual steps would have made, without touching architectural
+    /// state (which [`quiescent`](Self::quiescent) proved frozen).
+    fn apply_skip(&mut self, n: u64) {
+        debug_assert!(n > 0);
+        for (s, st) in self.streams.iter_mut().enumerate() {
+            let dec = n.min(u64::from(st.spill_stall));
+            let attr = &mut self.stats.attribution;
+            match st.wait {
+                WaitState::BusTransaction => {
+                    self.stats.wait_txn_cycles[s] += n;
+                    attr.bus_txn_wait[s] += n;
+                }
+                WaitState::BusFree => {
+                    self.stats.wait_bus_free_cycles[s] += n;
+                    attr.bus_free_wait[s] += n;
+                }
+                WaitState::None => {
+                    // Active spill-stalled streams bound the wake cycle,
+                    // so here `n - dec > 0` only for inactive streams,
+                    // which fall to idle once their spill expires.
+                    attr.spill_stall[s] += dec;
+                    attr.idle[s] += n - dec;
+                }
+            }
+            // The flat spill counter ticks for every stream regardless of
+            // wait state, exactly as the per-step countdown does.
+            st.spill_stall -= dec as u32;
+            self.stats.spill_stall_cycles[s] += dec;
+        }
+        self.stats.bubbles += n;
+        self.stats.cycles += n;
+        self.cycle += n;
+        self.scheduler.advance_idle(n);
+        self.abi.advance(n);
+        self.bus.advance(n);
+        self.skip_stats.skips += 1;
+        self.skip_stats.cycles_skipped += n;
+        debug_assert!(
+            (0..self.streams.len()).all(|s| self.stats.attribution.total(s) == self.stats.cycles),
+            "cycle attribution diverged from elapsed cycles during a skip"
+        );
     }
 
     /// Advances the machine by one cycle.

@@ -196,6 +196,20 @@ impl Scheduler {
         }
     }
 
+    /// Advances the scheduler past `cycles` bubble cycles in one step,
+    /// exactly equivalent to that many [`pick_with`](Self::pick_with) calls
+    /// in which no stream is ready.
+    ///
+    /// For a sequence table a bubble still consumes the slot, so the slot
+    /// pointer rotates; for weighted deficit a bubble cycle accrues no
+    /// deficit and grants no slot, so nothing changes.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        if let SchedulePolicy::Sequence(seq) = &self.policy {
+            let len = seq.len() as u64;
+            self.slot = ((self.slot as u64 + cycles % len) % len) as usize;
+        }
+    }
+
     /// Slots granted to each stream so far.
     pub fn granted(&self) -> &[u64] {
         &self.granted

@@ -223,6 +223,32 @@ impl CycleAttribution {
     }
 }
 
+/// Counters describing how much time [`StepMode::EventSkip`]
+/// (crate::StepMode) fast-forwarded.
+///
+/// Kept separate from [`MachineStats`] on purpose: the architectural
+/// statistics must compare equal between step modes, while skip counters
+/// are zero in cycle-by-cycle mode by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipStats {
+    /// Number of fast-forward jumps performed.
+    pub skips: u64,
+    /// Total cycles covered by those jumps (each also counted in
+    /// [`MachineStats::cycles`] as bubbles).
+    pub cycles_skipped: u64,
+}
+
+impl SkipStats {
+    /// Mean skip length in cycles, if any skip happened.
+    pub fn mean_skip(&self) -> Option<f64> {
+        if self.skips == 0 {
+            None
+        } else {
+            Some(self.cycles_skipped as f64 / self.skips as f64)
+        }
+    }
+}
+
 /// Counters describing one simulation run.
 ///
 /// The headline metric is [`utilization`](MachineStats::utilization) — the

@@ -153,6 +153,23 @@ pub trait TraceSink: 'static {
         let _ = (cycle, stats);
     }
 
+    /// Earliest absolute machine cycle `>= now` this sink needs to observe
+    /// (via [`record_cycle`](TraceSink::record_cycle) /
+    /// [`observe_stats`](TraceSink::observe_stats)), or `None` when the
+    /// sink never needs another observation.
+    ///
+    /// [`StepMode::EventSkip`](crate::StepMode) consults this before
+    /// fast-forwarding: cycles strictly before the returned value may be
+    /// skipped without calling the sink for them. The default, `Some(now)`,
+    /// declares that every cycle must be observed and therefore pins
+    /// skipping off entirely — which is what full-record sinks (including
+    /// the ring-buffer [`Trace`]) require for byte-identical output.
+    /// Sampling sinks that only inspect cumulative counters at window
+    /// boundaries can return the next boundary instead.
+    fn next_observe(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
     /// Flush hook, called when the sink is detached from the machine.
     fn finish(&mut self) {}
 

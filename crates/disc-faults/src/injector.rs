@@ -269,6 +269,47 @@ impl DataBus for FaultInjector {
             }
         }
     }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // The injector's counter advances at the top of `tick`, so the
+        // tick during the machine step starting at `now` decides with
+        // injector cycle `self.cycle + 1`; an injector-cycle target `ic`
+        // maps back to machine cycle `now + (ic - (self.cycle + 1))`.
+        let ic0 = self.cycle + 1;
+        let to_machine = |ic: u64| now.saturating_add(ic - ic0);
+        let mut next: Option<u64> = self.inner.next_event(now);
+        let mut fold = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
+        for f in self.plan.faults() {
+            // Every window boundary is a wake point: a fault switching on
+            // or off changes how subsequent probes and requests are
+            // treated, so a skip never crosses one blindly.
+            for boundary in [f.window.start(), f.window.end()] {
+                if boundary >= ic0 && boundary != u64::MAX {
+                    fold(to_machine(boundary));
+                }
+            }
+            if let FaultKind::SpuriousIrq { interval, .. } = f.kind {
+                let from = f.window.start();
+                let fire = if ic0 <= from {
+                    from
+                } else {
+                    (ic0 - from)
+                        .div_ceil(interval)
+                        .saturating_mul(interval)
+                        .saturating_add(from)
+                };
+                if f.window.contains(fire) {
+                    fold(to_machine(fire));
+                }
+            }
+        }
+        next
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        self.cycle += cycles;
+        self.inner.advance(cycles);
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,11 @@ impl FaultWindow {
         self.from
     }
 
+    /// First cycle past the window (`u64::MAX` for open-ended windows).
+    pub fn end(&self) -> u64 {
+        self.until
+    }
+
     /// Whether the window covers `cycle`.
     pub fn contains(&self, cycle: u64) -> bool {
         cycle >= self.from && cycle < self.until

@@ -14,13 +14,18 @@ use std::path::{Path, PathBuf};
 
 use disc_core::{
     BusFaultPolicy, CycleAttribution, Machine, MachineConfig, MachineStats, SchedulePolicy,
-    WindowPolicy, ATTRIBUTION_BUCKETS,
+    SkipStats, StepMode, WindowPolicy, ATTRIBUTION_BUCKETS,
 };
 
 use crate::json::Json;
 
 /// Schema identifier stamped into every report.
-pub const RUN_REPORT_SCHEMA: &str = "disc-run-report/v1";
+///
+/// `v2` extends `v1` with an optional `timing` section (step mode,
+/// wall-clock simulation throughput, event-skip statistics). Every `v1`
+/// field is still present with the same shape, so `v1` readers that
+/// ignore unknown sections keep working.
+pub const RUN_REPORT_SCHEMA: &str = "disc-run-report/v2";
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -32,7 +37,10 @@ fn splitmix64(mut z: u64) -> u64 {
 /// Deterministic 64-bit fingerprint of a machine configuration, rendered
 /// as 16 hex digits. Every field (including the full schedule contents)
 /// folds into the hash, so two configs fingerprint equal iff they
-/// simulate identically.
+/// simulate identically. [`MachineConfig::step_mode`] is deliberately
+/// *excluded*: it changes how fast the simulator walks the cycle count,
+/// never the architectural outcome, so runs in either mode must
+/// fingerprint (and therefore compare) equal.
 pub fn config_fingerprint(config: &MachineConfig) -> String {
     let mut h: u64 = 0x44495343; // "DISC"
     let mut fold = |v: u64| h = splitmix64(h ^ v);
@@ -189,6 +197,33 @@ pub fn stats_json(stats: &MachineStats) -> Json {
     ])
 }
 
+/// The canonical report string for a [`StepMode`].
+pub fn step_mode_name(mode: StepMode) -> &'static str {
+    match mode {
+        StepMode::CycleByCycle => "cycle-by-cycle",
+        StepMode::EventSkip => "event-skip",
+    }
+}
+
+/// Renders the v2 `timing` section: step mode, wall-clock simulation
+/// throughput, and event-skip statistics.
+///
+/// `sim_cycles_per_sec` is simulated cycles divided by wall-clock
+/// seconds (pass `None` when the caller did not time the run);
+/// `mean_skip` is null unless at least one skip happened.
+pub fn timing_json(mode: StepMode, sim_cycles_per_sec: Option<f64>, skip: &SkipStats) -> Json {
+    Json::obj([
+        ("step_mode", Json::str(step_mode_name(mode))),
+        (
+            "sim_cycles_per_sec",
+            sim_cycles_per_sec.map_or(Json::Null, Json::F64),
+        ),
+        ("skips", Json::U64(skip.skips)),
+        ("cycles_skipped", Json::U64(skip.cycles_skipped)),
+        ("mean_skip", skip.mean_skip().map_or(Json::Null, Json::F64)),
+    ])
+}
+
 /// Scheduler grant/reallocation shares as JSON.
 pub fn scheduler_json(granted: &[u64], reallocations: u64) -> Json {
     let total: u64 = granted.iter().sum();
@@ -246,9 +281,30 @@ impl RunReport {
         self.section("scheduler", scheduler_json(granted, reallocations))
     }
 
-    /// Captures config, stats and scheduler shares straight off a
-    /// finished machine.
+    /// Appends the v2 `timing` section (step mode, throughput, skips).
+    pub fn with_timing(
+        self,
+        mode: StepMode,
+        sim_cycles_per_sec: Option<f64>,
+        skip: &SkipStats,
+    ) -> Self {
+        self.section("timing", timing_json(mode, sim_cycles_per_sec, skip))
+    }
+
+    /// Captures config, stats, scheduler shares, and timing (step mode
+    /// plus skip statistics; throughput null) straight off a finished
+    /// machine.
     pub fn from_machine(tool: &str, machine: &Machine) -> Self {
+        Self::from_machine_timed(tool, machine, None)
+    }
+
+    /// Like [`RunReport::from_machine`], but derives the timing
+    /// section's `sim_cycles_per_sec` from the measured wall-clock
+    /// seconds the run took.
+    pub fn from_machine_timed(tool: &str, machine: &Machine, wall_secs: Option<f64>) -> Self {
+        let throughput = wall_secs
+            .filter(|&s| s > 0.0)
+            .map(|s| machine.stats().cycles as f64 / s);
         RunReport::new(tool)
             .with_config(machine.config())
             .with_stats(machine.stats())
@@ -256,6 +312,7 @@ impl RunReport {
                 machine.scheduler_grants(),
                 machine.scheduler_reallocations(),
             )
+            .with_timing(machine.config().step_mode, throughput, machine.skip_stats())
     }
 
     /// The report as a JSON value.
@@ -310,14 +367,38 @@ mod tests {
             .with_config(&MachineConfig::disc1())
             .with_stats(&stats)
             .with_scheduler(&[3, 1], 0)
+            .with_timing(StepMode::CycleByCycle, Some(1.5e6), &SkipStats::default())
             .section("extra", Json::U64(7));
         let text = report.render();
-        assert!(text.contains("\"schema\": \"disc-run-report/v1\""));
+        assert!(text.contains("\"schema\": \"disc-run-report/v2\""));
         assert!(text.contains("\"tool\": \"unit-test\""));
         assert!(text.contains("\"fingerprint\""));
         assert!(text.contains("\"attribution\""));
         assert!(text.contains("\"grant_share\""));
+        assert!(text.contains("\"step_mode\": \"cycle-by-cycle\""));
+        assert!(text.contains("\"sim_cycles_per_sec\": 1500000.0"));
         assert!(text.contains("\"extra\": 7"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_step_mode() {
+        let cycle = MachineConfig::disc1().with_step_mode(StepMode::CycleByCycle);
+        let skip = MachineConfig::disc1().with_step_mode(StepMode::EventSkip);
+        assert_eq!(config_fingerprint(&cycle), config_fingerprint(&skip));
+    }
+
+    #[test]
+    fn timing_json_reports_skip_stats() {
+        let skip = SkipStats {
+            skips: 4,
+            cycles_skipped: 100,
+        };
+        let text = timing_json(StepMode::EventSkip, None, &skip).render();
+        assert!(text.contains("\"step_mode\":\"event-skip\""));
+        assert!(text.contains("\"sim_cycles_per_sec\":null"));
+        assert!(text.contains("\"skips\":4"));
+        assert!(text.contains("\"cycles_skipped\":100"));
+        assert!(text.contains("\"mean_skip\":25.0"));
     }
 
     #[test]

@@ -240,6 +240,13 @@ impl TraceSink for SamplingSink {
 
     fn record_cycle(&mut self, _record: CycleRecord) {}
 
+    // Only window boundaries matter (the samples are deltas of
+    // cumulative counters), so quiescent stretches between boundaries may
+    // be skipped without loss.
+    fn next_observe(&self, now: u64) -> Option<u64> {
+        Some((now + 1).next_multiple_of(self.every) - 1)
+    }
+
     fn observe_stats(&mut self, cycle: u64, stats: &MachineStats) {
         // `cycle` is 0-based; sample when the window boundary passes.
         if !(cycle + 1).is_multiple_of(self.every) {

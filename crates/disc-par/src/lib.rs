@@ -26,15 +26,33 @@ thread_local! {
     static IN_PAR: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Parses a `DISC_JOBS` value: a positive integer, or an explanation of
+/// why it is not one.
+fn parse_jobs(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!(
+            "DISC_JOBS={raw:?} must be at least 1 (use DISC_JOBS=1 for serial execution)"
+        )),
+        Err(_) => Err(format!("DISC_JOBS={raw:?} is not a positive integer")),
+    }
+}
+
 /// Number of worker threads a top-level [`par_map`] may use: the
-/// `DISC_JOBS` environment variable when set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// `DISC_JOBS` environment variable when set, otherwise the machine's
+/// available parallelism.
+///
+/// # Panics
+///
+/// Panics when `DISC_JOBS` is set but is not a positive integer. A
+/// mistyped cap used to fall back silently to full parallelism, which
+/// defeats the point of setting it (e.g. when bisecting with
+/// `DISC_JOBS=1`), so it is now a hard error.
 pub fn max_jobs() -> usize {
     if let Ok(v) = std::env::var("DISC_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        match parse_jobs(&v) {
+            Ok(n) => return n,
+            Err(msg) => panic!("{msg}"),
         }
     }
     std::thread::available_parallelism()
@@ -144,5 +162,16 @@ mod tests {
     #[test]
     fn max_jobs_is_positive() {
         assert!(max_jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_values_parse_or_explain() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs(" 2 "), Ok(2));
+        assert!(parse_jobs("0").unwrap_err().contains("at least 1"));
+        assert!(parse_jobs("many")
+            .unwrap_err()
+            .contains("not a positive integer"));
+        assert!(parse_jobs("-3").is_err());
     }
 }

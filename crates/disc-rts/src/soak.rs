@@ -18,7 +18,7 @@
 //! config is a pure function), so a failing seed from CI is a one-line
 //! local repro.
 
-use disc_core::{BusFaultPolicy, MachineConfig, SimError};
+use disc_core::{BusFaultPolicy, MachineConfig, SimError, SkipStats, StepMode};
 use disc_faults::{AddrRange, FaultInjector, FaultLog, FaultPlan, FaultWindow};
 use disc_obs::{stats_json, Json, RunReport};
 use rand::rngs::SmallRng;
@@ -49,6 +49,11 @@ pub struct SoakConfig {
     /// Allowed growth of the worst observed interrupt latency over the
     /// reference, beyond one ABI timeout.
     pub irq_latency_slack: u64,
+    /// Stepping mode every machine in the campaign (runs and reference)
+    /// is configured with. The harness drives soak machines cycle by
+    /// cycle, so either mode must produce the identical campaign — a
+    /// property the equivalence tests assert.
+    pub step_mode: StepMode,
 }
 
 impl Default for SoakConfig {
@@ -61,6 +66,7 @@ impl Default for SoakConfig {
             tolerance: 0.4,
             miss_slack: 2,
             irq_latency_slack: 128,
+            step_mode: StepMode::CycleByCycle,
         }
     }
 }
@@ -71,6 +77,7 @@ impl SoakConfig {
         MachineConfig::disc1()
             .with_bus_fault(BusFaultPolicy::Fault)
             .with_abi_timeout(self.abi_timeout)
+            .with_step_mode(self.step_mode)
     }
 }
 
@@ -100,6 +107,11 @@ pub struct SoakRun {
     pub bus_faults: u64,
     /// ABI transactions aborted by timeout.
     pub abi_timeouts: u64,
+    /// Cycles the run simulated (zero when the simulator faulted).
+    pub cycles: u64,
+    /// Event-skip accounting for the run (all zero in cycle-by-cycle
+    /// mode).
+    pub skip_stats: SkipStats,
 }
 
 impl SoakRun {
@@ -137,6 +149,35 @@ impl SoakReport {
     /// Faults delivered across the campaign.
     pub fn faults_delivered(&self) -> u64 {
         self.runs.iter().map(|r| r.fault_log.total()).sum()
+    }
+
+    /// Total cycles simulated across the campaign: the fault-free
+    /// reference run plus every seeded fault run.
+    pub fn total_cycles(&self) -> u64 {
+        self.reference.cycles + self.runs.iter().map(|r| r.cycles).sum::<u64>()
+    }
+
+    /// Event-skip accounting aggregated over the reference run and every
+    /// seeded fault run.
+    pub fn total_skip_stats(&self) -> SkipStats {
+        let mut total = self.reference.skip_stats;
+        for run in &self.runs {
+            total.skips += run.skip_stats.skips;
+            total.cycles_skipped += run.skip_stats.cycles_skipped;
+        }
+        total
+    }
+
+    /// [`SoakReport::run_report`] with the measured wall-clock seconds
+    /// the campaign took, from which the timing section's
+    /// `sim_cycles_per_sec` (total campaign cycles over wall time) is
+    /// derived.
+    pub fn run_report_timed(&self, cfg: &SoakConfig, wall_secs: Option<f64>) -> RunReport {
+        let throughput = wall_secs
+            .filter(|&s| s > 0.0)
+            .map(|s| self.total_cycles() as f64 / s);
+        self.run_report(cfg)
+            .with_timing(cfg.step_mode, throughput, &self.total_skip_stats())
     }
 
     /// Builds the campaign's schema-versioned [`RunReport`]: campaign
@@ -425,6 +466,8 @@ pub fn run_one(cfg: &SoakConfig, set: &TaskSet, seed: u64, reference: &SimOutcom
             fault_log,
             bus_faults: 0,
             abi_timeouts: 0,
+            cycles: 0,
+            skip_stats: SkipStats::default(),
         },
         Ok(outcome) => {
             let violations = check_invariants(cfg, set, victim, reference, &outcome, &fault_log);
@@ -439,6 +482,8 @@ pub fn run_one(cfg: &SoakConfig, set: &TaskSet, seed: u64, reference: &SimOutcom
                 fault_log,
                 bus_faults: outcome.stats.bus_faults_total(),
                 abi_timeouts: outcome.stats.abi_timeouts,
+                cycles: outcome.stats.cycles,
+                skip_stats: outcome.skip_stats,
             }
         }
     }
@@ -494,7 +539,7 @@ mod tests {
         let cfg = quick_cfg(2);
         let report = run_campaign(&cfg);
         let text = report.run_report(&cfg).render();
-        assert!(text.contains("\"schema\": \"disc-run-report/v1\""));
+        assert!(text.contains("\"schema\": \"disc-run-report/v2\""));
         assert!(text.contains("\"tool\": \"soak\""));
         assert!(text.contains("\"faults_delivered\""));
         assert!(text.contains("\"inflated_probes\""));
