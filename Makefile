@@ -1,6 +1,6 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench bench-check bench-micro repro repro-quick soak fuzz fuzz-long reports docs clippy examples clean
+.PHONY: all test bench bench-check bench-micro profile repro repro-quick soak fuzz fuzz-long reports docs clippy examples clean
 
 all: test
 
@@ -13,14 +13,42 @@ test:
 bench:
 	cargo run --release -p disc-bench --bin bench_core
 
-# Perf-regression gate: quick single-rep re-measure of every workload,
-# exit 1 if any cycle-by-cycle rate drops >25% below the committed
-# BENCH_core.json baseline. Used by CI after the bench smoke step.
+# Perf-regression gate: quick re-measure of every workload (median of 3
+# reps, so one noisy rep cannot fake a regression), exit 1 if any rate
+# drops >25% below the committed BENCH_core.json baseline.
+# DISC_DISPATCH=legacy|superblock selects which dispatcher is measured
+# and which baseline column gates it (default: superblock). CI runs both
+# after the bench smoke step.
 bench-check:
-	DISC_BENCH_REPS=1 cargo run --release -p disc-bench --bin bench_core -- --check
+	DISC_BENCH_REPS=3 cargo run --release -p disc-bench --bin bench_core -- --check
 
 bench-micro:
 	cargo bench --workspace
+
+# Profiler wrapper over the bench hot path: builds the single-workload
+# profile_target with the `profiling` profile (release codegen + debug
+# symbols) and runs it under whichever sampling profiler the machine has
+# (perf, then gprofng), falling back to a plain timed run when neither is
+# installed. `make profile WORKLOAD=branch CYCLES=20000000` selects the
+# workload (compute|branch|io|irq) and cycle count;
+# DISC_DISPATCH=legacy profiles the legacy dispatcher instead.
+WORKLOAD ?= compute
+CYCLES ?= 50000000
+profile:
+	cargo build --profile profiling -p disc-bench --bin profile_target
+	@if command -v perf >/dev/null 2>&1; then \
+		perf record -g --output profile.perf.data -- \
+			target/profiling/profile_target $(WORKLOAD) $(CYCLES) && \
+		perf report --input profile.perf.data --stdio | head -40; \
+	elif command -v gprofng >/dev/null 2>&1; then \
+		rm -rf profile.er && \
+		gprofng collect app -o profile.er \
+			target/profiling/profile_target $(WORKLOAD) $(CYCLES) && \
+		gprofng display text -functions profile.er | head -40; \
+	else \
+		echo "no perf/gprofng on PATH; plain timed run:"; \
+		target/profiling/profile_target $(WORKLOAD) $(CYCLES); \
+	fi
 
 # Full reproduction of every table/figure/experiment (writes CSV exports).
 repro:
@@ -75,4 +103,4 @@ examples:
 
 clean:
 	cargo clean
-	rm -rf results
+	rm -rf results profile.er profile.perf.data

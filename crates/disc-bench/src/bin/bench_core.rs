@@ -1,17 +1,21 @@
 //! Simulator-throughput benchmark: how many simulated machine cycles per
-//! wall-clock second the cycle-accurate DISC1 core sustains on four
-//! representative workloads (compute-bound, I/O-bound, interrupt-heavy,
-//! and a quiescence-heavy timer idle loop).
+//! wall-clock second the cycle-accurate DISC1 core sustains on five
+//! representative workloads (compute-bound, branch-heavy, I/O-bound,
+//! interrupt-heavy, and a quiescence-heavy timer idle loop).
 //!
-//! Every workload is timed twice — once per [`StepMode`] — so
-//! `BENCH_core.json` records what event skipping buys (`skip_speedup`)
-//! next to the measured rates and the recorded seed-commit baseline.
-//! Pass `--smoke` for a fast schema-only run (used by CI); smoke rates
-//! are not comparable to the full run, so the baseline fields are `null`
-//! there. Pass `--check` to re-measure and fail (exit 1) if any
-//! workload's cycle-by-cycle rate drops more than 25% below the
-//! committed `BENCH_core.json` baseline (override the path with
-//! `--baseline <path>`); that is the CI perf-regression gate.
+//! Every workload is timed in both [`StepMode`]s *and* both
+//! [`DispatchMode`]s, so `BENCH_core.json` records what event skipping
+//! buys (`skip_speedup`) and what the superblock dispatcher buys
+//! (`dispatch_speedup`, the default rate over `legacy_sim_cycles_per_sec`)
+//! next to the recorded seed-commit baseline. Pass `--smoke` for a fast
+//! schema-only run (used by CI); smoke rates are not comparable to the
+//! full run, so the baseline fields are `null` there. Pass `--check` to
+//! re-measure and fail (exit 1) if any workload's cycle-by-cycle rate
+//! drops more than 25% below the committed `BENCH_core.json` baseline
+//! (override the path with `--baseline <path>`); that is the CI
+//! perf-regression gate. The check honors `DISC_DISPATCH=superblock` /
+//! `DISC_DISPATCH=legacy`, timing that dispatcher and comparing it
+//! against the matching baseline column, so CI gates both modes.
 //!
 //! `DISC_BENCH_REPS` and `DISC_BENCH_CYCLES` override the repetition
 //! count and the simulated cycles per repetition (`make bench-check`
@@ -21,7 +25,7 @@
 use std::time::Instant;
 
 use disc_bus::{PeripheralBus, Timer};
-use disc_core::{Machine, MachineConfig, StepMode};
+use disc_core::{DispatchMode, Machine, MachineConfig, StepMode};
 use disc_isa::Program;
 
 /// Simulated cycles per timed repetition (full mode).
@@ -57,6 +61,17 @@ fn compute_program(streams: usize) -> Program {
         ));
     }
     Program::assemble(&src).expect("compute program assembles")
+}
+
+fn branch_program(streams: usize) -> Program {
+    let mut src = String::new();
+    for s in 0..streams {
+        src.push_str(&format!(".stream {s}, l{s}\n"));
+        src.push_str(&format!(
+            "l{s}:\n    addi r0, r0, 1\n    cmpi r0, 4\n    jnz l{s}\n    ldi r0, 0\n    jmp l{s}\n"
+        ));
+    }
+    Program::assemble(&src).expect("branch program assembles")
 }
 
 fn io_program() -> Program {
@@ -97,6 +112,8 @@ struct Measurement {
     wall_ns: u128,
     /// Median wall time of the same workload under [`StepMode::EventSkip`].
     skip_wall_ns: u128,
+    /// Median wall time under [`DispatchMode::Legacy`] (cycle-by-cycle).
+    legacy_wall_ns: u128,
 }
 
 impl Measurement {
@@ -107,17 +124,37 @@ impl Measurement {
     fn skip_rate(&self) -> f64 {
         self.sim_cycles as f64 / (self.skip_wall_ns as f64 / 1e9)
     }
+
+    fn legacy_rate(&self) -> f64 {
+        self.sim_cycles as f64 / (self.legacy_wall_ns as f64 / 1e9)
+    }
+}
+
+/// What a benchmark pass measures: the gated dispatcher only (`--check`)
+/// or every step/dispatch mode combination (full and smoke runs).
+#[derive(Clone, Copy)]
+struct Plan {
+    /// Dispatch mode for the primary (cycle-by-cycle) timing.
+    dispatch: DispatchMode,
+    /// Also time event-skip and legacy-dispatch passes.
+    all_modes: bool,
 }
 
 /// Times `run` (which must simulate exactly `sim_cycles` cycles in the
-/// given step mode) over one warmup plus `reps` timed repetitions and
-/// keeps the median.
-fn median_ns(sim_cycles: u64, reps: usize, mode: StepMode, run: &impl Fn(u64, StepMode)) -> u128 {
-    run(sim_cycles, mode); // warmup
+/// given modes) over one warmup plus `reps` timed repetitions and keeps
+/// the median.
+fn median_ns(
+    sim_cycles: u64,
+    reps: usize,
+    mode: StepMode,
+    dispatch: DispatchMode,
+    run: &impl Fn(u64, StepMode, DispatchMode),
+) -> u128 {
+    run(sim_cycles, mode, dispatch); // warmup
     let mut times: Vec<u128> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
-            run(sim_cycles, mode);
+            run(sim_cycles, mode, dispatch);
             t0.elapsed().as_nanos()
         })
         .collect();
@@ -130,14 +167,29 @@ fn measure(
     description: &'static str,
     sim_cycles: u64,
     reps: usize,
-    both_modes: bool,
-    run: impl Fn(u64, StepMode),
+    plan: Plan,
+    run: impl Fn(u64, StepMode, DispatchMode),
 ) -> Measurement {
-    let wall_ns = median_ns(sim_cycles, reps, StepMode::CycleByCycle, &run);
-    let skip_wall_ns = if both_modes {
-        median_ns(sim_cycles, reps, StepMode::EventSkip, &run)
+    let wall_ns = median_ns(
+        sim_cycles,
+        reps,
+        StepMode::CycleByCycle,
+        plan.dispatch,
+        &run,
+    );
+    let (skip_wall_ns, legacy_wall_ns) = if plan.all_modes {
+        (
+            median_ns(sim_cycles, reps, StepMode::EventSkip, plan.dispatch, &run),
+            median_ns(
+                sim_cycles,
+                reps,
+                StepMode::CycleByCycle,
+                DispatchMode::Legacy,
+                &run,
+            ),
+        )
     } else {
-        wall_ns
+        (wall_ns, wall_ns)
     };
     Measurement {
         name,
@@ -145,19 +197,23 @@ fn measure(
         sim_cycles,
         wall_ns,
         skip_wall_ns,
+        legacy_wall_ns,
     }
 }
 
-fn bench_compute(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
+fn bench_compute(cycles: u64, reps: usize, plan: Plan) -> Measurement {
     let program = compute_program(4);
     measure(
         "compute_bound_4s",
         "4 streams of register arithmetic, no external bus traffic",
         cycles,
         reps,
-        both_modes,
-        |n, mode| {
-            let config = MachineConfig::disc1().with_streams(4).with_step_mode(mode);
+        plan,
+        |n, mode, dispatch| {
+            let config = MachineConfig::disc1()
+                .with_streams(4)
+                .with_step_mode(mode)
+                .with_dispatch_mode(dispatch);
             let mut m = Machine::new(config, &program);
             m.run(n).expect("compute run");
             assert_eq!(m.stats().cycles, n);
@@ -166,16 +222,40 @@ fn bench_compute(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
     )
 }
 
-fn bench_io(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
+fn bench_branch(cycles: u64, reps: usize, plan: Plan) -> Measurement {
+    let program = branch_program(4);
+    measure(
+        "branch_heavy_4s",
+        "4 streams in tight count-to-4 loops, a taken branch every few ops",
+        cycles,
+        reps,
+        plan,
+        |n, mode, dispatch| {
+            let config = MachineConfig::disc1()
+                .with_streams(4)
+                .with_step_mode(mode)
+                .with_dispatch_mode(dispatch);
+            let mut m = Machine::new(config, &program);
+            m.run(n).expect("branch run");
+            assert_eq!(m.stats().cycles, n);
+            std::hint::black_box(m.stats().retired_total());
+        },
+    )
+}
+
+fn bench_io(cycles: u64, reps: usize, plan: Plan) -> Measurement {
     let program = io_program();
     measure(
         "io_bound_2s",
         "1 stream hammering external loads/stores + 1 compute stream",
         cycles,
         reps,
-        both_modes,
-        |n, mode| {
-            let config = MachineConfig::disc1().with_streams(2).with_step_mode(mode);
+        plan,
+        |n, mode, dispatch| {
+            let config = MachineConfig::disc1()
+                .with_streams(2)
+                .with_step_mode(mode)
+                .with_dispatch_mode(dispatch);
             let mut m = Machine::new(config, &program);
             m.run(n).expect("io run");
             assert_eq!(m.stats().cycles, n);
@@ -184,16 +264,19 @@ fn bench_io(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
     )
 }
 
-fn bench_irq(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
+fn bench_irq(cycles: u64, reps: usize, plan: Plan) -> Measurement {
     let program = irq_program(3);
     measure(
         "interrupt_heavy_3s",
         "3 busy streams + dormant server stream, interrupt raised every 50 cycles",
         cycles,
         reps,
-        both_modes,
-        |n, mode| {
-            let mut m = Machine::new(MachineConfig::disc1().with_step_mode(mode), &program);
+        plan,
+        |n, mode, dispatch| {
+            let config = MachineConfig::disc1()
+                .with_step_mode(mode)
+                .with_dispatch_mode(dispatch);
+            let mut m = Machine::new(config, &program);
             m.set_idle_exit(false);
             let mut c = 0;
             while c < n {
@@ -208,19 +291,22 @@ fn bench_irq(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
     )
 }
 
-fn bench_timer_idle(cycles: u64, reps: usize, both_modes: bool) -> Measurement {
+fn bench_timer_idle(cycles: u64, reps: usize, plan: Plan) -> Measurement {
     let program = timer_program();
     measure(
         "timer_idle_1s",
         "1 parked stream woken by a periodic timer every 1000 cycles (quiescence-heavy)",
         cycles,
         reps,
-        both_modes,
-        |n, mode| {
+        plan,
+        |n, mode, dispatch| {
             let mut bus = PeripheralBus::new();
             bus.map(0x9000, Timer::REGS, Box::new(Timer::periodic(1000, 0, 5)))
                 .expect("map timer");
-            let config = MachineConfig::disc1().with_streams(1).with_step_mode(mode);
+            let config = MachineConfig::disc1()
+                .with_streams(1)
+                .with_step_mode(mode)
+                .with_dispatch_mode(dispatch);
             let mut m = Machine::with_bus(config, &program, Box::new(bus));
             m.set_idle_exit(false);
             m.run(n).expect("timer run");
@@ -257,27 +343,57 @@ fn env_override(name: &str) -> Option<u64> {
     }
 }
 
-/// Extracts `(name, sim_cycles_per_sec)` pairs from a committed
-/// `BENCH_core.json`. The file is generated by this binary, so a
-/// line-oriented scan of the stable formatting is sufficient — no JSON
-/// parser needed.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+/// One workload's committed baseline rates.
+struct BaselineEntry {
+    name: String,
+    /// Default-dispatch (superblock) cycle-by-cycle rate.
+    rate: f64,
+    /// Legacy-dispatch rate; absent in pre-v3 baselines.
+    legacy_rate: Option<f64>,
+}
+
+/// Extracts the per-workload rates from a committed `BENCH_core.json`.
+/// The file is generated by this binary, so a line-oriented scan of the
+/// stable formatting is sufficient — no JSON parser needed.
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
     let field = |line: &str, key: &str| -> Option<String> {
         let rest = line.trim().strip_prefix(&format!("\"{key}\":"))?;
         Some(rest.trim().trim_end_matches(',').trim_matches('"').into())
     };
-    let mut out = Vec::new();
+    let mut out: Vec<BaselineEntry> = Vec::new();
     let mut name: Option<String> = None;
     for line in text.lines() {
         if let Some(v) = field(line, "name") {
             name = Some(v);
         } else if let Some(v) = field(line, "sim_cycles_per_sec") {
             if let (Some(n), Ok(rate)) = (name.take(), v.parse::<f64>()) {
-                out.push((n, rate));
+                out.push(BaselineEntry {
+                    name: n,
+                    rate,
+                    legacy_rate: None,
+                });
+            }
+        } else if let Some(v) = field(line, "legacy_sim_cycles_per_sec") {
+            if let (Some(last), Ok(rate)) = (out.last_mut(), v.parse::<f64>()) {
+                last.legacy_rate = Some(rate);
             }
         }
     }
     out
+}
+
+/// Dispatch mode gated by `--check`, from `DISC_DISPATCH` (defaults to
+/// the superblock dispatcher, which is also the machine default).
+fn dispatch_from_env() -> DispatchMode {
+    match std::env::var("DISC_DISPATCH") {
+        Ok(v) if v == "legacy" => DispatchMode::Legacy,
+        Ok(v) if v == "superblock" => DispatchMode::Superblock,
+        Ok(v) => {
+            eprintln!("bench_core: DISC_DISPATCH={v:?} is not \"superblock\" or \"legacy\"");
+            std::process::exit(2);
+        }
+        Err(_) => DispatchMode::Superblock,
+    }
 }
 
 fn main() {
@@ -306,17 +422,30 @@ fn main() {
             "full"
         }
     );
-    // The check gate compares only cycle-by-cycle rates, so skip the
-    // event-skip timings there to keep it quick.
-    let both = !check;
+    // The check gate compares only cycle-by-cycle rates in the gated
+    // dispatch mode, so skip the other timings there to keep it quick.
+    let plan = Plan {
+        dispatch: if check {
+            dispatch_from_env()
+        } else {
+            DispatchMode::Superblock
+        },
+        all_modes: !check,
+    };
     let runs = [
-        bench_compute(cycles, reps, both),
-        bench_io(cycles, reps, both),
-        bench_irq(cycles, reps, both),
-        bench_timer_idle(cycles, reps, both),
+        bench_compute(cycles, reps, plan),
+        bench_branch(cycles, reps, plan),
+        bench_io(cycles, reps, plan),
+        bench_irq(cycles, reps, plan),
+        bench_timer_idle(cycles, reps, plan),
     ];
 
     if check {
+        let legacy = matches!(plan.dispatch, DispatchMode::Legacy);
+        eprintln!(
+            "bench_core: gating {} dispatch",
+            if legacy { "legacy" } else { "superblock" }
+        );
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
         let baseline = parse_baseline(&text);
@@ -324,30 +453,45 @@ fn main() {
             !baseline.is_empty(),
             "no workload rates found in {baseline_path}"
         );
-        let mut failed = false;
+        let mut failures: Vec<String> = Vec::new();
         for m in &runs {
             let rate = m.rate();
-            let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
+            let base = baseline.iter().find(|b| b.name == m.name).and_then(|b| {
+                if legacy {
+                    b.legacy_rate
+                } else {
+                    Some(b.rate)
+                }
+            });
+            let Some(base) = base else {
                 eprintln!(
                     "  {:<22} {rate:>12.0} sim cycles/s  (no baseline, skipped)",
                     m.name
                 );
                 continue;
             };
-            let ratio = rate / base;
-            let ok = ratio >= CHECK_FLOOR;
-            failed |= !ok;
+            let delta_pct = (rate / base - 1.0) * 100.0;
+            let ok = rate / base >= CHECK_FLOOR;
             eprintln!(
-                "  {:<22} {rate:>12.0} sim cycles/s  ({ratio:.2}x of baseline {base:.0}) {}",
+                "  {:<22} {rate:>12.0} sim cycles/s  ({delta_pct:+.1}% vs baseline {base:.0}) {}",
                 m.name,
                 if ok { "ok" } else { "REGRESSION" }
             );
+            if !ok {
+                failures.push(format!(
+                    "{}: {delta_pct:+.1}% ({rate:.0} vs baseline {base:.0})",
+                    m.name
+                ));
+            }
         }
-        if failed {
+        if !failures.is_empty() {
             eprintln!(
-                "bench_core: throughput regression: a workload fell below {:.0}% of {baseline_path}",
+                "bench_core: throughput regression: workload(s) fell below {:.0}% of {baseline_path}:",
                 CHECK_FLOOR * 100.0
             );
+            for f in &failures {
+                eprintln!("  {f}");
+            }
             std::process::exit(1);
         }
         eprintln!(
@@ -361,14 +505,17 @@ fn main() {
     for m in &runs {
         let rate = m.rate();
         let skip_rate = m.skip_rate();
+        let legacy_rate = m.legacy_rate();
         // Smoke runs are too short to compare against the recorded
         // full-mode baseline.
         let seed = if smoke { None } else { seed_rate(m.name) };
         let speedup = seed.map(|s| rate / s);
         eprintln!(
-            "  {:<22} {:>12.0} sim cycles/s  event-skip {:>12.0} ({:.2}x){}",
+            "  {:<22} {:>12.0} sim cycles/s  legacy {:>12.0} ({:.2}x)  event-skip {:>12.0} ({:.2}x){}",
             m.name,
             rate,
+            legacy_rate,
+            rate / legacy_rate,
             skip_rate,
             skip_rate / rate,
             speedup
@@ -379,6 +526,7 @@ fn main() {
             "    {{\n      \"name\": \"{}\",\n      \"description\": \"{}\",\n      \
              \"sim_cycles\": {},\n      \"wall_ns\": {},\n      \
              \"sim_cycles_per_sec\": {},\n      \
+             \"legacy_sim_cycles_per_sec\": {},\n      \"dispatch_speedup\": {},\n      \
              \"event_skip_sim_cycles_per_sec\": {},\n      \"skip_speedup\": {},\n      \
              \"seed_sim_cycles_per_sec\": {},\n      \"speedup_vs_seed\": {}\n    }}",
             m.name,
@@ -386,6 +534,8 @@ fn main() {
             m.sim_cycles,
             m.wall_ns,
             json_f64(Some(rate)),
+            json_f64(Some(legacy_rate)),
+            json_f64(Some(rate / legacy_rate)),
             json_f64(Some(skip_rate)),
             json_f64(Some(skip_rate / rate)),
             json_f64(seed),
@@ -396,7 +546,7 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"schema\": \"disc-bench-core/v2\",\n  \"mode\": \"{}\",\n  \
+        "{{\n  \"schema\": \"disc-bench-core/v3\",\n  \"mode\": \"{}\",\n  \
          \"cycles_per_run\": {},\n  \"reps\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         cycles,

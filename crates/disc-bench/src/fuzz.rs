@@ -23,7 +23,8 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use disc_core::{
-    CycleRecord, Exit, Machine, MachineConfig, SchedulePolicy, StepMode, TraceEvent, TraceSink,
+    CycleRecord, DispatchMode, Exit, Machine, MachineConfig, SchedulePolicy, StepMode, TraceEvent,
+    TraceSink,
 };
 use disc_isa::{encode::encode, AluImmOp, AluOp, AwpMode, Cond, Instruction, Program, Reg};
 use disc_ref::{RefConfig, RefExit, RefMachine};
@@ -108,6 +109,11 @@ pub struct GenProgram {
     /// engage (the retire-log sink pins it off on the primary machine)
     /// and requires its final state and statistics to be identical.
     pub step_mode: StepMode,
+    /// Execute dispatcher for the machine run (architecturally
+    /// invisible). Like the step mode, [`DispatchMode::Superblock`] only
+    /// engages on the sink-free cross-check machine — the retire-log sink
+    /// pins burst execution off on the primary machine.
+    pub dispatch_mode: DispatchMode,
     /// External address ranges `[lo, hi)` the program may touch, for the
     /// external-memory comparison sweep.
     pub ext_regions: Vec<(u16, u16)>,
@@ -698,6 +704,13 @@ pub fn generate(seed: u64) -> GenProgram {
         } else {
             StepMode::CycleByCycle
         },
+        // Drawn after every pre-existing knob so older corpus seeds keep
+        // generating the exact same programs and configurations.
+        dispatch_mode: if rng.chance(50) {
+            DispatchMode::Superblock
+        } else {
+            DispatchMode::Legacy
+        },
         ext_regions,
     }
 }
@@ -747,7 +760,8 @@ fn machine_config(gp: &GenProgram) -> MachineConfig {
         .with_streams(gp.streams)
         .with_window_depth(gp.window_depth)
         .with_default_ext_latency(gp.ext_latency)
-        .with_step_mode(gp.step_mode);
+        .with_step_mode(gp.step_mode)
+        .with_dispatch_mode(gp.dispatch_mode);
     cfg.pipeline_depth = gp.pipeline_depth;
     if let Some(table) = &gp.schedule {
         cfg = cfg.with_schedule(SchedulePolicy::Sequence(table.clone()));
@@ -779,11 +793,14 @@ pub fn compare_with_budget(
         .and_then(|sink| sink.into_any().downcast::<RetireLog>().ok())
         .expect("retire log sink");
 
-    // When the timing knob drew EventSkip, the primary machine above had
-    // skipping pinned off by its trace sink; run a second, sink-free
-    // machine where fast-forwarding can engage and hold it to the same
-    // exit, statistics (including cycle attribution) and final state.
-    let skipper = (gp.step_mode == StepMode::EventSkip).then(|| {
+    // When the timing knob drew EventSkip or the dispatch knob drew
+    // Superblock, the primary machine above had both fast paths pinned
+    // off by its trace sink; run a second, sink-free machine where they
+    // can engage and hold it to the same exit, statistics (including
+    // cycle attribution) and final state.
+    let cross_check =
+        gp.step_mode == StepMode::EventSkip || gp.dispatch_mode == DispatchMode::Superblock;
+    let skipper = cross_check.then(|| {
         let mut skipper = Machine::new(machine_config(gp), &gp.program);
         let exit = skipper.run(machine_cycles);
         (skipper, exit)
@@ -940,17 +957,17 @@ pub fn compare_with_budget(
         }
     }
 
-    // EventSkip cross-check: the sink-free machine must be
-    // indistinguishable from the pinned cycle-by-cycle run.
+    // Sink-free cross-check (event skip and/or superblock dispatch
+    // engaged): must be indistinguishable from the pinned run.
     if let Some((mut skipper, s_exit)) = skipper {
         if s_exit != m_exit {
             details.push(format!(
-                "event-skip: exit {s_exit:?} vs cycle-by-cycle {m_exit:?}"
+                "sink-free: exit {s_exit:?} vs cycle-by-cycle {m_exit:?}"
             ));
         }
         if skipper.stats() != machine.stats() {
             details.push(format!(
-                "event-skip: stats diverge:\n    skip  {:?}\n    exact {:?}",
+                "sink-free: stats diverge:\n    skip  {:?}\n    exact {:?}",
                 skipper.stats(),
                 machine.stats()
             ));
@@ -971,7 +988,7 @@ pub fn compare_with_budget(
             };
             if ctl(a) != ctl(b) {
                 details.push(format!(
-                    "event-skip: stream {s} control state {:?} vs {:?}",
+                    "sink-free: stream {s} control state {:?} vs {:?}",
                     ctl(b),
                     ctl(a)
                 ));
@@ -979,7 +996,7 @@ pub fn compare_with_budget(
             for slot in 0..a.window().max_depth() {
                 if a.window().read_slot(slot) != b.window().read_slot(slot) {
                     details.push(format!(
-                        "event-skip: stream {s} window slot {slot}: {:#06x} vs {:#06x}",
+                        "sink-free: stream {s} window slot {slot}: {:#06x} vs {:#06x}",
                         b.window().read_slot(slot),
                         a.window().read_slot(slot)
                     ));
@@ -987,7 +1004,7 @@ pub fn compare_with_budget(
             }
             if machine.reg(s, Reg::Sp) != skipper.reg(s, Reg::Sp) {
                 details.push(format!(
-                    "event-skip: stream {s} sp {:#06x} vs {:#06x}",
+                    "sink-free: stream {s} sp {:#06x} vs {:#06x}",
                     skipper.reg(s, Reg::Sp),
                     machine.reg(s, Reg::Sp)
                 ));
@@ -996,7 +1013,7 @@ pub fn compare_with_budget(
         for g in 0..disc_isa::GLOBAL_REGS {
             if machine.global(g) != skipper.global(g) {
                 details.push(format!(
-                    "event-skip: global g{g}: {:#06x} vs {:#06x}",
+                    "sink-free: global g{g}: {:#06x} vs {:#06x}",
                     skipper.global(g),
                     machine.global(g)
                 ));
@@ -1005,7 +1022,7 @@ pub fn compare_with_budget(
         for addr in 0..reference.internal_len() as u16 {
             if machine.internal_memory().read(addr) != skipper.internal_memory().read(addr) {
                 details.push(format!(
-                    "event-skip: internal[{addr:#x}]: {:#06x} vs {:#06x}",
+                    "sink-free: internal[{addr:#x}]: {:#06x} vs {:#06x}",
                     skipper.internal_memory().read(addr),
                     machine.internal_memory().read(addr)
                 ));
@@ -1014,7 +1031,7 @@ pub fn compare_with_budget(
         for &addr in &ext_addrs {
             if machine.bus_mut().read(addr) != skipper.bus_mut().read(addr) {
                 details.push(format!(
-                    "event-skip: external[{addr:#x}] diverges from cycle-by-cycle"
+                    "sink-free: external[{addr:#x}] diverges from cycle-by-cycle"
                 ));
             }
         }

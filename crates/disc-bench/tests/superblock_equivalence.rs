@@ -1,0 +1,496 @@
+//! Boundary-semantics tests for [`DispatchMode::Superblock`]: executing
+//! hazard-free runs of predecoded ops in a tight loop must be
+//! architecturally invisible. Every scenario runs twice — legacy
+//! dispatch and superblock dispatch — through `Machine::run` (never a
+//! manual step loop) and demands identical final architectural state,
+//! `MachineStats` (including per-stream `CycleAttribution`, bucket for
+//! bucket), and `RunReport` content.
+//!
+//! Coverage targets the burst *boundaries*, where the dispatcher must
+//! hand back to the slow path at exactly the right cycle:
+//! an interrupt arriving mid-run, window spill triggered by the op that
+//! ends a block, a fault-plan window opening inside a would-be block,
+//! event-skip composing with superblocks on the timer-idle workload,
+//! decode faults surfacing from inside a burst, and a per-cycle trace
+//! sink pinning bursts off with byte-identical output.
+
+use disc_bench::fuzz::{compare, generate};
+use disc_bus::{ExtRam, PeripheralBus, Timer};
+use disc_core::{BusFaultPolicy, DispatchMode, Machine, MachineConfig, SimError, StepMode};
+use disc_faults::{AddrRange, FaultInjector, FaultPlan, FaultWindow};
+use disc_isa::{Program, Reg};
+use disc_obs::{config_fingerprint, config_json, stats_json, JsonlSink};
+
+/// Runs `build`+`drive` under both dispatchers and asserts the results
+/// are indistinguishable. `expect_bursts` additionally requires that the
+/// superblock run actually executed bursts (otherwise the scenario
+/// proves nothing about the fast path).
+fn assert_dispatch_equivalent(
+    label: &str,
+    expect_bursts: bool,
+    build: impl Fn(DispatchMode) -> Machine,
+    drive: impl Fn(&mut Machine),
+) {
+    let mut legacy = build(DispatchMode::Legacy);
+    drive(&mut legacy);
+    let mut burst = build(DispatchMode::Superblock);
+    drive(&mut burst);
+
+    // Stats — covers cycles, retired counts, vectors, bus counters and
+    // the per-stream attribution in one structural comparison…
+    assert_eq!(legacy.stats(), burst.stats(), "{label}: stats diverge");
+    // …but attribution exactness is the property under test, so check it
+    // bucket for bucket with its own message, and require the burst
+    // run's buckets to still sum to its cycle count.
+    assert_eq!(
+        legacy.stats().attribution,
+        burst.stats().attribution,
+        "{label}: cycle attribution diverges"
+    );
+    burst
+        .stats()
+        .attribution
+        .check(burst.stats().cycles)
+        .unwrap_or_else(|e| panic!("{label}: burst-run attribution unbalanced: {e:?}"));
+
+    // Final architectural state, stream by stream.
+    for s in 0..legacy.stream_count() {
+        let a = legacy.stream(s);
+        let b = burst.stream(s);
+        assert_eq!(a.pc(), b.pc(), "{label}: stream {s} pc");
+        assert_eq!(a.ir(), b.ir(), "{label}: stream {s} ir");
+        assert_eq!(a.mr(), b.mr(), "{label}: stream {s} mr");
+        assert_eq!(
+            a.flags().to_word(),
+            b.flags().to_word(),
+            "{label}: stream {s} flags"
+        );
+        assert_eq!(
+            (a.service_depth(), a.service_level()),
+            (b.service_depth(), b.service_level()),
+            "{label}: stream {s} service state"
+        );
+        assert_eq!(
+            a.window().awp(),
+            b.window().awp(),
+            "{label}: stream {s} awp"
+        );
+        for slot in 0..a.window().max_depth() {
+            assert_eq!(
+                a.window().read_slot(slot),
+                b.window().read_slot(slot),
+                "{label}: stream {s} window slot {slot}"
+            );
+        }
+        assert_eq!(
+            legacy.reg(s, Reg::Sp),
+            burst.reg(s, Reg::Sp),
+            "{label}: stream {s} sp"
+        );
+    }
+    for g in 0..disc_isa::GLOBAL_REGS {
+        assert_eq!(legacy.global(g), burst.global(g), "{label}: global g{g}");
+    }
+    for addr in 0..legacy.config().internal_words as u16 {
+        assert_eq!(
+            legacy.internal_memory().read(addr),
+            burst.internal_memory().read(addr),
+            "{label}: internal[{addr:#x}]"
+        );
+    }
+
+    // Burst accounting: legacy dispatch never bursts; the scenario's
+    // expectation must hold under superblock dispatch.
+    let lsb = legacy.superblock_stats();
+    assert_eq!(lsb.bursts, 0, "{label}: legacy dispatch burst");
+    assert_eq!(lsb.burst_cycles, 0, "{label}: legacy dispatch burst");
+    if expect_bursts {
+        let sb = burst.superblock_stats();
+        assert!(sb.bursts > 0, "{label}: superblock dispatch never burst");
+        assert!(
+            sb.burst_cycles >= sb.bursts,
+            "{label}: burst bookkeeping ({} bursts, {} cycles)",
+            sb.bursts,
+            sb.burst_cycles
+        );
+        let total_issues: u64 = burst.stats().attribution.issue.iter().sum();
+        assert!(
+            sb.burst_issues <= total_issues,
+            "{label}: more burst issues ({}) than total issues ({total_issues})",
+            sb.burst_issues
+        );
+    }
+
+    // RunReport equivalence: the config fingerprint, the rendered config
+    // and the full stats tree are what the report is built from, and the
+    // dispatch mode (like the step mode) is deliberately excluded.
+    assert_eq!(
+        config_fingerprint(legacy.config()),
+        config_fingerprint(burst.config()),
+        "{label}: config fingerprints diverge"
+    );
+    assert_eq!(
+        config_json(legacy.config()),
+        config_json(burst.config()),
+        "{label}: config sections diverge"
+    );
+    assert_eq!(
+        stats_json(legacy.stats()),
+        stats_json(burst.stats()),
+        "{label}: stats sections diverge"
+    );
+}
+
+fn compute_program(streams: usize) -> Program {
+    let mut src = String::new();
+    for s in 0..streams {
+        src.push_str(&format!(".stream {s}, l{s}\n"));
+        src.push_str(&format!(
+            "l{s}:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    addi r2, r2, 1\n    jmp l{s}\n"
+        ));
+    }
+    Program::assemble(&src).expect("compute program assembles")
+}
+
+/// Pure compute: one long burst should cover nearly the whole run.
+#[test]
+fn compute_bound_bursts_and_matches() {
+    let program = compute_program(4);
+    assert_dispatch_equivalent(
+        "compute_bound_4s",
+        true,
+        |dispatch| {
+            let config = MachineConfig::disc1()
+                .with_streams(4)
+                .with_dispatch_mode(dispatch);
+            Machine::new(config, &program)
+        },
+        |m| {
+            m.run(50_000).expect("compute run");
+        },
+    );
+}
+
+/// Branch-heavy loops: taken jumps flush in-burst and must not end it.
+#[test]
+fn branch_heavy_bursts_and_matches() {
+    let mut src = String::new();
+    for s in 0..4 {
+        src.push_str(&format!(".stream {s}, l{s}\n"));
+        src.push_str(&format!(
+            "l{s}:\n    addi r0, r0, 1\n    cmpi r0, 4\n    jnz l{s}\n    ldi r0, 0\n    jmp l{s}\n"
+        ));
+    }
+    let program = Program::assemble(&src).expect("branch program assembles");
+    assert_dispatch_equivalent(
+        "branch_heavy_4s",
+        true,
+        |dispatch| {
+            let config = MachineConfig::disc1()
+                .with_streams(4)
+                .with_dispatch_mode(dispatch);
+            Machine::new(config, &program)
+        },
+        |m| {
+            m.run(50_000).expect("branch run");
+        },
+    );
+}
+
+/// Boundary (a): an interrupt arrives mid-run. The burst must stop at
+/// the wake source and deliver with legacy-identical latency accounting.
+#[test]
+fn interrupt_mid_run_matches() {
+    let mut src = String::new();
+    for s in 0..3 {
+        src.push_str(&format!(".stream {s}, work{s}\n"));
+        src.push_str(&format!(
+            "work{s}:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    jmp work{s}\n"
+        ));
+    }
+    src.push_str(".vector 3, 5, isr\n");
+    src.push_str("isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n");
+    let program = Program::assemble(&src).expect("irq program assembles");
+    assert_dispatch_equivalent(
+        "interrupt_mid_run",
+        true,
+        |dispatch| {
+            let config = MachineConfig::disc1().with_dispatch_mode(dispatch);
+            let mut m = Machine::new(config, &program);
+            m.set_idle_exit(false);
+            m
+        },
+        |m| {
+            // The run() chunking mirrors the bench driver, but the raises
+            // are spaced out: a pending vector rejects burst entry, so
+            // interrupt-free chunks are where blocks form and the chunks
+            // with a raise are where delivery cuts into them.
+            for i in 0..400 {
+                if i % 4 == 0 {
+                    m.raise_interrupt(3, 5);
+                }
+                m.run(50).expect("irq run");
+            }
+        },
+    );
+}
+
+/// Boundary (a'): a *peripheral-raised* interrupt arrives strictly inside
+/// one long `run()` call, so the burst limit itself (the bus `next_event`
+/// horizon) is what must stop the block.
+#[test]
+fn timer_interrupt_inside_single_run_matches() {
+    let program = Program::assemble(
+        ".stream 0, work\n.vector 0, 5, isr\n\
+         work:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    jmp work\n\
+         isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n",
+    )
+    .expect("timer-work program assembles");
+    assert_dispatch_equivalent(
+        "timer_interrupt_inside_run",
+        true,
+        |dispatch| {
+            let mut bus = PeripheralBus::new();
+            bus.map(0x9000, Timer::REGS, Box::new(Timer::periodic(700, 0, 5)))
+                .expect("map timer");
+            let config = MachineConfig::disc1()
+                .with_streams(1)
+                .with_dispatch_mode(dispatch);
+            let mut m = Machine::with_bus(config, &program, Box::new(bus));
+            m.set_idle_exit(false);
+            m
+        },
+        |m| {
+            m.run(40_000).expect("timer-work run");
+        },
+    );
+}
+
+/// Boundary (b): window spill triggers at the op ending a block. `winc`
+/// is not burst-safe, so every block built over the addi stretches ends
+/// at a `winc` fetch — and with a shallow window file that same `winc`'s
+/// AWP motion is what spills. Its spill-stall accounting must be
+/// cycle-identical to legacy dispatch.
+#[test]
+fn spill_at_block_end_matches() {
+    let program = Program::assemble(
+        ".stream 0, main\n\
+         main:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    addi r2, r2, 1\n\
+         \x20   winc 4\n    addi r0, r0, 1\n    addi r1, r1, 1\n    winc 4\n\
+         \x20   addi r0, r0, 1\n    addi r1, r1, 1\n    winc 4\n\
+         \x20   addi r0, r0, 1\n    wdec 4\n    wdec 4\n    wdec 4\n    jmp main\n",
+    )
+    .expect("spill program assembles");
+    assert_dispatch_equivalent(
+        "spill_at_block_end",
+        true,
+        |dispatch| {
+            // A window file barely deeper than one visible window: the
+            // winc ladder crosses the spill threshold every iteration.
+            let config = MachineConfig::disc1()
+                .with_streams(1)
+                .with_window_depth(12)
+                .with_dispatch_mode(dispatch);
+            Machine::new(config, &program)
+        },
+        |m| {
+            m.run(30_000).expect("spill run");
+            // The scenario is only meaningful if the window actually
+            // spilled (in both runs — drive executes on each machine).
+            assert!(
+                m.stats().spill_stall_cycles[0] > 0,
+                "spill workload never spilled"
+            );
+        },
+    );
+}
+
+/// Boundary (c): a fault plan wedges the peripheral inside what would be
+/// a block; the ABI timeout path (abort + bus-error interrupt) must be
+/// cycle-identical.
+#[test]
+fn fault_plan_window_inside_block_matches() {
+    let program = Program::assemble(
+        ".stream 0, a\n\
+         a: lui r0, 0x80\nla: addi r1, r1, 1\n    addi r2, r2, 1\n    ld r3, [r0]\n    jmp la\n",
+    )
+    .expect("fault program assembles");
+    assert_dispatch_equivalent(
+        "fault_plan_window",
+        true,
+        |dispatch| {
+            let mut bus = PeripheralBus::new();
+            bus.map(0x8000, 16, Box::new(ExtRam::new(16, 3)))
+                .expect("map device ram");
+            let plan = FaultPlan::new(0xbad).stuck(
+                AddrRange::new(0x8000, 0x800f),
+                FaultWindow::between(2_000, 8_000),
+            );
+            let injector = FaultInjector::new(plan, Box::new(bus));
+            let config = MachineConfig::disc1()
+                .with_streams(1)
+                .with_bus_fault(BusFaultPolicy::Fault)
+                .with_abi_timeout(64)
+                .with_dispatch_mode(dispatch);
+            Machine::with_bus(config, &program, Box::new(injector))
+        },
+        |m| {
+            m.run(20_000).expect("fault run");
+        },
+    );
+}
+
+/// Boundary (d): event skip and superblocks compose on the timer-idle
+/// workload — quiescent stretches skip, busy stretches burst, and the
+/// result is identical to legacy dispatch in the same step mode.
+#[test]
+fn event_skip_composes_with_superblocks() {
+    let program = Program::assemble(
+        ".stream 0, idle\n.vector 0, 5, isr\n\
+         idle:\n    stop\n\
+         isr:\n    lda r0, 0x40\n    addi r0, r0, 1\n    sta r0, 0x40\n    reti\n",
+    )
+    .expect("timer program assembles");
+    for mode in [StepMode::CycleByCycle, StepMode::EventSkip] {
+        assert_dispatch_equivalent(
+            &format!("timer_idle_1s/{mode:?}"),
+            false, // parked stream + bus-op-dense handler: blocks can't form
+            |dispatch| {
+                let mut bus = PeripheralBus::new();
+                bus.map(0x9000, Timer::REGS, Box::new(Timer::periodic(1_000, 0, 5)))
+                    .expect("map timer");
+                let config = MachineConfig::disc1()
+                    .with_streams(1)
+                    .with_step_mode(mode)
+                    .with_dispatch_mode(dispatch);
+                let mut m = Machine::with_bus(config, &program, Box::new(bus));
+                m.set_idle_exit(false);
+                m
+            },
+            |m| {
+                m.run(60_000).expect("timer run");
+            },
+        );
+    }
+}
+
+/// A decode fault surfacing from inside a burst must error at the same
+/// cycle with the same fault coordinates as the legacy dispatcher.
+#[test]
+fn decode_fault_in_burst_matches() {
+    // A burst-friendly compute prologue whose straight-line fallthrough
+    // runs into an undecodable word: the fault is fetched from inside a
+    // would-be superblock.
+    let mut program = Program::assemble(
+        ".stream 0, l0\nl0:\n    addi r0, r0, 1\n    addi r1, r1, 1\n    addi r2, r2, 1\n    nop\n",
+    )
+    .expect("base assembles");
+    let bad_addr = program.len() as u16;
+    let bad_word = 63 << 18; // unassigned opcode
+    program.set_word(bad_addr, bad_word);
+    let run = |dispatch| {
+        let config = MachineConfig::disc1()
+            .with_streams(1)
+            .with_dispatch_mode(dispatch);
+        let mut m = Machine::new(config, &program);
+        let err = m.run(1_000).expect_err("must fault");
+        (err, m.stats().cycles, m.stats().retired[0])
+    };
+    let (legacy_err, legacy_cycles, legacy_retired) = run(DispatchMode::Legacy);
+    let (burst_err, burst_cycles, burst_retired) = run(DispatchMode::Superblock);
+    match (&legacy_err, &burst_err) {
+        (
+            SimError::Decode {
+                stream: ls,
+                pc: lp,
+                word: lw,
+            },
+            SimError::Decode {
+                stream: bs,
+                pc: bp,
+                word: bw,
+            },
+        ) => {
+            assert_eq!((ls, lp, lw), (bs, bp, bw), "fault coordinates diverge");
+            assert_eq!((*lp, *lw), (bad_addr, bad_word), "unexpected fault site");
+        }
+        other => panic!("expected decode faults, got {other:?}"),
+    }
+    assert_eq!(legacy_cycles, burst_cycles, "fault cycle diverges");
+    assert_eq!(legacy_retired, burst_retired, "retired at fault diverges");
+}
+
+/// A per-cycle trace sink pins bursts off and yields byte-identical
+/// JSONL output under either dispatcher.
+#[test]
+fn trace_sink_pins_bursts_and_bytes_match() {
+    let program = compute_program(2);
+    let trace_bytes = |dispatch| {
+        let config = MachineConfig::disc1()
+            .with_streams(2)
+            .with_dispatch_mode(dispatch);
+        let mut m = Machine::new(config, &program);
+        m.set_trace_sink(Box::new(JsonlSink::new(Vec::<u8>::new())));
+        m.run(2_000).expect("traced run");
+        let bursts = m.superblock_stats().bursts;
+        let sink = m
+            .take_trace_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<JsonlSink<Vec<u8>>>()
+            .unwrap();
+        let (bytes, err) = sink.into_inner();
+        assert!(err.is_none(), "sink write error");
+        (bytes, bursts)
+    };
+    let (legacy_bytes, legacy_bursts) = trace_bytes(DispatchMode::Legacy);
+    let (burst_bytes, burst_bursts) = trace_bytes(DispatchMode::Superblock);
+    assert_eq!(legacy_bursts, 0);
+    assert_eq!(burst_bursts, 0, "a per-cycle sink must pin bursts off");
+    assert!(!legacy_bytes.is_empty(), "trace must not be empty");
+    assert_eq!(
+        legacy_bytes, burst_bytes,
+        "trace bytes diverge across dispatchers"
+    );
+}
+
+/// Replay the regression corpus with superblock dispatch forced on: the
+/// differential runner executes the sink-pinned machine, a sink-free
+/// superblock machine, and the golden reference, and requires all three
+/// to agree.
+#[test]
+fn fuzz_corpus_identical_across_dispatchers() {
+    let corpus = include_str!("../fuzz/regressions.txt");
+    let mut seeds = 0;
+    for line in corpus.lines() {
+        let entry = line.split('#').next().unwrap_or("").trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let seed = entry
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).expect("hex seed"))
+            .unwrap_or_else(|| entry.parse().expect("decimal seed"));
+        let mut gp = generate(seed);
+        gp.dispatch_mode = DispatchMode::Superblock;
+        if let Err(div) = compare(&gp) {
+            panic!("corpus seed diverged under superblock dispatch:\n{div}");
+        }
+        seeds += 1;
+    }
+    assert!(seeds > 0, "corpus must not be empty");
+}
+
+/// The corpus pins added with the dispatch-mode knob must actually draw
+/// it (they are meaningless as superblock coverage otherwise).
+#[test]
+fn superblock_corpus_pins_draw_the_knob() {
+    for seed in [0x29u64, 0x1b, 0x3f] {
+        let gp = generate(seed);
+        assert_eq!(
+            gp.dispatch_mode,
+            DispatchMode::Superblock,
+            "seed {seed:#x} no longer draws superblock dispatch"
+        );
+    }
+}

@@ -7,6 +7,7 @@ use disc_isa::{AluImmOp, AluOp, Cond};
 use crate::stream::Flags;
 
 /// Maps an immediate-form ALU operation onto its three-operand semantics.
+#[inline(always)]
 pub fn imm_op(op: AluImmOp) -> AluOp {
     match op {
         AluImmOp::Addi => AluOp::Add,
@@ -19,6 +20,7 @@ pub fn imm_op(op: AluImmOp) -> AluOp {
 }
 
 /// Evaluates a jump condition against the flags.
+#[inline(always)]
 pub fn eval_cond(cond: Cond, f: Flags) -> bool {
     match cond {
         Cond::Always => true,
@@ -36,6 +38,7 @@ pub fn eval_cond(cond: Cond, f: Flags) -> bool {
 ///
 /// Returns the result and the updated flags; `cmp` results are discarded
 /// by the caller.
+#[inline(always)]
 pub fn alu(op: AluOp, a: u16, b: u16, flags: Flags) -> (u16, Flags) {
     let mut f = flags;
     let set_zn = |f: &mut Flags, r: u16| {

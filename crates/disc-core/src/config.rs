@@ -64,6 +64,34 @@ pub enum StepMode {
     EventSkip,
 }
 
+/// How [`Machine::run`](crate::Machine::run) dispatches the execute hot
+/// path.
+///
+/// The default threaded/superblock dispatcher predecodes every program
+/// word into a handler index plus hazard masks, executes through a
+/// function-pointer table, and — whenever the machine is in a
+/// *hazard-frozen* state (no outstanding bus transaction, no spill/fill
+/// stall, no in-flight window motion, no deliverable vectored interrupt,
+/// no attached trace sink) — runs cached straight-line superblocks of
+/// predecoded ops in a tight loop with bulk cycle/stat/attribution
+/// updates. The run length is bounded by the same
+/// [`DataBus::next_event`](crate::DataBus::next_event) wake machinery
+/// that powers [`StepMode::EventSkip`], so no peripheral tick, fault-plan
+/// window edge or interrupt is ever jumped over; a block ends at any
+/// branch/fork/signal/bus op or wake-source boundary. Architectural
+/// state, statistics, cycle attribution, traces and reports are
+/// byte-identical between the two modes — the differential fuzzer and the
+/// superblock equivalence suite pin this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Threaded-code dispatch plus superblock caching (default).
+    #[default]
+    Superblock,
+    /// The historical per-cycle dispatcher, kept as the differential
+    /// baseline; never enters a superblock run.
+    Legacy,
+}
+
 /// Policy applied when a stream's window stack outgrows the physical
 /// register file.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -131,6 +159,11 @@ pub struct MachineConfig {
     /// default cycle-by-cycle mode is byte-identical to historical
     /// behavior; [`StepMode::EventSkip`] is an opt-in performance mode.
     pub step_mode: StepMode,
+    /// How the execute hot path dispatches instructions. The default
+    /// [`DispatchMode::Superblock`] threaded dispatcher is byte-identical
+    /// to [`DispatchMode::Legacy`] in every architectural observable and
+    /// several times faster on straight-line code.
+    pub dispatch_mode: DispatchMode,
 }
 
 impl MachineConfig {
@@ -150,6 +183,7 @@ impl MachineConfig {
             abi_timeout: 0,
             bus_error_bit: 5,
             step_mode: StepMode::CycleByCycle,
+            dispatch_mode: DispatchMode::Superblock,
         }
     }
 
@@ -215,6 +249,12 @@ impl MachineConfig {
     /// Sets the stepping mode used by [`Machine::run`](crate::Machine::run).
     pub fn with_step_mode(mut self, mode: StepMode) -> Self {
         self.step_mode = mode;
+        self
+    }
+
+    /// Sets the execute-path dispatch mode.
+    pub fn with_dispatch_mode(mut self, mode: DispatchMode) -> Self {
+        self.dispatch_mode = mode;
         self
     }
 

@@ -70,13 +70,16 @@ mod stream;
 mod trace;
 
 pub use abi::{Abi, AbiBusy, BusOp, RegTarget, Transaction};
-pub use config::{BusFaultPolicy, MachineConfig, StepMode, WindowPolicy};
+pub use config::{BusFaultPolicy, DispatchMode, MachineConfig, StepMode, WindowPolicy};
 pub use databus::{DataBus, FlatBus, IrqRequest};
 pub use error::{Exit, SimError};
 pub use intmem::InternalMemory;
 pub use machine::{Machine, Status};
 pub use regfile::{AdjustOutcome, StackWindow};
 pub use scheduler::{SchedulePolicy, Scheduler, SEQUENCE_SLOTS};
-pub use stats::{CycleAttribution, IrqLatencyStats, MachineStats, SkipStats, ATTRIBUTION_BUCKETS};
+pub use stats::{
+    CycleAttribution, IrqLatencyStats, MachineStats, SkipStats, SuperblockStats,
+    ATTRIBUTION_BUCKETS,
+};
 pub use stream::{Flags, ServiceFrame, Stream, WaitState};
 pub use trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent, TraceSink};

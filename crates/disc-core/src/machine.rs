@@ -24,12 +24,12 @@ use disc_isa::{AluOp, AwpMode, Cond, Instruction, Program, Reg};
 
 use crate::abi::{Abi, BusOp, RegTarget, Transaction};
 use crate::alu::{alu, eval_cond, imm_op};
-use crate::config::{BusFaultPolicy, MachineConfig, StepMode};
+use crate::config::{BusFaultPolicy, DispatchMode, MachineConfig, StepMode};
 use crate::databus::{DataBus, FlatBus, IrqRequest};
 use crate::error::{Exit, SimError};
 use crate::intmem::InternalMemory;
 use crate::scheduler::Scheduler;
-use crate::stats::{MachineStats, SkipStats};
+use crate::stats::{MachineStats, SkipStats, SuperblockStats};
 use crate::stream::{Flags, PendingWrite, ServiceFrame, Stream, WaitState};
 use crate::trace::{BusFaultKind, CycleRecord, StageSnapshot, Trace, TraceEvent, TraceSink};
 
@@ -56,6 +56,42 @@ const WINDOW_MASK: u32 = 0xff;
 /// Scoreboard tag for entries owned by an outstanding bus transaction.
 const BUS_SEQ: u64 = u64::MAX;
 
+/// Fixed pipe-ring capacity: [`MachineConfig::validate`] caps
+/// `pipeline_depth` at 8, so the backing array never needs to grow and
+/// stage indexing avoids a heap indirection.
+const MAX_PIPE: usize = 8;
+
+/// A superblock attempt that covered fewer cycles than this is considered
+/// a miss: the machine is in a burst-hostile state (bus traffic, waits,
+/// unsafe in-flight ops) and re-probing eligibility every cycle would cost
+/// more than it saves.
+const BURST_RETRY_FLOOR: u64 = 64;
+
+/// Number of slow-path steps to run after a superblock miss before probing
+/// eligibility again.
+const BURST_BACKOFF: u64 = 64;
+
+/// Why a pipeline flush happened; resolved to the trace-facing string only
+/// when an event record is actually emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    Jump,
+    Io,
+    Irq,
+    BusBusy,
+}
+
+impl FlushCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            FlushCause::Jump => "jump",
+            FlushCause::Io => "io",
+            FlushCause::Irq => "irq",
+            FlushCause::BusBusy => "bus-busy",
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     stream: usize,
@@ -63,6 +99,8 @@ struct Slot {
     instr: Instruction,
     seq: u64,
     moves_window: bool,
+    /// Handler index into [`HANDLERS`], predecoded at fetch.
+    kind: u8,
 }
 
 fn reg_bit(r: Reg) -> u32 {
@@ -107,19 +145,15 @@ fn dest_mask(instr: &Instruction) -> u32 {
     m
 }
 
-/// `true` when the next instruction of a stream has a hazard against the
-/// stream's own in-flight instructions.
-fn stream_hazard(st: &Stream, instr: &Instruction) -> bool {
-    if st.window_moves > 0 && touches_window(instr) {
+/// `true` when the next instruction of a stream (predecoded as `e`) has a
+/// hazard against the stream's own in-flight instructions.
+fn stream_hazard_entry(st: &Stream, e: &OpEntry) -> bool {
+    if st.window_moves > 0 && e.touches_window {
         return true;
-    }
-    if st.pending.is_empty() {
-        return false;
     }
     // RAW only: writes retire in program order through the single EX
     // stage, so WAW/WAR need no interlock.
-    let needed = source_mask(instr);
-    st.pending.iter().any(|p| p.mask & needed != 0)
+    st.pending_conflict(e.src_mask)
 }
 
 /// `true` when the instruction reads/writes window registers or moves the
@@ -150,19 +184,201 @@ fn moves_window(instr: &Instruction) -> bool {
         )
 }
 
+// Handler indices of the threaded dispatch table, one per instruction
+// form plus a pseudo-kind for words that do not decode.
+const K_NOP: u8 = 0;
+const K_ALU: u8 = 1;
+const K_ALU_IMM: u8 = 2;
+const K_LDI: u8 = 3;
+const K_LUI: u8 = 4;
+const K_LD: u8 = 5;
+const K_LDA: u8 = 6;
+const K_ST: u8 = 7;
+const K_STA: u8 = 8;
+const K_TSET: u8 = 9;
+const K_JMP: u8 = 10;
+const K_CALL: u8 = 11;
+const K_RET: u8 = 12;
+const K_RETI: u8 = 13;
+const K_WINC: u8 = 14;
+const K_WDEC: u8 = 15;
+const K_FORK: u8 = 16;
+const K_SIGNAL: u8 = 17;
+const K_CLRI: u8 = 18;
+const K_STOP: u8 = 19;
+const K_HALT: u8 = 20;
+const K_BRK: u8 = 21;
+/// Pseudo-kind of an undecodable program word; never enters the pipe
+/// (fetching it raises [`SimError::Decode`] instead).
+const K_FAULT: u8 = 22;
+const KIND_COUNT: usize = 23;
+
+/// Handler index of `instr` into [`HANDLERS`].
+fn kind_of(instr: &Instruction) -> u8 {
+    match instr {
+        Instruction::Nop => K_NOP,
+        Instruction::Alu { .. } => K_ALU,
+        Instruction::AluImm { .. } => K_ALU_IMM,
+        Instruction::Ldi { .. } => K_LDI,
+        Instruction::Lui { .. } => K_LUI,
+        Instruction::Ld { .. } => K_LD,
+        Instruction::Lda { .. } => K_LDA,
+        Instruction::St { .. } => K_ST,
+        Instruction::Sta { .. } => K_STA,
+        Instruction::Tset { .. } => K_TSET,
+        Instruction::Jmp { .. } => K_JMP,
+        Instruction::Call { .. } => K_CALL,
+        Instruction::Ret { .. } => K_RET,
+        Instruction::Reti => K_RETI,
+        Instruction::Winc { .. } => K_WINC,
+        Instruction::Wdec { .. } => K_WDEC,
+        Instruction::Fork { .. } => K_FORK,
+        Instruction::Signal { .. } => K_SIGNAL,
+        Instruction::Clri { .. } => K_CLRI,
+        Instruction::Stop => K_STOP,
+        Instruction::Halt => K_HALT,
+        Instruction::Brk => K_BRK,
+    }
+}
+
+/// `true` when executing the instruction cannot disturb any state the
+/// superblock entry conditions froze: it touches only registers, flags
+/// and (for `jmp`) the stream PC — never `ir`/`mr`, the window position,
+/// memory, the bus, other streams or machine control. `jmp` qualifies
+/// because its taken-path PC update and flush are replayed exactly inside
+/// a run; everything else ends the run at its fetch, before any of its
+/// execute-stage effects.
+fn burst_safe(instr: &Instruction) -> bool {
+    match *instr {
+        Instruction::Nop | Instruction::Jmp { .. } => true,
+        Instruction::Alu { op, awp, rd, .. } => {
+            awp == AwpMode::None && !(op.writes_rd() && matches!(rd, Reg::Ir | Reg::Mr))
+        }
+        Instruction::AluImm { op, awp, rd, .. } => {
+            awp == AwpMode::None && !(op.writes_rd() && matches!(rd, Reg::Ir | Reg::Mr))
+        }
+        Instruction::Ldi { awp, rd, .. } => {
+            awp == AwpMode::None && !matches!(rd, Reg::Ir | Reg::Mr)
+        }
+        Instruction::Lui { rd, .. } => !matches!(rd, Reg::Ir | Reg::Mr),
+        _ => false,
+    }
+}
+
+/// One predecoded program word: the instruction, its handler index and
+/// every per-instruction property the fetch and execute paths need, so
+/// the per-cycle hot path is pure table lookups.
+#[derive(Debug, Clone, Copy)]
+struct OpEntry {
+    instr: Instruction,
+    /// Handler index into [`HANDLERS`]; [`K_FAULT`] for words that do not
+    /// decode.
+    kind: u8,
+    /// Registers (and flags) read — the hazard probe mask.
+    src_mask: u32,
+    /// Registers (and flags) written — the scoreboard mask.
+    dst_mask: u32,
+    /// Moves the AWP while in flight.
+    moves_window: bool,
+    /// Reads/writes window registers or moves the window.
+    touches_window: bool,
+    /// Eligible for superblock runs (see [`burst_safe`]).
+    simple: bool,
+}
+
+/// Predecoded entry for addresses past the program image: word 0 decodes
+/// as `nop`, matching `Program::word`.
+const NOP_ENTRY: OpEntry = OpEntry {
+    instr: Instruction::Nop,
+    kind: K_NOP,
+    src_mask: 0,
+    dst_mask: 0,
+    moves_window: false,
+    touches_window: false,
+    simple: true,
+};
+
+impl OpEntry {
+    fn from_instr(instr: Instruction) -> OpEntry {
+        OpEntry {
+            kind: kind_of(&instr),
+            src_mask: source_mask(&instr),
+            dst_mask: dest_mask(&instr),
+            moves_window: moves_window(&instr),
+            touches_window: touches_window(&instr),
+            simple: burst_safe(&instr),
+            instr,
+        }
+    }
+}
+
+/// Builds the predecoded entry for one program word. Undecodable words
+/// get a [`K_FAULT`] entry so the fault can still be reported lazily at
+/// the cycle a stream actually fetches the word.
+fn predecode(word: u32) -> OpEntry {
+    match disc_isa::encode::decode(word) {
+        Ok(instr) => OpEntry::from_instr(instr),
+        Err(_) => OpEntry {
+            instr: Instruction::Nop,
+            kind: K_FAULT,
+            src_mask: 0,
+            dst_mask: 0,
+            moves_window: false,
+            touches_window: false,
+            simple: false,
+        },
+    }
+}
+
+/// An EX-stage handler in the threaded-code dispatch table.
+type OpHandler = fn(&mut Machine, Slot, usize) -> Status;
+
+/// Threaded-code dispatch table, indexed by the [`K_NOP`]..=[`K_FAULT`]
+/// kind predecoded into each [`OpEntry`]/[`Slot`]. Order must match the
+/// `K_*` constants.
+static HANDLERS: [OpHandler; KIND_COUNT] = [
+    Machine::op_nop,
+    Machine::op_alu,
+    Machine::op_alu_imm,
+    Machine::op_ldi,
+    Machine::op_lui,
+    Machine::op_ld,
+    Machine::op_lda,
+    Machine::op_st,
+    Machine::op_sta,
+    Machine::op_tset,
+    Machine::op_jmp,
+    Machine::op_call,
+    Machine::op_ret,
+    Machine::op_reti,
+    Machine::op_winc,
+    Machine::op_wdec,
+    Machine::op_fork,
+    Machine::op_signal,
+    Machine::op_clri,
+    Machine::op_stop,
+    Machine::op_halt,
+    Machine::op_brk,
+    Machine::op_fault,
+];
+
 /// The DISC1 machine.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 pub struct Machine {
     config: MachineConfig,
     program: Program,
-    /// Every program word decoded once at construction; `Err` holds the
-    /// undecodable word so the fault can still be reported lazily at the
-    /// cycle the stream actually fetches it.
-    code: Vec<Result<Instruction, u32>>,
+    /// Every program word predecoded once at construction: instruction,
+    /// handler index, hazard masks and superblock eligibility. Code is
+    /// immutable (Harvard organization), so the store never invalidates.
+    ops: Vec<OpEntry>,
     streams: Vec<Stream>,
     globals: [u16; disc_isa::GLOBAL_REGS],
-    pipe: Vec<Option<Slot>>,
+    /// Pipeline ring buffer: logical stage `i` lives at physical index
+    /// `(pipe_head + i) % depth`, so advancing the pipe is a head rotation
+    /// instead of a per-cycle shift of every slot.
+    pipe: [Option<Slot>; MAX_PIPE],
+    pipe_head: usize,
     /// Occupied pipeline slots, maintained incrementally so the idle check
     /// in `run` does not rescan the pipe every cycle.
     live_slots: usize,
@@ -174,6 +390,9 @@ pub struct Machine {
     /// Fast-forward accounting, nonzero only under
     /// [`StepMode::EventSkip`].
     skip_stats: SkipStats,
+    /// Superblock fast-path accounting, nonzero only under
+    /// [`DispatchMode::Superblock`].
+    sb_stats: SuperblockStats,
     cycle: u64,
     halted: bool,
     next_seq: u64,
@@ -190,9 +409,10 @@ pub struct Machine {
     attr_hazard: Vec<bool>,
     /// Per-cycle readiness memo for the lazy fetch probe.
     fetch_probe: Vec<Probe>,
-    /// Decoded instruction for streams probed `Ready`; `None` on a stream
-    /// whose next word does not decode (the fault is reported if picked).
-    fetch_decoded: Vec<Option<Instruction>>,
+    /// Predecoded entry for streams probed `Ready`; a [`K_FAULT`] entry on
+    /// a stream whose next word does not decode (the fault is reported if
+    /// picked).
+    fetch_entry: Vec<OpEntry>,
     /// Fatal error latched inside the execute path (where `step`'s
     /// `Result` is out of reach) and surfaced at the end of the cycle.
     pending_error: Option<SimError>,
@@ -252,13 +472,14 @@ impl Machine {
         // Predecode the whole image up front so the per-cycle fetch path
         // is a table lookup. Addresses past the image read as word 0
         // (`nop`), matching `Program::word`.
-        let code = (0..program.len())
-            .map(|addr| disc_isa::encode::decode(program.word(addr as u16)).map_err(|e| e.word()))
+        let ops = (0..program.len())
+            .map(|addr| predecode(program.word(addr as u16)))
             .collect();
         Machine {
             streams,
             globals: [0; disc_isa::GLOBAL_REGS],
-            pipe: vec![None; config.pipeline_depth],
+            pipe: [None; MAX_PIPE],
+            pipe_head: 0,
             live_slots: 0,
             scheduler,
             intmem: InternalMemory::new(config.internal_words),
@@ -266,6 +487,7 @@ impl Machine {
             bus,
             stats: MachineStats::new(config.streams),
             skip_stats: SkipStats::default(),
+            sb_stats: SuperblockStats::default(),
             cycle: 0,
             halted: false,
             next_seq: 0,
@@ -277,9 +499,9 @@ impl Machine {
             attr_spill: vec![false; config.streams],
             attr_hazard: vec![false; config.streams],
             fetch_probe: vec![Probe::Unknown; config.streams],
-            fetch_decoded: vec![None; config.streams],
+            fetch_entry: vec![NOP_ENTRY; config.streams],
             pending_error: None,
-            code,
+            ops,
             program: program.clone(),
             config,
         }
@@ -309,6 +531,12 @@ impl Machine {
     /// the default cycle-by-cycle mode.
     pub fn skip_stats(&self) -> &SkipStats {
         &self.skip_stats
+    }
+
+    /// Superblock fast-path accounting of [`DispatchMode::Superblock`].
+    /// All zero under [`DispatchMode::Legacy`].
+    pub fn superblock_stats(&self) -> &SuperblockStats {
+        &self.sb_stats
     }
 
     /// Slot-grant accounting of the hardware scheduler.
@@ -508,6 +736,9 @@ impl Machine {
         if self.config.step_mode == StepMode::EventSkip {
             return self.run_event_skip(max_cycles);
         }
+        if self.config.dispatch_mode == DispatchMode::Superblock {
+            return self.run_superblock(max_cycles);
+        }
         for _ in 0..max_cycles {
             match self.step()? {
                 Status::Running => {}
@@ -521,13 +752,57 @@ impl Machine {
         Ok(Exit::CycleLimit)
     }
 
+    /// [`run`](Self::run) under [`DispatchMode::Superblock`]: identical to
+    /// the per-cycle loop except that, whenever the machine is in a
+    /// hazard-frozen state, stretches of cycles execute through the
+    /// superblock fast path in one call instead of one `step` each.
+    /// `Halted`, `Breakpoint` and the `AllIdle` exit can only arise from
+    /// slow steps — superblock runs reject machine-control instructions
+    /// and (with idle-exit armed) all-idle stretches at entry.
+    fn run_superblock(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        let mut remaining = max_cycles;
+        let mut backoff: u64 = 0;
+        while remaining > 0 {
+            if backoff == 0 {
+                let n = self.superblock_burst(remaining)?;
+                remaining -= n;
+                if n < BURST_RETRY_FLOOR {
+                    // The machine is near a hazard (bus op, window motion,
+                    // interrupt …): stop paying the eligibility probe every
+                    // cycle until the slow path has moved past it.
+                    backoff = BURST_BACKOFF;
+                }
+                if remaining == 0 {
+                    return Ok(Exit::CycleLimit);
+                }
+            } else {
+                backoff -= 1;
+            }
+            match self.step()? {
+                Status::Running => {}
+                Status::Halted => return Ok(Exit::Halted),
+                Status::Breakpoint { stream, pc } => return Ok(Exit::Breakpoint { stream, pc }),
+            }
+            remaining -= 1;
+            if self.idle_exit && self.all_idle() {
+                return Ok(Exit::AllIdle);
+            }
+        }
+        Ok(Exit::CycleLimit)
+    }
+
     /// [`run`](Self::run) under [`StepMode::EventSkip`]: identical to the
     /// cycle-by-cycle loop except that between steps, when the machine is
     /// provably quiescent (nothing can issue, execute or change state),
     /// time jumps straight to the next wake event with one bulk counter
     /// update instead of stepping through the stall cycles one by one.
+    /// Under [`DispatchMode::Superblock`] the non-quiescent stretches
+    /// additionally go through the superblock fast path; quiescence is
+    /// checked first so skip accounting is unchanged from PR 5.
     fn run_event_skip(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        let superblock = self.config.dispatch_mode == DispatchMode::Superblock;
         let mut remaining = max_cycles;
+        let mut backoff: u64 = 0;
         while remaining > 0 {
             match self.step()? {
                 Status::Running => {}
@@ -543,6 +818,16 @@ impl Machine {
                 if n > 0 {
                     self.apply_skip(n);
                     remaining -= n;
+                }
+            } else if superblock && remaining > 0 {
+                if backoff == 0 {
+                    let n = self.superblock_burst(remaining)?;
+                    remaining -= n;
+                    if n < BURST_RETRY_FLOOR {
+                        backoff = BURST_BACKOFF;
+                    }
+                } else {
+                    backoff -= 1;
                 }
             }
         }
@@ -660,6 +945,359 @@ impl Machine {
         );
     }
 
+    /// Physical index of logical pipeline stage `stage` in the ring.
+    /// Only the first `pipeline_depth` cells of the fixed backing array
+    /// are ever used; the head wraps within them.
+    #[inline]
+    fn stage_idx(&self, stage: usize) -> usize {
+        let i = self.pipe_head + stage;
+        let len = self.config.pipeline_depth;
+        if i >= len {
+            i - len
+        } else {
+            i
+        }
+    }
+
+    /// Attempts a superblock run of at most `budget` cycles; returns the
+    /// cycles covered (0 when the machine is not in a burst-eligible
+    /// state).
+    ///
+    /// A run replays the per-cycle [`step`](Self::step) semantics with
+    /// every provably frozen term stripped out. Entry requires the machine
+    /// to be *hazard-frozen*: no attached trace sink, no outstanding bus
+    /// transaction, no wait state, no spill stall, no in-flight window
+    /// motion, no deliverable vectored interrupt, and only burst-safe
+    /// instructions in the pipe. Under those conditions a cycle can only
+    /// change stream registers/flags/PCs, the pipe, the scoreboard and
+    /// counters. Each cycle retires, executes and then replays the
+    /// scheduler's pick; an instruction that could melt the freeze
+    /// (memory, window motion, stream control, `ir`/`mr` writes) is still
+    /// *fetched* exactly as `step` would — fetching is pure bookkeeping —
+    /// and ends the run before its execute stage can run, so the slow path
+    /// owns all its effects. The run length is bounded by
+    /// [`DataBus::next_event`], the same wake contract
+    /// [`StepMode::EventSkip`] relies on, so no peripheral tick,
+    /// fault-plan window edge or interrupt lands inside a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] when the scheduler grants a stream
+    /// whose next word does not decode — mutating exactly the state the
+    /// equivalent failing `step` would have (retire/execute happened, the
+    /// cycle counter did not advance).
+    fn superblock_burst(&mut self, budget: u64) -> Result<u64, SimError> {
+        // -- entry eligibility --------------------------------------------
+        if self.halted
+            || self.legacy_decode
+            || self.trace.is_some()
+            || self.abi.busy()
+            || self.scheduler.sequence().is_none()
+        {
+            self.sb_stats.entry_rejects += 1;
+            return Ok(0);
+        }
+        let mut active_mask: u32 = 0;
+        for (s, st) in self.streams.iter().enumerate() {
+            if st.wait != WaitState::None || st.spill_stall > 0 || st.window_moves > 0 {
+                self.sb_stats.entry_rejects += 1;
+                return Ok(0);
+            }
+            if st
+                .pending_interrupt()
+                .is_some_and(|bit| st.vectors[bit as usize].is_some())
+            {
+                self.sb_stats.entry_rejects += 1;
+                return Ok(0);
+            }
+            if st.active() {
+                active_mask |= 1 << s;
+            }
+        }
+        // The slow loop owns the AllIdle exit: a run entered here would
+        // cover cycles `run` must never execute.
+        if active_mask == 0 && self.idle_exit {
+            self.sb_stats.entry_rejects += 1;
+            return Ok(0);
+        }
+        if self
+            .pipe
+            .iter()
+            .flatten()
+            .any(|slot| !burst_safe(&slot.instr))
+        {
+            self.sb_stats.entry_rejects += 1;
+            return Ok(0);
+        }
+        let mut limit = budget;
+        if let Some(t) = self.bus.next_event(self.cycle) {
+            limit = limit.min(t.saturating_sub(self.cycle));
+        }
+        if limit == 0 {
+            self.sb_stats.entry_rejects += 1;
+            return Ok(0);
+        }
+
+        let nstreams = self.streams.len();
+        // All streams parked awaiting a future bus event with nothing in
+        // flight: the whole bounded stretch is bubbles, accounted in bulk.
+        // (Reachable only with idle-exit disabled.)
+        if active_mask == 0 && self.live_slots == 0 {
+            for s in 0..nstreams {
+                self.stats.attribution.idle[s] += limit;
+            }
+            self.stats.bubbles += limit;
+            self.stats.cycles += limit;
+            self.cycle += limit;
+            self.scheduler.advance_idle(limit);
+            self.abi.advance(limit);
+            self.bus.advance(limit);
+            self.sb_stats.bursts += 1;
+            self.sb_stats.burst_cycles += limit;
+            return Ok(limit);
+        }
+
+        // -- per-cycle fast loop ------------------------------------------
+        let depth = self.config.pipeline_depth;
+        let ex = depth - 2;
+        // Snapshot the sequence table into a fixed-size local: the table
+        // never exceeds `SEQUENCE_SLOTS` entries, and the `& 15` on every
+        // access (a no-op, since the scan keeps its index below `seq_len`)
+        // lets the probe loop index without a bounds check.
+        let mut seq_buf = [0u8; crate::scheduler::SEQUENCE_SLOTS];
+        let seq_src = self.scheduler.sequence().expect("checked at entry");
+        let seq_len = seq_src.len();
+        debug_assert!(seq_len <= seq_buf.len());
+        seq_buf[..seq_len].copy_from_slice(seq_src);
+        let mut slot_idx = self.scheduler.slot_index();
+
+        let mut issued = [0u64; disc_isa::MAX_STREAMS];
+        let mut hazard = [0u64; disc_isa::MAX_STREAMS];
+        let mut granted = [0u64; disc_isa::MAX_STREAMS];
+        let mut retired = [0u64; disc_isa::MAX_STREAMS];
+        let mut realloc: u64 = 0;
+        let mut bubbles: u64 = 0;
+        let mut executed: u64 = 0;
+        let mut decode_fault = false;
+        let mut fault_stream = 0usize;
+        let mut fault_pc = 0u16;
+
+        while executed < limit {
+            // Pipeline advance: retire the write stage, rotate the ring.
+            // Open-coded [`retire`](Self::retire): no sink is attached in
+            // a burst, and the retired counters accumulate locally.
+            let widx = self.stage_idx(depth - 1);
+            if let Some(slot) = self.pipe[widx].take() {
+                self.live_slots -= 1;
+                retired[slot.stream] += 1;
+                let st = &mut self.streams[slot.stream];
+                st.drop_pending(slot.seq);
+                if slot.moves_window {
+                    st.window_moves = st.window_moves.saturating_sub(1);
+                }
+            }
+            self.pipe_head = widx;
+
+            // Execute the slot that just reached EX (burst-safe by
+            // construction, so the status is always `Running`). Hot kinds
+            // dispatch directly so the calls inline; the table handles the
+            // rest. After the rotate `widx` is stage 0, so stage `ex` sits
+            // `ex` cells beyond it.
+            let eidx = {
+                let i = widx + ex;
+                if i >= depth {
+                    i - depth
+                } else {
+                    i
+                }
+            };
+            if let Some(slot) = self.pipe[eidx] {
+                let status = match slot.kind {
+                    K_NOP => Status::Running,
+                    K_ALU => self.op_alu(slot, ex),
+                    K_ALU_IMM => self.op_alu_imm(slot, ex),
+                    K_LDI => self.op_ldi(slot, ex),
+                    K_JMP => self.op_jmp(slot, ex),
+                    _ => self.execute(slot, ex),
+                };
+                debug_assert!(matches!(status, Status::Running));
+            }
+
+            // Replay the scheduler pick. Probing commits nothing; hazard
+            // counts apply only once the cycle's outcome is known. A
+            // stream revisited by the scan (duplicate sequence slots) was
+            // already probed not-ready this cycle — a ready stream is
+            // picked immediately — so only a not-ready memo is needed.
+            let mut notready_memo: u32 = 0;
+            let mut hazard_memo: u32 = 0;
+            let mut pick: Option<(usize, bool)> = None;
+            let mut pick_entry = NOP_ENTRY;
+            let mut pick_pc: u16 = 0;
+            let mut idx = slot_idx;
+            for scan in 0..=seq_len {
+                let is_realloc = scan != 0;
+                if is_realloc {
+                    idx += 1;
+                    if idx == seq_len {
+                        idx = 0;
+                    }
+                }
+                let cand = seq_buf[idx & (crate::scheduler::SEQUENCE_SLOTS - 1)] as usize;
+                let bit = 1u32 << cand;
+                if notready_memo & bit != 0 {
+                    continue;
+                }
+                if active_mask & bit == 0 {
+                    notready_memo |= bit;
+                    continue;
+                }
+                let st = &self.streams[cand];
+                let e = *self.ops.get(st.pc as usize).unwrap_or(&NOP_ENTRY);
+                // Fault entries probe ready without a hazard check,
+                // exactly like the slow path; the fault surfaces when the
+                // stream is actually picked.
+                if e.kind != K_FAULT && st.pending_conflict(e.src_mask) {
+                    hazard_memo |= bit;
+                    notready_memo |= bit;
+                    continue;
+                }
+                pick = Some((cand, is_realloc));
+                pick_pc = st.pc;
+                pick_entry = e;
+                break;
+            }
+
+            // Commit the cycle.
+            slot_idx += 1;
+            if slot_idx == seq_len {
+                slot_idx = 0;
+            }
+            let mut end_burst = false;
+            match pick {
+                None => bubbles += 1,
+                Some((g, is_realloc)) => {
+                    granted[g] += 1;
+                    if is_realloc {
+                        realloc += 1;
+                    }
+                    if pick_entry.kind == K_FAULT {
+                        // The equivalent slow step errors out of `fetch`
+                        // before attribution and the cycle increment; the
+                        // probe's hazard counts and the scheduler grant
+                        // stand. Finalize the complete cycles below, then
+                        // surface the fault.
+                        decode_fault = true;
+                        fault_stream = g;
+                        fault_pc = pick_pc;
+                    } else {
+                        issued[g] += 1;
+                        let e = pick_entry;
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        let st = &mut self.streams[g];
+                        st.pc = pick_pc.wrapping_add(1);
+                        if e.dst_mask != 0 {
+                            st.pending.push(PendingWrite {
+                                seq,
+                                mask: e.dst_mask,
+                            });
+                            st.pending_mask |= e.dst_mask;
+                        }
+                        if e.moves_window {
+                            st.window_moves += 1;
+                        }
+                        // Stage 0 is the ring head, which the rotate above
+                        // left at `widx`.
+                        debug_assert!(self.pipe[widx].is_none(), "fetch into occupied pipe slot");
+                        self.pipe[widx] = Some(Slot {
+                            stream: g,
+                            pc: pick_pc,
+                            instr: e.instr,
+                            seq,
+                            moves_window: e.moves_window,
+                            kind: e.kind,
+                        });
+                        self.live_slots += 1;
+                        // A non-burst-safe grant (memory, window motion,
+                        // stream control …) was fetched exactly as `step`
+                        // would — pure bookkeeping — but must execute on
+                        // the slow path: end the run after this cycle.
+                        end_burst = !e.simple;
+                    }
+                }
+            }
+            // Probe-time hazard bookkeeping. The slow path bumps the flat
+            // counter even on the cycle that errors out of fetch, but
+            // attribution never sees an errored cycle.
+            let mut hz = hazard_memo;
+            while hz != 0 {
+                let s = hz.trailing_zeros() as usize;
+                hz &= hz - 1;
+                self.stats.hazard_stalls[s] += 1;
+                if !decode_fault {
+                    hazard[s] += 1;
+                }
+            }
+            if decode_fault {
+                break;
+            }
+            executed += 1;
+            if end_burst {
+                break;
+            }
+        }
+
+        // -- bulk finalize -------------------------------------------------
+        for s in 0..nstreams {
+            self.stats.retired[s] += retired[s];
+            let a = &mut self.stats.attribution;
+            if active_mask & (1 << s) == 0 {
+                a.idle[s] += executed;
+            } else {
+                a.issue[s] += issued[s];
+                a.hazard_stall[s] += hazard[s];
+                a.not_scheduled[s] += executed - issued[s] - hazard[s];
+            }
+        }
+        self.stats.bubbles += bubbles;
+        self.stats.cycles += executed;
+        self.cycle += executed;
+        self.scheduler
+            .apply_burst(slot_idx, &granted[..nstreams], realloc);
+        self.stats.reallocations = self.scheduler.reallocated();
+        self.abi.advance(executed);
+        if executed > 0 {
+            self.sb_stats.bursts += 1;
+            self.sb_stats.burst_cycles += executed;
+            self.sb_stats.burst_issues += issued[..nstreams].iter().sum::<u64>();
+        }
+        debug_assert_eq!(
+            self.live_slots,
+            self.pipe.iter().filter(|s| s.is_some()).count(),
+            "live slot counter diverged from pipe occupancy in a superblock run"
+        );
+        debug_assert!(
+            decode_fault
+                || (0..nstreams).all(|s| self.stats.attribution.total(s) == self.stats.cycles),
+            "cycle attribution diverged from elapsed cycles in a superblock run"
+        );
+        if decode_fault {
+            // The errored cycle skipped its bus tick above; mirror it here
+            // (still strictly inside the event-free stretch). The grant
+            // and slot advance of the partial cycle happened in
+            // `apply_burst`; like the slow path, the `reallocations`
+            // snapshot and attribution are not updated for it.
+            self.bus.advance(executed + 1);
+            return Err(SimError::Decode {
+                stream: fault_stream,
+                pc: fault_pc,
+                word: self.program.word(fault_pc),
+            });
+        }
+        self.bus.advance(executed);
+        Ok(executed)
+    }
+
     /// Advances the machine by one cycle.
     ///
     /// # Errors
@@ -703,18 +1341,19 @@ impl Machine {
             }
         }
 
-        // 3. Pipeline advance: retire the write stage, shift the rest.
+        // 3. Pipeline advance: retire the write stage, rotate the ring
+        // head (stage `i` lives at physical `(head + i) % depth`, so a
+        // single head move replaces the per-stage shift).
         let depth = self.config.pipeline_depth;
-        if let Some(slot) = self.pipe[depth - 1].take() {
+        let widx = self.stage_idx(depth - 1);
+        if let Some(slot) = self.pipe[widx].take() {
             self.retire(slot);
         }
-        for i in (1..depth).rev() {
-            self.pipe[i] = self.pipe[i - 1].take();
-        }
+        self.pipe_head = widx;
 
         // 4. Execute the slot that just reached EX.
         let mut status = Status::Running;
-        if let Some(slot) = self.pipe[ex] {
+        if let Some(slot) = self.pipe[self.stage_idx(ex)] {
             status = self.execute(slot, ex);
         }
 
@@ -738,7 +1377,9 @@ impl Machine {
         // issue takes priority, so a stream whose stall expired and then
         // issued the same cycle counts as issue here even though the
         // flat stall counter above still ticked.
-        let issued = self.pipe[0].as_ref().map(|slot| slot.stream);
+        let issued = self.pipe[self.stage_idx(0)]
+            .as_ref()
+            .map(|slot| slot.stream);
         for (s, st) in self.streams.iter().enumerate() {
             match st.wait {
                 WaitState::BusTransaction => self.stats.wait_txn_cycles[s] += 1,
@@ -782,18 +1423,18 @@ impl Machine {
             if sink.wants_records() {
                 let record = CycleRecord {
                     cycle: self.cycle - 1,
-                    stages: self
-                        .pipe
-                        .iter()
-                        .map(|slot| {
-                            slot.as_ref().map(|s| StageSnapshot {
-                                stream: s.stream,
-                                pc: s.pc,
-                                instr: s.instr,
-                            })
+                    stages: (0..self.config.pipeline_depth)
+                        .map(|i| {
+                            self.pipe[self.stage_idx(i)]
+                                .as_ref()
+                                .map(|s| StageSnapshot {
+                                    stream: s.stream,
+                                    pc: s.pc,
+                                    instr: s.instr,
+                                })
                         })
                         .collect(),
-                    fetched: self.pipe[0].as_ref().map(|s| s.stream),
+                    fetched: self.pipe[self.stage_idx(0)].as_ref().map(|s| s.stream),
                     events: std::mem::take(&mut self.events),
                 };
                 sink.record_cycle(record);
@@ -820,7 +1461,7 @@ impl Machine {
             });
         }
         let st = &mut self.streams[slot.stream];
-        st.pending.retain(|p| p.seq != slot.seq);
+        st.drop_pending(slot.seq);
         if slot.moves_window {
             st.window_moves = st.window_moves.saturating_sub(1);
         }
@@ -829,7 +1470,7 @@ impl Machine {
     /// Removes `slot` from the scoreboard without retiring it.
     fn unwind_slot(&mut self, slot: &Slot) {
         let st = &mut self.streams[slot.stream];
-        st.pending.retain(|p| p.seq != slot.seq);
+        st.drop_pending(slot.seq);
         if slot.moves_window {
             st.window_moves = st.window_moves.saturating_sub(1);
         }
@@ -837,12 +1478,14 @@ impl Machine {
 
     /// Flushes unexecuted (younger) slots of `stream` in stages `0..ex`,
     /// plus the EX slot itself when `include_self`.
-    fn flush(&mut self, ex: usize, stream: usize, include_self: bool, cause: &'static str) {
+    #[inline]
+    fn flush(&mut self, ex: usize, stream: usize, include_self: bool, cause: FlushCause) {
         let mut count = 0;
         let top = if include_self { ex + 1 } else { ex };
         for i in 0..top {
-            if self.pipe[i].as_ref().is_some_and(|s| s.stream == stream) {
-                let slot = self.pipe[i].take().expect("checked above");
+            let idx = self.stage_idx(i);
+            if self.pipe[idx].as_ref().is_some_and(|s| s.stream == stream) {
+                let slot = self.pipe[idx].take().expect("checked above");
                 self.live_slots -= 1;
                 self.unwind_slot(&slot);
                 count += 1;
@@ -850,16 +1493,21 @@ impl Machine {
         }
         if count > 0 {
             match cause {
-                "jump" => self.stats.flushed_jump += count as u64,
-                "io" => self.stats.flushed_io += count as u64,
-                "irq" => self.stats.flushed_irq += count as u64,
-                _ => self.stats.flushed_bus_busy += count as u64,
+                FlushCause::Jump => self.stats.flushed_jump += count as u64,
+                FlushCause::Io => self.stats.flushed_io += count as u64,
+                FlushCause::Irq => self.stats.flushed_irq += count as u64,
+                FlushCause::BusBusy => self.stats.flushed_bus_busy += count as u64,
             }
-            self.events.push(TraceEvent::Flush {
-                stream,
-                count,
-                cause,
-            });
+            // Gated like `retire`: events are only consumed by a sink, and
+            // an in-burst jump flush must not grow the buffer (no step —
+            // and thus no `events.clear()` — runs inside a superblock).
+            if self.trace.is_some() {
+                self.events.push(TraceEvent::Flush {
+                    stream,
+                    count,
+                    cause: cause.as_str(),
+                });
+            }
         }
     }
 
@@ -881,6 +1529,7 @@ impl Machine {
         self.streams[txn.stream]
             .pending
             .retain(|p| p.seq != BUS_SEQ);
+        self.streams[txn.stream].resync_pending_mask();
         for st in &mut self.streams {
             if matches!(st.wait, WaitState::BusTransaction | WaitState::BusFree) {
                 // Only the owner was in BusTransaction; BusFree waiters
@@ -902,6 +1551,7 @@ impl Machine {
         self.streams[txn.stream]
             .pending
             .retain(|p| p.seq != BUS_SEQ);
+        self.streams[txn.stream].resync_pending_mask();
         for st in &mut self.streams {
             if matches!(st.wait, WaitState::BusTransaction | WaitState::BusFree) {
                 st.wait = WaitState::None;
@@ -993,6 +1643,7 @@ impl Machine {
         }
     }
 
+    #[inline(always)]
     fn read_reg(&mut self, s: usize, r: Reg) -> u16 {
         match r {
             r if r.is_window() => self.streams[s].window.read(r.index()),
@@ -1005,6 +1656,7 @@ impl Machine {
         }
     }
 
+    #[inline(always)]
     fn write_reg(&mut self, s: usize, r: Reg, value: u16) {
         // Window writes go through the checked path so underflow is
         // counted and dropped consistently.
@@ -1016,6 +1668,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn apply_awp(&mut self, s: usize, delta: i32) {
         if delta == 0 {
             return;
@@ -1042,168 +1695,322 @@ impl Machine {
         }
     }
 
-    /// Executes `slot` (which just entered the EX stage).
+    /// Executes `slot` (which just entered the EX stage) through the
+    /// threaded-code dispatch table: `slot.kind` was predecoded at fetch,
+    /// so dispatch is one indexed indirect call instead of a `match` over
+    /// the full instruction tree.
+    #[inline]
     fn execute(&mut self, slot: Slot, ex: usize) -> Status {
+        HANDLERS[slot.kind as usize](self, slot, ex)
+    }
+
+    #[inline(always)]
+    fn op_nop(&mut self, _slot: Slot, _ex: usize) -> Status {
+        Status::Running
+    }
+
+    #[inline(always)]
+    fn op_alu(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Alu {
+            op,
+            awp,
+            rd,
+            rs,
+            rt,
+        } = slot.instr
+        else {
+            unreachable!("kind/instr mismatch");
+        };
         let s = slot.stream;
-        match slot.instr {
-            Instruction::Nop => {}
-            Instruction::Alu {
-                op,
-                awp,
-                rd,
-                rs,
-                rt,
-            } => {
-                let a = self.read_reg(s, rs);
-                let b = self.read_reg(s, rt);
-                let flags_in = self.streams[s].flags;
-                let (result, flags) = alu(op, a, b, flags_in);
-                if op.writes_rd() {
-                    self.write_reg(s, rd, result);
-                }
-                if rd != Reg::Sr || !op.writes_rd() {
-                    self.streams[s].flags = flags;
-                }
-                self.apply_awp(s, Self::awp_delta(awp));
+        // Same single-borrow fast path as `op_alu_imm`.
+        if matches!(awp, AwpMode::None) && rs.is_window() && rt.is_window() && rd.is_window() {
+            let st = &mut self.streams[s];
+            let a = st.window.read(rs.index());
+            let b = st.window.read(rt.index());
+            let (result, flags) = alu(op, a, b, st.flags);
+            if op.writes_rd() {
+                st.window.write(rd.index(), result);
             }
-            Instruction::AluImm {
-                op,
-                awp,
-                rd,
-                rs,
-                imm,
-            } => {
-                let a = self.read_reg(s, rs);
-                let flags_in = self.streams[s].flags;
-                let (result, flags) = alu(imm_op(op), a, imm as u16, flags_in);
-                if op.writes_rd() {
-                    self.write_reg(s, rd, result);
-                }
-                if rd != Reg::Sr || !op.writes_rd() {
-                    self.streams[s].flags = flags;
-                }
-                self.apply_awp(s, Self::awp_delta(awp));
+            st.flags = flags;
+            return Status::Running;
+        }
+        let a = self.read_reg(s, rs);
+        let b = self.read_reg(s, rt);
+        let flags_in = self.streams[s].flags;
+        let (result, flags) = alu(op, a, b, flags_in);
+        if op.writes_rd() {
+            self.write_reg(s, rd, result);
+        }
+        if rd != Reg::Sr || !op.writes_rd() {
+            self.streams[s].flags = flags;
+        }
+        self.apply_awp(s, Self::awp_delta(awp));
+        Status::Running
+    }
+
+    #[inline(always)]
+    fn op_alu_imm(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::AluImm {
+            op,
+            awp,
+            rd,
+            rs,
+            imm,
+        } = slot.instr
+        else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        // Window-to-window with no AWP motion is the overwhelmingly common
+        // shape; resolving the stream once keeps the whole op on a single
+        // borrow instead of four separate `streams[s]` walks.
+        if matches!(awp, AwpMode::None) && rs.is_window() && rd.is_window() {
+            let st = &mut self.streams[s];
+            let a = st.window.read(rs.index());
+            let (result, flags) = alu(imm_op(op), a, imm as u16, st.flags);
+            if op.writes_rd() {
+                st.window.write(rd.index(), result);
             }
-            Instruction::Ldi { awp, rd, imm } => {
-                self.write_reg(s, rd, imm as u16);
-                self.apply_awp(s, Self::awp_delta(awp));
-            }
-            Instruction::Lui { rd, imm } => {
-                let low = self.read_reg(s, rd) & 0x00ff;
-                self.write_reg(s, rd, ((imm as u16) << 8) | low);
-            }
-            Instruction::Ld {
-                awp,
-                rd,
-                base,
-                offset,
-            } => {
-                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
-                self.data_read(slot, ex, addr, rd, Self::awp_delta(awp), false);
-            }
-            Instruction::Lda { awp, rd, addr } => {
-                self.data_read(slot, ex, addr, rd, Self::awp_delta(awp), false);
-            }
-            Instruction::St {
-                awp,
-                src,
-                base,
-                offset,
-            } => {
-                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
-                let value = self.read_reg(s, src);
-                self.data_write(slot, ex, addr, value, Self::awp_delta(awp));
-            }
-            Instruction::Sta { awp, src, addr } => {
-                let value = self.read_reg(s, src);
-                self.data_write(slot, ex, addr, value, Self::awp_delta(awp));
-            }
-            Instruction::Tset { rd, base, offset } => {
-                let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
-                self.data_read(slot, ex, addr, rd, 0, true);
-            }
-            Instruction::Jmp { cond, target } => {
-                self.stats.flow_instructions += 1;
-                if eval_cond(cond, self.streams[s].flags) {
-                    self.streams[s].pc = target;
-                    self.flush(ex, s, false, "jump");
-                }
-            }
-            Instruction::Call { target } => {
-                self.stats.flow_instructions += 1;
-                self.apply_awp(s, 1);
-                let ret = slot.pc.wrapping_add(1);
-                self.streams[s].window.write(0, ret);
-                self.streams[s].pc = target;
-                self.flush(ex, s, false, "jump");
-            }
-            Instruction::Ret { pop } => {
-                self.stats.flow_instructions += 1;
-                self.apply_awp(s, -(pop as i32));
-                let ret = self.streams[s].window.read(0);
-                self.apply_awp(s, -1);
-                self.streams[s].pc = ret;
-                self.flush(ex, s, false, "jump");
-            }
-            Instruction::Reti => {
-                self.stats.flow_instructions += 1;
-                if let Some(frame) = self.streams[s].service.pop() {
-                    self.streams[s].clear_irq(frame.bit);
-                    self.streams[s].pc = frame.resume_pc;
-                    self.streams[s].flags = frame.flags;
-                    self.flush(ex, s, false, "jump");
-                }
-            }
-            Instruction::Winc { n } => self.apply_awp(s, n as i32),
-            Instruction::Wdec { n } => self.apply_awp(s, -(n as i32)),
-            Instruction::Fork { stream, target } => {
-                self.stats.flow_instructions += 1;
-                let t = stream as usize;
-                if t < self.streams.len() {
-                    let cycle = self.cycle;
-                    if !self.streams[t].active() {
-                        self.streams[t].pc = target;
-                    } else {
-                        self.stats.forks_ignored += 1;
-                    }
-                    self.streams[t].raise(0, cycle);
-                }
-            }
-            Instruction::Signal { stream, bit } => {
-                let t = stream as usize;
-                if t < self.streams.len() {
-                    let cycle = self.cycle;
-                    self.streams[t].raise(bit, cycle);
-                }
-            }
-            Instruction::Clri { bit } => self.streams[s].clear_irq(bit),
-            Instruction::Stop => {
-                // Deactivate the current priority level; pending higher or
-                // lower requests stay latched.
-                let level = self.streams[s].service_level();
-                self.streams[s].clear_irq(level);
-                self.streams[s].pc = slot.pc.wrapping_add(1);
-                self.flush(ex, s, false, "jump");
-            }
-            Instruction::Halt => {
-                self.halted = true;
-                // Older in-flight instructions have executed; count them
-                // as retired before stopping.
-                for i in ex + 1..self.pipe.len() {
-                    if let Some(older) = self.pipe[i].take() {
-                        self.retire(older);
-                    }
-                }
-                return Status::Halted;
-            }
-            Instruction::Brk => {
-                return Status::Breakpoint {
-                    stream: s,
-                    pc: slot.pc,
-                };
-            }
+            st.flags = flags;
+            return Status::Running;
+        }
+        let a = self.read_reg(s, rs);
+        let flags_in = self.streams[s].flags;
+        let (result, flags) = alu(imm_op(op), a, imm as u16, flags_in);
+        if op.writes_rd() {
+            self.write_reg(s, rd, result);
+        }
+        if rd != Reg::Sr || !op.writes_rd() {
+            self.streams[s].flags = flags;
+        }
+        self.apply_awp(s, Self::awp_delta(awp));
+        Status::Running
+    }
+
+    #[inline(always)]
+    fn op_ldi(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Ldi { awp, rd, imm } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        self.write_reg(s, rd, imm as u16);
+        self.apply_awp(s, Self::awp_delta(awp));
+        Status::Running
+    }
+
+    #[inline(always)]
+    fn op_lui(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Lui { rd, imm } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        let low = self.read_reg(s, rd) & 0x00ff;
+        self.write_reg(s, rd, ((imm as u16) << 8) | low);
+        Status::Running
+    }
+
+    fn op_ld(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Ld {
+            awp,
+            rd,
+            base,
+            offset,
+        } = slot.instr
+        else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+        self.data_read(slot, ex, addr, rd, Self::awp_delta(awp), false);
+        Status::Running
+    }
+
+    fn op_lda(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Lda { awp, rd, addr } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        self.data_read(slot, ex, addr, rd, Self::awp_delta(awp), false);
+        Status::Running
+    }
+
+    fn op_st(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::St {
+            awp,
+            src,
+            base,
+            offset,
+        } = slot.instr
+        else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+        let value = self.read_reg(s, src);
+        self.data_write(slot, ex, addr, value, Self::awp_delta(awp));
+        Status::Running
+    }
+
+    fn op_sta(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Sta { awp, src, addr } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        let value = self.read_reg(s, src);
+        self.data_write(slot, ex, addr, value, Self::awp_delta(awp));
+        Status::Running
+    }
+
+    fn op_tset(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Tset { rd, base, offset } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        let addr = self.read_reg(s, base).wrapping_add(offset as i16 as u16);
+        self.data_read(slot, ex, addr, rd, 0, true);
+        Status::Running
+    }
+
+    #[inline(always)]
+    fn op_jmp(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Jmp { cond, target } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        self.stats.flow_instructions += 1;
+        if eval_cond(cond, self.streams[s].flags) {
+            self.streams[s].pc = target;
+            self.flush(ex, s, false, FlushCause::Jump);
         }
         Status::Running
+    }
+
+    fn op_call(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Call { target } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        self.stats.flow_instructions += 1;
+        self.apply_awp(s, 1);
+        let ret = slot.pc.wrapping_add(1);
+        self.streams[s].window.write(0, ret);
+        self.streams[s].pc = target;
+        self.flush(ex, s, false, FlushCause::Jump);
+        Status::Running
+    }
+
+    fn op_ret(&mut self, slot: Slot, ex: usize) -> Status {
+        let Instruction::Ret { pop } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let s = slot.stream;
+        self.stats.flow_instructions += 1;
+        self.apply_awp(s, -(pop as i32));
+        let ret = self.streams[s].window.read(0);
+        self.apply_awp(s, -1);
+        self.streams[s].pc = ret;
+        self.flush(ex, s, false, FlushCause::Jump);
+        Status::Running
+    }
+
+    fn op_reti(&mut self, slot: Slot, ex: usize) -> Status {
+        let s = slot.stream;
+        self.stats.flow_instructions += 1;
+        if let Some(frame) = self.streams[s].service.pop() {
+            self.streams[s].clear_irq(frame.bit);
+            self.streams[s].pc = frame.resume_pc;
+            self.streams[s].flags = frame.flags;
+            self.flush(ex, s, false, FlushCause::Jump);
+        }
+        Status::Running
+    }
+
+    fn op_winc(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Winc { n } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        self.apply_awp(slot.stream, n as i32);
+        Status::Running
+    }
+
+    fn op_wdec(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Wdec { n } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        self.apply_awp(slot.stream, -(n as i32));
+        Status::Running
+    }
+
+    fn op_fork(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Fork { stream, target } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        self.stats.flow_instructions += 1;
+        let t = stream as usize;
+        if t < self.streams.len() {
+            let cycle = self.cycle;
+            if !self.streams[t].active() {
+                self.streams[t].pc = target;
+            } else {
+                self.stats.forks_ignored += 1;
+            }
+            self.streams[t].raise(0, cycle);
+        }
+        Status::Running
+    }
+
+    fn op_signal(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Signal { stream, bit } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        let t = stream as usize;
+        if t < self.streams.len() {
+            let cycle = self.cycle;
+            self.streams[t].raise(bit, cycle);
+        }
+        Status::Running
+    }
+
+    fn op_clri(&mut self, slot: Slot, _ex: usize) -> Status {
+        let Instruction::Clri { bit } = slot.instr else {
+            unreachable!("kind/instr mismatch");
+        };
+        self.streams[slot.stream].clear_irq(bit);
+        Status::Running
+    }
+
+    fn op_stop(&mut self, slot: Slot, ex: usize) -> Status {
+        let s = slot.stream;
+        // Deactivate the current priority level; pending higher or
+        // lower requests stay latched.
+        let level = self.streams[s].service_level();
+        self.streams[s].clear_irq(level);
+        self.streams[s].pc = slot.pc.wrapping_add(1);
+        self.flush(ex, s, false, FlushCause::Jump);
+        Status::Running
+    }
+
+    fn op_halt(&mut self, _slot: Slot, ex: usize) -> Status {
+        self.halted = true;
+        // Older in-flight instructions have executed; count them as
+        // retired before stopping.
+        for i in ex + 1..self.config.pipeline_depth {
+            let idx = self.stage_idx(i);
+            if let Some(older) = self.pipe[idx].take() {
+                self.retire(older);
+            }
+        }
+        Status::Halted
+    }
+
+    fn op_brk(&mut self, slot: Slot, _ex: usize) -> Status {
+        Status::Breakpoint {
+            stream: slot.stream,
+            pc: slot.pc,
+        }
+    }
+
+    fn op_fault(&mut self, _slot: Slot, _ex: usize) -> Status {
+        unreachable!("fault entries are rejected at fetch and never enter the pipe");
     }
 
     /// Load/`tset` path shared by `ld`, `lda` and `tset`.
@@ -1285,7 +2092,7 @@ impl Machine {
     fn cancel_access(&mut self, slot: Slot, ex: usize) {
         let s = slot.stream;
         self.abi.reject();
-        self.flush(ex, s, true, "bus-busy");
+        self.flush(ex, s, true, FlushCause::BusBusy);
         self.streams[s].pc = slot.pc;
         self.streams[s].wait = WaitState::BusFree;
     }
@@ -1324,7 +2131,7 @@ impl Machine {
                 p.seq = BUS_SEQ;
             }
         }
-        self.flush(ex, s, false, "io");
+        self.flush(ex, s, false, FlushCause::Io);
         // Flushed younger instructions re-fetch after the wait.
         self.streams[s].pc = slot.pc.wrapping_add(1);
         self.streams[s].wait = WaitState::BusTransaction;
@@ -1355,15 +2162,14 @@ impl Machine {
             // re-run after `reti`; resume at the oldest of them (the one
             // closest to EX), or at the current PC when none are in
             // flight.
-            let oldest_pc = self.pipe[..ex]
-                .iter()
-                .filter_map(|slot| slot.as_ref())
+            let oldest_pc = (0..ex)
+                .filter_map(|i| self.pipe[self.stage_idx(i)].as_ref())
                 .filter(|sl| sl.stream == s)
                 .map(|sl| sl.pc)
                 .next_back();
             let resume = match oldest_pc {
                 Some(pc) => {
-                    self.flush(ex, s, false, "irq");
+                    self.flush(ex, s, false, FlushCause::Irq);
                     pc
                 }
                 None => self.streams[s].pc,
@@ -1389,8 +2195,8 @@ impl Machine {
         }
     }
 
-    // (issue-hazard test lives in the free `stream_hazard` so the lazy
-    // fetch probe can call it without borrowing the whole machine.)
+    // (issue-hazard test lives in the free `stream_hazard_entry` so the
+    // lazy fetch probe can call it without borrowing the whole machine.)
 
     fn fetch(&mut self) -> Result<(), SimError> {
         let n = self.streams.len();
@@ -1403,11 +2209,11 @@ impl Machine {
             scheduler,
             streams,
             stats,
-            code,
+            ops,
             program,
             legacy_decode,
             fetch_probe,
-            fetch_decoded,
+            fetch_entry,
             attr_hazard,
             ..
         } = self;
@@ -1423,30 +2229,23 @@ impl Machine {
                     // Predecoded table on the hot path; live decode when
                     // the legacy differential switch is on. Addresses past
                     // the image are word 0 (`nop`), as predecoded.
-                    let decoded = if legacy {
-                        disc_isa::encode::decode(program.word(st.pc)).map_err(|e| e.word())
+                    let entry = if legacy {
+                        predecode(program.word(st.pc))
                     } else {
-                        code.get(st.pc as usize)
-                            .copied()
-                            .unwrap_or(Ok(Instruction::Nop))
+                        ops.get(st.pc as usize).copied().unwrap_or(NOP_ENTRY)
                     };
-                    match decoded {
+                    if entry.kind == K_FAULT {
                         // Report ready so the fetch below raises the fault
                         // on the cycle the stream is actually picked.
-                        Err(_) => {
-                            fetch_decoded[s] = None;
-                            true
-                        }
-                        Ok(instr) => {
-                            if stream_hazard(st, &instr) {
-                                stats.hazard_stalls[s] += 1;
-                                attr_hazard[s] = true;
-                                false
-                            } else {
-                                fetch_decoded[s] = Some(instr);
-                                true
-                            }
-                        }
+                        fetch_entry[s] = entry;
+                        true
+                    } else if stream_hazard_entry(st, &entry) {
+                        stats.hazard_stalls[s] += 1;
+                        attr_hazard[s] = true;
+                        false
+                    } else {
+                        fetch_entry[s] = entry;
+                        true
                     }
                 };
                 fetch_probe[s] = if ready { Probe::Ready } else { Probe::NotReady };
@@ -1458,32 +2257,37 @@ impl Machine {
             return Ok(());
         };
         let pc = self.streams[s].pc;
-        let Some(instr) = self.fetch_decoded[s] else {
+        let e = self.fetch_entry[s];
+        if e.kind == K_FAULT {
             return Err(SimError::Decode {
                 stream: s,
                 pc,
                 word: self.program.word(pc),
             });
-        };
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        let dmask = dest_mask(&instr);
-        let mw = moves_window(&instr);
         let st = &mut self.streams[s];
         st.pc = pc.wrapping_add(1);
-        if dmask != 0 {
-            st.pending.push(PendingWrite { seq, mask: dmask });
+        if e.dst_mask != 0 {
+            st.pending.push(PendingWrite {
+                seq,
+                mask: e.dst_mask,
+            });
+            st.pending_mask |= e.dst_mask;
         }
-        if mw {
+        if e.moves_window {
             st.window_moves += 1;
         }
-        debug_assert!(self.pipe[0].is_none(), "fetch into occupied pipe slot");
-        self.pipe[0] = Some(Slot {
+        let idx0 = self.stage_idx(0);
+        debug_assert!(self.pipe[idx0].is_none(), "fetch into occupied pipe slot");
+        self.pipe[idx0] = Some(Slot {
             stream: s,
             pc,
-            instr,
+            instr: e.instr,
             seq,
-            moves_window: mw,
+            moves_window: e.moves_window,
+            kind: e.kind,
         });
         self.live_slots += 1;
         Ok(())

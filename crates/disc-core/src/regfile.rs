@@ -91,6 +91,7 @@ impl StackWindow {
     /// # Panics
     ///
     /// Panics if `n >= 8`.
+    #[inline(always)]
     pub fn read(&mut self, n: u8) -> u16 {
         assert!((n as usize) < WINDOW_REGS);
         match self.awp.checked_sub(n as usize) {
@@ -107,6 +108,7 @@ impl StackWindow {
     /// # Panics
     ///
     /// Panics if `n >= 8`.
+    #[inline(always)]
     pub fn write(&mut self, n: u8, value: u16) {
         assert!((n as usize) < WINDOW_REGS);
         if let Some(slot) = self.awp.checked_sub(n as usize) {

@@ -210,6 +210,35 @@ impl Scheduler {
         }
     }
 
+    /// The sequence table when the policy is [`SchedulePolicy::Sequence`],
+    /// `None` otherwise. The superblock dispatcher replays slot picks from
+    /// this view without the per-cycle closure machinery.
+    pub(crate) fn sequence(&self) -> Option<&[u8]> {
+        match &self.policy {
+            SchedulePolicy::Sequence(seq) => Some(seq),
+            SchedulePolicy::WeightedDeficit(_) => None,
+        }
+    }
+
+    /// Current slot-pointer position (only meaningful under
+    /// [`SchedulePolicy::Sequence`]).
+    pub(crate) fn slot_index(&self) -> usize {
+        self.slot
+    }
+
+    /// Bulk-applies the outcome of a superblock run: the slot pointer
+    /// lands on `slot`, each stream's grant counter grows by its delta and
+    /// the reallocation counter by `reallocated` — exactly equivalent to
+    /// the sequence of [`pick_with`](Self::pick_with) calls the run
+    /// replayed.
+    pub(crate) fn apply_burst(&mut self, slot: usize, granted: &[u64], reallocated: u64) {
+        self.slot = slot;
+        for (g, d) in self.granted.iter_mut().zip(granted) {
+            *g += d;
+        }
+        self.reallocated += reallocated;
+    }
+
     /// Slots granted to each stream so far.
     pub fn granted(&self) -> &[u64] {
         &self.granted

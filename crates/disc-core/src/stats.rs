@@ -249,6 +249,50 @@ impl SkipStats {
     }
 }
 
+/// Counters describing how much work the superblock dispatcher
+/// ([`DispatchMode::Superblock`](crate::DispatchMode)) ran through its
+/// cached fast path.
+///
+/// Kept separate from [`MachineStats`] on purpose, like [`SkipStats`]: the
+/// architectural statistics must compare equal between dispatch modes,
+/// while these counters are zero under the legacy dispatcher by
+/// construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperblockStats {
+    /// Superblock runs entered (a run covers at least one cycle).
+    pub bursts: u64,
+    /// Machine cycles covered by superblock runs (each also counted in
+    /// [`MachineStats::cycles`], exactly as if stepped singly).
+    pub burst_cycles: u64,
+    /// Instructions issued from inside superblock runs.
+    pub burst_issues: u64,
+    /// Eligibility probes that failed — the machine held a hazard (bus
+    /// transaction, spill, deliverable interrupt, unsafe in-flight op,
+    /// attached trace sink) so the cycle fell back to the slow path.
+    pub entry_rejects: u64,
+}
+
+impl SuperblockStats {
+    /// Share of `total_cycles` covered by superblock runs (the superblock
+    /// *hit rate*), in `0.0..=1.0`.
+    pub fn hit_rate(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.burst_cycles as f64 / total_cycles as f64
+        }
+    }
+
+    /// Mean superblock run length in cycles, if any run happened.
+    pub fn mean_burst(&self) -> Option<f64> {
+        if self.bursts == 0 {
+            None
+        } else {
+            Some(self.burst_cycles as f64 / self.bursts as f64)
+        }
+    }
+}
+
 /// Counters describing one simulation run.
 ///
 /// The headline metric is [`utilization`](MachineStats::utilization) — the
@@ -452,6 +496,19 @@ mod tests {
         assert!(table.contains("25.0%"));
         assert!(table.contains("75.0%"));
         assert!(table.contains("100"));
+    }
+
+    #[test]
+    fn superblock_stats_ratios() {
+        let mut s = SuperblockStats::default();
+        assert_eq!(s.hit_rate(100), 0.0);
+        assert_eq!(s.mean_burst(), None);
+        s.bursts = 4;
+        s.burst_cycles = 80;
+        s.burst_issues = 60;
+        assert!((s.hit_rate(100) - 0.8).abs() < 1e-12);
+        assert_eq!(s.hit_rate(0), 0.0);
+        assert_eq!(s.mean_burst(), Some(20.0));
     }
 
     #[test]

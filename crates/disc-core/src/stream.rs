@@ -100,6 +100,10 @@ pub struct Stream {
     pub(crate) wait: WaitState,
     /// Outstanding register writes (issue scoreboard).
     pub(crate) pending: Vec<PendingWrite>,
+    /// OR of every `pending` entry's mask, kept in sync by the push /
+    /// remove sites so the per-cycle hazard probe is a single AND (a
+    /// source mask intersects *some* entry iff it intersects the union).
+    pub(crate) pending_mask: u32,
     /// Number of in-flight instructions that move the window
     /// (AWP-adjusting, call/ret/winc/wdec); while nonzero, window-register
     /// access by newly fetched instructions is a hazard.
@@ -126,6 +130,7 @@ impl Stream {
             vectors: [None; disc_isa::IRQ_LEVELS],
             wait: WaitState::None,
             pending: Vec::new(),
+            pending_mask: 0,
             window_moves: 0,
             spill_stall: 0,
             irq_raised_at: [None; disc_isa::IRQ_LEVELS],
@@ -205,6 +210,46 @@ impl Stream {
             self.irq_raised_at[bit as usize] = Some(cycle);
         }
         self.ir |= 1 << bit;
+    }
+
+    /// `true` when any outstanding scoreboard entry's destination mask
+    /// intersects `mask` — the RAW-hazard probe shared by the per-cycle
+    /// fetch path and the superblock dispatcher.
+    #[inline]
+    pub(crate) fn pending_conflict(&self, mask: u32) -> bool {
+        debug_assert_eq!(
+            self.pending_mask,
+            self.pending.iter().fold(0, |m, p| m | p.mask),
+            "aggregate scoreboard mask out of sync"
+        );
+        self.pending_mask & mask != 0
+    }
+
+    /// Recomputes [`Self::pending_mask`] after entries were removed.
+    #[inline]
+    pub(crate) fn resync_pending_mask(&mut self) {
+        self.pending_mask = self.pending.iter().fold(0, |m, p| m | p.mask);
+    }
+
+    /// Removes the scoreboard entry issued with `seq` (unique per slot)
+    /// in one pass, rebuilding the aggregate mask from the survivors.
+    /// Scoreboard order is irrelevant — only membership is ever queried —
+    /// so the removal may reorder entries.
+    #[inline]
+    pub(crate) fn drop_pending(&mut self, seq: u64) {
+        let mut agg = 0;
+        let mut found = usize::MAX;
+        for (i, p) in self.pending.iter().enumerate() {
+            if p.seq == seq {
+                found = i;
+            } else {
+                agg |= p.mask;
+            }
+        }
+        if found != usize::MAX {
+            self.pending.swap_remove(found);
+        }
+        self.pending_mask = agg;
     }
 
     /// Clears IR bit `bit` (only the owning stream does this).

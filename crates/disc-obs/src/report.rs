@@ -37,10 +37,11 @@ fn splitmix64(mut z: u64) -> u64 {
 /// Deterministic 64-bit fingerprint of a machine configuration, rendered
 /// as 16 hex digits. Every field (including the full schedule contents)
 /// folds into the hash, so two configs fingerprint equal iff they
-/// simulate identically. [`MachineConfig::step_mode`] is deliberately
-/// *excluded*: it changes how fast the simulator walks the cycle count,
-/// never the architectural outcome, so runs in either mode must
-/// fingerprint (and therefore compare) equal.
+/// simulate identically. [`MachineConfig::step_mode`] and
+/// [`MachineConfig::dispatch_mode`] are deliberately *excluded*: they
+/// change how fast the simulator walks the cycle count, never the
+/// architectural outcome, so runs under any step/dispatch combination
+/// must fingerprint (and therefore compare) equal.
 pub fn config_fingerprint(config: &MachineConfig) -> String {
     let mut h: u64 = 0x44495343; // "DISC"
     let mut fold = |v: u64| h = splitmix64(h ^ v);
@@ -385,6 +386,14 @@ mod tests {
         let cycle = MachineConfig::disc1().with_step_mode(StepMode::CycleByCycle);
         let skip = MachineConfig::disc1().with_step_mode(StepMode::EventSkip);
         assert_eq!(config_fingerprint(&cycle), config_fingerprint(&skip));
+    }
+
+    #[test]
+    fn fingerprint_ignores_dispatch_mode() {
+        use disc_core::DispatchMode;
+        let legacy = MachineConfig::disc1().with_dispatch_mode(DispatchMode::Legacy);
+        let burst = MachineConfig::disc1().with_dispatch_mode(DispatchMode::Superblock);
+        assert_eq!(config_fingerprint(&legacy), config_fingerprint(&burst));
     }
 
     #[test]
