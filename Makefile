@@ -1,6 +1,6 @@
 # Convenience targets for the DISC reproduction.
 
-.PHONY: all test bench bench-check bench-micro profile repro repro-quick soak fuzz fuzz-long reports docs clippy examples clean
+.PHONY: all test bench bench-check bench-micro profile repro repro-quick soak soak-resume fuzz fuzz-long reports docs clippy examples clean
 
 all: test
 
@@ -63,6 +63,14 @@ repro-quick:
 soak:
 	cargo run --release -p disc-bench --bin soak
 
+# Crash-resumption smoke: SIGKILL a checkpointed soak campaign
+# mid-flight, resume it from its journal, and require the resumed run
+# report to match an uninterrupted baseline byte for byte (wall-clock
+# throughput and resume accounting aside).
+soak-resume:
+	cargo build --release -p disc-bench --bin soak
+	bash scripts/soak_resume_smoke.sh
+
 # Differential fuzzing against the disc-ref golden-reference interpreter
 # (see EXPERIMENTS.md "Conformance fuzzing"). `fuzz` replays the
 # regression corpus plus 1000 fixed seeds and exits 1 on any divergence;
@@ -75,7 +83,7 @@ fuzz:
 fuzz-long:
 	cargo run --release -p disc-bench --bin fuzz -- --seed 0 --count 100000
 
-# Structured run reports (schema disc-run-report/v2) under results/:
+# Structured run reports (schema disc-run-report/v3) under results/:
 # the quick reproduction pass, a short soak campaign, and the
 # observability demo. CI schema-checks every results/*.report.json and
 # uploads them as workflow artifacts.

@@ -316,6 +316,55 @@ fn bench_timer_idle(cycles: u64, reps: usize, plan: Plan) -> Measurement {
     )
 }
 
+/// Measures what fork-based mode coverage saves: covering all four
+/// step × dispatch mode combinations of a `warm + tail` workload by full
+/// re-execution versus snapshotting the shared warm point once and
+/// forking each combo for the tail only (the `fuzz --fork` strategy).
+/// Returns wall(full) / wall(forked); with the 90/10 split used here the
+/// ideal value is 4·(w+t)/(w+4t+ε) ≈ 3.1×.
+fn fork_fuzz_speedup(cycles: u64) -> f64 {
+    let program = compute_program(4);
+    let warm = cycles * 9 / 10;
+    let tail = cycles - warm;
+    let combos = [
+        (StepMode::CycleByCycle, DispatchMode::Legacy),
+        (StepMode::CycleByCycle, DispatchMode::Superblock),
+        (StepMode::EventSkip, DispatchMode::Legacy),
+        (StepMode::EventSkip, DispatchMode::Superblock),
+    ];
+    let config = |step, dispatch| {
+        MachineConfig::disc1()
+            .with_streams(4)
+            .with_step_mode(step)
+            .with_dispatch_mode(dispatch)
+    };
+
+    let t0 = Instant::now();
+    for (step, dispatch) in combos {
+        let mut m = Machine::new(config(step, dispatch), &program);
+        m.run(warm + tail).expect("full-coverage run");
+        std::hint::black_box(m.stats().retired_total());
+    }
+    let full = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut base = Machine::new(
+        config(StepMode::CycleByCycle, DispatchMode::Legacy),
+        &program,
+    );
+    base.run(warm).expect("warm-up run");
+    let snap = base.snapshot();
+    for (step, dispatch) in combos {
+        let mut fork = Machine::new(config(step, dispatch), &program);
+        fork.restore(&snap).expect("fork restores");
+        fork.run(tail).expect("fork tail run");
+        std::hint::black_box(fork.stats().retired_total());
+    }
+    let forked = t0.elapsed().as_secs_f64();
+
+    full / forked
+}
+
 fn seed_rate(name: &str) -> Option<f64> {
     SEED_BASELINE
         .iter()
@@ -545,12 +594,18 @@ fn main() {
                 .unwrap_or_else(|| "null".to_string()),
         ));
     }
+    let fork_speedup = fork_fuzz_speedup(cycles);
+    eprintln!(
+        "  fork_fuzz_speedup      {fork_speedup:.2}x (4-combo coverage, forked vs full re-execution)"
+    );
     let json = format!(
         "{{\n  \"schema\": \"disc-bench-core/v3\",\n  \"mode\": \"{}\",\n  \
-         \"cycles_per_run\": {},\n  \"reps\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"cycles_per_run\": {},\n  \"reps\": {},\n  \
+         \"fork_fuzz_speedup\": {:.3},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         cycles,
         reps,
+        fork_speedup,
         entries.join(",\n")
     );
     std::fs::write(&out, &json).expect("write benchmark json");

@@ -13,7 +13,9 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use disc_bench::fuzz::{self, generate, minimize, run_campaign, sparse_listing};
+use disc_bench::fuzz::{
+    self, generate, minimize, run_campaign, run_campaign_forked, sparse_listing,
+};
 
 fn parse_u64(name: &str, value: &str) -> u64 {
     let parsed = if let Some(hex) = value.strip_prefix("0x") {
@@ -45,11 +47,17 @@ fn default_corpus() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/regressions.txt")
 }
 
+fn default_artifacts() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fuzz/artifacts")
+}
+
 fn main() {
     let mut seed: u64 = 0;
     let mut count: u64 = 1000;
     let mut corpus = Some(default_corpus());
     let mut minimize_failures = true;
+    let mut fork = false;
+    let mut artifacts = default_artifacts();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,10 +76,19 @@ fn main() {
             }
             "--no-corpus" => corpus = None,
             "--no-minimize" => minimize_failures = false,
+            "--fork" => fork = true,
+            "--artifacts" => {
+                let v = args.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("fuzz: --artifacts needs a directory");
+                    exit(2);
+                }
+                artifacts = PathBuf::from(v);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: fuzz [--seed N] [--count N] [--corpus PATH | --no-corpus] \
-                     [--no-minimize]\n\
+                     [--no-minimize] [--fork] [--artifacts DIR]\n\
                      \n\
                      Differential fuzzing of disc-core against disc-ref.\n\
                      \n\
@@ -80,6 +97,11 @@ fn main() {
                      --corpus PATH   regression seed file (default: crate's fuzz/regressions.txt)\n\
                      --no-corpus     skip the regression corpus\n\
                      --no-minimize   report divergences without shrinking them\n\
+                     --fork          fork-based mode coverage: warm up once per seed,\n\
+                     \u{20}               snapshot, fork every step x dispatch combo from the\n\
+                     \u{20}               warm point; failures leave crash artifacts\n\
+                     --artifacts DIR where --fork writes crash artifacts\n\
+                     \u{20}               (default: crate's fuzz/artifacts/)\n\
                      \n\
                      Parallelism follows DISC_JOBS (default: all cores)."
                 );
@@ -102,12 +124,17 @@ fn main() {
         println!("fuzz: {count} seeds from {seed:#x}");
     }
 
-    let report = run_campaign(&corpus_seeds, seed, count);
+    let report = if fork {
+        run_campaign_forked(&corpus_seeds, seed, count, Some(&artifacts))
+    } else {
+        run_campaign(&corpus_seeds, seed, count)
+    };
     println!(
-        "fuzz: {} programs, {} reference instructions, {} divergences",
+        "fuzz: {} programs, {} reference instructions, {} divergences{}",
         report.programs,
         report.instructions,
-        report.divergences.len()
+        report.divergences.len(),
+        if fork { " (fork mode)" } else { "" }
     );
 
     if report.passed() {
@@ -115,7 +142,10 @@ fn main() {
     }
     for div in &report.divergences {
         eprint!("{div}");
-        if minimize_failures {
+        // Fork-mode failures already carry a replayable artifact; the
+        // nop-out minimizer runs the non-fork comparison, which may not
+        // reproduce a mode-specific divergence, so skip it there.
+        if minimize_failures && !fork {
             let gp = generate(div.seed);
             let min = minimize(&gp);
             match fuzz::compare(&min) {
@@ -135,7 +165,8 @@ fn main() {
             }
         }
         eprintln!(
-            "  reproduce: cargo run -p disc-bench --bin fuzz -- --no-corpus --seed {:#x} --count 1",
+            "  reproduce: cargo run -p disc-bench --bin fuzz -- {}--no-corpus --seed {:#x} --count 1",
+            if fork { "--fork " } else { "" },
             div.seed
         );
     }

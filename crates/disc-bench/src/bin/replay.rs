@@ -1,0 +1,107 @@
+//! Re-executes a `disc-replay/v1` recording (see `disc_bench::replay`).
+//!
+//! ```text
+//! cargo run --release -p disc-bench --bin replay -- run.replay
+//! cargo run --release -p disc-bench --bin replay -- run.replay --to-cycle 5000
+//! ```
+//!
+//! Without `--to-cycle`, the recording is replayed to its end and the
+//! final machine state is verified **byte for byte** against the snapshot
+//! embedded in the file; any difference is a determinism bug (or a
+//! simulator change — re-record) and exits 1. With `--to-cycle N`, the
+//! re-execution stops at cycle `N` and prints a state digest instead —
+//! the time-travel primitive for bisecting where a long run goes wrong.
+
+use std::process::exit;
+
+use disc_bench::replay::{replay, ReplayLog};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("replay: {msg}");
+    exit(2);
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut to_cycle: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--to-cycle" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(n) => to_cycle = Some(n),
+                    Err(_) => fail(&format!("invalid --to-cycle value {v:?}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: replay <file.replay> [--to-cycle N]\n\
+                     \n\
+                     Re-executes a disc-replay/v1 recording deterministically.\n\
+                     \n\
+                     --to-cycle N   stop at machine cycle N (print a state digest)\n\
+                     \n\
+                     Without --to-cycle the replay runs to the recording's end and\n\
+                     verifies the final state byte-for-byte against the embedded\n\
+                     snapshot; a mismatch exits 1."
+                );
+                return;
+            }
+            other if other.starts_with('-') => fail(&format!("unknown argument {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    fail("more than one input file given");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        fail("no input file (try --help)");
+    };
+
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let log =
+        ReplayLog::load(&bytes).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    println!(
+        "replay: {path}: {} streams, {} taped events, recording ends at cycle {}",
+        log.config.streams,
+        log.events.len(),
+        log.end_cycle
+    );
+
+    let machine = match replay(&log, to_cycle) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            exit(1);
+        }
+    };
+
+    let stats = machine.stats();
+    println!(
+        "replay: stopped at cycle {} ({} instructions retired)",
+        stats.cycles,
+        stats.retired.iter().sum::<u64>()
+    );
+    for s in 0..machine.stream_count() {
+        let st = machine.stream(s);
+        println!(
+            "  stream {s}: pc {:#06x}  ir {:#04x}  retired {}",
+            st.pc(),
+            st.ir(),
+            stats.retired[s]
+        );
+    }
+
+    let full_replay = !matches!(to_cycle, Some(c) if c < log.end_cycle);
+    if full_replay {
+        if machine.snapshot() == log.final_snapshot {
+            println!("replay: verified — final state is byte-identical to the recording");
+        } else {
+            eprintln!("replay: FINAL STATE DIVERGES from the recorded snapshot");
+            exit(1);
+        }
+    }
+}

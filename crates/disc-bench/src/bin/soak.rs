@@ -7,11 +7,19 @@
 //! `--runs 1 --base-seed <seed>`.
 //!
 //! Usage: `soak [--runs N] [--horizon CYCLES] [--base-seed SEED]
-//! [--step-mode MODE] [--report PATH]` (worker count follows
-//! `DISC_JOBS`). `--report` writes the campaign's schema-versioned run
-//! report JSON to PATH in addition to the stdout summary. `--step-mode`
-//! selects `cycle-by-cycle` (default) or `event-skip`; the campaign
-//! verdict must be identical either way.
+//! [--step-mode MODE] [--report PATH] [--checkpoint DIR [--resume]]`
+//! (worker count follows `DISC_JOBS`). `--report` writes the campaign's
+//! schema-versioned run report JSON to PATH in addition to the stdout
+//! summary. `--step-mode` selects `cycle-by-cycle` (default) or
+//! `event-skip`; the campaign verdict must be identical either way.
+//!
+//! `--checkpoint DIR` journals every completed run to
+//! `DIR/soak.journal` the moment it finishes, making the campaign
+//! crash-resumable: after a `kill -9`, rerunning with `--resume` (same
+//! DIR, same campaign flags) replays the journalled runs from disk,
+//! simulates only the missing ones, and produces a report identical to
+//! an uninterrupted campaign. A journal recorded under different
+//! campaign flags is refused by fingerprint.
 
 use disc_core::StepMode;
 use disc_rts::SoakConfig;
@@ -31,6 +39,8 @@ fn parse_u64(args: &mut std::env::Args, flag: &str) -> u64 {
 fn main() {
     let mut cfg = SoakConfig::default();
     let mut report_path: Option<std::path::PathBuf> = None;
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut resume = false;
     let mut args = std::env::args();
     let _ = args.next();
     while let Some(arg) = args.next() {
@@ -44,6 +54,13 @@ fn main() {
                     .unwrap_or_else(|| panic!("--report needs a path"));
                 report_path = Some(std::path::PathBuf::from(value));
             }
+            "--checkpoint" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--checkpoint needs a directory"));
+                checkpoint = Some(std::path::PathBuf::from(value));
+            }
+            "--resume" => resume = true,
             "--step-mode" => {
                 let value = args
                     .next()
@@ -59,7 +76,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: soak [--runs N] [--horizon CYCLES] [--base-seed SEED] \
-                     [--step-mode cycle-by-cycle|event-skip] [--report PATH]"
+                     [--step-mode cycle-by-cycle|event-skip] [--report PATH] \
+                     [--checkpoint DIR [--resume]]"
                 );
                 return;
             }
@@ -76,8 +94,36 @@ fn main() {
         cfg.base_seed,
         disc_par::max_jobs().min(cfg.runs.max(1) as usize),
     );
+    if resume && checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint DIR (try --help)");
+        std::process::exit(2);
+    }
     let t0 = std::time::Instant::now();
-    let report = disc_rts::soak::run_campaign(&cfg);
+    let (report, resumed) = match &checkpoint {
+        Some(dir) => {
+            let path = dir.join("soak.journal");
+            let fingerprint = disc_rts::soak::campaign_fingerprint(&cfg);
+            let journal = if resume {
+                disc_par::Journal::resume(&path, fingerprint)
+            } else {
+                disc_par::Journal::create(&path, fingerprint)
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("soak: {e}");
+                std::process::exit(2);
+            });
+            let (report, stats) = disc_rts::soak::run_campaign_resumable(&cfg, &journal);
+            eprintln!(
+                "checkpoint: {} of {} runs replayed from {}, {} executed",
+                stats.loaded,
+                stats.total,
+                path.display(),
+                stats.executed,
+            );
+            (report, Some((stats, path)))
+        }
+        None => (disc_rts::soak::run_campaign(&cfg), None),
+    };
     let wall_secs = t0.elapsed().as_secs_f64();
     print!("{}", report.summary());
     if let Some(path) = report_path {
@@ -86,8 +132,15 @@ fn main() {
                 std::fs::create_dir_all(dir).expect("create report dir");
             }
         }
-        let rendered = report.run_report_timed(&cfg, Some(wall_secs)).render();
-        std::fs::write(&path, rendered).expect("write run report");
+        let mut run_report = report.run_report_timed(&cfg, Some(wall_secs));
+        if let Some((stats, journal)) = &resumed {
+            run_report = run_report.with_resume(
+                stats.loaded as u64,
+                stats.executed as u64,
+                &journal.display().to_string(),
+            );
+        }
+        std::fs::write(&path, run_report.render()).expect("write run report");
         eprintln!("run report written to {}", path.display());
     }
     if !report.passed() {

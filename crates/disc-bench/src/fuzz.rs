@@ -21,7 +21,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
+use crate::replay::ReplayLog;
 use disc_core::{
     CycleRecord, DispatchMode, Exit, Machine, MachineConfig, SchedulePolicy, StepMode, TraceEvent,
     TraceSink,
@@ -826,6 +828,74 @@ pub fn compare_with_budget(
         });
     }
 
+    let ext_addrs = ext_addr_set(gp, &reference);
+    diff_against_reference(
+        &mut machine,
+        &retire_log,
+        &reference,
+        gp,
+        &ext_addrs,
+        &mut details,
+    );
+
+    // Sink-free cross-check (event skip and/or superblock dispatch
+    // engaged): must be indistinguishable from the pinned run.
+    if let Some((mut skipper, s_exit)) = skipper {
+        if s_exit != m_exit {
+            details.push(format!(
+                "sink-free: exit {s_exit:?} vs cycle-by-cycle {m_exit:?}"
+            ));
+        }
+        diff_machines(
+            "sink-free",
+            &mut machine,
+            &mut skipper,
+            gp.streams,
+            reference.internal_len() as u16,
+            &ext_addrs,
+            &mut details,
+        );
+    }
+
+    if details.is_empty() {
+        Ok(steps)
+    } else {
+        Err(Divergence {
+            seed: gp.seed,
+            details,
+        })
+    }
+}
+
+/// Runs `gp` with the default budgets.
+pub fn compare(gp: &GenProgram) -> Result<u64, Divergence> {
+    compare_with_budget(gp, MACHINE_CYCLES, REF_STEPS)
+}
+
+/// Generates and compares one seed.
+pub fn check_seed(seed: u64) -> Result<u64, Divergence> {
+    compare(&generate(seed))
+}
+
+/// Every external address either model may have touched.
+fn ext_addr_set(gp: &GenProgram, reference: &RefMachine) -> BTreeSet<u16> {
+    let mut ext_addrs: BTreeSet<u16> = reference.external_addrs().into_iter().collect();
+    for &(lo, hi) in &gp.ext_regions {
+        ext_addrs.extend(lo..hi);
+    }
+    ext_addrs
+}
+
+/// Field-by-field comparison of the machine's final architectural state
+/// against the reference interpreter's; mismatches append to `details`.
+fn diff_against_reference(
+    machine: &mut Machine,
+    retire_log: &RetireLog,
+    reference: &RefMachine,
+    gp: &GenProgram,
+    ext_addrs: &BTreeSet<u16>,
+    details: &mut Vec<String>,
+) {
     for s in 0..gp.streams {
         let m_retired = machine.stats().retired[s];
         let log = &retire_log.per_stream[s];
@@ -943,11 +1013,7 @@ pub fn compare_with_budget(
         }
     }
 
-    let mut ext_addrs: BTreeSet<u16> = reference.external_addrs().into_iter().collect();
-    for &(lo, hi) in &gp.ext_regions {
-        ext_addrs.extend(lo..hi);
-    }
-    for &addr in &ext_addrs {
+    for &addr in ext_addrs {
         let m_val = machine.bus_mut().read(addr);
         if m_val != reference.external(addr) {
             details.push(format!(
@@ -956,105 +1022,379 @@ pub fn compare_with_budget(
             ));
         }
     }
+}
 
-    // Sink-free cross-check (event skip and/or superblock dispatch
-    // engaged): must be indistinguishable from the pinned run.
-    if let Some((mut skipper, s_exit)) = skipper {
-        if s_exit != m_exit {
+/// Compares two machines' complete final states — statistics (cycle
+/// attribution included), per-stream control state, window stacks, `sp`,
+/// globals, internal and touched external memory. Mismatches append to
+/// `details`, prefixed with `label`; the second machine of each reported
+/// pair is `expected`.
+fn diff_machines(
+    label: &str,
+    expected: &mut Machine,
+    candidate: &mut Machine,
+    streams: usize,
+    internal_len: u16,
+    ext_addrs: &BTreeSet<u16>,
+    details: &mut Vec<String>,
+) {
+    if candidate.stats() != expected.stats() {
+        details.push(format!(
+            "{label}: stats diverge:\n    got   {:?}\n    exact {:?}",
+            candidate.stats(),
+            expected.stats()
+        ));
+    }
+    for s in 0..streams {
+        let a = expected.stream(s);
+        let b = candidate.stream(s);
+        let ctl = |st: &disc_core::Stream| {
+            (
+                st.pc(),
+                st.ir(),
+                st.mr(),
+                st.flags().to_word(),
+                st.service_depth(),
+                st.service_level(),
+                st.window().awp(),
+            )
+        };
+        if ctl(a) != ctl(b) {
             details.push(format!(
-                "sink-free: exit {s_exit:?} vs cycle-by-cycle {m_exit:?}"
+                "{label}: stream {s} control state {:?} vs {:?}",
+                ctl(b),
+                ctl(a)
             ));
         }
-        if skipper.stats() != machine.stats() {
+        for slot in 0..a.window().max_depth() {
+            if a.window().read_slot(slot) != b.window().read_slot(slot) {
+                details.push(format!(
+                    "{label}: stream {s} window slot {slot}: {:#06x} vs {:#06x}",
+                    b.window().read_slot(slot),
+                    a.window().read_slot(slot)
+                ));
+            }
+        }
+        if expected.reg(s, Reg::Sp) != candidate.reg(s, Reg::Sp) {
             details.push(format!(
-                "sink-free: stats diverge:\n    skip  {:?}\n    exact {:?}",
-                skipper.stats(),
-                machine.stats()
+                "{label}: stream {s} sp {:#06x} vs {:#06x}",
+                candidate.reg(s, Reg::Sp),
+                expected.reg(s, Reg::Sp)
             ));
         }
-        for s in 0..gp.streams {
-            let a = machine.stream(s);
-            let b = skipper.stream(s);
-            let ctl = |st: &disc_core::Stream| {
-                (
-                    st.pc(),
-                    st.ir(),
-                    st.mr(),
-                    st.flags().to_word(),
-                    st.service_depth(),
-                    st.service_level(),
-                    st.window().awp(),
-                )
-            };
-            if ctl(a) != ctl(b) {
-                details.push(format!(
-                    "sink-free: stream {s} control state {:?} vs {:?}",
-                    ctl(b),
-                    ctl(a)
-                ));
-            }
-            for slot in 0..a.window().max_depth() {
-                if a.window().read_slot(slot) != b.window().read_slot(slot) {
-                    details.push(format!(
-                        "sink-free: stream {s} window slot {slot}: {:#06x} vs {:#06x}",
-                        b.window().read_slot(slot),
-                        a.window().read_slot(slot)
-                    ));
-                }
-            }
-            if machine.reg(s, Reg::Sp) != skipper.reg(s, Reg::Sp) {
-                details.push(format!(
-                    "sink-free: stream {s} sp {:#06x} vs {:#06x}",
-                    skipper.reg(s, Reg::Sp),
-                    machine.reg(s, Reg::Sp)
-                ));
-            }
+    }
+    for g in 0..disc_isa::GLOBAL_REGS {
+        if expected.global(g) != candidate.global(g) {
+            details.push(format!(
+                "{label}: global g{g}: {:#06x} vs {:#06x}",
+                candidate.global(g),
+                expected.global(g)
+            ));
         }
-        for g in 0..disc_isa::GLOBAL_REGS {
-            if machine.global(g) != skipper.global(g) {
-                details.push(format!(
-                    "sink-free: global g{g}: {:#06x} vs {:#06x}",
-                    skipper.global(g),
-                    machine.global(g)
-                ));
-            }
+    }
+    for addr in 0..internal_len {
+        if expected.internal_memory().read(addr) != candidate.internal_memory().read(addr) {
+            details.push(format!(
+                "{label}: internal[{addr:#x}]: {:#06x} vs {:#06x}",
+                candidate.internal_memory().read(addr),
+                expected.internal_memory().read(addr)
+            ));
         }
-        for addr in 0..reference.internal_len() as u16 {
-            if machine.internal_memory().read(addr) != skipper.internal_memory().read(addr) {
-                details.push(format!(
-                    "sink-free: internal[{addr:#x}]: {:#06x} vs {:#06x}",
-                    skipper.internal_memory().read(addr),
-                    machine.internal_memory().read(addr)
-                ));
-            }
+    }
+    for &addr in ext_addrs {
+        if expected.bus_mut().read(addr) != candidate.bus_mut().read(addr) {
+            details.push(format!("{label}: external[{addr:#x}] diverges"));
         }
-        for &addr in &ext_addrs {
-            if machine.bus_mut().read(addr) != skipper.bus_mut().read(addr) {
-                details.push(format!(
-                    "sink-free: external[{addr:#x}] diverges from cycle-by-cycle"
-                ));
-            }
+    }
+}
+
+// ---- fork-based mode coverage -------------------------------------------
+
+/// Cycles the shared warm-up phase runs before the fork snapshot is
+/// taken. Small on purpose: generated programs are short, and the forks
+/// must re-execute most of each program under their own timing modes for
+/// the coverage to mean anything.
+pub const WARM_CYCLES: u64 = 256;
+
+/// Every step-mode × dispatch-mode combination the machine supports.
+pub const MODE_COMBOS: [(StepMode, DispatchMode); 4] = [
+    (StepMode::CycleByCycle, DispatchMode::Legacy),
+    (StepMode::CycleByCycle, DispatchMode::Superblock),
+    (StepMode::EventSkip, DispatchMode::Legacy),
+    (StepMode::EventSkip, DispatchMode::Superblock),
+];
+
+/// A fork-mode fuzz failure: the divergence plus everything needed to
+/// reproduce it without re-running the campaign — the generated program
+/// and its knobs, the warm-point snapshot the forks started from, and the
+/// base machine's final state for a one-invocation `replay` check.
+#[derive(Debug)]
+pub struct ForkFailure {
+    /// What differed, per [`compare_with_budget`]'s conventions.
+    pub divergence: Divergence,
+    /// The generated test case (program image + microarchitecture knobs).
+    pub gp: GenProgram,
+    /// Snapshot at the shared warm point (the "pre-divergence" state).
+    pub snapshot: Vec<u8>,
+    /// Cycle the base machine finished at.
+    pub end_cycle: u64,
+    /// The base machine's final snapshot.
+    pub final_snapshot: Vec<u8>,
+}
+
+fn fork_failure(
+    gp: &GenProgram,
+    details: Vec<String>,
+    snapshot: Vec<u8>,
+    machine: &Machine,
+) -> Box<ForkFailure> {
+    Box::new(ForkFailure {
+        divergence: Divergence {
+            seed: gp.seed,
+            details,
+        },
+        gp: gp.clone(),
+        snapshot,
+        end_cycle: machine.stats().cycles,
+        final_snapshot: machine.snapshot(),
+    })
+}
+
+/// Fork-based differential check: generates and warms up **once** per
+/// seed, snapshots, and forks a machine per [`MODE_COMBOS`] entry from
+/// the shared warm point instead of re-executing every mode from cold.
+///
+/// The base machine (pinned cycle-by-cycle, legacy dispatch, retire-log
+/// sink) runs to completion and is compared field by field against the
+/// `disc-ref` interpreter exactly like [`compare_with_budget`]; each fork
+/// then runs only the post-snapshot tail under its own timing mode and
+/// must land on the identical final state and statistics. The
+/// `(CycleByCycle, Legacy)` fork doubles as a restore-fidelity check —
+/// it re-executes the base tail from the snapshot and must agree.
+pub fn compare_forked(gp: &GenProgram) -> Result<u64, Box<ForkFailure>> {
+    let mut details = Vec::new();
+
+    let base_cfg = machine_config(gp)
+        .with_step_mode(StepMode::CycleByCycle)
+        .with_dispatch_mode(DispatchMode::Legacy);
+    let mut machine = Machine::new(base_cfg, &gp.program);
+    machine.set_trace_sink(Box::new(RetireLog {
+        per_stream: vec![Vec::new(); gp.streams],
+    }));
+    let warm_exit = machine.run(WARM_CYCLES.min(MACHINE_CYCLES));
+    let snapshot = machine.snapshot();
+    let m_exit = match warm_exit {
+        Ok(Exit::CycleLimit) => machine.run(MACHINE_CYCLES - WARM_CYCLES.min(MACHINE_CYCLES)),
+        other => other,
+    };
+    let retire_log = machine
+        .take_trace_sink()
+        .and_then(|sink| sink.into_any().downcast::<RetireLog>().ok())
+        .expect("retire log sink");
+
+    let mut reference = RefMachine::new(ref_config(gp), &gp.program);
+    let r_exit = reference.run(REF_STEPS);
+    let steps = reference.steps();
+
+    let exits_match = matches!(
+        (&m_exit, r_exit),
+        (Ok(Exit::Halted), RefExit::Halted) | (Ok(Exit::AllIdle), RefExit::AllIdle)
+    );
+    if !exits_match {
+        details.push(format!(
+            "exit status: machine {m_exit:?} vs reference {r_exit:?}"
+        ));
+        return Err(fork_failure(gp, details, snapshot, &machine));
+    }
+
+    let ext_addrs = ext_addr_set(gp, &reference);
+    diff_against_reference(
+        &mut machine,
+        &retire_log,
+        &reference,
+        gp,
+        &ext_addrs,
+        &mut details,
+    );
+
+    for (step, dispatch) in MODE_COMBOS {
+        let cfg = machine_config(gp)
+            .with_step_mode(step)
+            .with_dispatch_mode(dispatch);
+        let mut fork = Machine::new(cfg, &gp.program);
+        if let Err(e) = fork.restore(&snapshot) {
+            details.push(format!("fork {step:?}/{dispatch:?}: restore failed: {e}"));
+            continue;
         }
+        let f_exit = fork.run(MACHINE_CYCLES);
+        if f_exit != m_exit {
+            details.push(format!(
+                "fork {step:?}/{dispatch:?}: exit {f_exit:?} vs base {m_exit:?}"
+            ));
+        }
+        diff_machines(
+            &format!("fork {step:?}/{dispatch:?}"),
+            &mut machine,
+            &mut fork,
+            gp.streams,
+            reference.internal_len() as u16,
+            &ext_addrs,
+            &mut details,
+        );
     }
 
     if details.is_empty() {
         Ok(steps)
     } else {
-        Err(Divergence {
-            seed: gp.seed,
-            details,
-        })
+        Err(fork_failure(gp, details, snapshot, &machine))
     }
 }
 
-/// Runs `gp` with the default budgets.
-pub fn compare(gp: &GenProgram) -> Result<u64, Divergence> {
-    compare_with_budget(gp, MACHINE_CYCLES, REF_STEPS)
+/// Generates and fork-checks one seed.
+///
+/// # Errors
+///
+/// Returns the [`ForkFailure`] when any mode combo or the reference
+/// comparison diverges.
+pub fn fork_check_seed(seed: u64) -> Result<u64, Box<ForkFailure>> {
+    compare_forked(&generate(seed))
 }
 
-/// Generates and compares one seed.
-pub fn check_seed(seed: u64) -> Result<u64, Divergence> {
-    compare(&generate(seed))
+/// Writes a crash-artifact pair for a fork-mode failure into `dir`:
+/// `seed-<hex>.replay`, a `disc-replay/v1` log whose starting snapshot is
+/// the pre-divergence warm point (so the failure reproduces in one
+/// `replay` invocation), and `seed-<hex>.txt` with the seed, every
+/// generator knob and the divergence details. Returns the path stem.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating `dir` or writing the files.
+pub fn write_artifact(dir: &Path, failure: &ForkFailure) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let gp = &failure.gp;
+    let stem = dir.join(format!("seed-{:016x}", failure.divergence.seed));
+    let log = ReplayLog {
+        config: machine_config(gp)
+            .with_step_mode(StepMode::CycleByCycle)
+            .with_dispatch_mode(DispatchMode::Legacy),
+        program: gp.program.clone(),
+        start: failure.snapshot.clone(),
+        events: Vec::new(),
+        end_cycle: failure.end_cycle,
+        final_snapshot: failure.final_snapshot.clone(),
+    };
+    std::fs::write(stem.with_extension("replay"), log.save())?;
+
+    let mut txt = String::new();
+    let _ = writeln!(txt, "seed: {:#x}", gp.seed);
+    let _ = writeln!(
+        txt,
+        "streams: {} (exact retire-order comparison: {})",
+        gp.streams, gp.exact
+    );
+    let _ = writeln!(
+        txt,
+        "pipeline_depth: {}  window_depth: {}  ext_latency: {}",
+        gp.pipeline_depth, gp.window_depth, gp.ext_latency
+    );
+    let _ = writeln!(txt, "schedule: {:?}", gp.schedule);
+    let _ = writeln!(
+        txt,
+        "drawn step_mode: {:?}  dispatch_mode: {:?}",
+        gp.step_mode, gp.dispatch_mode
+    );
+    let _ = writeln!(
+        txt,
+        "warm-point snapshot taken after at most {WARM_CYCLES} cycles; \
+         base machine finished at cycle {}",
+        failure.end_cycle
+    );
+    let _ = writeln!(txt);
+    let _ = write!(txt, "{}", failure.divergence);
+    let _ = writeln!(txt, "\nreproduce:");
+    let _ = writeln!(
+        txt,
+        "  cargo run -p disc-bench --bin fuzz -- --fork --no-corpus --seed {:#x} --count 1",
+        gp.seed
+    );
+    let _ = writeln!(
+        txt,
+        "  cargo run -p disc-bench --bin replay -- {}",
+        stem.with_extension("replay").display()
+    );
+    std::fs::write(stem.with_extension("txt"), txt)?;
+    Ok(stem)
+}
+
+fn write_panic_artifact(dir: &Path, seed: u64, msg: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("seed-{seed:016x}.txt"));
+    std::fs::write(
+        path,
+        format!(
+            "seed: {seed:#x}\nworker panicked: {msg}\n\nreproduce:\n  \
+             cargo run -p disc-bench --bin fuzz -- --fork --no-corpus \
+             --seed {seed:#x} --count 1\n"
+        ),
+    )
+}
+
+/// Fork-mode campaign: like [`run_campaign`], but each seed is checked
+/// through [`fork_check_seed`] — generate and warm up once, fork per mode
+/// combo — and any failure (divergence or worker panic) leaves a crash
+/// artifact in `artifact_dir` via [`write_artifact`]. A panic yields a
+/// knobs-only artifact: no pre-divergence snapshot survives an unwound
+/// worker, but the seed alone regenerates the case.
+pub fn run_campaign_forked(
+    extra_seeds: &[u64],
+    base_seed: u64,
+    count: u64,
+    artifact_dir: Option<&Path>,
+) -> CampaignReport {
+    let mut seeds: Vec<u64> = extra_seeds.to_vec();
+    seeds.extend((0..count).map(|i| base_seed.wrapping_add(i)));
+    let results = disc_par::par_map(seeds, |seed| {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fork_check_seed(seed)));
+        match outcome {
+            Ok(Ok(steps)) => Ok(steps),
+            Ok(Err(failure)) => {
+                let mut div = failure.divergence.clone();
+                if let Some(dir) = artifact_dir {
+                    match write_artifact(dir, &failure) {
+                        Ok(stem) => div
+                            .details
+                            .push(format!("artifact: {}.replay", stem.display())),
+                        Err(e) => div.details.push(format!("artifact write failed: {e}")),
+                    }
+                }
+                Err(div)
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(|s| s.as_str())
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                let mut details = vec![format!("worker panicked: {msg}")];
+                if let Some(dir) = artifact_dir {
+                    if let Err(e) = write_panic_artifact(dir, seed, msg) {
+                        details.push(format!("artifact write failed: {e}"));
+                    }
+                }
+                Err(Divergence { seed, details })
+            }
+        }
+    });
+    let mut report = CampaignReport::default();
+    for outcome in results {
+        report.programs += 1;
+        match outcome {
+            Ok(steps) => report.instructions += steps,
+            Err(div) => report.divergences.push(div),
+        }
+    }
+    report
 }
 
 // ---- minimization -------------------------------------------------------
@@ -1206,5 +1546,85 @@ mod tests {
         let listing = sparse_listing(&gp.program);
         assert!(!listing.is_empty());
         assert!(!listing.contains("nop"));
+    }
+
+    #[test]
+    fn fork_mode_matches_on_fresh_seeds() {
+        for seed in 0..24 {
+            let steps = fork_check_seed(seed).unwrap_or_else(|f| panic!("{}", f.divergence));
+            assert!(steps > 0, "seed {seed} executed nothing");
+        }
+    }
+
+    #[test]
+    fn corpus_replays_clean_through_fork_mode() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/fuzz/regressions.txt");
+        let text = std::fs::read_to_string(path).expect("corpus readable");
+        let seeds: Vec<u64> = text
+            .lines()
+            .map(|l| l.split('#').next().unwrap_or("").trim())
+            .filter(|l| !l.is_empty())
+            .map(|l| {
+                l.strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| l.parse())
+                    .expect("corpus seed parses")
+            })
+            .collect();
+        assert!(!seeds.is_empty(), "corpus has seeds");
+        for seed in seeds {
+            fork_check_seed(seed).unwrap_or_else(|f| panic!("corpus: {}", f.divergence));
+        }
+    }
+
+    #[test]
+    fn artifacts_reproduce_in_one_replay_invocation() {
+        // Manufacture a failure record from a healthy run: the artifact
+        // machinery must work regardless of what the divergence was.
+        let gp = generate(5);
+        let cfg = machine_config(&gp)
+            .with_step_mode(StepMode::CycleByCycle)
+            .with_dispatch_mode(DispatchMode::Legacy);
+        let mut m = Machine::new(cfg, &gp.program);
+        let warm_exit = m.run(WARM_CYCLES);
+        let snapshot = m.snapshot();
+        if matches!(warm_exit, Ok(Exit::CycleLimit)) {
+            m.run(MACHINE_CYCLES).expect("base run");
+        }
+        let failure = ForkFailure {
+            divergence: Divergence {
+                seed: gp.seed,
+                details: vec!["synthetic failure for the artifact test".into()],
+            },
+            gp: gp.clone(),
+            snapshot,
+            end_cycle: m.stats().cycles,
+            final_snapshot: m.snapshot(),
+        };
+
+        let dir = std::env::temp_dir().join(format!("disc-fuzz-artifacts-{}", std::process::id()));
+        let stem = write_artifact(&dir, &failure).expect("artifact written");
+
+        let bytes = std::fs::read(stem.with_extension("replay")).expect("replay file exists");
+        let log = ReplayLog::load(&bytes).expect("artifact log loads");
+        let replayed = crate::replay::replay(&log, None).expect("artifact replays");
+        assert_eq!(
+            replayed.snapshot(),
+            log.final_snapshot,
+            "one replay invocation reproduces the recorded run"
+        );
+
+        let notes = std::fs::read_to_string(stem.with_extension("txt")).expect("notes exist");
+        assert!(notes.contains("seed: 0x5"));
+        assert!(notes.contains("--fork"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forked_campaign_reports_like_the_plain_one() {
+        let report = run_campaign_forked(&[3], 0, 4, None);
+        assert_eq!(report.programs, 5);
+        assert!(report.passed(), "divergences: {:?}", report.divergences);
+        assert!(report.instructions > 0);
     }
 }

@@ -9,6 +9,7 @@
 pub mod experiments;
 pub mod figures;
 pub mod fuzz;
+pub mod replay;
 
 use disc_core::{SkipStats, StepMode};
 use disc_obs::Json;

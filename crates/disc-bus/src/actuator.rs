@@ -81,6 +81,43 @@ impl Peripheral for Actuator {
     fn advance(&mut self, cycles: u64) {
         self.cycle += cycles;
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("actuator");
+        w.put_u32(self.latency);
+        w.put_u64(self.cycle);
+        w.put_usize(self.history.len());
+        for c in &self.history {
+            w.put_u64(c.cycle);
+            w.put_u16(c.offset);
+            w.put_u16(c.value);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("actuator")?;
+        let latency = r.get_u32()?;
+        if latency != self.latency {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "actuator latency mismatch: device {}, snapshot {latency}",
+                self.latency
+            )));
+        }
+        self.cycle = r.get_u64()?;
+        let n = r.get_usize()?;
+        self.history.clear();
+        for _ in 0..n {
+            self.history.push(Command {
+                cycle: r.get_u64()?,
+                offset: r.get_u16()?,
+                value: r.get_u16()?,
+            });
+        }
+        r.finish()
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,35 @@ pub trait Peripheral {
     fn advance(&mut self, cycles: u64) {
         let _ = cycles;
     }
+
+    /// Serializes the device's mutable state as an opaque `disc-snap/v1`
+    /// component blob, aggregated into machine snapshots by
+    /// [`PeripheralBus::save_state`](disc_core::DataBus::save_state).
+    /// Mirrors [`DataBus::save_state`]: the default (empty blob) is only
+    /// sound for stateless devices, and a blob conventionally starts with
+    /// a device name tag so state can never land on the wrong device
+    /// kind.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state written by [`save_state`](Peripheral::save_state)
+    /// onto an identically-constructed device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`disc_snap::SnapError`] when the blob is malformed or
+    /// belongs to a different device kind/construction. The default
+    /// accepts only the default `save_state`'s empty blob.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(disc_snap::SnapError::Corrupt(
+                "device state offered to a stateless peripheral".into(),
+            ))
+        }
+    }
 }
 
 /// Error returned by [`PeripheralBus::map`] on overlapping or empty
@@ -201,6 +230,46 @@ impl DataBus for PeripheralBus {
             m.device.advance(cycles);
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("peripheral-bus");
+        w.put_u64(self.unmapped_accesses);
+        w.put_usize(self.mappings.len());
+        for m in &self.mappings {
+            w.put_u16(m.base);
+            w.put_u16(m.len);
+            w.put_bytes(&m.device.save_state());
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("peripheral-bus")?;
+        let unmapped = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.mappings.len() {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "peripheral count mismatch: bus has {}, snapshot has {n}",
+                self.mappings.len()
+            )));
+        }
+        for m in &mut self.mappings {
+            let base = r.get_u16()?;
+            let len = r.get_u16()?;
+            if base != m.base || len != m.len {
+                return Err(disc_snap::SnapError::Corrupt(format!(
+                    "mapping mismatch at {:#06x}+{:#x}: snapshot has {base:#06x}+{len:#x}",
+                    m.base, m.len
+                )));
+            }
+            m.device.restore_state(r.get_bytes()?)?;
+        }
+        r.finish()?;
+        self.unmapped_accesses = unmapped;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -301,5 +370,93 @@ mod tests {
         bus.map(0, 4, Box::new(Echo(0))).unwrap();
         bus.write(2, 42);
         assert_eq!(bus.read(0), 42);
+    }
+
+    fn loaded_bus() -> PeripheralBus {
+        let mut bus = PeripheralBus::new();
+        bus.map(0x8000, 0x100, Box::new(crate::ExtRam::new(0x100, 2)))
+            .unwrap();
+        bus.map(
+            0x9000,
+            crate::Timer::REGS,
+            Box::new(crate::Timer::periodic(50, 1, 5)),
+        )
+        .unwrap();
+        bus.map(
+            0x9100,
+            crate::Watchdog::REGS,
+            Box::new(crate::Watchdog::new(200, 0, 7)),
+        )
+        .unwrap();
+        bus.map(
+            0x9200,
+            crate::SensorPort::REGS,
+            Box::new(crate::SensorPort::triangle(30, 10, 8).with_irq(2, 4)),
+        )
+        .unwrap();
+        let mut uart = crate::Uart::new(4).with_irq(3, 3);
+        uart.feed(17, vec![7, 8, 9]);
+        bus.map(0x9300, crate::Uart::REGS, Box::new(uart)).unwrap();
+        bus.map(0x9400, 2, Box::new(crate::Actuator::new(3)))
+            .unwrap();
+        bus
+    }
+
+    #[test]
+    fn full_bus_state_roundtrips() {
+        use disc_core::DataBus;
+        let mut bus = loaded_bus();
+        let mut irqs = Vec::new();
+        for i in 0..137u16 {
+            DataBus::tick(&mut bus, &mut irqs);
+            if i % 10 == 0 {
+                DataBus::write(&mut bus, 0x8000 + i, i);
+                DataBus::write(&mut bus, 0x9400, i);
+            }
+        }
+        let _ = DataBus::read(&mut bus, 0x9300); // pop one RX word
+        let _ = DataBus::read(&mut bus, 0x4242); // count an unmapped access
+        let state = bus.save_state();
+
+        let mut fresh = loaded_bus();
+        fresh.restore_state(&state).expect("restore");
+        // Both copies must serialize identically and behave identically
+        // from here on.
+        assert_eq!(fresh.save_state(), state);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..300 {
+            DataBus::tick(&mut bus, &mut a);
+            DataBus::tick(&mut fresh, &mut b);
+        }
+        assert_eq!(a, b, "post-restore interrupt timelines diverge");
+        for addr in [
+            0x8000, 0x8010, 0x9002, 0x9101, 0x9200, 0x9201, 0x9301, 0x9400,
+        ] {
+            assert_eq!(
+                DataBus::read(&mut bus, addr),
+                DataBus::read(&mut fresh, addr),
+                "register {addr:#06x} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_reshaped_bus() {
+        let bus = loaded_bus();
+        let state = bus.save_state();
+        let mut other = PeripheralBus::new();
+        other
+            .map(0x8000, 0x100, Box::new(crate::ExtRam::new(0x100, 2)))
+            .unwrap();
+        assert!(other.restore_state(&state).is_err(), "missing devices");
+        let mut swapped = PeripheralBus::new();
+        swapped
+            .map(0x8000, 0x100, Box::new(crate::ExtRam::new(0x100, 3)))
+            .unwrap();
+        let sub = bus.mappings[0].device.save_state();
+        assert!(
+            swapped.mappings[0].device.restore_state(&sub).is_err(),
+            "construction params differ"
+        );
     }
 }

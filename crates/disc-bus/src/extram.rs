@@ -62,6 +62,40 @@ impl Peripheral for ExtRam {
         self.writes += 1;
         self.poke(offset, value);
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("ext-ram");
+        w.put_u32(self.latency);
+        w.put_usize(self.words.len());
+        for &word in &self.words {
+            w.put_u16(word);
+        }
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("ext-ram")?;
+        let latency = r.get_u32()?;
+        let len = r.get_usize()?;
+        if latency != self.latency || len != self.words.len() {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "ext-ram construction mismatch: device ({} words, latency {}), \
+                 snapshot ({len} words, latency {latency})",
+                self.words.len(),
+                self.latency
+            )));
+        }
+        for word in self.words.iter_mut() {
+            *word = r.get_u16()?;
+        }
+        self.reads = r.get_u64()?;
+        self.writes = r.get_u64()?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]

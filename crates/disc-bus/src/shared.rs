@@ -88,6 +88,14 @@ impl<T: Peripheral> Peripheral for Shared<T> {
     fn advance(&mut self, cycles: u64) {
         self.0.borrow_mut().advance(cycles)
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        self.0.borrow().save_state()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        self.0.borrow_mut().restore_state(state)
+    }
 }
 
 #[cfg(test)]

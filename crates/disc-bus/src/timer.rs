@@ -142,6 +142,36 @@ impl Peripheral for Timer {
         );
         self.count -= cycles as u32;
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("timer");
+        w.put_usize(self.stream);
+        w.put_u8(self.bit);
+        w.put_u32(self.period);
+        w.put_u16(self.control);
+        w.put_u32(self.count);
+        w.put_u64(self.fires);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("timer")?;
+        let stream = r.get_usize()?;
+        let bit = r.get_u8()?;
+        if stream != self.stream || bit != self.bit {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "timer irq routing mismatch: device ({}, {}), snapshot ({stream}, {bit})",
+                self.stream, self.bit
+            )));
+        }
+        self.period = r.get_u32()?;
+        self.control = r.get_u16()?;
+        self.count = r.get_u32()?;
+        self.fires = r.get_u64()?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]

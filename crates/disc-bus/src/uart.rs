@@ -182,6 +182,92 @@ impl Peripheral for Uart {
             }
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("uart");
+        w.put_u32(self.word_cycles);
+        w.put_usize(self.rx_capacity);
+        w.put_usize(self.rx.len());
+        for &word in &self.rx {
+            w.put_u16(word);
+        }
+        w.put_u64(self.rx_overflows);
+        w.put_usize(self.tx.len());
+        for &word in &self.tx {
+            w.put_u16(word);
+        }
+        match &self.rx_feed {
+            None => w.put_u8(0),
+            Some((interval, countdown, words, idx)) => {
+                w.put_u8(1);
+                w.put_u32(*interval);
+                w.put_u32(*countdown);
+                w.put_usize(words.len());
+                for &word in words.iter() {
+                    w.put_u16(word);
+                }
+                w.put_usize(*idx);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("uart")?;
+        let word_cycles = r.get_u32()?;
+        let rx_capacity = r.get_usize()?;
+        if word_cycles != self.word_cycles || rx_capacity != self.rx_capacity {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "uart construction mismatch: device ({}, {}), \
+                 snapshot ({word_cycles}, {rx_capacity})",
+                self.word_cycles, self.rx_capacity
+            )));
+        }
+        let n = r.get_usize()?;
+        if n > rx_capacity {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "uart RX occupancy {n} exceeds capacity {rx_capacity}"
+            )));
+        }
+        self.rx.clear();
+        for _ in 0..n {
+            self.rx.push_back(r.get_u16()?);
+        }
+        self.rx_overflows = r.get_u64()?;
+        let n = r.get_usize()?;
+        self.tx.clear();
+        for _ in 0..n {
+            self.tx.push(r.get_u16()?);
+        }
+        self.rx_feed = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let interval = r.get_u32()?;
+                let countdown = r.get_u32()?;
+                let n = r.get_usize()?;
+                let mut words = Vec::with_capacity(n);
+                for _ in 0..n {
+                    words.push(r.get_u16()?);
+                }
+                let idx = r.get_usize()?;
+                if idx > words.len() {
+                    return Err(disc_snap::SnapError::Corrupt(format!(
+                        "uart feed index {idx} past {} words",
+                        words.len()
+                    )));
+                }
+                Some((interval, countdown, words.into_boxed_slice(), idx))
+            }
+            t => {
+                return Err(disc_snap::SnapError::Corrupt(format!(
+                    "bad uart feed tag {t}"
+                )))
+            }
+        };
+        r.finish()
+    }
 }
 
 #[cfg(test)]

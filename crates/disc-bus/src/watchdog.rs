@@ -106,6 +106,37 @@ impl Peripheral for Watchdog {
         );
         self.count -= cycles as u32;
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("watchdog");
+        w.put_usize(self.stream);
+        w.put_u8(self.bit);
+        w.put_u32(self.timeout);
+        w.put_u32(self.count);
+        w.put_u64(self.bites);
+        w.put_u64(self.kicks);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("watchdog")?;
+        let stream = r.get_usize()?;
+        let bit = r.get_u8()?;
+        let timeout = r.get_u32()?;
+        if stream != self.stream || bit != self.bit || timeout != self.timeout {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "watchdog construction mismatch: device ({}, {}, {}), \
+                 snapshot ({stream}, {bit}, {timeout})",
+                self.stream, self.bit, self.timeout
+            )));
+        }
+        self.count = r.get_u32()?;
+        self.bites = r.get_u64()?;
+        self.kicks = r.get_u64()?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]

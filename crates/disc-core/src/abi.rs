@@ -11,6 +11,8 @@
 //! The ABI supports one outstanding transaction; a stream that finds the
 //! bus busy has its access cancelled and retries once the bus frees.
 
+use disc_snap::{SnapError, SnapReader, SnapWriter};
+
 /// Where a completed read delivers its data.
 ///
 /// Window destinations are captured as *logical stack slots* at issue time
@@ -217,6 +219,110 @@ impl Abi {
     pub fn aborts(&self) -> u64 {
         self.aborts
     }
+
+    /// Serializes the interface state, including any in-flight
+    /// transaction (`disc-snap/v1` component).
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        match &self.current {
+            None => w.put_u8(0),
+            Some(txn) => {
+                w.put_u8(1);
+                w.put_usize(txn.stream);
+                w.put_u16(txn.addr);
+                match txn.op {
+                    BusOp::Read { dest } => {
+                        w.put_u8(1);
+                        save_target(w, dest);
+                    }
+                    BusOp::Write { value } => {
+                        w.put_u8(2);
+                        w.put_u16(value);
+                    }
+                    BusOp::TestAndSet { dest } => {
+                        w.put_u8(3);
+                        save_target(w, dest);
+                    }
+                }
+                w.put_u32(txn.remaining);
+            }
+        }
+        w.put_u64(self.elapsed);
+        w.put_u64(self.busy_cycles);
+        w.put_u64(self.transactions);
+        w.put_u64(self.rejections);
+        w.put_u64(self.aborts);
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into).
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.current = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let stream = r.get_usize()?;
+                let addr = r.get_u16()?;
+                let op = match r.get_u8()? {
+                    1 => BusOp::Read {
+                        dest: restore_target(r)?,
+                    },
+                    2 => BusOp::Write {
+                        value: r.get_u16()?,
+                    },
+                    3 => BusOp::TestAndSet {
+                        dest: restore_target(r)?,
+                    },
+                    t => return Err(SnapError::Corrupt(format!("bad bus op tag {t}"))),
+                };
+                let remaining = r.get_u32()?;
+                if remaining == 0 {
+                    return Err(SnapError::Corrupt(
+                        "in-flight transaction with zero remaining cycles".into(),
+                    ));
+                }
+                Some(Transaction {
+                    stream,
+                    addr,
+                    op,
+                    remaining,
+                })
+            }
+            t => return Err(SnapError::Corrupt(format!("bad transaction tag {t}"))),
+        };
+        self.elapsed = r.get_u64()?;
+        self.busy_cycles = r.get_u64()?;
+        self.transactions = r.get_u64()?;
+        self.rejections = r.get_u64()?;
+        self.aborts = r.get_u64()?;
+        Ok(())
+    }
+}
+
+fn save_target(w: &mut SnapWriter, t: RegTarget) {
+    match t {
+        RegTarget::Window(slot) => {
+            w.put_u8(1);
+            w.put_usize(slot);
+        }
+        RegTarget::Global(i) => {
+            w.put_u8(2);
+            w.put_u8(i);
+        }
+        RegTarget::Sp => w.put_u8(3),
+        RegTarget::Sr => w.put_u8(4),
+        RegTarget::Ir => w.put_u8(5),
+        RegTarget::Mr => w.put_u8(6),
+    }
+}
+
+fn restore_target(r: &mut SnapReader<'_>) -> Result<RegTarget, SnapError> {
+    Ok(match r.get_u8()? {
+        1 => RegTarget::Window(r.get_usize()?),
+        2 => RegTarget::Global(r.get_u8()?),
+        3 => RegTarget::Sp,
+        4 => RegTarget::Sr,
+        5 => RegTarget::Ir,
+        6 => RegTarget::Mr,
+        t => return Err(SnapError::Corrupt(format!("bad register target tag {t}"))),
+    })
 }
 
 #[cfg(test)]

@@ -76,6 +76,37 @@ pub trait DataBus {
     fn advance(&mut self, cycles: u64) {
         let _ = cycles;
     }
+
+    /// Serializes the bus's mutable state as an opaque `disc-snap/v1`
+    /// component blob, embedded verbatim in machine snapshots.
+    ///
+    /// The default (empty blob) is only sound for stateless buses; any
+    /// implementation with mutable state must override `save_state` and
+    /// [`restore_state`](DataBus::restore_state) together. Conventionally
+    /// a blob starts with a name tag (see
+    /// [`SnapReader::expect_str`](disc_snap::SnapReader::expect_str)) so
+    /// state can never be applied to the wrong bus kind.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state written by [`save_state`](DataBus::save_state) onto
+    /// an identically-constructed bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`disc_snap::SnapError`] when the blob is malformed or
+    /// belongs to a different bus kind. The default accepts only the
+    /// default `save_state`'s empty blob.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(disc_snap::SnapError::Corrupt(
+                "bus state offered to a stateless bus".into(),
+            ))
+        }
+    }
 }
 
 /// Flat external RAM with a uniform access latency (the paper's `tmem`).
@@ -118,6 +149,42 @@ impl DataBus for FlatBus {
 
     fn write(&mut self, addr: u16, value: u16) {
         self.poke(addr, value);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("flat-bus");
+        w.put_u32(self.latency);
+        // Address-sorted pairs so identical contents always serialize to
+        // identical bytes regardless of hash-map iteration order.
+        let mut pairs: Vec<(u16, u16)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        pairs.sort_unstable();
+        w.put_usize(pairs.len());
+        for (addr, value) in pairs {
+            w.put_u16(addr);
+            w.put_u16(value);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("flat-bus")?;
+        let latency = r.get_u32()?;
+        if latency != self.latency {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "flat-bus latency mismatch: machine {}, snapshot {latency}",
+                self.latency
+            )));
+        }
+        let n = r.get_usize()?;
+        self.words.clear();
+        for _ in 0..n {
+            let addr = r.get_u16()?;
+            let value = r.get_u16()?;
+            self.words.insert(addr, value);
+        }
+        r.finish()
     }
 }
 

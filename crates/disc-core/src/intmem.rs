@@ -87,6 +87,38 @@ impl InternalMemory {
     pub fn writes(&self) -> u64 {
         self.writes
     }
+
+    /// Serializes the memory contents and access counters
+    /// (`disc-snap/v1` component).
+    pub(crate) fn save_into(&self, w: &mut disc_snap::SnapWriter) {
+        w.put_usize(self.words.len());
+        for &word in &self.words {
+            w.put_u16(word);
+        }
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into) onto a
+    /// memory of the same size.
+    pub(crate) fn restore_from(
+        &mut self,
+        r: &mut disc_snap::SnapReader<'_>,
+    ) -> Result<(), disc_snap::SnapError> {
+        let len = r.get_usize()?;
+        if len != self.words.len() {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "internal memory size mismatch: machine {}, snapshot {len}",
+                self.words.len()
+            )));
+        }
+        for word in self.words.iter_mut() {
+            *word = r.get_u16()?;
+        }
+        self.reads = r.get_u64()?;
+        self.writes = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

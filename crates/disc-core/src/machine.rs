@@ -21,6 +21,7 @@
 //! reallocated by the scheduler — the defining DISC property.
 
 use disc_isa::{AluOp, AwpMode, Cond, Instruction, Program, Reg};
+use disc_snap::{splitmix64, SnapError, SnapReader, SnapWriter};
 
 use crate::abi::{Abi, BusOp, RegTarget, Transaction};
 use crate::alu::{alu, eval_cond, imm_op};
@@ -393,6 +394,19 @@ pub struct Machine {
     /// Superblock fast-path accounting, nonzero only under
     /// [`DispatchMode::Superblock`].
     sb_stats: SuperblockStats,
+    /// Slow steps left before the next superblock eligibility probe.
+    /// Persistent machine state (not a `run`-local) so splitting a run
+    /// across several `run` calls cannot change when probes happen.
+    sb_backoff: u64,
+    /// The last superblock burst was cut by the caller's cycle budget,
+    /// not by the machine: the next probe continues the same burst (one
+    /// burst in the accounting, no entry probe counted).
+    sb_carry: bool,
+    /// Cycles covered so far by the carried burst.
+    sb_carry_len: u64,
+    /// The last event skip was cut by the caller's cycle budget: the next
+    /// skip extends it (one skip in the accounting).
+    skip_carry: bool,
     cycle: u64,
     halted: bool,
     next_seq: u64,
@@ -488,6 +502,10 @@ impl Machine {
             stats: MachineStats::new(config.streams),
             skip_stats: SkipStats::default(),
             sb_stats: SuperblockStats::default(),
+            sb_backoff: 0,
+            sb_carry: false,
+            sb_carry_len: 0,
+            skip_carry: false,
             cycle: 0,
             halted: false,
             next_seq: 0,
@@ -733,6 +751,19 @@ impl Machine {
     /// under [`BusFaultPolicy::Fault`] cannot be delivered because the
     /// stream masks the bus-error interrupt.
     pub fn run(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
+        // A finished machine must make `run` a strict no-op: a halted or
+        // idle machine stays that way until an external input arrives, so
+        // report it without burning a cycle — and without letting the
+        // superblock/event-skip paths touch their pacing state. Otherwise
+        // an extra `run` call after the machine finished (which is exactly
+        // what resuming from a snapshot does) would leave different
+        // diagnostic counters than the run that never made the call.
+        if self.halted {
+            return Ok(Exit::Halted);
+        }
+        if self.idle_exit && self.all_idle() {
+            return Ok(Exit::AllIdle);
+        }
         if self.config.step_mode == StepMode::EventSkip {
             return self.run_event_skip(max_cycles);
         }
@@ -761,22 +792,15 @@ impl Machine {
     /// and (with idle-exit armed) all-idle stretches at entry.
     fn run_superblock(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
         let mut remaining = max_cycles;
-        let mut backoff: u64 = 0;
         while remaining > 0 {
-            if backoff == 0 {
-                let n = self.superblock_burst(remaining)?;
+            if self.sb_backoff == 0 {
+                let n = self.burst(remaining)?;
                 remaining -= n;
-                if n < BURST_RETRY_FLOOR {
-                    // The machine is near a hazard (bus op, window motion,
-                    // interrupt …): stop paying the eligibility probe every
-                    // cycle until the slow path has moved past it.
-                    backoff = BURST_BACKOFF;
-                }
                 if remaining == 0 {
                     return Ok(Exit::CycleLimit);
                 }
             } else {
-                backoff -= 1;
+                self.sb_backoff -= 1;
             }
             match self.step()? {
                 Status::Running => {}
@@ -792,18 +816,42 @@ impl Machine {
     }
 
     /// [`run`](Self::run) under [`StepMode::EventSkip`]: identical to the
-    /// cycle-by-cycle loop except that between steps, when the machine is
-    /// provably quiescent (nothing can issue, execute or change state),
-    /// time jumps straight to the next wake event with one bulk counter
-    /// update instead of stepping through the stall cycles one by one.
-    /// Under [`DispatchMode::Superblock`] the non-quiescent stretches
+    /// cycle-by-cycle loop except that, whenever the machine is provably
+    /// quiescent (nothing can issue, execute or change state), time jumps
+    /// straight to the next wake event with one bulk counter update
+    /// instead of stepping through the stall cycles one by one. Under
+    /// [`DispatchMode::Superblock`] the non-quiescent stretches
     /// additionally go through the superblock fast path; quiescence is
-    /// checked first so skip accounting is unchanged from PR 5.
+    /// checked first so skips are never split into bursts.
+    ///
+    /// All checks happen at the top of the loop, before the step, and all
+    /// pacing state (probe backoff, budget-truncated skips and bursts)
+    /// lives on the machine, so chunking a run into several `run` calls
+    /// reaches the same state — counters included — as one big call.
     fn run_event_skip(&mut self, max_cycles: u64) -> Result<Exit, SimError> {
         let superblock = self.config.dispatch_mode == DispatchMode::Superblock;
         let mut remaining = max_cycles;
-        let mut backoff: u64 = 0;
         while remaining > 0 {
+            if self.quiescent() {
+                let n = self.next_wake(remaining) - self.cycle;
+                if n > 0 {
+                    self.apply_skip(n, n == remaining);
+                    remaining -= n;
+                    continue;
+                }
+            }
+            self.skip_carry = false;
+            if superblock {
+                if self.sb_backoff == 0 {
+                    let n = self.burst(remaining)?;
+                    if n > 0 {
+                        remaining -= n;
+                        continue;
+                    }
+                } else {
+                    self.sb_backoff -= 1;
+                }
+            }
             match self.step()? {
                 Status::Running => {}
                 Status::Halted => return Ok(Exit::Halted),
@@ -813,25 +861,35 @@ impl Machine {
             if self.idle_exit && self.all_idle() {
                 return Ok(Exit::AllIdle);
             }
-            if remaining > 0 && self.quiescent() {
-                let n = self.next_wake(remaining) - self.cycle;
-                if n > 0 {
-                    self.apply_skip(n);
-                    remaining -= n;
-                }
-            } else if superblock && remaining > 0 {
-                if backoff == 0 {
-                    let n = self.superblock_burst(remaining)?;
-                    remaining -= n;
-                    if n < BURST_RETRY_FLOOR {
-                        backoff = BURST_BACKOFF;
-                    }
-                } else {
-                    backoff -= 1;
-                }
-            }
         }
         Ok(Exit::CycleLimit)
+    }
+
+    /// Probes and runs one superblock burst of at most `budget` cycles,
+    /// carrying budget-truncated bursts across `run` calls: a burst cut
+    /// by the cycle budget is resumed by the next probe (no entry-reject
+    /// counted, no second burst counted), and the retry backoff is
+    /// decided on the *total* burst length once the machine — not the
+    /// budget — ends it.
+    fn burst(&mut self, budget: u64) -> Result<u64, SimError> {
+        let resuming = self.sb_carry;
+        self.sb_carry = false;
+        let n = self.superblock_burst(budget, resuming)?;
+        if n == budget {
+            // Cut by the caller's budget, not by the machine.
+            self.sb_carry = true;
+            self.sb_carry_len += n;
+        } else {
+            let total = self.sb_carry_len + n;
+            self.sb_carry_len = 0;
+            if total < BURST_RETRY_FLOOR {
+                // The machine is near a hazard (bus op, window motion,
+                // interrupt …): stop paying the eligibility probe every
+                // cycle until the slow path has moved past it.
+                self.sb_backoff = BURST_BACKOFF;
+            }
+        }
+        Ok(n)
     }
 
     /// `true` when the next step provably changes no architectural state
@@ -904,7 +962,10 @@ impl Machine {
     /// Bulk-applies `n` quiescent cycles: exactly the counter updates `n`
     /// individual steps would have made, without touching architectural
     /// state (which [`quiescent`](Self::quiescent) proved frozen).
-    fn apply_skip(&mut self, n: u64) {
+    /// `truncated` marks a skip cut short by the caller's cycle budget
+    /// rather than by a wake event; the continuation applied by the next
+    /// `run` call then extends this skip instead of counting a new one.
+    fn apply_skip(&mut self, n: u64, truncated: bool) {
         debug_assert!(n > 0);
         for (s, st) in self.streams.iter_mut().enumerate() {
             let dec = n.min(u64::from(st.spill_stall));
@@ -937,7 +998,10 @@ impl Machine {
         self.scheduler.advance_idle(n);
         self.abi.advance(n);
         self.bus.advance(n);
-        self.skip_stats.skips += 1;
+        if !self.skip_carry {
+            self.skip_stats.skips += 1;
+        }
+        self.skip_carry = truncated;
         self.skip_stats.cycles_skipped += n;
         debug_assert!(
             (0..self.streams.len()).all(|s| self.stats.attribution.total(s) == self.stats.cycles),
@@ -986,7 +1050,7 @@ impl Machine {
     /// whose next word does not decode — mutating exactly the state the
     /// equivalent failing `step` would have (retire/execute happened, the
     /// cycle counter did not advance).
-    fn superblock_burst(&mut self, budget: u64) -> Result<u64, SimError> {
+    fn superblock_burst(&mut self, budget: u64, resuming: bool) -> Result<u64, SimError> {
         // -- entry eligibility --------------------------------------------
         if self.halted
             || self.legacy_decode
@@ -994,20 +1058,26 @@ impl Machine {
             || self.abi.busy()
             || self.scheduler.sequence().is_none()
         {
-            self.sb_stats.entry_rejects += 1;
+            if !resuming {
+                self.sb_stats.entry_rejects += 1;
+            }
             return Ok(0);
         }
         let mut active_mask: u32 = 0;
         for (s, st) in self.streams.iter().enumerate() {
             if st.wait != WaitState::None || st.spill_stall > 0 || st.window_moves > 0 {
-                self.sb_stats.entry_rejects += 1;
+                if !resuming {
+                    self.sb_stats.entry_rejects += 1;
+                }
                 return Ok(0);
             }
             if st
                 .pending_interrupt()
                 .is_some_and(|bit| st.vectors[bit as usize].is_some())
             {
-                self.sb_stats.entry_rejects += 1;
+                if !resuming {
+                    self.sb_stats.entry_rejects += 1;
+                }
                 return Ok(0);
             }
             if st.active() {
@@ -1017,7 +1087,9 @@ impl Machine {
         // The slow loop owns the AllIdle exit: a run entered here would
         // cover cycles `run` must never execute.
         if active_mask == 0 && self.idle_exit {
-            self.sb_stats.entry_rejects += 1;
+            if !resuming {
+                self.sb_stats.entry_rejects += 1;
+            }
             return Ok(0);
         }
         if self
@@ -1026,7 +1098,9 @@ impl Machine {
             .flatten()
             .any(|slot| !burst_safe(&slot.instr))
         {
-            self.sb_stats.entry_rejects += 1;
+            if !resuming {
+                self.sb_stats.entry_rejects += 1;
+            }
             return Ok(0);
         }
         let mut limit = budget;
@@ -1034,7 +1108,9 @@ impl Machine {
             limit = limit.min(t.saturating_sub(self.cycle));
         }
         if limit == 0 {
-            self.sb_stats.entry_rejects += 1;
+            if !resuming {
+                self.sb_stats.entry_rejects += 1;
+            }
             return Ok(0);
         }
 
@@ -1052,7 +1128,9 @@ impl Machine {
             self.scheduler.advance_idle(limit);
             self.abi.advance(limit);
             self.bus.advance(limit);
-            self.sb_stats.bursts += 1;
+            if !resuming {
+                self.sb_stats.bursts += 1;
+            }
             self.sb_stats.burst_cycles += limit;
             return Ok(limit);
         }
@@ -1267,7 +1345,9 @@ impl Machine {
         self.stats.reallocations = self.scheduler.reallocated();
         self.abi.advance(executed);
         if executed > 0 {
-            self.sb_stats.bursts += 1;
+            if !resuming {
+                self.sb_stats.bursts += 1;
+            }
             self.sb_stats.burst_cycles += executed;
             self.sb_stats.burst_issues += issued[..nstreams].iter().sum::<u64>();
         }
@@ -2292,4 +2372,313 @@ impl Machine {
         self.live_slots += 1;
         Ok(())
     }
+
+    // ---- snapshot / restore ---------------------------------------------
+
+    /// Serializes the complete machine state as a `disc-snap/v1` blob:
+    /// every stream context (registers, flags, service stack, vectors,
+    /// in-flight writes, stack window + AWP), the pipeline, internal
+    /// memory, scheduler and ABI state, all statistics, and the external
+    /// bus via [`DataBus::save_state`].
+    ///
+    /// The blob begins with a fingerprint of the machine configuration and
+    /// a hash of the program image; [`restore`](Self::restore) refuses
+    /// blobs taken under an incompatible configuration or a different
+    /// program. The fingerprint deliberately excludes
+    /// [`StepMode`]/[`DispatchMode`] — those knobs are timing-invisible,
+    /// so a snapshot taken under one mode restores under any other (the
+    /// basis of fork-per-mode differential fuzzing).
+    ///
+    /// Snapshots capture state *between* cycles; call this only at a cycle
+    /// boundary (never from inside a [`TraceSink`] callback).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        disc_snap::write_header(
+            &mut w,
+            self.config.fingerprint(),
+            program_hash(&self.program),
+        );
+        w.put_u64(self.cycle);
+        w.put_bool(self.halted);
+        w.put_u64(self.next_seq);
+        w.put_bool(self.idle_exit);
+        w.put_bool(self.legacy_decode);
+        w.put_usize(self.globals.len());
+        for &g in &self.globals {
+            w.put_u16(g);
+        }
+        w.put_usize(self.streams.len());
+        for st in &self.streams {
+            st.save_into(&mut w);
+        }
+        self.intmem.save_into(&mut w);
+        self.scheduler.save_into(&mut w);
+        self.abi.save_into(&mut w);
+        // Pipeline slots in logical stage order; the instruction and its
+        // predecoded properties re-derive from (pc) at restore, so only
+        // the identity of each in-flight fetch is stored.
+        let depth = self.config.pipeline_depth;
+        w.put_usize(depth);
+        for i in 0..depth {
+            match &self.pipe[self.stage_idx(i)] {
+                Some(slot) => {
+                    w.put_u8(1);
+                    w.put_usize(slot.stream);
+                    w.put_u16(slot.pc);
+                    w.put_u64(slot.seq);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        self.stats.save_into(&mut w);
+        w.put_u64(self.skip_stats.skips);
+        w.put_u64(self.skip_stats.cycles_skipped);
+        w.put_u64(self.sb_stats.bursts);
+        w.put_u64(self.sb_stats.burst_cycles);
+        w.put_u64(self.sb_stats.burst_issues);
+        w.put_u64(self.sb_stats.entry_rejects);
+        // Run-loop pacing state: without it, a restored machine would
+        // probe for bursts/skips on a different schedule than the one
+        // that produced the snapshot, perturbing the diagnostic counters.
+        w.put_u64(self.sb_backoff);
+        w.put_bool(self.sb_carry);
+        w.put_u64(self.sb_carry_len);
+        w.put_bool(self.skip_carry);
+        match &self.pending_error {
+            None => w.put_u8(0),
+            Some(SimError::Decode { stream, pc, word }) => {
+                w.put_u8(1);
+                w.put_usize(*stream);
+                w.put_u16(*pc);
+                w.put_u32(*word);
+            }
+            Some(SimError::UnhandledStackFault { stream }) => {
+                w.put_u8(2);
+                w.put_usize(*stream);
+            }
+            Some(SimError::UnhandledBusFault { stream, addr }) => {
+                w.put_u8(3);
+                w.put_usize(*stream);
+                w.put_u16(*addr);
+            }
+        }
+        w.put_bytes(&self.bus.save_state());
+        w.into_bytes()
+    }
+
+    /// Restores state serialized by [`snapshot`](Self::snapshot) onto this
+    /// machine.
+    ///
+    /// The machine must have been constructed with a configuration whose
+    /// [`fingerprint`](MachineConfig::fingerprint) matches the snapshot's
+    /// (step/dispatch mode may differ), the same program, and a bus of the
+    /// same kind and construction — trait objects cannot be rebuilt from
+    /// bytes, so restore *applies* serialized state to an
+    /// identically-assembled machine rather than conjuring one.
+    ///
+    /// Per-cycle scratch (pending trace events, IRQ staging, attribution
+    /// flags) is cleared, so an attached [`TraceSink`] resumes cleanly at
+    /// the restored cycle with no stale events from before the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] when the blob is malformed, was produced
+    /// under an incompatible configuration or different program, or does
+    /// not match this machine's bus.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let header = disc_snap::read_header(&mut r)?;
+        let fp = self.config.fingerprint();
+        if header.config_fingerprint != fp {
+            return Err(SnapError::FingerprintMismatch {
+                expected: fp,
+                found: header.config_fingerprint,
+            });
+        }
+        let ph = program_hash(&self.program);
+        if header.program_hash != ph {
+            return Err(SnapError::ProgramMismatch {
+                expected: ph,
+                found: header.program_hash,
+            });
+        }
+        self.cycle = r.get_u64()?;
+        self.halted = r.get_bool()?;
+        self.next_seq = r.get_u64()?;
+        self.idle_exit = r.get_bool()?;
+        self.legacy_decode = r.get_bool()?;
+        let nglobals = r.get_usize()?;
+        if nglobals != self.globals.len() {
+            return Err(SnapError::Corrupt(format!(
+                "global register count mismatch: machine {}, snapshot {nglobals}",
+                self.globals.len()
+            )));
+        }
+        for g in self.globals.iter_mut() {
+            *g = r.get_u16()?;
+        }
+        let nstreams = r.get_usize()?;
+        if nstreams != self.streams.len() {
+            return Err(SnapError::Corrupt(format!(
+                "stream count mismatch: machine {}, snapshot {nstreams}",
+                self.streams.len()
+            )));
+        }
+        for st in self.streams.iter_mut() {
+            st.restore_from(&mut r)?;
+        }
+        self.intmem.restore_from(&mut r)?;
+        self.scheduler.restore_from(&mut r)?;
+        self.abi.restore_from(&mut r)?;
+        let depth = r.get_usize()?;
+        if depth != self.config.pipeline_depth {
+            return Err(SnapError::Corrupt(format!(
+                "pipeline depth mismatch: machine {}, snapshot {depth}",
+                self.config.pipeline_depth
+            )));
+        }
+        self.pipe = [None; MAX_PIPE];
+        self.pipe_head = 0;
+        self.live_slots = 0;
+        for i in 0..depth {
+            if r.get_u8()? == 0 {
+                continue;
+            }
+            let stream = r.get_usize()?;
+            if stream >= self.streams.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "pipe slot stream {stream} out of range"
+                )));
+            }
+            let pc = r.get_u16()?;
+            let seq = r.get_u64()?;
+            let entry = if self.legacy_decode {
+                predecode(self.program.word(pc))
+            } else {
+                self.ops.get(pc as usize).copied().unwrap_or(NOP_ENTRY)
+            };
+            if entry.kind == K_FAULT {
+                // Undecodable words fault at fetch and never enter the
+                // pipe, so a snapshot can only claim one through
+                // corruption.
+                return Err(SnapError::Corrupt(format!(
+                    "pipe slot holds undecodable word at pc {pc:#06x}"
+                )));
+            }
+            self.pipe[i] = Some(Slot {
+                stream,
+                pc,
+                instr: entry.instr,
+                seq,
+                moves_window: entry.moves_window,
+                kind: entry.kind,
+            });
+            self.live_slots += 1;
+        }
+        self.stats.restore_from(&mut r)?;
+        self.skip_stats.skips = r.get_u64()?;
+        self.skip_stats.cycles_skipped = r.get_u64()?;
+        self.sb_stats.bursts = r.get_u64()?;
+        self.sb_stats.burst_cycles = r.get_u64()?;
+        self.sb_stats.burst_issues = r.get_u64()?;
+        self.sb_stats.entry_rejects = r.get_u64()?;
+        self.sb_backoff = r.get_u64()?;
+        self.sb_carry = r.get_bool()?;
+        self.sb_carry_len = r.get_u64()?;
+        self.skip_carry = r.get_bool()?;
+        self.pending_error = match r.get_u8()? {
+            0 => None,
+            1 => Some(SimError::Decode {
+                stream: r.get_usize()?,
+                pc: r.get_u16()?,
+                word: r.get_u32()?,
+            }),
+            2 => Some(SimError::UnhandledStackFault {
+                stream: r.get_usize()?,
+            }),
+            3 => Some(SimError::UnhandledBusFault {
+                stream: r.get_usize()?,
+                addr: r.get_u16()?,
+            }),
+            t => return Err(SnapError::Corrupt(format!("bad pending-error tag {t}"))),
+        };
+        let bus_state = r.get_bytes()?;
+        self.bus.restore_state(bus_state)?;
+        r.finish()?;
+        // Per-cycle scratch never crosses a snapshot: events staged before
+        // the snapshot belong to the cycle that produced them, not to the
+        // first cycle after restore.
+        self.events.clear();
+        self.irq_buf.clear();
+        self.attr_spill.fill(false);
+        self.attr_hazard.fill(false);
+        self.fetch_probe.fill(Probe::Unknown);
+        self.fetch_entry.fill(NOP_ENTRY);
+        Ok(())
+    }
+
+    /// Clones this machine's state into a fresh machine built with
+    /// `config` and `bus` — the general fork: `config` may differ in
+    /// step/dispatch mode (anything else fails the fingerprint check in
+    /// [`restore`](Self::restore)), and `bus` must be constructed
+    /// identically to this machine's bus so its serialized state applies.
+    ///
+    /// The fork shares no state with the original and carries no trace
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] when `config` is timing-incompatible or `bus`
+    /// is of a different kind/construction than this machine's.
+    pub fn fork_with(
+        &self,
+        config: MachineConfig,
+        bus: Box<dyn DataBus>,
+    ) -> Result<Machine, SnapError> {
+        let snap = self.snapshot();
+        let mut fork = Machine::with_bus(config, &self.program, bus);
+        fork.restore(&snap)?;
+        Ok(fork)
+    }
+
+    /// Clones this machine into an independent copy with the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// The fork's bus is a fresh [`FlatBus`], so this only succeeds when
+    /// the original machine also runs on a `FlatBus` (the default of
+    /// [`Machine::new`]); machines on custom buses fork through
+    /// [`fork_with`](Self::fork_with) with an identically-built bus.
+    pub fn fork(&self) -> Result<Machine, SnapError> {
+        let config = self.config.clone();
+        let latency = config.default_ext_latency;
+        self.fork_with(config, Box::new(FlatBus::new(latency)))
+    }
+}
+
+/// Order-sensitive hash of the full program image — words, entry points
+/// and interrupt vectors — used to pin snapshots to the exact program they
+/// were taken under.
+fn program_hash(program: &Program) -> u64 {
+    let mut h: u64 = 0x4449_5343; // "DISC"
+    let mut fold = |x: u64| h = splitmix64(h ^ x);
+    fold(program.len() as u64);
+    for (addr, word) in program.iter() {
+        fold(addr as u64);
+        fold(word as u64);
+    }
+    for s in 0..disc_isa::MAX_STREAMS {
+        match program.entry(s) {
+            Some(pc) => fold(0x100 | pc as u64),
+            None => fold(0),
+        }
+        for bit in 1..disc_isa::IRQ_LEVELS as u8 {
+            match program.vector(s, bit) {
+                Some(pc) => fold(0x200 | (bit as u64) << 16 | pc as u64),
+                None => fold(1),
+            }
+        }
+    }
+    h
 }

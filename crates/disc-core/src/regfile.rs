@@ -13,6 +13,7 @@
 
 use crate::config::WindowPolicy;
 use disc_isa::WINDOW_REGS;
+use disc_snap::{SnapError, SnapReader, SnapWriter};
 
 /// Outcome of an AWP adjustment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -218,6 +219,62 @@ impl StackWindow {
     /// Number of reads/writes/decrements that under-ran the stack bottom.
     pub fn underflows(&self) -> u64 {
         self.underflows
+    }
+
+    /// Serializes the window file (`disc-snap/v1` component). The logical
+    /// stack can have grown past the physical `depth`, so the whole
+    /// backing vector is written; `depth` and `policy` come from the
+    /// configuration and are written only for validation.
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.depth);
+        w.put_usize(self.stack.len());
+        for &word in &self.stack {
+            w.put_u16(word);
+        }
+        w.put_usize(self.awp);
+        w.put_usize(self.resident_low);
+        w.put_u64(self.spills);
+        w.put_u64(self.fills);
+        w.put_usize(self.max_awp);
+        w.put_u64(self.underflows);
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into) onto a
+    /// window file built with the same depth (policy is construction
+    /// state and is not overwritten).
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let depth = r.get_usize()?;
+        if depth != self.depth {
+            return Err(SnapError::Corrupt(format!(
+                "window depth mismatch: machine {}, snapshot {depth}",
+                self.depth
+            )));
+        }
+        let len = r.get_usize()?;
+        if len < self.depth {
+            return Err(SnapError::Corrupt(format!(
+                "window stack shorter than physical depth: {len} < {}",
+                self.depth
+            )));
+        }
+        self.stack.clear();
+        self.stack.reserve(len);
+        for _ in 0..len {
+            self.stack.push(r.get_u16()?);
+        }
+        self.awp = r.get_usize()?;
+        self.resident_low = r.get_usize()?;
+        if self.awp >= self.stack.len() {
+            return Err(SnapError::Corrupt(format!(
+                "AWP {} outside restored stack of {len} slots",
+                self.awp
+            )));
+        }
+        self.spills = r.get_u64()?;
+        self.fills = r.get_u64()?;
+        self.max_awp = r.get_usize()?;
+        self.underflows = r.get_u64()?;
+        Ok(())
     }
 }
 

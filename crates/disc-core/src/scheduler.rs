@@ -11,6 +11,8 @@
 //! which is the property that distinguishes *dynamic* interleaving from the
 //! fixed barrel scheduling of HEP-style machines.
 
+use disc_snap::{SnapError, SnapReader, SnapWriter};
+
 /// Number of slots in a DISC1 partition sequence (1/16 granularity).
 pub const SEQUENCE_SLOTS: usize = 16;
 
@@ -247,6 +249,59 @@ impl Scheduler {
     /// Slots that were dynamically reallocated away from their owner.
     pub fn reallocated(&self) -> u64 {
         self.reallocated
+    }
+
+    /// Serializes the scheduler's runtime state (`disc-snap/v1`
+    /// component). The policy itself is construction state derived from
+    /// the configuration and is not written.
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.slot);
+        w.put_usize(self.deficit.len());
+        for &d in &self.deficit {
+            w.put_i64(d);
+        }
+        w.put_usize(self.granted.len());
+        for &g in &self.granted {
+            w.put_u64(g);
+        }
+        w.put_u64(self.reallocated);
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into) onto a
+    /// scheduler built from the same configuration.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let slot = r.get_usize()?;
+        if let SchedulePolicy::Sequence(seq) = &self.policy {
+            if slot >= seq.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "slot pointer {slot} outside {}-entry sequence",
+                    seq.len()
+                )));
+            }
+        }
+        self.slot = slot;
+        let n = r.get_usize()?;
+        if n != self.deficit.len() {
+            return Err(SnapError::Corrupt(format!(
+                "deficit table length mismatch: machine {}, snapshot {n}",
+                self.deficit.len()
+            )));
+        }
+        for d in self.deficit.iter_mut() {
+            *d = r.get_i64()?;
+        }
+        let n = r.get_usize()?;
+        if n != self.granted.len() {
+            return Err(SnapError::Corrupt(format!(
+                "grant table length mismatch: machine {}, snapshot {n}",
+                self.granted.len()
+            )));
+        }
+        for g in self.granted.iter_mut() {
+            *g = r.get_u64()?;
+        }
+        self.reallocated = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! Execution statistics collected by the machine.
 
+use disc_snap::{SnapError, SnapReader, SnapWriter};
+
 /// Maximum number of individual latency samples retained for percentile
 /// reporting. Runs with more recorded interrupts keep a uniform reservoir
 /// of this size; the count / sum / max aggregates stay exact regardless.
@@ -86,6 +88,38 @@ impl IrqLatencyStats {
         sorted.sort_unstable();
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Serializes the aggregate plus the reservoir contents
+    /// (`disc-snap/v1` component). The reservoir replacement index is a
+    /// pure function of `count`, so restoring these four fields resumes
+    /// the deterministic sampling stream exactly.
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_opt_u64(self.max);
+        w.put_usize(self.samples.len());
+        for &s in &self.samples {
+            w.put_u64(s);
+        }
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into).
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.count = r.get_u64()?;
+        self.sum = r.get_u64()?;
+        self.max = r.get_opt_u64()?;
+        let n = r.get_usize()?;
+        if n > IRQ_LATENCY_RESERVOIR {
+            return Err(SnapError::Corrupt(format!(
+                "latency reservoir of {n} samples exceeds the {IRQ_LATENCY_RESERVOIR} cap"
+            )));
+        }
+        self.samples.clear();
+        for _ in 0..n {
+            self.samples.push(r.get_u64()?);
+        }
+        Ok(())
     }
 }
 
@@ -200,6 +234,38 @@ impl CycleAttribution {
         } else {
             Err(bad)
         }
+    }
+
+    /// Serializes all seven buckets (`disc-snap/v1` component).
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        for bucket in [
+            &self.issue,
+            &self.hazard_stall,
+            &self.bus_txn_wait,
+            &self.bus_free_wait,
+            &self.spill_stall,
+            &self.idle,
+            &self.not_scheduled,
+        ] {
+            save_u64_vec(w, bucket);
+        }
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into) onto an
+    /// attribution of the same stream count.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for bucket in [
+            &mut self.issue,
+            &mut self.hazard_stall,
+            &mut self.bus_txn_wait,
+            &mut self.bus_free_wait,
+            &mut self.spill_stall,
+            &mut self.idle,
+            &mut self.not_scheduled,
+        ] {
+            restore_u64_vec(r, bucket)?;
+        }
+        Ok(())
     }
 
     /// Renders the per-stream breakdown as a fixed-width table, one row
@@ -407,6 +473,82 @@ impl MachineStats {
     pub fn max_irq_latency(&self) -> Option<u64> {
         self.irq_latency.max()
     }
+
+    /// Serializes every counter, the latency aggregate and the cycle
+    /// attribution (`disc-snap/v1` component).
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cycles);
+        save_u64_vec(w, &self.retired);
+        w.put_u64(self.bubbles);
+        w.put_u64(self.flushed_jump);
+        w.put_u64(self.flushed_io);
+        w.put_u64(self.flushed_bus_busy);
+        w.put_u64(self.flushed_irq);
+        save_u64_vec(w, &self.wait_txn_cycles);
+        save_u64_vec(w, &self.wait_bus_free_cycles);
+        save_u64_vec(w, &self.spill_stall_cycles);
+        save_u64_vec(w, &self.hazard_stalls);
+        save_u64_vec(w, &self.vectors_taken);
+        self.irq_latency.save_into(w);
+        w.put_u64(self.reallocations);
+        w.put_u64(self.flow_instructions);
+        w.put_u64(self.external_accesses);
+        w.put_u64(self.forks_ignored);
+        w.put_u64(self.unmapped_accesses);
+        w.put_u64(self.abi_timeouts);
+        save_u64_vec(w, &self.bus_faults);
+        self.attribution.save_into(w);
+    }
+
+    /// Restores state written by [`save_into`](Self::save_into) onto
+    /// statistics of the same stream count.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cycles = r.get_u64()?;
+        restore_u64_vec(r, &mut self.retired)?;
+        self.bubbles = r.get_u64()?;
+        self.flushed_jump = r.get_u64()?;
+        self.flushed_io = r.get_u64()?;
+        self.flushed_bus_busy = r.get_u64()?;
+        self.flushed_irq = r.get_u64()?;
+        restore_u64_vec(r, &mut self.wait_txn_cycles)?;
+        restore_u64_vec(r, &mut self.wait_bus_free_cycles)?;
+        restore_u64_vec(r, &mut self.spill_stall_cycles)?;
+        restore_u64_vec(r, &mut self.hazard_stalls)?;
+        restore_u64_vec(r, &mut self.vectors_taken)?;
+        self.irq_latency.restore_from(r)?;
+        self.reallocations = r.get_u64()?;
+        self.flow_instructions = r.get_u64()?;
+        self.external_accesses = r.get_u64()?;
+        self.forks_ignored = r.get_u64()?;
+        self.unmapped_accesses = r.get_u64()?;
+        self.abi_timeouts = r.get_u64()?;
+        restore_u64_vec(r, &mut self.bus_faults)?;
+        self.attribution.restore_from(r)
+    }
+}
+
+/// Writes a length-prefixed `u64` vector.
+fn save_u64_vec(w: &mut SnapWriter, v: &[u64]) {
+    w.put_usize(v.len());
+    for &x in v {
+        w.put_u64(x);
+    }
+}
+
+/// Reads a `u64` vector whose length must match the destination's —
+/// per-stream tables never change size after construction.
+fn restore_u64_vec(r: &mut SnapReader<'_>, dst: &mut [u64]) -> Result<(), SnapError> {
+    let n = r.get_usize()?;
+    if n != dst.len() {
+        return Err(SnapError::Corrupt(format!(
+            "per-stream table length mismatch: machine {}, snapshot {n}",
+            dst.len()
+        )));
+    }
+    for x in dst.iter_mut() {
+        *x = r.get_u64()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use crate::config::WindowPolicy;
 use crate::regfile::StackWindow;
+use disc_snap::{SnapError, SnapReader, SnapWriter};
 
 /// Arithmetic flags of a stream (`Z N C V`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -257,6 +258,94 @@ impl Stream {
         assert!(bit < 8);
         self.ir &= !(1 << bit);
         self.irq_raised_at[bit as usize] = None;
+    }
+
+    /// Serializes the full stream context (`disc-snap/v1` component).
+    ///
+    /// Interrupt vectors are included even though they start out derived
+    /// from the program image: [`Machine::set_vector`](crate::Machine)
+    /// can rewrite them at runtime.
+    pub(crate) fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u16(self.pc);
+        w.put_u16(self.flags.to_word());
+        w.put_u16(self.sp);
+        w.put_u8(self.ir);
+        w.put_u8(self.mr);
+        w.put_usize(self.service.len());
+        for f in &self.service {
+            w.put_u8(f.bit);
+            w.put_u16(f.resume_pc);
+            w.put_u16(f.flags.to_word());
+        }
+        for v in self.vectors {
+            w.put_opt_u16(v);
+        }
+        w.put_u8(match self.wait {
+            WaitState::None => 0,
+            WaitState::BusTransaction => 1,
+            WaitState::BusFree => 2,
+        });
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_u64(p.seq);
+            w.put_u32(p.mask);
+        }
+        w.put_u32(self.window_moves);
+        w.put_u32(self.spill_stall);
+        for t in self.irq_raised_at {
+            w.put_opt_u64(t);
+        }
+        self.window.save_into(w);
+    }
+
+    /// Restores the context written by [`save_into`](Self::save_into)
+    /// onto this stream (whose window file was built from the same
+    /// configuration). The aggregate scoreboard mask is rebuilt from the
+    /// restored entries rather than trusted from the blob.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.pc = r.get_u16()?;
+        self.flags = Flags::from_word(r.get_u16()?);
+        self.sp = r.get_u16()?;
+        self.ir = r.get_u8()?;
+        self.mr = r.get_u8()?;
+        let frames = r.get_usize()?;
+        self.service.clear();
+        for _ in 0..frames {
+            let bit = r.get_u8()?;
+            if bit >= 8 {
+                return Err(SnapError::Corrupt(format!("service frame bit {bit}")));
+            }
+            let resume_pc = r.get_u16()?;
+            let flags = Flags::from_word(r.get_u16()?);
+            self.service.push(ServiceFrame {
+                bit,
+                resume_pc,
+                flags,
+            });
+        }
+        for v in self.vectors.iter_mut() {
+            *v = r.get_opt_u16()?;
+        }
+        self.wait = match r.get_u8()? {
+            0 => WaitState::None,
+            1 => WaitState::BusTransaction,
+            2 => WaitState::BusFree,
+            t => return Err(SnapError::Corrupt(format!("bad wait state tag {t}"))),
+        };
+        let entries = r.get_usize()?;
+        self.pending.clear();
+        for _ in 0..entries {
+            let seq = r.get_u64()?;
+            let mask = r.get_u32()?;
+            self.pending.push(PendingWrite { seq, mask });
+        }
+        self.resync_pending_mask();
+        self.window_moves = r.get_u32()?;
+        self.spill_stall = r.get_u32()?;
+        for t in self.irq_raised_at.iter_mut() {
+            *t = r.get_opt_u64()?;
+        }
+        self.window.restore_from(r)
     }
 }
 

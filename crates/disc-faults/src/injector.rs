@@ -310,6 +310,78 @@ impl DataBus for FaultInjector {
         self.cycle += cycles;
         self.inner.advance(cycles);
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_str("fault-injector");
+        w.put_u64(self.plan.seed());
+        w.put_usize(self.plan.faults().len());
+        w.put_u64(self.cycle);
+        let log = self.log.borrow();
+        for (_, v) in log.counters() {
+            w.put_u64(v);
+        }
+        w.put_bytes(&self.inner.save_state());
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        r.expect_str("fault-injector")?;
+        let seed = r.get_u64()?;
+        let nfaults = r.get_usize()?;
+        if seed != self.plan.seed() || nfaults != self.plan.faults().len() {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "fault plan mismatch: injector (seed {}, {} faults), \
+                 snapshot (seed {seed}, {nfaults} faults)",
+                self.plan.seed(),
+                self.plan.faults().len()
+            )));
+        }
+        let cycle = r.get_u64()?;
+        let log = FaultLog {
+            inflated_probes: r.get_u64()?,
+            stuck_probes: r.get_u64()?,
+            blackouts: r.get_u64()?,
+            bit_flips: r.get_u64()?,
+            dropped_irqs: r.get_u64()?,
+            spurious_irqs: r.get_u64()?,
+        };
+        self.inner.restore_state(r.get_bytes()?)?;
+        r.finish()?;
+        self.cycle = cycle;
+        *self.log.borrow_mut() = log;
+        self.scratch.clear();
+        Ok(())
+    }
+}
+
+/// The injector's only replayable randomness is its cycle cursor: every
+/// probabilistic decision is a *pure hash* of
+/// `(plan seed, fault index, cycle, address)`, so there is no evolving
+/// generator state to capture. Restoring the cursor therefore resumes the
+/// exact decision stream, which is what makes fault campaigns
+/// snapshot-safe.
+impl disc_snap::ReplayableRng for FaultInjector {
+    fn rng_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        w.put_u64(self.plan.seed());
+        w.put_u64(self.cycle);
+        w.into_bytes()
+    }
+
+    fn set_rng_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        let seed = r.get_u64()?;
+        if seed != self.plan.seed() {
+            return Err(disc_snap::SnapError::Corrupt(format!(
+                "fault seed mismatch: injector {}, state {seed}",
+                self.plan.seed()
+            )));
+        }
+        self.cycle = r.get_u64()?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +559,40 @@ mod tests {
                 "spurious_irqs"
             ]
         );
+    }
+
+    #[test]
+    fn injector_state_roundtrips_mid_window() {
+        use disc_snap::ReplayableRng;
+        let plan = || {
+            FaultPlan::new(7)
+                .bit_flip(AddrRange::all(), 1, 0.5, FaultWindow::always())
+                .spurious_irq(2, 6, 4, FaultWindow::between(8, 60))
+        };
+        let mut inj = flat_injector(plan());
+        inj.write(0x20, 0xaaaa);
+        let _ = tick_to(&mut inj, 23);
+        let _ = inj.read(0x20);
+        let state = inj.save_state();
+        let rng = inj.rng_state();
+
+        let mut fresh = flat_injector(plan());
+        fresh.restore_state(&state).expect("restore");
+        assert_eq!(fresh.save_state(), state, "restored state re-serializes");
+        assert_eq!(fresh.rng_state(), rng);
+        // The decision streams must continue identically: same flips, same
+        // spurious interrupts, same log.
+        let a = tick_to(&mut inj, 70);
+        let b = tick_to(&mut fresh, 70);
+        assert_eq!(a, b);
+        assert_eq!(inj.read(0x20), fresh.read(0x20));
+        assert_eq!(inj.log_handle().snapshot(), fresh.log_handle().snapshot());
+
+        let mut wrong = flat_injector(FaultPlan::new(8));
+        assert!(wrong.restore_state(&state).is_err(), "plan mismatch");
+        let mut cursor = flat_injector(plan());
+        cursor.set_rng_state(&rng).expect("cursor restore");
+        assert_eq!(cursor.cycle(), 23);
     }
 
     #[test]

@@ -22,20 +22,17 @@ use crate::json::Json;
 /// Schema identifier stamped into every report.
 ///
 /// `v2` extends `v1` with an optional `timing` section (step mode,
-/// wall-clock simulation throughput, event-skip statistics). Every `v1`
-/// field is still present with the same shape, so `v1` readers that
-/// ignore unknown sections keep working.
-pub const RUN_REPORT_SCHEMA: &str = "disc-run-report/v2";
-
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+/// wall-clock simulation throughput, event-skip statistics). `v3`
+/// extends `v2` with an optional `resume` section (checkpoint journal
+/// accounting for crash-resumed campaigns). Every earlier field is
+/// still present with the same shape, so readers that ignore unknown
+/// sections keep working.
+pub const RUN_REPORT_SCHEMA: &str = "disc-run-report/v3";
 
 /// Deterministic 64-bit fingerprint of a machine configuration, rendered
-/// as 16 hex digits. Every field (including the full schedule contents)
+/// as 16 hex digits. Delegates to [`MachineConfig::fingerprint`] — the
+/// same value that pins `disc-snap/v1` machine snapshots to a compatible
+/// configuration. Every field (including the full schedule contents)
 /// folds into the hash, so two configs fingerprint equal iff they
 /// simulate identically. [`MachineConfig::step_mode`] and
 /// [`MachineConfig::dispatch_mode`] are deliberately *excluded*: they
@@ -43,40 +40,7 @@ fn splitmix64(mut z: u64) -> u64 {
 /// architectural outcome, so runs under any step/dispatch combination
 /// must fingerprint (and therefore compare) equal.
 pub fn config_fingerprint(config: &MachineConfig) -> String {
-    let mut h: u64 = 0x44495343; // "DISC"
-    let mut fold = |v: u64| h = splitmix64(h ^ v);
-    fold(config.streams as u64);
-    fold(config.pipeline_depth as u64);
-    match &config.schedule {
-        SchedulePolicy::Sequence(slots) => {
-            fold(1);
-            fold(slots.len() as u64);
-            for &s in slots {
-                fold(u64::from(s));
-            }
-        }
-        SchedulePolicy::WeightedDeficit(weights) => {
-            fold(2);
-            fold(weights.len() as u64);
-            for &w in weights {
-                fold(u64::from(w));
-            }
-        }
-    }
-    fold(config.internal_words as u64);
-    fold(config.window_depth as u64);
-    fold(match config.window_policy {
-        WindowPolicy::AutoSpill => 1,
-        WindowPolicy::Fault => 2,
-    });
-    fold(u64::from(config.default_ext_latency));
-    fold(match config.bus_fault {
-        BusFaultPolicy::Legacy => 1,
-        BusFaultPolicy::Fault => 2,
-    });
-    fold(config.abi_timeout);
-    fold(u64::from(config.bus_error_bit));
-    format!("{h:016x}")
+    format!("{:016x}", config.fingerprint())
 }
 
 /// Renders a [`MachineConfig`] (plus its fingerprint) as JSON.
@@ -292,6 +256,20 @@ impl RunReport {
         self.section("timing", timing_json(mode, sim_cycles_per_sec, skip))
     }
 
+    /// Appends the v3 `resume` section: how a crash-resumable campaign's
+    /// shards were satisfied — replayed from a checkpoint journal versus
+    /// executed in this invocation — and where that journal lives.
+    pub fn with_resume(self, shards_loaded: u64, shards_executed: u64, journal: &str) -> Self {
+        self.section(
+            "resume",
+            Json::obj([
+                ("shards_loaded", Json::U64(shards_loaded)),
+                ("shards_executed", Json::U64(shards_executed)),
+                ("journal", Json::str(journal)),
+            ]),
+        )
+    }
+
     /// Captures config, stats, scheduler shares, and timing (step mode
     /// plus skip statistics; throughput null) straight off a finished
     /// machine.
@@ -369,9 +347,12 @@ mod tests {
             .with_stats(&stats)
             .with_scheduler(&[3, 1], 0)
             .with_timing(StepMode::CycleByCycle, Some(1.5e6), &SkipStats::default())
+            .with_resume(3, 7, "results/ckpt/soak.journal")
             .section("extra", Json::U64(7));
         let text = report.render();
-        assert!(text.contains("\"schema\": \"disc-run-report/v2\""));
+        assert!(text.contains("\"schema\": \"disc-run-report/v3\""));
+        assert!(text.contains("\"shards_loaded\": 3"));
+        assert!(text.contains("\"shards_executed\": 7"));
         assert!(text.contains("\"tool\": \"unit-test\""));
         assert!(text.contains("\"fingerprint\""));
         assert!(text.contains("\"attribution\""));

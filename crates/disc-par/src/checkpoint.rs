@@ -1,0 +1,456 @@
+//! Crash-safe shard journal for resumable campaigns.
+//!
+//! A long campaign (soak runs, parameter sweeps) is a map of a pure
+//! function over independent shards. If the process dies mid-campaign —
+//! OOM kill, pre-emption, a plain `kill -9` — every completed shard is
+//! lost and the whole map starts over. The [`Journal`] fixes that: each
+//! completed shard is appended to an on-disk journal the moment it
+//! finishes, and [`par_map_resumable`] replays journalled shards from
+//! disk instead of recomputing them.
+//!
+//! The journal is designed around the only failure mode appending can
+//! have: a torn final record. Every record carries its own checksum
+//! (the workspace-standard [`disc_snap::checksum`]), so on resume the
+//! loader keeps the longest valid prefix, truncates the tear, and the
+//! campaign re-runs exactly the shards that never landed. A journal
+//! whose header fingerprint does not match the resuming campaign is
+//! refused outright — resuming shard results into a differently
+//! configured campaign would silently corrupt it.
+//!
+//! ## On-disk layout (all integers little-endian u64)
+//!
+//! ```text
+//! magic "DISCJRNL" | len + "disc-journal/v1" | campaign fingerprint
+//! repeated records:
+//!   shard index | payload len | payload bytes | checksum(index ++ payload)
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use disc_snap::checksum;
+
+/// Magic bytes opening every journal file.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"DISCJRNL";
+
+/// Format tag written after the magic; bumped on layout changes.
+pub const JOURNAL_FORMAT: &str = "disc-journal/v1";
+
+/// Why a journal could not be opened.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The file exists but is not a journal (bad magic) or is a journal
+    /// of an incompatible format version.
+    Format(String),
+    /// The journal's campaign fingerprint does not match the resuming
+    /// campaign — its shards belong to a different configuration.
+    Mismatch {
+        /// Fingerprint recorded in the journal header.
+        found: u64,
+        /// Fingerprint of the campaign trying to resume.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Format(msg) => write!(f, "not a usable journal: {msg}"),
+            JournalError::Mismatch { found, expected } => write!(
+                f,
+                "journal belongs to a different campaign \
+                 (fingerprint {found:#018x}, expected {expected:#018x}); \
+                 delete it or point --checkpoint elsewhere"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Checksum guarding one record: covers the shard index as well as the
+/// payload, so an index corrupted on disk cannot graft a valid payload
+/// onto the wrong shard.
+fn record_checksum(index: u64, payload: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&index.to_le_bytes());
+    buf.extend_from_slice(payload);
+    checksum(&buf)
+}
+
+/// An append-only journal of completed campaign shards.
+///
+/// Opened fresh with [`Journal::create`] or re-opened for resumption
+/// with [`Journal::resume`]; thereafter shared by reference across
+/// worker threads — [`Journal::record`] serialises appends internally
+/// and flushes each record to the OS before returning, so a record
+/// survives any subsequent crash of this process.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    loaded: BTreeMap<u64, Vec<u8>>,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal for a campaign with the given
+    /// fingerprint. Parent directories are created as needed.
+    pub fn create(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = File::create(path)?;
+        let mut header = Vec::new();
+        header.extend_from_slice(&JOURNAL_MAGIC);
+        header.extend_from_slice(&(JOURNAL_FORMAT.len() as u64).to_le_bytes());
+        header.extend_from_slice(JOURNAL_FORMAT.as_bytes());
+        header.extend_from_slice(&fingerprint.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            loaded: BTreeMap::new(),
+        })
+    }
+
+    /// Re-opens an existing journal, loading every intact record.
+    ///
+    /// The longest valid prefix of records wins: scanning stops at the
+    /// first torn or checksum-failing record (the expected aftermath of
+    /// a crash mid-append) and the file is truncated back to the end of
+    /// the last good record so later appends extend a clean journal. A
+    /// missing file is not an error — it degrades to [`Journal::create`]
+    /// so `--resume` also works on the very first run of a campaign.
+    pub fn resume(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Journal::create(path, fingerprint);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (loaded, good_len) = parse_journal(&bytes, fingerprint)?;
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(good_len as u64)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            loaded,
+        })
+    }
+
+    /// Shards loaded from disk on [`Journal::resume`], keyed by shard
+    /// index. Empty for a freshly created journal.
+    pub fn loaded(&self) -> &BTreeMap<u64, Vec<u8>> {
+        &self.loaded
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed shard and flushes it to the OS. Safe to
+    /// call concurrently from worker threads.
+    pub fn record(&self, index: u64, payload: &[u8]) -> io::Result<()> {
+        let mut rec = Vec::with_capacity(24 + payload.len());
+        rec.extend_from_slice(&index.to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&record_checksum(index, payload).to_le_bytes());
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(&rec)?;
+        file.sync_data()
+    }
+}
+
+/// Parses a journal image: validates the header against `fingerprint`,
+/// then collects records until the first torn or corrupt one. Returns
+/// the record map and the byte length of the valid prefix.
+fn parse_journal(
+    bytes: &[u8],
+    fingerprint: u64,
+) -> Result<(BTreeMap<u64, Vec<u8>>, usize), JournalError> {
+    let take_u64 = |at: usize| -> Option<u64> {
+        bytes
+            .get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    };
+    if bytes.len() < 8 || bytes[..8] != JOURNAL_MAGIC {
+        return Err(JournalError::Format("bad magic".into()));
+    }
+    let tag_len = take_u64(8).ok_or_else(|| JournalError::Format("truncated header".into()))?;
+    let tag_end = 16usize
+        .checked_add(tag_len as usize)
+        .filter(|&e| e + 8 <= bytes.len())
+        .ok_or_else(|| JournalError::Format("truncated header".into()))?;
+    let tag = &bytes[16..tag_end];
+    if tag != JOURNAL_FORMAT.as_bytes() {
+        return Err(JournalError::Format(format!(
+            "format tag {:?}, expected {JOURNAL_FORMAT:?}",
+            String::from_utf8_lossy(tag)
+        )));
+    }
+    let found = take_u64(tag_end).expect("bounds checked above");
+    if found != fingerprint {
+        return Err(JournalError::Mismatch {
+            found,
+            expected: fingerprint,
+        });
+    }
+
+    let mut loaded = BTreeMap::new();
+    let mut at = tag_end + 8;
+    // A record needs at least index + len + checksum; anything shorter
+    // at the tail is a torn append — keep the prefix.
+    while let Some(index) = take_u64(at) {
+        let Some(len) = take_u64(at + 8) else { break };
+        let Some(end) = (at + 16).checked_add(len as usize) else {
+            break;
+        };
+        if end + 8 > bytes.len() {
+            break;
+        }
+        let payload = &bytes[at + 16..end];
+        let Some(sum) = take_u64(end) else { break };
+        if sum != record_checksum(index, payload) {
+            break;
+        }
+        loaded.insert(index, payload.to_vec());
+        at = end + 8;
+    }
+    Ok((loaded, at))
+}
+
+/// How a resumable map's shards were satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// Total shards in the campaign.
+    pub total: usize,
+    /// Shards replayed from the journal.
+    pub loaded: usize,
+    /// Shards executed (and journalled) this run.
+    pub executed: usize,
+}
+
+/// [`crate::par_map`] with crash resumption: shards already present in
+/// `journal` are decoded from disk instead of recomputed, the rest run
+/// in parallel and are journalled the moment each completes.
+///
+/// `decode` turns a journalled payload back into a result — returning
+/// `None` (stale encoding, version drift) simply re-runs that shard.
+/// `encode` is the inverse, run on the worker that produced the result.
+/// Journalled indices outside `0..items.len()` are ignored.
+///
+/// # Panics
+///
+/// Panics when a journal append fails — continuing would complete the
+/// campaign while silently losing its crash safety — or when `f` panics.
+pub fn par_map_resumable<T, R, F, E, D>(
+    items: Vec<T>,
+    journal: &Journal,
+    f: F,
+    encode: E,
+    decode: D,
+) -> (Vec<R>, ResumeStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    E: Fn(&R) -> Vec<u8> + Sync,
+    D: Fn(&[u8]) -> Option<R>,
+{
+    let total = items.len();
+    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    for (&index, payload) in journal.loaded() {
+        if let Ok(i) = usize::try_from(index) {
+            if i < total {
+                slots[i] = decode(payload);
+            }
+        }
+    }
+    let loaded = slots.iter().filter(|s| s.is_some()).count();
+
+    let missing: Vec<(usize, T)> = items
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| slots[*i].is_none())
+        .collect();
+    let executed = missing.len();
+    let fresh = crate::par_map(missing, |(i, item)| {
+        let result = f(item);
+        journal
+            .record(i as u64, &encode(&result))
+            .expect("checkpoint journal append failed");
+        (i, result)
+    });
+    for (i, result) in fresh {
+        slots[i] = Some(result);
+    }
+
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every shard loaded or executed"))
+        .collect();
+    (
+        results,
+        ResumeStats {
+            total,
+            loaded,
+            executed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("disc-journal-{}-{name}", std::process::id()))
+    }
+
+    fn enc(v: &u64) -> Vec<u8> {
+        v.to_le_bytes().to_vec()
+    }
+
+    fn dec(b: &[u8]) -> Option<u64> {
+        b.try_into().ok().map(u64::from_le_bytes)
+    }
+
+    #[test]
+    fn fresh_run_then_resume_replays_everything() {
+        let path = tmp("fresh");
+        let journal = Journal::create(&path, 0xfeed).unwrap();
+        let items: Vec<u64> = (0..10).collect();
+        let (out, stats) = par_map_resumable(items.clone(), &journal, |x| x * x, enc, dec);
+        assert_eq!(out, (0..10).map(|x| x * x).collect::<Vec<u64>>());
+        assert_eq!(
+            stats,
+            ResumeStats {
+                total: 10,
+                loaded: 0,
+                executed: 10
+            }
+        );
+
+        let journal = Journal::resume(&path, 0xfeed).unwrap();
+        assert_eq!(journal.loaded().len(), 10);
+        let (out2, stats2) = par_map_resumable(
+            items,
+            &journal,
+            |_| panic!("nothing should execute on a full journal"),
+            enc,
+            dec,
+        );
+        assert_eq!(out2, out);
+        assert_eq!(stats2.loaded, 10);
+        assert_eq!(stats2.executed, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recomputed() {
+        let path = tmp("torn");
+        let journal = Journal::create(&path, 1).unwrap();
+        journal.record(0, &enc(&7)).unwrap();
+        journal.record(1, &enc(&8)).unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: half a record of garbage.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let intact = bytes.len();
+        bytes.extend_from_slice(&[2, 0, 0, 0, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let journal = Journal::resume(&path, 1).unwrap();
+        assert_eq!(journal.loaded().len(), 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact as u64);
+        // Appending after truncation lands on a clean journal.
+        journal.record(2, &enc(&9)).unwrap();
+        drop(journal);
+        let journal = Journal::resume(&path, 1).unwrap();
+        assert_eq!(journal.loaded().len(), 3);
+        assert_eq!(dec(&journal.loaded()[&2]), Some(9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_drops_it_and_its_suffix() {
+        let path = tmp("corrupt");
+        let journal = Journal::create(&path, 2).unwrap();
+        for i in 0..4u64 {
+            journal.record(i, &enc(&(i + 100))).unwrap();
+        }
+        drop(journal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of record 1 (header 47 bytes, record 32).
+        let hdr = 8 + 8 + JOURNAL_FORMAT.len() + 8;
+        bytes[hdr + 32 + 16] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let journal = Journal::resume(&path, 2).unwrap();
+        // Conservative prefix: record 0 survives, 1..4 re-run.
+        assert_eq!(journal.loaded().len(), 1);
+        let (out, stats) = par_map_resumable((0..4u64).collect(), &journal, |x| x + 100, enc, dec);
+        assert_eq!(out, vec![100, 101, 102, 103]);
+        assert_eq!(stats.loaded, 1);
+        assert_eq!(stats.executed, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_refused() {
+        let path = tmp("fpr");
+        Journal::create(&path, 3).unwrap();
+        let err = Journal::resume(&path, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            JournalError::Mismatch {
+                found: 3,
+                expected: 4
+            }
+        ));
+        assert!(err.to_string().contains("different campaign"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_journal_file_is_refused() {
+        let path = tmp("junk");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        assert!(matches!(
+            Journal::resume(&path, 0),
+            Err(JournalError::Format(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_on_a_missing_file_creates_it() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::resume(&path, 5).unwrap();
+        assert!(journal.loaded().is_empty());
+        journal.record(0, b"x").unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -22,6 +22,10 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod checkpoint;
+
+pub use checkpoint::{par_map_resumable, Journal, JournalError, ResumeStats};
+
 thread_local! {
     static IN_PAR: Cell<bool> = const { Cell::new(false) };
 }

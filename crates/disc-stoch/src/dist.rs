@@ -82,6 +82,30 @@ impl Sampler {
     }
 }
 
+/// Exposes the sampler's xoshiro256++ state so stochastic experiments can
+/// be checkpointed and resumed mid-stream: restoring the state continues
+/// the exact draw sequence the snapshot interrupted.
+impl disc_snap::ReplayableRng for Sampler {
+    fn rng_state(&self) -> Vec<u8> {
+        let mut w = disc_snap::SnapWriter::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.into_bytes()
+    }
+
+    fn set_rng_state(&mut self, state: &[u8]) -> Result<(), disc_snap::SnapError> {
+        let mut r = disc_snap::SnapReader::new(state);
+        let mut s = [0u64; 4];
+        for word in s.iter_mut() {
+            *word = r.get_u64()?;
+        }
+        r.finish()?;
+        self.rng = SmallRng::from_state(s);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +165,22 @@ mod tests {
     #[should_panic(expected = "invalid Poisson mean")]
     fn negative_mean_rejected() {
         Sampler::new(0).poisson(-1.0);
+    }
+
+    #[test]
+    fn rng_state_resumes_the_draw_stream() {
+        use disc_snap::ReplayableRng;
+        let mut s = Sampler::new(99);
+        for _ in 0..100 {
+            let _ = s.poisson(5.0);
+        }
+        let state = s.rng_state();
+        let expected: Vec<u64> = (0..32).map(|_| s.poisson(5.0)).collect();
+
+        let mut resumed = Sampler::new(0);
+        resumed.set_rng_state(&state).expect("restore");
+        let got: Vec<u64> = (0..32).map(|_| resumed.poisson(5.0)).collect();
+        assert_eq!(got, expected, "resumed sampler continues the stream");
+        assert!(resumed.set_rng_state(&state[1..]).is_err(), "bad length");
     }
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# SIGKILL-resume smoke for the checkpointed soak campaign.
+#
+# Runs an uninterrupted checkpointed campaign as the baseline, then
+# starts an identical fresh campaign, kills it with SIGKILL mid-flight,
+# resumes it from its journal, and requires the resumed run report to be
+# identical to the baseline's apart from wall-clock throughput and the
+# resume accounting itself. Exercises the whole crash path: torn journal
+# tails, fingerprint checking, and shard replay.
+set -eu
+
+BIN=target/release/soak
+OUT=results/soak-resume
+ARGS="--runs 96 --horizon 300000"
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+echo "soak-resume: uninterrupted baseline"
+$BIN $ARGS --checkpoint "$OUT/baseline-ckpt" --report "$OUT/baseline.json" \
+    >/dev/null 2>&1
+
+echo "soak-resume: starting a fresh campaign to kill"
+DISC_JOBS=1 $BIN $ARGS --checkpoint "$OUT/ckpt" >/dev/null 2>&1 &
+PID=$!
+sleep 1
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+DONE=$(wc -c <"$OUT/ckpt/soak.journal")
+echo "soak-resume: killed pid $PID; journal is $DONE bytes; resuming"
+$BIN $ARGS --checkpoint "$OUT/ckpt" --resume --report "$OUT/resumed.json" \
+    2>&1 >/dev/null | grep checkpoint || true
+
+# Wall-clock throughput and resume accounting legitimately differ; all
+# campaign results, fault counters, and reference stats must not.
+FILTER='sim_cycles_per_sec|shards_loaded|shards_executed|"journal"'
+if diff <(grep -Ev "$FILTER" "$OUT/baseline.json") \
+        <(grep -Ev "$FILTER" "$OUT/resumed.json"); then
+    echo "soak-resume: OK — resumed report matches the uninterrupted baseline"
+else
+    echo "soak-resume: FAIL — resumed report diverges from the baseline" >&2
+    exit 1
+fi

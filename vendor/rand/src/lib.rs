@@ -193,6 +193,25 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for serialization.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`state`](Self::state). An all-zero
+        /// state (a fixed point of the algorithm, never produced by
+        /// seeding) gets the same nudge as
+        /// [`from_seed`](super::SeedableRng::from_seed).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                SmallRng::from_seed([0; 32])
+            } else {
+                SmallRng { s }
+            }
+        }
+    }
+
     /// Alias kept for API compatibility; same algorithm as [`SmallRng`].
     pub type StdRng = SmallRng;
 }
